@@ -1,0 +1,48 @@
+//! Micro-benchmarks of the segmented RM bus: functional cycle stepping and
+//! the closed-form cost models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rm_bus::{BusModel, SegmentedBus, SegmentedBusModel};
+use std::hint::black_box;
+
+fn bench_functional_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("segmented_bus_stream");
+    for n_words in [16u64, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(n_words), &n_words, |b, &n| {
+            b.iter(|| {
+                let mut bus = SegmentedBus::new(32);
+                let mut sent = 0u64;
+                let mut delivered = 0u64;
+                while delivered < n {
+                    if sent < n && bus.try_inject(0, sent, 31) {
+                        sent += 1;
+                    }
+                    delivered += bus.cycle().len() as u64;
+                }
+                black_box(delivered)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cost_models(c: &mut Criterion) {
+    c.bench_function("bus_model_stream_cost", |b| {
+        let model = BusModel::domain_wall_default();
+        b.iter(|| model.stream_cost(black_box(10_000), 10.0))
+    });
+    c.bench_function("segment_model_cycles", |b| {
+        let model = SegmentedBusModel::with_segment_domains(64);
+        b.iter(|| model.stream_cycles(black_box(100_000)))
+    });
+}
+
+criterion_group! {
+    name = bus;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20);
+    targets = bench_functional_stream, bench_cost_models
+}
+criterion_main!(bus);

@@ -1,0 +1,97 @@
+//! Micro-benchmarks of the domain-wall logic substrate: how fast the
+//! bit-accurate structural models simulate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dw_logic::{
+    AdderTree, CircleAdder, DuplicatorBank, FullAdder, GateTally, Multiplier, RippleCarryAdder,
+};
+use std::hint::black_box;
+
+fn bench_full_adder(c: &mut Criterion) {
+    c.bench_function("full_adder_1bit", |b| {
+        let mut tally = GateTally::new();
+        b.iter(|| {
+            FullAdder.add(
+                black_box(true),
+                black_box(false),
+                black_box(true),
+                &mut tally,
+            )
+        })
+    });
+}
+
+fn bench_ripple_adder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ripple_adder");
+    for width in [8u32, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &w| {
+            let adder = RippleCarryAdder::new(w);
+            let mut tally = GateTally::new();
+            b.iter(|| adder.add(black_box(0xAB), black_box(0x55), false, &mut tally))
+        });
+    }
+    group.finish();
+}
+
+fn bench_multiplier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiplier");
+    for width in [4u32, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &w| {
+            let m = Multiplier::new(w);
+            let mut tally = GateTally::new();
+            let mask = (1u64 << w) - 1;
+            b.iter(|| {
+                m.multiply(
+                    black_box(0xA5A5 & mask),
+                    black_box(0x5A5A & mask),
+                    &mut tally,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_adder_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adder_tree_sum");
+    for n in [8usize, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let tree = AdderTree::new(16);
+            let ops: Vec<u64> = (0..n as u64).collect();
+            let mut tally = GateTally::new();
+            b.iter(|| tree.sum(black_box(&ops), &mut tally))
+        });
+    }
+    group.finish();
+}
+
+fn bench_duplicator_bank(c: &mut Criterion) {
+    c.bench_function("duplicator_bank_8_replicas", |b| {
+        let mut bank = DuplicatorBank::new(2, 8);
+        let mut tally = GateTally::new();
+        b.iter(|| bank.replicate(black_box(0xA5), 8, &mut tally))
+    });
+}
+
+fn bench_circle_adder(c: &mut Criterion) {
+    c.bench_function("circle_adder_accumulate", |b| {
+        let mut acc = CircleAdder::new(32);
+        let mut tally = GateTally::new();
+        b.iter(|| acc.accumulate(black_box(12345), &mut tally))
+    });
+}
+
+criterion_group! {
+    name = gates;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20);
+    targets = bench_full_adder,
+    bench_ripple_adder,
+    bench_multiplier,
+    bench_adder_tree,
+    bench_duplicator_bank,
+    bench_circle_adder
+}
+criterion_main!(gates);

@@ -1,0 +1,51 @@
+//! Benchmarks of the full platform comparison path: one kernel priced on
+//! each evaluated platform (a Figure 17 column), at a reduced scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pim_baselines::platform::{Platform, PlatformKind, Workload};
+use pim_workloads::polybench::Kernel;
+use std::hint::black_box;
+
+fn bench_platforms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("platform_price_gemm_0.1");
+    group.sample_size(10);
+    let workload = Workload::from_kernel(&Kernel::Gemm.scaled(0.1));
+    for kind in PlatformKind::FIGURE_17 {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                let platform = Platform::new(kind).unwrap();
+                b.iter(|| platform.run(black_box(&workload)).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_kernels_on_stpim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stpim_price_kernel_0.1");
+    group.sample_size(10);
+    let platform = Platform::new(PlatformKind::StPim).unwrap();
+    for kernel in [Kernel::Gemm, Kernel::ThreeMm, Kernel::Atax, Kernel::Mvt] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kernel.name()),
+            &kernel,
+            |b, &kernel| {
+                let workload = Workload::from_kernel(&kernel.scaled(0.1));
+                b.iter(|| platform.run(black_box(&workload)).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = platforms;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20);
+    targets = bench_platforms, bench_kernels_on_stpim
+}
+criterion_main!(platforms);

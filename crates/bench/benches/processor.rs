@@ -1,0 +1,47 @@
+//! Micro-benchmarks of the RM processor: bit-accurate dot products and the
+//! closed-form pipeline model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rm_proc::{PipelineModel, ProcOp, RmProcessor};
+use std::hint::black_box;
+
+fn bench_functional_dot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("processor_dot_bitlevel");
+    for n in [16usize, 128, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut proc = RmProcessor::new(8, 2);
+            let a: Vec<u64> = (0..n as u64).map(|i| i % 256).collect();
+            let v: Vec<u64> = (0..n as u64).map(|i| (i * 7) % 256).collect();
+            b.iter(|| proc.dot(black_box(&a), black_box(&v)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline_model(c: &mut Criterion) {
+    c.bench_function("pipeline_cost_dot_2000", |b| {
+        let model = PipelineModel::paper_default();
+        b.iter(|| model.cost(black_box(ProcOp::DotProduct { n: 2000 })))
+    });
+}
+
+fn bench_functional_vadd(c: &mut Criterion) {
+    c.bench_function("processor_vadd_1024", |b| {
+        let mut proc = RmProcessor::new(8, 2);
+        let a: Vec<u64> = (0..1024u64).map(|i| i % 256).collect();
+        let v = a.clone();
+        b.iter(|| proc.vadd(black_box(&a), black_box(&v)))
+    });
+}
+
+criterion_group! {
+    name = processor;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20);
+    targets = bench_functional_dot,
+    bench_pipeline_model,
+    bench_functional_vadd
+}
+criterion_main!(processor);

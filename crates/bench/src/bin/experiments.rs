@@ -1,0 +1,108 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--scale F] [fig3 fig4 fig17 fig18 fig19 fig20 fig21 fig22
+//!              fig23 table4 table5 area fab | all]
+//! ```
+//!
+//! `--scale F` shrinks every kernel dimension by `F` (default 1.0 = the
+//! paper's full problem sizes).
+
+use pim_bench::figures::{self, Scale};
+use pim_bench::render;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::full();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(f) if f > 0.0 && f <= 1.0 => scale = Scale(f),
+                _ => {
+                    eprintln!("--scale needs a factor in (0, 1]");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--scale F] [fig3 fig4 fig17 fig18 fig19 fig20 \
+                     fig21 fig22 fig23 table4 table5 area fab | all]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = [
+            "fig3", "fig4", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
+            "table4", "table5", "area", "fab",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    println!(
+        "# StreamPIM experiment suite (scale {:.3}{})\n",
+        scale.0,
+        if (scale.0 - 1.0).abs() < 1e-12 {
+            ", paper-size"
+        } else {
+            ""
+        }
+    );
+
+    for name in &wanted {
+        let result = run_one(name, scale);
+        match result {
+            Ok(text) => println!("{text}"),
+            Err(e) => {
+                eprintln!("experiment {name} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_one(name: &str, scale: Scale) -> Result<String, Box<dyn std::error::Error>> {
+    Ok(match name {
+        "fig3" => render::fig3(&figures::fig3(scale)),
+        "fig4" => render::fig4(&figures::fig4()),
+        "fig17" => render::metric_table(
+            "Figure 17 — Speedup over CPU-RM (paper avgs: StPIM 39.1x, StPIM-e 12.7x, \
+             CORUSCANT 15.6x, FELIX 8.7x, ELP2IM 3.6x, CPU-DRAM 1.5x)",
+            "x",
+            &figures::fig17(scale)?,
+        ),
+        "fig18" => render::metric_table(
+            "Figure 18 — Energy normalized to StPIM (paper: CPU-DRAM 58.4x, CORUSCANT 2.8x, \
+             FELIX 3.5x, ELP2IM 11.7x, StPIM-e 1.6x)",
+            "x",
+            &figures::fig18(scale)?,
+        ),
+        "fig19" => render::breakdowns(
+            "Figure 19 — Execution-time breakdown (paper: CORUSCANT 81.8% exclusive transfer; \
+             StPIM < 1%)",
+            ["read", "write", "shift", "process", "overlapped"],
+            &figures::fig19(scale)?,
+        ),
+        "fig20" => render::breakdowns(
+            "Figure 20 — Energy breakdown (paper: CORUSCANT 86% transfer; StPIM ~30%)",
+            ["read", "write", "shift", "compute", "other"],
+            &figures::fig20(scale)?,
+        ),
+        "fig21" => render::fig21(&figures::fig21(scale)?),
+        "fig22" => render::fig22(&figures::fig22(scale)?),
+        "fig23" => render::fig23(&figures::fig23()?),
+        "table4" => render::table4(&figures::table4()),
+        "table5" => render::table5(&figures::table5(scale)?),
+        "area" => render::area(&figures::area()),
+        "fab" => render::fabrication(&figures::fabrication()),
+        other => return Err(format!("unknown experiment {other:?}").into()),
+    })
+}

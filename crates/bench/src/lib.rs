@@ -1,0 +1,12 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (§V).
+//!
+//! Each `figures::*` function returns structured rows (so integration tests
+//! can assert on the reproduced trends) and the `experiments` binary renders
+//! them as markdown tables. `EXPERIMENTS.md` records paper-vs-measured for
+//! every experiment.
+
+pub mod figures;
+pub mod render;
+
+pub use figures::*;

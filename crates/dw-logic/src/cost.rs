@@ -1,0 +1,121 @@
+//! Gate-traversal accounting: tallies and cycle/energy pricing.
+
+use crate::process::ProcessNode;
+use serde::{Deserialize, Serialize};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// Counts of domain-wall gate traversals performed by a circuit.
+///
+/// Every structural component in this crate takes a `&mut GateTally` and
+/// ticks it for each gate a domain crosses; the timing/energy layer then
+/// prices the tally via [`GateTally::energy_pj`]. Derived gates (AND, OR,
+/// XOR) tick their constituent primitive gates, so `total()` is the true
+/// device-level traversal count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GateTally {
+    /// NOT-gate (inverter) traversals.
+    pub not: u64,
+    /// NAND-gate traversals.
+    pub nand: u64,
+    /// NOR-gate traversals.
+    pub nor: u64,
+    /// Fan-out junction traversals (duplications).
+    pub fanout: u64,
+    /// Domain-wall diode traversals.
+    pub diode: u64,
+}
+
+impl GateTally {
+    /// A zeroed tally.
+    pub fn new() -> Self {
+        GateTally::default()
+    }
+
+    /// Total gate traversals of all kinds.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.not + self.nand + self.nor + self.fanout + self.diode
+    }
+
+    /// Energy of the tallied traversals at a fabrication node, picojoules.
+    ///
+    /// Every traversal is priced at the node's per-gate energy; fan-out and
+    /// diode crossings cost the same as a logic gate (they are the same
+    /// physical mechanism: a domain crossing an engineered coupling).
+    pub fn energy_pj(&self, node: ProcessNode) -> f64 {
+        self.total() as f64 * node.gate_energy_pj()
+    }
+}
+
+impl Add for GateTally {
+    type Output = GateTally;
+
+    fn add(self, r: GateTally) -> GateTally {
+        GateTally {
+            not: self.not + r.not,
+            nand: self.nand + r.nand,
+            nor: self.nor + r.nor,
+            fanout: self.fanout + r.fanout,
+            diode: self.diode + r.diode,
+        }
+    }
+}
+
+impl AddAssign for GateTally {
+    fn add_assign(&mut self, r: GateTally) {
+        *self = *self + r;
+    }
+}
+
+impl Sum for GateTally {
+    fn sum<I: Iterator<Item = GateTally>>(iter: I) -> GateTally {
+        iter.fold(GateTally::default(), |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_add() {
+        let a = GateTally {
+            nand: 9,
+            not: 1,
+            ..Default::default()
+        };
+        let b = GateTally {
+            nor: 2,
+            fanout: 1,
+            diode: 1,
+            ..Default::default()
+        };
+        let c = a + b;
+        assert_eq!(c.total(), 14);
+        let mut d = GateTally::new();
+        d += c;
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn energy_scales_with_total() {
+        let t = GateTally {
+            nand: 100,
+            ..Default::default()
+        };
+        let node = ProcessNode::nm(32);
+        assert!((t.energy_pj(node) - 100.0 * node.gate_energy_pj()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: GateTally = (0..4)
+            .map(|_| GateTally {
+                nand: 2,
+                ..Default::default()
+            })
+            .sum();
+        assert_eq!(total.nand, 8);
+    }
+}

@@ -1,0 +1,123 @@
+//! The domain-wall diode (Luo et al., Phys. Rev. Applied 2021).
+//!
+//! A domain-wall diode lets domains propagate in only one direction while it
+//! is enabled, which is what lets the duplicator return a replica to its
+//! origin without collisions and the circle adder recirculate its
+//! accumulator (paper §III-C).
+
+use rm_core::ShiftDir;
+use serde::{Deserialize, Serialize};
+
+/// A directional valve on a nanowire.
+///
+/// ```
+/// use dw_logic::DomainWallDiode;
+/// use rm_core::ShiftDir;
+///
+/// let mut diode = DomainWallDiode::new(ShiftDir::Right);
+/// assert!(diode.passes(ShiftDir::Right));
+/// assert!(!diode.passes(ShiftDir::Left));
+/// diode.disable();
+/// assert!(!diode.passes(ShiftDir::Right));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DomainWallDiode {
+    forward: ShiftDir,
+    enabled: bool,
+    crossings: u64,
+    blocked: u64,
+}
+
+impl DomainWallDiode {
+    /// Creates an enabled diode whose forward direction is `forward`.
+    pub fn new(forward: ShiftDir) -> Self {
+        DomainWallDiode {
+            forward,
+            enabled: true,
+            crossings: 0,
+            blocked: 0,
+        }
+    }
+
+    /// Forward (conducting) direction.
+    #[inline]
+    pub fn forward(&self) -> ShiftDir {
+        self.forward
+    }
+
+    /// Whether the diode is currently enabled.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enables the diode (domains may pass in the forward direction).
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Disables the diode (no domains pass in either direction).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Whether a domain travelling in `dir` may pass (without recording it).
+    pub fn passes(&self, dir: ShiftDir) -> bool {
+        self.enabled && dir == self.forward
+    }
+
+    /// Attempts to move a domain through the diode in `dir`, recording the
+    /// crossing or the block. Returns `true` if the domain passed.
+    pub fn try_cross(&mut self, dir: ShiftDir) -> bool {
+        if self.passes(dir) {
+            self.crossings += 1;
+            true
+        } else {
+            self.blocked += 1;
+            false
+        }
+    }
+
+    /// Number of successful crossings so far.
+    #[inline]
+    pub fn crossings(&self) -> u64 {
+        self.crossings
+    }
+
+    /// Number of blocked attempts so far.
+    #[inline]
+    pub fn blocked(&self) -> u64 {
+        self.blocked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conducts_forward_only() {
+        let mut d = DomainWallDiode::new(ShiftDir::Right);
+        assert!(d.try_cross(ShiftDir::Right));
+        assert!(!d.try_cross(ShiftDir::Left));
+        assert_eq!(d.crossings(), 1);
+        assert_eq!(d.blocked(), 1);
+    }
+
+    #[test]
+    fn disabled_blocks_everything() {
+        let mut d = DomainWallDiode::new(ShiftDir::Left);
+        d.disable();
+        assert!(!d.is_enabled());
+        assert!(!d.try_cross(ShiftDir::Left));
+        assert!(!d.try_cross(ShiftDir::Right));
+        d.enable();
+        assert!(d.try_cross(ShiftDir::Left));
+    }
+
+    #[test]
+    fn forward_accessor() {
+        let d = DomainWallDiode::new(ShiftDir::Left);
+        assert_eq!(d.forward(), ShiftDir::Left);
+    }
+}

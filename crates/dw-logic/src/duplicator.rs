@@ -1,0 +1,308 @@
+//! The duplicator: fan-out + domain-wall diode data duplication
+//! (paper Figure 9).
+//!
+//! RM shift operations *move* data; they cannot copy it. The duplicator
+//! solves this with two material-level mechanisms: a **fan-out** junction
+//! splits a propagating domain into two (Vandermeulen et al. 2015; Luo et
+//! al. 2020), and a **domain-wall diode** lets one replica return to the
+//! origin without colliding with traffic. One duplication takes four steps:
+//!
+//! 1. a shift propagates the data towards the two branch nanowires;
+//! 2. the domain splits at the fan-out point;
+//! 3. one replica returns to the original position through the diode;
+//! 4. the data is back in place, ready to be duplicated again, while the
+//!    other replica moves forward to the consumer.
+//!
+//! An n-bit scalar multiply needs its operand duplicated n times; with `d`
+//! duplicators working on different parts of the stream, the stall is
+//! `ceil(n/d)` cycles (paper §III-C, Table III sets `d = 2`).
+
+use crate::cost::GateTally;
+use crate::diode::DomainWallDiode;
+use rm_core::ShiftDir;
+use serde::{Deserialize, Serialize};
+
+/// Phase of the four-step duplication cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DupPhase {
+    /// Idle; data (if any) sits at the original position.
+    Ready,
+    /// Step 1 done: data propagated towards the branch wires.
+    Propagated,
+    /// Step 2 done: the domain split at the fan-out point.
+    Split,
+    /// Step 3 done: one replica returned through the diode.
+    Returned,
+}
+
+/// One fan-out + diode duplicator for `width`-bit words.
+///
+/// ```
+/// use dw_logic::{Duplicator, GateTally};
+///
+/// let mut dup = Duplicator::new(8);
+/// let mut tally = GateTally::new();
+/// let (orig, replica) = dup.duplicate(0xA5, &mut tally);
+/// assert_eq!((orig, replica), (0xA5, 0xA5));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Duplicator {
+    width: u32,
+    phase: DupPhase,
+    slot: Option<u64>,
+    replica: Option<u64>,
+    diode: DomainWallDiode,
+    duplications: u64,
+}
+
+/// Pipeline latency of one full duplication (the four steps).
+pub const DUPLICATION_STEPS: u64 = 4;
+
+impl Duplicator {
+    /// Creates a duplicator for `width`-bit words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    pub fn new(width: u32) -> Self {
+        assert!((1..=64).contains(&width), "width must be in 1..=64");
+        Duplicator {
+            width,
+            phase: DupPhase::Ready,
+            slot: None,
+            replica: None,
+            // The return branch conducts back towards the origin.
+            diode: DomainWallDiode::new(ShiftDir::Left),
+            duplications: 0,
+        }
+    }
+
+    /// Word width in bits.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Current phase of the step machine.
+    #[inline]
+    pub fn phase(&self) -> DupPhase {
+        self.phase
+    }
+
+    /// Total completed duplications.
+    #[inline]
+    pub fn duplications(&self) -> u64 {
+        self.duplications
+    }
+
+    /// Loads a word at the original position (only valid when `Ready`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a duplication is already in flight.
+    pub fn load(&mut self, word: u64) {
+        assert_eq!(self.phase, DupPhase::Ready, "duplicator is busy");
+        self.slot = Some(word & self.mask());
+    }
+
+    /// Advances the step machine by one step, tallying gate traversals.
+    ///
+    /// Returns the new phase. Stepping an empty `Ready` duplicator is a
+    /// no-op.
+    pub fn step(&mut self, tally: &mut GateTally) -> DupPhase {
+        self.phase = match self.phase {
+            DupPhase::Ready => {
+                if self.slot.is_none() {
+                    return DupPhase::Ready;
+                }
+                DupPhase::Propagated
+            }
+            DupPhase::Propagated => {
+                // The domain splits: one fan-out traversal per bit.
+                tally.fanout += self.width as u64;
+                self.replica = self.slot;
+                DupPhase::Split
+            }
+            DupPhase::Split => {
+                // One replica returns through the diode: one crossing per bit.
+                for _ in 0..self.width {
+                    self.diode.try_cross(ShiftDir::Left);
+                }
+                tally.diode += self.width as u64;
+                DupPhase::Returned
+            }
+            DupPhase::Returned => {
+                self.duplications += 1;
+                DupPhase::Ready
+            }
+        };
+        self.phase
+    }
+
+    /// Runs a complete duplication, returning `(original, replica)`.
+    ///
+    /// The original stays loaded (ready to be duplicated again), matching
+    /// the paper's step 4; the replica is handed to the caller.
+    pub fn duplicate(&mut self, word: u64, tally: &mut GateTally) -> (u64, u64) {
+        self.load(word);
+        for _ in 0..DUPLICATION_STEPS {
+            self.step(tally);
+        }
+        let replica = self
+            .replica
+            .take()
+            .expect("replica produced by step machine");
+        let original = self.slot.take().expect("original retained by step machine");
+        (original, replica)
+    }
+
+    fn mask(&self) -> u64 {
+        if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+}
+
+/// A bank of `d` duplicators replicating one operand many times in parallel
+/// (paper: "we employ multiple duplicators in the processor to duplicate
+/// different parts of a vector simultaneously").
+#[derive(Debug, Clone, PartialEq)]
+pub struct DuplicatorBank {
+    units: Vec<Duplicator>,
+}
+
+impl DuplicatorBank {
+    /// Creates a bank of `count` duplicators for `width`-bit words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is 0 (see also [`Duplicator::new`] for width).
+    pub fn new(count: u32, width: u32) -> Self {
+        assert!(count > 0, "a bank needs at least one duplicator");
+        DuplicatorBank {
+            units: (0..count).map(|_| Duplicator::new(width)).collect(),
+        }
+    }
+
+    /// Number of duplicators in the bank.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Produces `n` replicas of `word`, returning them with the cycle cost.
+    ///
+    /// Cost model: the four-step pipeline fills once, then the bank retires
+    /// `count()` replicas per cycle — `4 + ceil(n / d) - 1` cycles total
+    /// (the paper's `n`-cycle stall for `d = 1`, halved by `d = 2`).
+    pub fn replicate(&mut self, word: u64, n: usize, tally: &mut GateTally) -> (Vec<u64>, u64) {
+        let mut replicas = Vec::with_capacity(n);
+        while replicas.len() < n {
+            for unit in &mut self.units {
+                if replicas.len() == n {
+                    break;
+                }
+                let (_orig, replica) = unit.duplicate(word, tally);
+                replicas.push(replica);
+            }
+        }
+        (replicas, self.replicate_cycles(n))
+    }
+
+    /// Cycle cost of producing `n` replicas (see [`Self::replicate`]).
+    pub fn replicate_cycles(&self, n: usize) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            DUPLICATION_STEPS + (n as u64).div_ceil(self.units.len() as u64) - 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplication_yields_identical_copies() {
+        let mut dup = Duplicator::new(8);
+        let mut t = GateTally::new();
+        for word in [0x00, 0xFF, 0xA5, 0x3C] {
+            let (orig, replica) = dup.duplicate(word, &mut t);
+            assert_eq!(orig, word);
+            assert_eq!(replica, word);
+        }
+        assert_eq!(dup.duplications(), 4);
+    }
+
+    #[test]
+    fn duplication_masks_to_width() {
+        let mut dup = Duplicator::new(4);
+        let mut t = GateTally::new();
+        let (orig, replica) = dup.duplicate(0xFF, &mut t);
+        assert_eq!(orig, 0x0F);
+        assert_eq!(replica, 0x0F);
+    }
+
+    #[test]
+    fn step_machine_walks_four_phases() {
+        let mut dup = Duplicator::new(8);
+        let mut t = GateTally::new();
+        dup.load(1);
+        assert_eq!(dup.step(&mut t), DupPhase::Propagated);
+        assert_eq!(dup.step(&mut t), DupPhase::Split);
+        assert_eq!(dup.step(&mut t), DupPhase::Returned);
+        assert_eq!(dup.step(&mut t), DupPhase::Ready);
+    }
+
+    #[test]
+    fn stepping_idle_duplicator_is_noop() {
+        let mut dup = Duplicator::new(8);
+        let mut t = GateTally::new();
+        assert_eq!(dup.step(&mut t), DupPhase::Ready);
+        assert_eq!(t.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "busy")]
+    fn double_load_panics() {
+        let mut dup = Duplicator::new(8);
+        let mut t = GateTally::new();
+        dup.load(1);
+        dup.step(&mut t);
+        dup.load(2);
+    }
+
+    #[test]
+    fn tally_counts_fanout_and_diode_per_bit() {
+        let mut dup = Duplicator::new(8);
+        let mut t = GateTally::new();
+        let _ = dup.duplicate(0xAA, &mut t);
+        assert_eq!(t.fanout, 8);
+        assert_eq!(t.diode, 8);
+    }
+
+    #[test]
+    fn bank_produces_n_replicas() {
+        let mut bank = DuplicatorBank::new(2, 8);
+        let mut t = GateTally::new();
+        let (replicas, cycles) = bank.replicate(0x5A, 8, &mut t);
+        assert_eq!(replicas.len(), 8);
+        assert!(replicas.iter().all(|&r| r == 0x5A));
+        // 4 fill + ceil(8/2) - 1 = 7 cycles.
+        assert_eq!(cycles, 7);
+    }
+
+    #[test]
+    fn bank_cycle_model_matches_paper_stall() {
+        // One duplicator: an n-bit multiply stalls ~n cycles (plus fill).
+        let bank1 = DuplicatorBank::new(1, 8);
+        assert_eq!(bank1.replicate_cycles(8), 4 + 8 - 1);
+        // Two duplicators halve the stall (Table III default).
+        let bank2 = DuplicatorBank::new(2, 8);
+        assert_eq!(bank2.replicate_cycles(8), 4 + 4 - 1);
+        assert_eq!(bank2.replicate_cycles(0), 0);
+    }
+}

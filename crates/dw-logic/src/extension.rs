@@ -1,0 +1,257 @@
+//! Extension arithmetic units (paper §VI, "Supported operations").
+//!
+//! The paper notes that StreamPIM's gate-level construction extends beyond
+//! the adder/multiplier: "by implementing and integrating other specified
+//! processors (e.g., divider, square-root extractor ...) StreamPIM can be
+//! extended to support plenty of more arithmetic operations". This module
+//! builds those two from the same domain-wall primitives:
+//!
+//! * [`Divider`] — restoring shift-subtract division; the subtractor is the
+//!   9-NAND ripple adder fed with an inverted operand and carry-in 1;
+//! * [`SqrtExtractor`] — digit-by-digit (binary non-restoring) integer
+//!   square root using the same subtractor.
+//!
+//! Both count every gate traversal, so the extensions inherit the energy
+//! model for free.
+
+use crate::adder::RippleCarryAdder;
+use crate::cost::GateTally;
+use crate::gate::not;
+use serde::{Deserialize, Serialize};
+
+/// A restoring shift-subtract divider for `width`-bit operands.
+///
+/// ```
+/// use dw_logic::extension::Divider;
+/// use dw_logic::GateTally;
+///
+/// let div = Divider::new(8);
+/// let mut tally = GateTally::new();
+/// assert_eq!(div.divide(200, 7, &mut tally), Some((28, 4)));
+/// assert_eq!(div.divide(5, 0, &mut tally), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Divider {
+    width: u32,
+    sub: RippleCarryAdder,
+}
+
+impl Divider {
+    /// Creates a divider for `width`-bit operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=31` (the remainder register needs
+    /// `width + 1` bits).
+    pub fn new(width: u32) -> Self {
+        assert!((1..=31).contains(&width), "width must be in 1..=31");
+        Divider {
+            width,
+            sub: RippleCarryAdder::new(width + 1),
+        }
+    }
+
+    /// Operand width in bits.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Structural subtraction `a - b` on the internal `width+1`-bit
+    /// datapath; returns `(difference, no_borrow)`.
+    fn subtract(&self, a: u64, b: u64, tally: &mut GateTally) -> (u64, bool) {
+        // Two's complement: invert every bit of b (one domain-wall inverter
+        // per bit) and add with carry-in 1.
+        let mask = (1u64 << (self.width + 1)) - 1;
+        let mut inv = 0u64;
+        for i in 0..=self.width {
+            if not((b >> i) & 1 == 1, tally) {
+                inv |= 1 << i;
+            }
+        }
+        let (sum, carry) = self.sub.add(a & mask, inv, true, tally);
+        (sum, carry)
+    }
+
+    /// Divides `a / b` (operands masked to `width` bits), returning
+    /// `(quotient, remainder)`, or `None` for division by zero.
+    pub fn divide(&self, a: u64, b: u64, tally: &mut GateTally) -> Option<(u64, u64)> {
+        let mask = (1u64 << self.width) - 1;
+        let (a, b) = (a & mask, b & mask);
+        if b == 0 {
+            return None;
+        }
+        let mut remainder = 0u64;
+        let mut quotient = 0u64;
+        for i in (0..self.width).rev() {
+            remainder = (remainder << 1) | ((a >> i) & 1);
+            let (diff, no_borrow) = self.subtract(remainder, b, tally);
+            if no_borrow {
+                remainder = diff & ((1 << (self.width + 1)) - 1);
+                quotient |= 1 << i;
+            }
+            // Restoring division: on borrow, the remainder stays.
+        }
+        Some((quotient, remainder))
+    }
+
+    /// Latency in cycles: one `(width+1)`-bit ripple traversal per quotient
+    /// bit.
+    pub fn latency_cycles(&self) -> u64 {
+        self.width as u64 * (self.width as u64 + 1)
+    }
+}
+
+/// A digit-by-digit integer square-root extractor for `width`-bit inputs.
+///
+/// ```
+/// use dw_logic::extension::SqrtExtractor;
+/// use dw_logic::GateTally;
+///
+/// let sqrt = SqrtExtractor::new(16);
+/// let mut tally = GateTally::new();
+/// assert_eq!(sqrt.isqrt(1000, &mut tally), 31);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SqrtExtractor {
+    width: u32,
+    sub: RippleCarryAdder,
+}
+
+impl SqrtExtractor {
+    /// Creates an extractor for `width`-bit inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `2..=30` or odd widths are requested
+    /// (the digit recurrence consumes bit pairs).
+    pub fn new(width: u32) -> Self {
+        assert!((2..=30).contains(&width), "width must be in 2..=30");
+        assert!(width.is_multiple_of(2), "width must be even (bit pairs)");
+        // The working register holds up to width + 2 bits.
+        SqrtExtractor {
+            width,
+            sub: RippleCarryAdder::new(width + 2),
+        }
+    }
+
+    /// Input width in bits.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Computes `floor(sqrt(x))` for `x` masked to `width` bits.
+    pub fn isqrt(&self, x: u64, tally: &mut GateTally) -> u64 {
+        let mask = (1u64 << self.width) - 1;
+        let x = x & mask;
+        let reg_mask = (1u64 << (self.width + 2)) - 1;
+        let mut remainder = 0u64;
+        let mut root = 0u64;
+        // Consume two input bits per digit, most significant first.
+        for i in (0..self.width / 2).rev() {
+            let pair = (x >> (2 * i)) & 0b11;
+            remainder = ((remainder << 2) | pair) & reg_mask;
+            let trial = (root << 2) | 1; // (2*root)*2 + 1
+            let (diff, no_borrow) = self.subtract(remainder, trial, tally);
+            root <<= 1;
+            if no_borrow {
+                remainder = diff & reg_mask;
+                root |= 1;
+            }
+        }
+        root
+    }
+
+    fn subtract(&self, a: u64, b: u64, tally: &mut GateTally) -> (u64, bool) {
+        let bits = self.width + 2;
+        let mut inv = 0u64;
+        for i in 0..bits {
+            if not((b >> i) & 1 == 1, tally) {
+                inv |= 1 << i;
+            }
+        }
+        self.sub.add(a, inv, true, tally)
+    }
+
+    /// Latency in cycles: one `(width+2)`-bit ripple per digit.
+    pub fn latency_cycles(&self) -> u64 {
+        (self.width as u64 / 2) * (self.width as u64 + 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_8bit_division() {
+        let div = Divider::new(8);
+        let mut tally = GateTally::new();
+        for a in 0u64..256 {
+            for b in 1u64..256 {
+                let (q, r) = div.divide(a, b, &mut tally).unwrap();
+                assert_eq!(q, a / b, "{a}/{b}");
+                assert_eq!(r, a % b, "{a}%{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn division_by_zero_is_none() {
+        let div = Divider::new(8);
+        let mut tally = GateTally::new();
+        assert_eq!(div.divide(42, 0, &mut tally), None);
+    }
+
+    #[test]
+    fn division_masks_operands() {
+        let div = Divider::new(4);
+        let mut tally = GateTally::new();
+        // 0x1F masks to 0xF.
+        assert_eq!(div.divide(0x1F, 3, &mut tally), Some((5, 0)));
+    }
+
+    #[test]
+    fn division_gate_cost_counted() {
+        let div = Divider::new(8);
+        let mut tally = GateTally::new();
+        let _ = div.divide(255, 3, &mut tally);
+        // 8 subtract passes x (9 inverters + 9 x 9 NANDs).
+        assert_eq!(tally.not, 8 * 9);
+        assert_eq!(tally.nand, 8 * 9 * 9);
+        assert!(div.latency_cycles() > 0);
+    }
+
+    #[test]
+    fn exhaustive_sqrt_12bit() {
+        let sqrt = SqrtExtractor::new(12);
+        let mut tally = GateTally::new();
+        for x in 0u64..4096 {
+            let got = sqrt.isqrt(x, &mut tally);
+            let expect = (x as f64).sqrt().floor() as u64;
+            assert_eq!(got, expect, "isqrt({x})");
+        }
+    }
+
+    #[test]
+    fn sqrt_perfect_squares() {
+        let sqrt = SqrtExtractor::new(16);
+        let mut tally = GateTally::new();
+        for r in 0u64..256 {
+            assert_eq!(sqrt.isqrt(r * r, &mut tally), r);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn sqrt_rejects_odd_width() {
+        let _ = SqrtExtractor::new(9);
+    }
+
+    #[test]
+    fn latencies_are_quadratic_ish() {
+        assert_eq!(Divider::new(8).latency_cycles(), 72);
+        assert_eq!(SqrtExtractor::new(16).latency_cycles(), 144);
+    }
+}

@@ -1,0 +1,179 @@
+//! The w-bit scalar multiplier: AND partial products + adder tree
+//! (paper Figure 8).
+//!
+//! A scalar multiplication `A * B` proceeds in three steps: duplicate `A`
+//! once per bit of `B` (done by the [`crate::duplicator`]), AND each replica
+//! with one bit of `B` to form partial products, and sum the shifted partial
+//! products with the adder tree. This module implements steps two and three;
+//! the processor pipeline in `rm-proc` wires the duplicator in front.
+
+use crate::adder_tree::AdderTree;
+use crate::cost::GateTally;
+use crate::gate::and;
+use serde::{Deserialize, Serialize};
+
+/// A multiplier for `width`-bit operands producing `2*width`-bit products.
+///
+/// ```
+/// use dw_logic::{GateTally, Multiplier};
+///
+/// let m = Multiplier::new(8);
+/// let mut tally = GateTally::new();
+/// assert_eq!(m.multiply(0xFF, 0xFF, &mut tally), 0xFE01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Multiplier {
+    width: u32,
+    tree: AdderTree,
+}
+
+impl Multiplier {
+    /// Creates a multiplier for `width`-bit operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=31` (the product needs `2*width`
+    /// bits, staged in `u64` through the adder tree).
+    pub fn new(width: u32) -> Self {
+        assert!((1..=31).contains(&width), "width must be in 1..=31");
+        Multiplier {
+            width,
+            tree: AdderTree::new(2 * width),
+        }
+    }
+
+    /// Operand width in bits.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Product width in bits (`2 * width`).
+    #[inline]
+    pub fn product_width(&self) -> u32 {
+        2 * self.width
+    }
+
+    /// Forms the `width` partial products of `a * b` from replicas of `a`
+    /// (one AND per product bit), already shifted into position.
+    ///
+    /// `replicas` must contain at least `width` copies of `a`; in the real
+    /// pipeline these come from the duplicator bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `width` replicas are supplied.
+    pub fn partial_products(&self, replicas: &[u64], b: u64, tally: &mut GateTally) -> Vec<u64> {
+        assert!(
+            replicas.len() >= self.width as usize,
+            "need {} replicas, got {}",
+            self.width,
+            replicas.len()
+        );
+        let mask = (1u64 << self.width) - 1;
+        (0..self.width)
+            .map(|i| {
+                let a = replicas[i as usize] & mask;
+                let bit = (b >> i) & 1 == 1;
+                // One AND gate per bit of the replica.
+                let mut pp = 0u64;
+                for j in 0..self.width {
+                    let abit = (a >> j) & 1 == 1;
+                    if and(abit, bit, tally) {
+                        pp |= 1 << j;
+                    }
+                }
+                pp << i
+            })
+            .collect()
+    }
+
+    /// Multiplies `a * b` (operands masked to `width` bits), tallying every
+    /// gate traversal, and returns the exact `2*width`-bit product.
+    pub fn multiply(&self, a: u64, b: u64, tally: &mut GateTally) -> u64 {
+        let mask = (1u64 << self.width) - 1;
+        let a = a & mask;
+        let replicas = vec![a; self.width as usize];
+        let pps = self.partial_products(&replicas, b & mask, tally);
+        self.tree.sum(&pps, tally)
+    }
+
+    /// Latency in cycles of the combinational part (partial products are one
+    /// gate traversal; the tree dominates).
+    pub fn latency_cycles(&self) -> u64 {
+        1 + self.tree.latency_cycles(self.width as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_4bit() {
+        let m = Multiplier::new(4);
+        let mut t = GateTally::new();
+        for a in 0u64..16 {
+            for b in 0u64..16 {
+                assert_eq!(m.multiply(a, b, &mut t), a * b, "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_8bit() {
+        let m = Multiplier::new(8);
+        let mut t = GateTally::new();
+        for a in (0u64..256).step_by(5) {
+            for b in (0u64..256).step_by(7) {
+                assert_eq!(m.multiply(a, b, &mut t), a * b, "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn masks_operands_to_width() {
+        let m = Multiplier::new(8);
+        let mut t = GateTally::new();
+        assert_eq!(m.multiply(0x1FF, 2, &mut t), 0xFF * 2);
+    }
+
+    #[test]
+    fn partial_products_are_shifted_ands() {
+        let m = Multiplier::new(4);
+        let mut t = GateTally::new();
+        let pps = m.partial_products(&[0b1011; 4], 0b0101, &mut t);
+        assert_eq!(pps, vec![0b1011, 0, 0b1011 << 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "replicas")]
+    fn partial_products_need_enough_replicas() {
+        let m = Multiplier::new(8);
+        let mut t = GateTally::new();
+        let _ = m.partial_products(&[1; 3], 1, &mut t);
+    }
+
+    #[test]
+    fn gate_cost_is_quadratic_in_width() {
+        let mut t4 = GateTally::new();
+        Multiplier::new(4).multiply(5, 5, &mut t4);
+        let mut t8 = GateTally::new();
+        Multiplier::new(8).multiply(5, 5, &mut t8);
+        // AND gates: width^2 ANDs = width^2 NAND+NOT pairs.
+        assert_eq!(t4.nand - count_tree_nands(4), 16);
+        assert_eq!(t8.nand - count_tree_nands(8), 64);
+        assert!(t8.total() > t4.total());
+    }
+
+    fn count_tree_nands(width: u64) -> u64 {
+        // The tree performs (width - 1) adds of 2*width bits, 9 NANDs per bit.
+        (width - 1) * 2 * width * 9
+    }
+
+    #[test]
+    fn latency_grows_with_width() {
+        assert!(Multiplier::new(8).latency_cycles() > Multiplier::new(4).latency_cycles());
+        assert_eq!(Multiplier::new(8).product_width(), 16);
+    }
+}

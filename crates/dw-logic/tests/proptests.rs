@@ -1,0 +1,152 @@
+//! Property-based tests: the domain-wall arithmetic structures agree with
+//! host integer arithmetic for all inputs.
+
+use dw_logic::extension::{Divider, SqrtExtractor};
+use dw_logic::{
+    AdderTree, CircleAdder, Duplicator, DuplicatorBank, GateTally, Multiplier, RippleCarryAdder,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// The 8-bit ripple adder matches `u8` wrapping addition.
+    #[test]
+    fn ripple_adder_matches_u8(a in 0u64..256, b in 0u64..256, cin in any::<bool>()) {
+        let adder = RippleCarryAdder::new(8);
+        let mut t = GateTally::new();
+        let (sum, carry) = adder.add(a, b, cin, &mut t);
+        let full = a + b + cin as u64;
+        prop_assert_eq!(sum, full & 0xFF);
+        prop_assert_eq!(carry, full > 0xFF);
+    }
+
+    /// Wider adders match at 16 bits too.
+    #[test]
+    fn ripple_adder_matches_u16(a in 0u64..65536, b in 0u64..65536) {
+        let adder = RippleCarryAdder::new(16);
+        let mut t = GateTally::new();
+        let (sum, carry) = adder.add(a, b, false, &mut t);
+        prop_assert_eq!(sum, (a + b) & 0xFFFF);
+        prop_assert_eq!(carry, a + b > 0xFFFF);
+    }
+
+    /// The adder tree equals the wrapping sum of its operands.
+    #[test]
+    fn adder_tree_matches_sum(xs in proptest::collection::vec(0u64..65536, 0..20)) {
+        let tree = AdderTree::new(16);
+        let mut t = GateTally::new();
+        let expect = xs.iter().sum::<u64>() & 0xFFFF;
+        prop_assert_eq!(tree.sum(&xs, &mut t), expect);
+    }
+
+    /// The structural multiplier equals `*` for all 8-bit operands.
+    #[test]
+    fn multiplier_matches_u8(a in 0u64..256, b in 0u64..256) {
+        let m = Multiplier::new(8);
+        let mut t = GateTally::new();
+        prop_assert_eq!(m.multiply(a, b, &mut t), a * b);
+    }
+
+    /// ... and for 12-bit operands.
+    #[test]
+    fn multiplier_matches_12bit(a in 0u64..4096, b in 0u64..4096) {
+        let m = Multiplier::new(12);
+        let mut t = GateTally::new();
+        prop_assert_eq!(m.multiply(a, b, &mut t), a * b);
+    }
+
+    /// Duplication is the identity on both branches.
+    #[test]
+    fn duplicator_is_identity(word in 0u64..256, n in 1usize..16) {
+        let mut dup = Duplicator::new(8);
+        let mut t = GateTally::new();
+        for _ in 0..n {
+            let (orig, replica) = dup.duplicate(word, &mut t);
+            prop_assert_eq!(orig, word);
+            prop_assert_eq!(replica, word);
+        }
+        prop_assert_eq!(dup.duplications(), n as u64);
+    }
+
+    /// A duplicator bank produces exactly n identical replicas with the
+    /// documented cycle cost.
+    #[test]
+    fn bank_replication(word in 0u64..256, n in 0usize..32, d in 1u32..5) {
+        let mut bank = DuplicatorBank::new(d, 8);
+        let mut t = GateTally::new();
+        let (replicas, cycles) = bank.replicate(word, n, &mut t);
+        prop_assert_eq!(replicas.len(), n);
+        prop_assert!(replicas.iter().all(|&r| r == word));
+        if n == 0 {
+            prop_assert_eq!(cycles, 0);
+        } else {
+            prop_assert_eq!(cycles, 4 + (n as u64).div_ceil(d as u64) - 1);
+        }
+    }
+
+    /// The circle adder equals a running wrapping sum.
+    #[test]
+    fn circle_adder_matches_running_sum(xs in proptest::collection::vec(0u64..1_000_000, 0..50)) {
+        let mut acc = CircleAdder::new(32);
+        let mut t = GateTally::new();
+        let mut expect: u64 = 0;
+        for &x in &xs {
+            expect = (expect + x) & 0xFFFF_FFFF;
+            acc.accumulate(x, &mut t);
+        }
+        prop_assert_eq!(acc.peek(), expect);
+    }
+
+    /// A full dot product through the structural datapath (duplicator →
+    /// multiplier → circle adder) equals the host-side dot product.
+    #[test]
+    fn structural_dot_product_matches_reference(
+        pairs in proptest::collection::vec((0u64..256, 0u64..256), 1..32),
+    ) {
+        let mut bank = DuplicatorBank::new(2, 8);
+        let mult = Multiplier::new(8);
+        let mut acc = CircleAdder::new(32);
+        let mut t = GateTally::new();
+        for &(a, b) in &pairs {
+            let (replicas, _) = bank.replicate(a, 8, &mut t);
+            let pps = mult.partial_products(&replicas, b, &mut t);
+            let tree = AdderTree::new(16);
+            let product = tree.sum(&pps, &mut t);
+            acc.accumulate(product, &mut t);
+        }
+        let expect: u64 = pairs.iter().map(|&(a, b)| a * b).sum::<u64>() & 0xFFFF_FFFF;
+        prop_assert_eq!(acc.peek(), expect);
+    }
+
+    /// The structural divider equals host division for all 10-bit operands.
+    #[test]
+    fn divider_matches_host(a in 0u64..1024, b in 1u64..1024) {
+        let div = Divider::new(10);
+        let mut t = GateTally::new();
+        let (q, r) = div.divide(a, b, &mut t).unwrap();
+        prop_assert_eq!(q, a / b);
+        prop_assert_eq!(r, a % b);
+        prop_assert_eq!(q * b + r, a, "division identity");
+    }
+
+    /// The structural square root equals the host floor-sqrt.
+    #[test]
+    fn sqrt_matches_host(x in 0u64..(1 << 20)) {
+        let sqrt = SqrtExtractor::new(20);
+        let mut t = GateTally::new();
+        let root = sqrt.isqrt(x, &mut t);
+        prop_assert!(root * root <= x);
+        prop_assert!((root + 1) * (root + 1) > x);
+    }
+
+    /// Multiply-then-divide round-trips through the structural units.
+    #[test]
+    fn mul_div_round_trip(a in 1u64..256, b in 1u64..256) {
+        let m = Multiplier::new(8);
+        let div = Divider::new(16);
+        let mut t = GateTally::new();
+        let product = m.multiply(a, b, &mut t);
+        let (q, r) = div.divide(product, b, &mut t).unwrap();
+        prop_assert_eq!(q, a);
+        prop_assert_eq!(r, 0);
+    }
+}

@@ -1,0 +1,20 @@
+fn main() {
+    use pim_baselines::platform::{Platform, PlatformKind, Workload};
+    use pim_workloads::polybench::Kernel;
+    for kernel in [Kernel::Gemm, Kernel::Atax] {
+        println!("=== {} (full size) ===", kernel.name());
+        let w = Workload::from_kernel(&kernel.paper_instance());
+        let mut cpu_rm = 0.0;
+        for k in PlatformKind::FIGURE_17 {
+            let r = Platform::new(k).unwrap().run(&w).unwrap();
+            if k == PlatformKind::CpuRm {
+                cpu_rm = r.total_ns();
+            }
+            println!("{:10} {:14.3} ms  speedup {:8.2}x  {:12.3} mJ  t[p={:.2} r={:.2} w={:.2} s={:.2} o={:.2}]",
+                k.name(), r.total_ns()/1e6, cpu_rm/r.total_ns(), r.total_pj()/1e9,
+                r.time.process_ns/r.total_ns(), r.time.read_ns/r.total_ns(),
+                r.time.write_ns/r.total_ns(), r.time.shift_ns/r.total_ns(),
+                r.time.overlapped_ns/r.total_ns());
+        }
+    }
+}

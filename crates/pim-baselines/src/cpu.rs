@@ -1,0 +1,204 @@
+//! CPU host model: CPU-RM and CPU-DRAM platforms (paper Figure 3a).
+//!
+//! Execution time has two components:
+//!
+//! * **instruction/compute time** — flops plus the surrounding loop,
+//!   address and load/store instructions, retired at the chip's effective
+//!   rates; memory-bound kernels (matrix-vector) carry much more
+//!   per-flop instruction overhead than blocked, vectorized matmuls;
+//! * **memory time** — compulsory traffic, amplified when the working set
+//!   spills the last-level cache, streamed at the main memory's bandwidth.
+//!   Out-of-order execution and prefetching hide a calibrated fraction of
+//!   it under compute; the rest is exposed stall time (the `mem` slice of
+//!   Figure 3a).
+
+use crate::calib::HostCalib;
+use pim_device::report::ExecReport;
+use pim_workloads::profile::KernelProfile;
+use rm_core::{EnergyBreakdown, TimeBreakdown};
+use serde::{Deserialize, Serialize};
+
+/// Which main memory backs the CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MainMemory {
+    /// DDR4-2400 DRAM.
+    Dram,
+    /// Racetrack memory.
+    Rm,
+}
+
+/// The CPU host platform model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuModel {
+    /// Machine calibration.
+    pub calib: HostCalib,
+    /// Main-memory technology.
+    pub memory: MainMemory,
+}
+
+impl CpuModel {
+    /// CPU on racetrack memory (the paper's primary baseline).
+    pub fn cpu_rm() -> Self {
+        CpuModel {
+            calib: HostCalib::paper_default(),
+            memory: MainMemory::Rm,
+        }
+    }
+
+    /// CPU on DDR4 DRAM.
+    pub fn cpu_dram() -> Self {
+        CpuModel {
+            calib: HostCalib::paper_default(),
+            memory: MainMemory::Dram,
+        }
+    }
+
+    /// Memory bandwidth in bytes per nanosecond.
+    fn bandwidth_b_per_ns(&self) -> f64 {
+        let gib_s = match self.memory {
+            MainMemory::Dram => self.calib.dram_gib_s,
+            MainMemory::Rm => self.calib.rm_gib_s,
+        };
+        gib_s * 1024.0 * 1024.0 * 1024.0 / 1e9
+    }
+
+    /// Memory energy per byte, picojoules.
+    fn mem_pj_per_byte(&self) -> f64 {
+        match self.memory {
+            MainMemory::Dram => self.calib.dram_pj_per_byte,
+            MainMemory::Rm => self.calib.rm_pj_per_byte,
+        }
+    }
+
+    /// Prices a kernel profile on this host.
+    pub fn run_profile(&self, p: &KernelProfile) -> ExecReport {
+        let c = &self.calib;
+        // Memory-bound kernels do not scale to all cores (the channels
+        // saturate long before), so their instruction throughput sees only
+        // a few effective cores.
+        let core_derate = (if p.small {
+            c.effective_cores_small / c.cores as f64
+        } else {
+            1.0
+        }) * p.cpu_efficiency;
+        let flop_ns = p.flops / (c.cpu_flops_per_ns() * core_derate);
+        let ipf = if p.small {
+            c.instructions_per_flop_small
+        } else {
+            c.instructions_per_flop_large
+        };
+        let inst_ns = p.flops * ipf / (c.cpu_instructions_per_ns() * core_derate);
+        let compute_ns = flop_ns + inst_ns;
+
+        let amplification = if p.working_set > c.llc_bytes && !p.small {
+            c.spill_amplification
+        } else {
+            1.0
+        };
+        let traffic = p.bytes * amplification;
+        let mem_ns = traffic / self.bandwidth_b_per_ns();
+        let hidden = (mem_ns * c.mem_overlap).min(compute_ns);
+        let exposed_mem = mem_ns - hidden;
+
+        // Wall-clock = compute + exposed memory stalls; the hidden memory
+        // time is the slice of compute during which the memory system was
+        // also busy.
+        let time = TimeBreakdown {
+            process_ns: compute_ns - hidden,
+            read_ns: exposed_mem * 0.6,
+            write_ns: exposed_mem * 0.4,
+            shift_ns: 0.0,
+            overlapped_ns: hidden,
+        };
+        let instructions = p.flops * ipf;
+        let energy = EnergyBreakdown {
+            compute_pj: p.flops * c.cpu_pj_per_flop + instructions * c.cpu_pj_per_instruction,
+            read_pj: traffic * self.mem_pj_per_byte() * 0.6,
+            write_pj: traffic * self.mem_pj_per_byte() * 0.4,
+            shift_pj: 0.0,
+            other_pj: 0.0,
+        };
+        ExecReport {
+            time,
+            energy,
+            ..ExecReport::default()
+        }
+    }
+
+    /// Exposed-memory fraction of total time for `p` (Figure 3a's `mem`).
+    pub fn mem_fraction(&self, p: &KernelProfile) -> f64 {
+        let r = self.run_profile(p);
+        (r.time.read_ns + r.time.write_ns) / r.time.total_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_profile() -> KernelProfile {
+        // atax-like: 2000x2000 doubles streamed twice.
+        KernelProfile {
+            name: "small".into(),
+            flops: 1.6e7,
+            bytes: 6.4e7,
+            working_set: 3.2e7,
+            small: true,
+            cpu_efficiency: 1.0,
+        }
+    }
+
+    fn large_profile() -> KernelProfile {
+        // gemm-like.
+        KernelProfile {
+            name: "large".into(),
+            flops: 2.4e10,
+            bytes: 1.5e8,
+            working_set: 1.5e8,
+            small: false,
+            cpu_efficiency: 1.0,
+        }
+    }
+
+    #[test]
+    fn dram_faster_than_rm() {
+        let small = small_profile();
+        let t_rm = CpuModel::cpu_rm().run_profile(&small).total_ns();
+        let t_dram = CpuModel::cpu_dram().run_profile(&small).total_ns();
+        assert!(t_dram < t_rm);
+        let ratio = t_rm / t_dram;
+        assert!((1.05..2.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn small_kernels_have_high_mem_fraction() {
+        let cpu = CpuModel::cpu_rm();
+        let f_small = cpu.mem_fraction(&small_profile());
+        let f_large = cpu.mem_fraction(&large_profile());
+        assert!(f_small > 0.3, "small mem fraction {f_small}");
+        assert!(f_small < 0.75, "small mem fraction {f_small}");
+        assert!(
+            f_large < f_small,
+            "large kernels are compute-bound: {f_large}"
+        );
+    }
+
+    #[test]
+    fn energy_positive_and_memory_visible() {
+        let r = CpuModel::cpu_dram().run_profile(&small_profile());
+        assert!(r.energy.compute_pj > 0.0);
+        assert!(r.energy.read_pj + r.energy.write_pj > 0.0);
+    }
+
+    #[test]
+    fn cache_fit_avoids_amplification() {
+        // Amplification applies to reuse-heavy (large) kernels that spill.
+        let mut p = large_profile();
+        p.flops = 1.0e8; // memory-visible compute budget
+        p.working_set = 1.0e6; // fits the LLC
+        let fit = CpuModel::cpu_rm().run_profile(&p);
+        p.working_set = 1.0e9;
+        let spill = CpuModel::cpu_rm().run_profile(&p);
+        assert!(spill.total_ns() > fit.total_ns());
+    }
+}

@@ -1,0 +1,126 @@
+//! GPU platform model (paper Figure 3b).
+//!
+//! A discrete GPU must stage inputs and results across PCIe before and
+//! after every offloaded kernel; for small, memory-bound kernels this
+//! staging dominates end-to-end time (the paper measures ~90% "data
+//! transfer" on the matrix-vector workloads).
+
+use crate::calib::HostCalib;
+use pim_device::report::ExecReport;
+use pim_workloads::profile::KernelProfile;
+use rm_core::{EnergyBreakdown, TimeBreakdown};
+use serde::{Deserialize, Serialize};
+
+/// The GPU platform model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuModel {
+    /// Machine calibration.
+    pub calib: HostCalib,
+}
+
+impl GpuModel {
+    /// The paper's GPU (RTX 3080-class) with default calibration.
+    pub fn paper_default() -> Self {
+        GpuModel {
+            calib: HostCalib::paper_default(),
+        }
+    }
+
+    /// Prices a kernel profile: PCIe staging + on-device roofline kernel.
+    pub fn run_profile(&self, p: &KernelProfile) -> ExecReport {
+        let c = &self.calib;
+        let gib = 1024.0 * 1024.0 * 1024.0;
+        // Stage the working set in, results (a fraction of it) out.
+        let staged_bytes = p.working_set * 1.25;
+        let transfer_ns = staged_bytes / (c.pcie_gib_s * gib / 1e9) + c.gpu_launch_ns;
+        // On-device: roofline of compute vs device-memory bandwidth.
+        let kernel_compute_ns = p.flops / c.gpu_gflops;
+        let kernel_mem_ns = p.bytes / (c.gpu_mem_gib_s * gib / 1e9);
+        let kernel_ns = kernel_compute_ns.max(kernel_mem_ns);
+
+        let time = TimeBreakdown {
+            process_ns: kernel_ns,
+            // PCIe staging is the exposed transfer slice of Figure 3b.
+            read_ns: transfer_ns * 0.5,
+            write_ns: transfer_ns * 0.5,
+            shift_ns: 0.0,
+            overlapped_ns: 0.0,
+        };
+        let energy = EnergyBreakdown {
+            compute_pj: p.flops * c.gpu_pj_per_flop,
+            read_pj: staged_bytes * c.pcie_pj_per_byte * 0.5,
+            write_pj: staged_bytes * c.pcie_pj_per_byte * 0.5,
+            shift_pj: 0.0,
+            other_pj: 0.0,
+        };
+        ExecReport {
+            time,
+            energy,
+            ..ExecReport::default()
+        }
+    }
+
+    /// Data-transfer fraction of total time (Figure 3b's metric).
+    pub fn transfer_fraction(&self, p: &KernelProfile) -> f64 {
+        let r = self.run_profile(p);
+        (r.time.read_ns + r.time.write_ns) / r.time.total_ns()
+    }
+}
+
+impl Default for GpuModel {
+    fn default() -> Self {
+        GpuModel::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_kernels_are_transfer_dominated() {
+        let gpu = GpuModel::paper_default();
+        // mvt-like small kernel.
+        let small = KernelProfile {
+            name: "mvt".into(),
+            flops: 1.6e7,
+            bytes: 6.4e7,
+            working_set: 3.2e7,
+            small: true,
+            cpu_efficiency: 1.0,
+        };
+        let f = gpu.transfer_fraction(&small);
+        assert!(f > 0.8, "transfer fraction {f}");
+    }
+
+    #[test]
+    fn large_kernels_amortize_transfer() {
+        let gpu = GpuModel::paper_default();
+        let large = KernelProfile {
+            name: "gemm".into(),
+            flops: 2.4e10,
+            bytes: 1.5e8,
+            working_set: 1.5e8,
+            small: false,
+            cpu_efficiency: 1.0,
+        };
+        let f = gpu.transfer_fraction(&large);
+        assert!(f < 0.6, "transfer fraction {f}");
+    }
+
+    #[test]
+    fn gpu_beats_cpu_on_large_compute() {
+        use crate::cpu::CpuModel;
+        let large = KernelProfile {
+            name: "gemm".into(),
+            flops: 2.4e10,
+            bytes: 1.5e8,
+            working_set: 1.5e8,
+            small: false,
+            cpu_efficiency: 1.0,
+        };
+        let t_gpu = GpuModel::paper_default().run_profile(&large).total_ns();
+        let t_cpu = CpuModel::cpu_dram().run_profile(&large).total_ns();
+        assert!(t_gpu < t_cpu);
+    }
+}

@@ -1,0 +1,28 @@
+//! Comparison platforms for the StreamPIM evaluation (paper §V-A).
+//!
+//! Seven platforms are modelled, all pricing *the same work* derived from a
+//! workload's profile/schedule:
+//!
+//! | Platform    | Module        | Notes                                        |
+//! |-------------|---------------|----------------------------------------------|
+//! | CPU-RM      | [`cpu`]       | 16-core x86 host on racetrack main memory    |
+//! | CPU-DRAM    | [`cpu`]       | same host on DDR4-2400                       |
+//! | GPU         | [`gpu`]       | discrete GPU with PCIe staging (Figure 3b)   |
+//! | StPIM       | `pim-device`  | the paper's design (wrapped by [`platform`]) |
+//! | StPIM-e     | `pim-device`  | electrical in-subarray buses                 |
+//! | CORUSCANT   | [`coruscant`] | transverse-read process-in-RM (MICRO'22)     |
+//! | ELP2IM      | [`bitserial`] | bit-serial process-in-DRAM (HPCA'20)         |
+//! | FELIX       | [`bitserial`] | bit-serial process-in-NVM (ICCAD'18)         |
+//!
+//! Machine parameters live in [`calib`] — one global calibration, never
+//! tuned per workload (see `DESIGN.md` §6).
+
+pub mod bitserial;
+pub mod calib;
+pub mod coruscant;
+pub mod cpu;
+pub mod gpu;
+pub mod platform;
+
+pub use calib::HostCalib;
+pub use platform::{dnn_end_to_end, Platform, PlatformKind, Workload};

@@ -1,0 +1,304 @@
+//! The unified platform interface: one `run` call prices one workload on
+//! any of the paper's seven platforms.
+
+use crate::bitserial::BitSerialModel;
+use crate::coruscant::CoruscantModel;
+use crate::cpu::CpuModel;
+use crate::gpu::GpuModel;
+use pim_device::report::ExecReport;
+use pim_device::schedule::Schedule;
+use pim_device::task::PimTask;
+use pim_device::{PimError, StreamPim, StreamPimConfig};
+use pim_workloads::dnn::DnnModel;
+use pim_workloads::polybench::KernelInstance;
+use pim_workloads::profile::KernelProfile;
+use serde::{Deserialize, Serialize};
+
+/// The platforms of the paper's evaluation (Figure 17/18 legend).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlatformKind {
+    /// CPU host on racetrack main memory (the normalization baseline).
+    CpuRm,
+    /// CPU host on DDR4 DRAM.
+    CpuDram,
+    /// Discrete GPU with PCIe staging (Figure 3b only).
+    Gpu,
+    /// StreamPIM with both optimizations and the domain-wall bus.
+    StPim,
+    /// StreamPIM with electrical in-subarray buses (`StPIM-e`).
+    StPimE,
+    /// CORUSCANT (transverse-read process-in-RM).
+    Coruscant,
+    /// ELP2IM (bit-serial process-in-DRAM).
+    Elp2im,
+    /// FELIX (bit-serial process-in-NVM).
+    Felix,
+}
+
+impl PlatformKind {
+    /// The display name used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlatformKind::CpuRm => "CPU-RM",
+            PlatformKind::CpuDram => "CPU-DRAM",
+            PlatformKind::Gpu => "GPU",
+            PlatformKind::StPim => "StPIM",
+            PlatformKind::StPimE => "StPIM-e",
+            PlatformKind::Coruscant => "CORUSCANT",
+            PlatformKind::Elp2im => "ELP2IM",
+            PlatformKind::Felix => "FELIX",
+        }
+    }
+
+    /// The platforms of Figure 17/18, in presentation order.
+    pub const FIGURE_17: [PlatformKind; 7] = [
+        PlatformKind::CpuRm,
+        PlatformKind::CpuDram,
+        PlatformKind::Elp2im,
+        PlatformKind::Felix,
+        PlatformKind::Coruscant,
+        PlatformKind::StPimE,
+        PlatformKind::StPim,
+    ];
+}
+
+impl std::fmt::Display for PlatformKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A workload in both representations the platforms consume.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Workload name.
+    pub name: String,
+    /// Host-side characterization (CPU/GPU platforms).
+    pub profile: KernelProfile,
+    /// PIM task (PIM platforms lower it with their own configuration).
+    pub task: PimTask,
+}
+
+impl Workload {
+    /// Builds the workload for a polybench kernel instance (shape-only
+    /// task: full-size instances are priced, not functionally executed).
+    pub fn from_kernel(inst: &KernelInstance) -> Self {
+        Workload {
+            name: inst.kernel.name().to_string(),
+            profile: inst.profile(),
+            task: inst.build_task(None).task,
+        }
+    }
+
+    /// Builds the offloadable part of a DNN model.
+    pub fn from_dnn(model: &DnnModel) -> Self {
+        Workload {
+            name: model.name.clone(),
+            profile: model.offload_profile(),
+            task: model.build_task(),
+        }
+    }
+}
+
+/// A ready-to-run platform.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    kind: PlatformKind,
+    inner: Inner,
+}
+
+#[derive(Debug, Clone)]
+enum Inner {
+    Cpu(CpuModel),
+    Gpu(GpuModel),
+    StreamPim(StreamPim),
+    Coruscant(CoruscantModel),
+    BitSerial(BitSerialModel),
+}
+
+impl Platform {
+    /// Builds a platform with its paper-default configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::Config`] if a StreamPIM configuration fails to
+    /// validate (cannot happen for the built-in defaults).
+    pub fn new(kind: PlatformKind) -> Result<Platform, PimError> {
+        let inner = match kind {
+            PlatformKind::CpuRm => Inner::Cpu(CpuModel::cpu_rm()),
+            PlatformKind::CpuDram => Inner::Cpu(CpuModel::cpu_dram()),
+            PlatformKind::Gpu => Inner::Gpu(GpuModel::paper_default()),
+            PlatformKind::StPim => {
+                Inner::StreamPim(StreamPim::new(StreamPimConfig::paper_default())?)
+            }
+            PlatformKind::StPimE => {
+                Inner::StreamPim(StreamPim::new(StreamPimConfig::electrical_bus())?)
+            }
+            PlatformKind::Coruscant => Inner::Coruscant(CoruscantModel::paper_default()),
+            PlatformKind::Elp2im => Inner::BitSerial(BitSerialModel::elp2im()),
+            PlatformKind::Felix => Inner::BitSerial(BitSerialModel::felix()),
+        };
+        Ok(Platform { kind, inner })
+    }
+
+    /// Wraps a custom StreamPIM configuration (sensitivity sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::Config`] for invalid configurations.
+    pub fn stream_pim(config: StreamPimConfig) -> Result<Platform, PimError> {
+        Ok(Platform {
+            kind: PlatformKind::StPim,
+            inner: Inner::StreamPim(StreamPim::new(config)?),
+        })
+    }
+
+    /// The platform kind.
+    pub fn kind(&self) -> PlatformKind {
+        self.kind
+    }
+
+    /// The platform's display name.
+    pub fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    /// Prices `workload` on this platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::EmptyTask`] if a PIM platform receives a
+    /// workload whose task has no operations.
+    pub fn run(&self, workload: &Workload) -> Result<ExecReport, PimError> {
+        let mut report = match &self.inner {
+            Inner::Cpu(m) => return Ok(m.run_profile(&workload.profile)),
+            Inner::Gpu(m) => return Ok(m.run_profile(&workload.profile)),
+            Inner::StreamPim(device) => workload.task.price(device)?,
+            Inner::Coruscant(m) => {
+                let schedule = workload.task.lower(&reference_device()?)?;
+                let mut r = m.run_schedule(&schedule);
+                add_baseline_movement(&mut r, &schedule);
+                r
+            }
+            Inner::BitSerial(m) => {
+                let schedule = workload.task.lower(&reference_device()?)?;
+                let mut r = m.run_schedule(&schedule);
+                add_baseline_movement(&mut r, &schedule);
+                r
+            }
+        };
+        // Peripheral/controller static power of the PIM device over the
+        // execution (the CPU/GPU models fold theirs into per-op energies).
+        report.energy.other_pj += report.time.total_ns() * PIM_STATIC_W * 1000.0;
+        Ok(report)
+    }
+}
+
+/// Static (peripheral + controller leakage) power of a PIM device, watts.
+const PIM_STATIC_W: f64 = 0.08;
+
+/// Charges a baseline PIM platform the workload's inherent data-placement
+/// traffic. Unlike StreamPIM, the baselines lack the `distribute`/`unblock`
+/// co-design, so operand distribution and result collection serialize over
+/// the single shared internal bus — one 64-word row per read+write
+/// transaction (the paper's §V-B explanation of why they trail StreamPIM).
+fn add_baseline_movement(report: &mut ExecReport, schedule: &Schedule) {
+    let timing = rm_core::TimingParams::paper_default();
+    let energy = rm_core::EnergyParams::paper_default();
+    let rows = schedule.work_counts().elements_moved.div_ceil(64) as f64;
+    // Reads and writes of consecutive rows pipeline against each other, so
+    // the stream is bound by the slower conversion (the RM write); source
+    // and destination halves of the device transfer concurrently (two
+    // effective lanes).
+    let stream_ns = rows * timing.read_ns.max(timing.write_ns) / 2.0;
+    report.time.read_ns += stream_ns * timing.read_ns / (timing.read_ns + timing.write_ns);
+    report.time.write_ns += stream_ns * timing.write_ns / (timing.read_ns + timing.write_ns);
+    report.energy.read_pj += rows * energy.read_pj;
+    report.energy.write_pj += rows * energy.write_pj;
+    report.counters.reads += rows as u64;
+    report.counters.writes += rows as u64;
+}
+
+/// The reference device used to derive word-level work counts for the
+/// idealized PIM baselines (CORUSCANT/ELP2IM/FELIX price the same work).
+fn reference_device() -> Result<StreamPim, PimError> {
+    StreamPim::new(StreamPimConfig::paper_default())
+}
+
+/// Prices a DNN inference end-to-end on `platform` (paper §V-E): the
+/// matrix work runs on the platform, the non-offloadable remainder runs on
+/// the CPU-DRAM host regardless of platform.
+///
+/// # Errors
+///
+/// Propagates platform errors (see [`Platform::run`]).
+pub fn dnn_end_to_end(platform: &Platform, model: &DnnModel) -> Result<ExecReport, PimError> {
+    let workload = Workload::from_dnn(model);
+    let offload = platform.run(&workload)?;
+
+    // The non-offloadable share is defined relative to the CPU-DRAM
+    // baseline: fraction f of its total time is nonlinear/host work.
+    let cpu = Platform::new(PlatformKind::CpuDram)?;
+    let cpu_offload = cpu.run(&workload)?;
+    let f = model.non_offload_fraction;
+    let host_ns = cpu_offload.total_ns() * f / (1.0 - f);
+    let host_pj = cpu_offload.total_pj() * f / (1.0 - f);
+
+    let mut total = offload;
+    total.time.process_ns += host_ns;
+    total.energy.compute_pj += host_pj;
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_workloads::polybench::Kernel;
+
+    #[test]
+    fn all_platforms_run_a_kernel() {
+        let w = Workload::from_kernel(&Kernel::Gemm.scaled(0.02));
+        for kind in PlatformKind::FIGURE_17 {
+            let p = Platform::new(kind).unwrap();
+            let r = p.run(&w).unwrap();
+            assert!(r.total_ns() > 0.0, "{kind} time");
+            assert!(r.total_pj() > 0.0, "{kind} energy");
+        }
+    }
+
+    #[test]
+    fn stpim_is_fastest_pim_platform_on_gemm() {
+        // Use a moderately sized kernel so parallelism matters.
+        let w = Workload::from_kernel(&Kernel::Gemm.scaled(0.5));
+        let run = |k: PlatformKind| Platform::new(k).unwrap().run(&w).unwrap().total_ns();
+        let stpim = run(PlatformKind::StPim);
+        assert!(stpim < run(PlatformKind::StPimE), "beats StPIM-e");
+        assert!(stpim < run(PlatformKind::Coruscant), "beats CORUSCANT");
+        assert!(stpim < run(PlatformKind::Elp2im), "beats ELP2IM");
+        assert!(stpim < run(PlatformKind::Felix), "beats FELIX");
+        assert!(stpim < run(PlatformKind::CpuRm), "beats CPU-RM");
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(PlatformKind::StPim.name(), "StPIM");
+        assert_eq!(PlatformKind::Coruscant.name(), "CORUSCANT");
+        assert_eq!(PlatformKind::FIGURE_17.len(), 7);
+    }
+
+    #[test]
+    fn dnn_end_to_end_is_bounded_by_amdahl() {
+        let model = DnnModel::bert();
+        let stpim = Platform::new(PlatformKind::StPim).unwrap();
+        let cpu = Platform::new(PlatformKind::CpuDram).unwrap();
+        let t_pim = dnn_end_to_end(&stpim, &model).unwrap().total_ns();
+        let t_cpu = dnn_end_to_end(&cpu, &model).unwrap().total_ns();
+        let speedup = t_cpu / t_pim;
+        let amdahl_cap = 1.0 / model.non_offload_fraction;
+        assert!(speedup > 1.0, "PIM helps: {speedup}");
+        assert!(
+            speedup < amdahl_cap,
+            "bounded by the non-offloadable share: {speedup}"
+        );
+    }
+}

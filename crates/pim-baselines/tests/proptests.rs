@@ -1,0 +1,100 @@
+//! Property-based tests for the platform models.
+
+use pim_baselines::bitserial::BitSerialModel;
+use pim_baselines::coruscant::CoruscantModel;
+use pim_baselines::cpu::CpuModel;
+use pim_baselines::gpu::GpuModel;
+use pim_baselines::platform::{Platform, PlatformKind, Workload};
+use pim_device::schedule::WorkCounts;
+use pim_workloads::polybench::Kernel;
+use pim_workloads::profile::KernelProfile;
+use proptest::prelude::*;
+
+fn profile(flops: f64, bytes: f64, small: bool) -> KernelProfile {
+    KernelProfile {
+        name: "p".into(),
+        flops,
+        bytes,
+        working_set: bytes / 2.0,
+        small,
+        cpu_efficiency: 1.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Host models are monotone in flops and bytes.
+    #[test]
+    fn cpu_monotone(flops in 1e6f64..1e10, bytes in 1e4f64..1e9, small in any::<bool>()) {
+        for model in [CpuModel::cpu_rm(), CpuModel::cpu_dram()] {
+            let base = model.run_profile(&profile(flops, bytes, small));
+            let more_flops = model.run_profile(&profile(flops * 2.0, bytes, small));
+            let more_bytes = model.run_profile(&profile(flops, bytes * 2.0, small));
+            // When compute hides entirely under memory, the total equals the
+            // memory time for both points; allow FP rounding at equality.
+            let eps = 1e-9 * base.total_ns();
+            prop_assert!(more_flops.total_ns() >= base.total_ns() - eps);
+            prop_assert!(more_bytes.total_ns() >= base.total_ns() - eps);
+            prop_assert!(more_flops.total_pj() > base.total_pj());
+            prop_assert!(base.total_ns() > 0.0 && base.total_pj() > 0.0);
+        }
+    }
+
+    /// The GPU's transfer fraction falls as arithmetic intensity rises.
+    #[test]
+    fn gpu_transfer_fraction_falls_with_intensity(bytes in 1e6f64..1e8) {
+        let gpu = GpuModel::paper_default();
+        let lean = gpu.transfer_fraction(&profile(bytes * 0.25, bytes, true));
+        let dense = gpu.transfer_fraction(&profile(bytes * 500.0, bytes, false));
+        prop_assert!(dense < lean, "dense {dense} vs lean {lean}");
+    }
+
+    /// PIM op models scale linearly in work (no waves: plain counts).
+    #[test]
+    fn pim_work_models_linear(muls in 1u64..10_000_000, adds in 0u64..10_000_000) {
+        let w1 = WorkCounts { word_muls: muls, word_adds: adds, elements_moved: 0 };
+        let w2 = WorkCounts { word_muls: 2 * muls, word_adds: 2 * adds, elements_moved: 0 };
+        let cor = CoruscantModel::paper_default();
+        prop_assert!((cor.run_work(&w2).total_ns() - 2.0 * cor.run_work(&w1).total_ns()).abs()
+            < 1e-6 * cor.run_work(&w2).total_ns().max(1.0));
+        for bs in [BitSerialModel::elp2im(), BitSerialModel::felix()] {
+            let r1 = bs.run_work(&w1);
+            let r2 = bs.run_work(&w2);
+            prop_assert!((r2.total_pj() - 2.0 * r1.total_pj()).abs() < 1e-6 * r2.total_pj().max(1.0));
+        }
+    }
+
+    /// Every platform prices every kernel with positive, finite results at
+    /// arbitrary scales.
+    #[test]
+    fn platforms_total_and_finite(idx in 0usize..9, scale in 0.01f64..0.2) {
+        let workload = Workload::from_kernel(&Kernel::ALL[idx].scaled(scale));
+        for kind in PlatformKind::FIGURE_17 {
+            let r = Platform::new(kind).unwrap().run(&workload).unwrap();
+            prop_assert!(r.total_ns().is_finite() && r.total_ns() > 0.0, "{kind}");
+            prop_assert!(r.total_pj().is_finite() && r.total_pj() > 0.0, "{kind}");
+        }
+    }
+
+    /// Speedups are scale-stable for the large kernels: doubling the
+    /// problem does not flip who wins.
+    #[test]
+    fn ordering_stable_across_scales(scale in 0.2f64..0.4) {
+        let run = |s: f64, kind: PlatformKind| {
+            let w = Workload::from_kernel(&Kernel::Gemm.scaled(s));
+            Platform::new(kind).unwrap().run(&w).unwrap().total_ns()
+        };
+        for kind in [PlatformKind::StPimE, PlatformKind::CpuRm] {
+            let stpim_small = run(scale, PlatformKind::StPim);
+            let other_small = run(scale, kind);
+            let stpim_big = run(scale * 2.0, PlatformKind::StPim);
+            let other_big = run(scale * 2.0, kind);
+            prop_assert_eq!(
+                stpim_small < other_small,
+                stpim_big < other_big,
+                "{} ordering flips between scales", kind
+            );
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Area-overhead model (paper §V-G).
+//!
+//! The paper estimates component areas by counting domains. With the
+//! default configuration — 16 mats per subarray of which 2 carry transfer
+//! tracks, 512 PIM subarrays out of 2048 total — the RM bus occupies 1.8%
+//! and the RM processor 0.1% of device area, transfer tracks add 3.1% of
+//! the bank area and control logic about 1.0%.
+
+use rm_core::DeviceConfig;
+use serde::{Deserialize, Serialize};
+
+/// Domain counts and derived area fractions for the PIM additions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// Domains in regular save tracks across the device (the memory
+    /// proper).
+    pub memory_domains: u64,
+    /// Domains in transfer tracks (non-destructive read support).
+    pub transfer_domains: u64,
+    /// Domains in RM buses of PIM subarrays.
+    pub bus_domains: u64,
+    /// Domains (equivalent) in RM processors.
+    pub processor_domains: u64,
+    /// Control-logic overhead as a fraction of bank area (from the
+    /// paper's reference \[82\], Zhang et al., ASP-DAC'15).
+    pub control_fraction: f64,
+}
+
+/// Mats per subarray carrying transfer tracks (paper default).
+pub const TRANSFER_MATS_PER_SUBARRAY: u64 = 2;
+
+/// Domains per RM processor: duplicators, multiplier array, adder tree and
+/// circle adder for 64 lanes of 8-bit words — a few domains per gate, ~9
+/// NANDs per full-adder bit. The paper reports the processor at 0.1% of
+/// device area; this constant reproduces that with the Table III geometry.
+pub const PROCESSOR_DOMAINS: u64 = 220_000;
+
+impl AreaModel {
+    /// Builds the model for `config`, assuming the paper's defaults for
+    /// transfer-mat count and control overhead.
+    pub fn new(config: &DeviceConfig) -> Self {
+        let g = &config.geometry;
+        let total_subarrays = g.total_subarrays() as u64;
+        let pim_subarrays = config.pim_subarrays() as u64;
+        let domains_per_track = g.domains_per_track as u64;
+
+        let save_tracks = g.save_tracks_per_mat as u64 * g.mats_per_subarray as u64;
+        let memory_domains = save_tracks * domains_per_track * total_subarrays;
+
+        // Transfer tracks only in 2 of the mats of each subarray, and they
+        // are short: a transfer track only buffers rows in flight towards
+        // the RM bus, so it spans one bus segment rather than a full save
+        // track.
+        let transfer_len = (config.segment_domains as u64).min(domains_per_track);
+        let transfer_domains = g.transfer_tracks_per_mat as u64
+            * TRANSFER_MATS_PER_SUBARRAY.min(g.mats_per_subarray as u64)
+            * transfer_len
+            * total_subarrays;
+
+        // The RM bus spans the subarray: one nanowire per save track, with
+        // a span of 4 segments of `segment_domains` (the paper's default
+        // 4096-domain span).
+        let bus_span = 4 * config.segment_domains.max(1) as u64;
+        let bus_domains = g.save_tracks_per_mat as u64 * bus_span * pim_subarrays;
+
+        let processor_domains = PROCESSOR_DOMAINS * pim_subarrays;
+
+        AreaModel {
+            memory_domains,
+            transfer_domains,
+            bus_domains,
+            processor_domains,
+            control_fraction: 0.01,
+        }
+    }
+
+    /// Total domains in the device.
+    pub fn total_domains(&self) -> u64 {
+        self.memory_domains + self.transfer_domains + self.bus_domains + self.processor_domains
+    }
+
+    /// RM-bus fraction of total device area.
+    pub fn bus_fraction(&self) -> f64 {
+        self.bus_domains as f64 / self.total_domains() as f64
+    }
+
+    /// RM-processor fraction of total device area.
+    pub fn processor_fraction(&self) -> f64 {
+        self.processor_domains as f64 / self.total_domains() as f64
+    }
+
+    /// Transfer-track fraction relative to the memory (bank) area.
+    pub fn transfer_fraction_of_banks(&self) -> f64 {
+        self.transfer_domains as f64 / self.memory_domains as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fractions_reproduced() {
+        let model = AreaModel::new(&DeviceConfig::paper_default());
+        // §V-G: bus 1.8%, processor 0.1%, transfer tracks 3.1%.
+        let bus = model.bus_fraction() * 100.0;
+        let proc = model.processor_fraction() * 100.0;
+        let transfer = model.transfer_fraction_of_banks() * 100.0;
+        assert!((1.0..3.0).contains(&bus), "bus {bus}%");
+        assert!((0.05..0.2).contains(&proc), "processor {proc}%");
+        assert!((2.0..4.5).contains(&transfer), "transfer {transfer}%");
+        assert_eq!(model.control_fraction, 0.01);
+    }
+
+    #[test]
+    fn memory_dominates() {
+        let model = AreaModel::new(&DeviceConfig::paper_default());
+        assert!(model.memory_domains > 9 * (model.bus_domains + model.processor_domains));
+    }
+
+    #[test]
+    fn smaller_segments_shrink_bus_area_proportionally() {
+        let mut cfg = DeviceConfig::paper_default();
+        let big = AreaModel::new(&cfg);
+        cfg.segment_domains = 256;
+        let small = AreaModel::new(&cfg);
+        assert_eq!(small.bus_domains * 4, big.bus_domains);
+        assert_eq!(small.transfer_domains * 4, big.transfer_domains);
+    }
+}

@@ -1,0 +1,297 @@
+//! The host-device command interface: VPC queue and asynchronous
+//! send-response protocol (paper §IV-B, Figure 14 steps ① and ⑤).
+//!
+//! The host continually sends VPCs; the device buffers them in a bounded
+//! queue and executes them on different banks simultaneously. Commands for
+//! the *same* bank issue in order (the bank controller is a simple in-order
+//! sequencer), commands for different banks interleave freely — that is the
+//! asynchronous send-response style that exploits the multi-bank
+//! architecture. On completion a response is queued back to the host.
+//!
+//! This module models the protocol *functionally* (ordering, backpressure,
+//! response matching); the execution engine prices the resulting schedule
+//! analytically.
+
+use crate::vpc::Vpc;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+
+/// Identifier the host uses to match responses to submitted commands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VpcId(u64);
+
+impl fmt::Display for VpcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vpc#{}", self.0)
+    }
+}
+
+/// Error returned when the device-side VPC queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull;
+
+impl fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "device VPC queue is full; poll responses before resubmitting"
+        )
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+/// The device-side VPC queue with asynchronous responses.
+///
+/// ```
+/// use pim_device::controller::VpcQueue;
+/// use pim_device::vpc::{VecRef, Vpc};
+///
+/// let mut q = VpcQueue::new(8, 64);
+/// let id = q.submit(Vpc::Mul {
+///     src1: VecRef::new(3, 100),
+///     src2: VecRef::new(3, 100),
+/// })?;
+/// let (got, vpc) = q.issue_for_bank(0).expect("subarray 3 is in bank 0");
+/// assert_eq!(got, id);
+/// assert!(vpc.is_compute());
+/// q.complete(got);
+/// assert_eq!(q.poll_response(), Some(id));
+/// # Ok::<(), pim_device::controller::QueueFull>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct VpcQueue {
+    capacity: usize,
+    subarrays_per_bank: u32,
+    pending: VecDeque<(VpcId, Vpc)>,
+    executing: HashSet<VpcId>,
+    responses: VecDeque<VpcId>,
+    next_id: u64,
+    submitted: u64,
+    completed: u64,
+}
+
+impl VpcQueue {
+    /// Creates a queue holding at most `capacity` buffered commands, for a
+    /// device whose banks have `subarrays_per_bank` subarrays (used to
+    /// route commands to bank controllers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `subarrays_per_bank` is zero.
+    pub fn new(capacity: usize, subarrays_per_bank: u32) -> Self {
+        assert!(capacity > 0, "queue needs capacity");
+        assert!(subarrays_per_bank > 0, "banks need subarrays");
+        VpcQueue {
+            capacity,
+            subarrays_per_bank,
+            pending: VecDeque::new(),
+            executing: HashSet::new(),
+            responses: VecDeque::new(),
+            next_id: 0,
+            submitted: 0,
+            completed: 0,
+        }
+    }
+
+    /// Buffered (not yet issued) commands.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Commands issued to bank controllers but not yet completed.
+    pub fn executing(&self) -> usize {
+        self.executing.len()
+    }
+
+    /// Total commands submitted / completed so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.submitted, self.completed)
+    }
+
+    /// Submits a VPC from the host.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] when the buffer is at capacity — the host must
+    /// drain responses first (the paper's flow-control point).
+    pub fn submit(&mut self, vpc: Vpc) -> Result<VpcId, QueueFull> {
+        if self.pending.len() >= self.capacity {
+            return Err(QueueFull);
+        }
+        let id = VpcId(self.next_id);
+        self.next_id += 1;
+        self.submitted += 1;
+        self.pending.push_back((id, vpc));
+        Ok(id)
+    }
+
+    /// The bank that will execute `vpc` (compute commands go to their home
+    /// subarray's bank; transfers are driven by the destination bank).
+    pub fn bank_of(&self, vpc: &Vpc) -> u32 {
+        let subarray = match *vpc {
+            Vpc::Mul { src1, .. } | Vpc::Smul { src: src1 } | Vpc::Add { src1, .. } => {
+                src1.subarray
+            }
+            Vpc::Tran { dst, .. } => dst,
+        };
+        subarray / self.subarrays_per_bank
+    }
+
+    /// Issues the oldest pending command for `bank`, if any. Commands for
+    /// the same bank issue strictly in submission order; other banks'
+    /// commands are skipped over (the asynchronous interleave).
+    pub fn issue_for_bank(&mut self, bank: u32) -> Option<(VpcId, Vpc)> {
+        let pos = self
+            .pending
+            .iter()
+            .position(|(_, v)| self.bank_of(v) == bank)?;
+        let (id, vpc) = self.pending.remove(pos).expect("position is valid");
+        self.executing.insert(id);
+        Some((id, vpc))
+    }
+
+    /// Marks an issued command complete, enqueueing its response.
+    ///
+    /// Completing an unknown or already-completed id is ignored (idempotent
+    /// for lost-response retries).
+    pub fn complete(&mut self, id: VpcId) {
+        if self.executing.remove(&id) {
+            self.completed += 1;
+            self.responses.push_back(id);
+        }
+    }
+
+    /// Next response for the host, if any.
+    pub fn poll_response(&mut self) -> Option<VpcId> {
+        self.responses.pop_front()
+    }
+
+    /// Whether every submitted command has been completed and acknowledged.
+    pub fn is_drained(&self) -> bool {
+        self.pending.is_empty() && self.executing.is_empty() && self.responses.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vpc::VecRef;
+
+    fn mul(subarray: u32) -> Vpc {
+        Vpc::Mul {
+            src1: VecRef::new(subarray, 16),
+            src2: VecRef::new(subarray, 16),
+        }
+    }
+
+    #[test]
+    fn per_bank_commands_issue_in_order() {
+        let mut q = VpcQueue::new(16, 64);
+        let a = q.submit(mul(0)).unwrap(); // bank 0
+        let b = q.submit(mul(1)).unwrap(); // bank 0
+        let c = q.submit(mul(64)).unwrap(); // bank 1
+        assert_eq!(q.issue_for_bank(0).unwrap().0, a);
+        assert_eq!(q.issue_for_bank(1).unwrap().0, c);
+        assert_eq!(q.issue_for_bank(0).unwrap().0, b);
+        assert!(q.issue_for_bank(0).is_none());
+    }
+
+    #[test]
+    fn cross_bank_interleave_skips_other_banks() {
+        let mut q = VpcQueue::new(16, 64);
+        q.submit(mul(0)).unwrap(); // bank 0 first in line
+        let later = q.submit(mul(128)).unwrap(); // bank 2
+                                                 // Bank 2 can issue even though bank 0's command is older.
+        assert_eq!(q.issue_for_bank(2).unwrap().0, later);
+    }
+
+    #[test]
+    fn backpressure_on_full_queue() {
+        let mut q = VpcQueue::new(2, 64);
+        q.submit(mul(0)).unwrap();
+        q.submit(mul(1)).unwrap();
+        assert_eq!(q.submit(mul(2)), Err(QueueFull));
+        // Issuing frees buffer space.
+        let (id, _) = q.issue_for_bank(0).unwrap();
+        q.submit(mul(3)).expect("space again");
+        q.complete(id);
+        assert_eq!(q.poll_response(), Some(id));
+    }
+
+    #[test]
+    fn responses_match_completions() {
+        let mut q = VpcQueue::new(8, 64);
+        let a = q.submit(mul(0)).unwrap();
+        let b = q.submit(mul(64)).unwrap();
+        let (ia, _) = q.issue_for_bank(0).unwrap();
+        let (ib, _) = q.issue_for_bank(1).unwrap();
+        // Out-of-order completion is fine: responses arrive as they finish.
+        q.complete(ib);
+        q.complete(ia);
+        assert_eq!(q.poll_response(), Some(b));
+        assert_eq!(q.poll_response(), Some(a));
+        assert_eq!(q.poll_response(), None);
+        assert!(q.is_drained());
+        assert_eq!(q.stats(), (2, 2));
+    }
+
+    #[test]
+    fn complete_is_idempotent() {
+        let mut q = VpcQueue::new(8, 64);
+        let a = q.submit(mul(0)).unwrap();
+        let (id, _) = q.issue_for_bank(0).unwrap();
+        q.complete(id);
+        q.complete(id); // retry of a lost response: ignored
+        assert_eq!(q.poll_response(), Some(a));
+        assert_eq!(q.poll_response(), None);
+        assert_eq!(q.stats().1, 1);
+    }
+
+    #[test]
+    fn tran_routes_to_destination_bank() {
+        let q = VpcQueue::new(8, 64);
+        assert_eq!(
+            q.bank_of(&Vpc::Tran {
+                src: 0,
+                dst: 130,
+                len: 8
+            }),
+            2
+        );
+        assert_eq!(q.bank_of(&mul(70)), 1);
+    }
+
+    #[test]
+    fn drain_full_protocol() {
+        let mut q = VpcQueue::new(4, 64);
+        let mut ids = Vec::new();
+        let mut done = Vec::new();
+        let mut submitted = 0;
+        // Submit 20 commands through a 4-deep queue with polling.
+        while done.len() < 20 {
+            while submitted < 20 {
+                match q.submit(mul(submitted % 512)) {
+                    Ok(id) => {
+                        ids.push(id);
+                        submitted += 1;
+                    }
+                    Err(QueueFull) => break,
+                }
+            }
+            for bank in 0..8 {
+                if let Some((id, _)) = q.issue_for_bank(bank) {
+                    q.complete(id);
+                }
+            }
+            while let Some(id) = q.poll_response() {
+                done.push(id);
+            }
+        }
+        assert!(q.is_drained());
+        done.sort_unstable();
+        ids.sort_unstable();
+        assert_eq!(done, ids);
+    }
+}

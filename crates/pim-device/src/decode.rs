@@ -1,0 +1,259 @@
+//! VPC decoding: command → bank commands → micro-operations
+//! (paper §IV-B, Figure 14).
+//!
+//! A VPC arriving from the host is decoded in two levels. The device-level
+//! decoder routes it to the bank(s) involved: if operands and result live in
+//! one bank the VPC goes there directly, otherwise read/write commands
+//! stage the data first. The bank controller then decodes each bank command
+//! into the micro-operations it drives on the RM bus and processor: operand
+//! fetch transfers, groups of scalar multiplications/additions, and the
+//! result store.
+//!
+//! The execution engine prices commands in closed form; this module's value
+//! is *behavioural*: tests assert the decomposition matches Figure 14, and
+//! the examples use it to show what a command turns into.
+
+use crate::vpc::Vpc;
+use serde::{Deserialize, Serialize};
+
+/// A command routed to one bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BankCommand {
+    /// Execute a compute VPC on one of this bank's subarrays.
+    Compute {
+        /// Global subarray index.
+        subarray: u32,
+        /// The command to execute.
+        vpc: Vpc,
+    },
+    /// Read staged data out of a subarray (inter-bank data preparation).
+    StageRead {
+        /// Global subarray index.
+        subarray: u32,
+        /// Elements to read.
+        elements: u32,
+    },
+    /// Write staged data into a subarray.
+    StageWrite {
+        /// Global subarray index.
+        subarray: u32,
+        /// Elements to write.
+        elements: u32,
+    },
+}
+
+/// A micro-operation driven by the bank controller inside a subarray.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MicroOp {
+    /// Stream rows from mats to the RM processor over the RM bus.
+    FetchOperand {
+        /// Rows streamed.
+        rows: u32,
+    },
+    /// A group of scalar multiplications in the processor pipeline.
+    ScalarMuls {
+        /// Number of scalar multiplications.
+        count: u32,
+    },
+    /// A group of scalar additions (circle-adder iterations).
+    ScalarAdds {
+        /// Number of scalar additions.
+        count: u32,
+    },
+    /// Stream the result back to the destination mat.
+    StoreResult {
+        /// Rows streamed back.
+        rows: u32,
+    },
+}
+
+/// Decodes a VPC into bank commands, given how many subarrays each bank has.
+///
+/// Same-bank commands route directly (the common case after `distribute`
+/// placement); cross-bank transfers decompose into a staged read + write.
+pub fn decode_vpc(vpc: Vpc, subarrays_per_bank: u32) -> Vec<BankCommand> {
+    let bank_of = |subarray: u32| subarray / subarrays_per_bank.max(1);
+    match vpc {
+        Vpc::Mul { src1, .. } | Vpc::Smul { src: src1 } | Vpc::Add { src1, .. } => {
+            vec![BankCommand::Compute {
+                subarray: src1.subarray,
+                vpc,
+            }]
+        }
+        Vpc::Tran { src, dst, len } => {
+            if bank_of(src) == bank_of(dst) {
+                // Intra-bank move: served by the bank's internal bus.
+                vec![
+                    BankCommand::StageRead {
+                        subarray: src,
+                        elements: len,
+                    },
+                    BankCommand::StageWrite {
+                        subarray: dst,
+                        elements: len,
+                    },
+                ]
+            } else {
+                // Inter-bank: staged through the shared internal bus.
+                vec![
+                    BankCommand::StageRead {
+                        subarray: src,
+                        elements: len,
+                    },
+                    BankCommand::StageWrite {
+                        subarray: dst,
+                        elements: len,
+                    },
+                ]
+            }
+        }
+    }
+}
+
+/// Decodes a compute bank command into micro-operations (Figure 14's
+/// example: a dot product becomes two operand fetches, scalar multiply and
+/// add groups, and a result store).
+pub fn decode_bank_command(cmd: BankCommand, words_per_row: u32) -> Vec<MicroOp> {
+    let rows = |elements: u32| elements.div_ceil(words_per_row.max(1)).max(1);
+    match cmd {
+        BankCommand::Compute { vpc, .. } => match vpc {
+            Vpc::Mul { src1, src2 } => vec![
+                MicroOp::FetchOperand {
+                    rows: rows(src1.len),
+                },
+                MicroOp::FetchOperand {
+                    rows: rows(src2.len),
+                },
+                MicroOp::ScalarMuls { count: src1.len },
+                MicroOp::ScalarAdds { count: src1.len },
+                MicroOp::StoreResult { rows: 1 },
+            ],
+            Vpc::Smul { src } => vec![
+                MicroOp::FetchOperand {
+                    rows: rows(src.len),
+                },
+                MicroOp::ScalarMuls { count: src.len },
+                MicroOp::StoreResult {
+                    rows: rows(src.len),
+                },
+            ],
+            Vpc::Add { src1, src2 } => vec![
+                MicroOp::FetchOperand {
+                    rows: rows(src1.len),
+                },
+                MicroOp::FetchOperand {
+                    rows: rows(src2.len),
+                },
+                MicroOp::ScalarAdds { count: src1.len },
+                MicroOp::StoreResult {
+                    rows: rows(src1.len),
+                },
+            ],
+            Vpc::Tran { .. } => Vec::new(),
+        },
+        BankCommand::StageRead { elements, .. } | BankCommand::StageWrite { elements, .. } => {
+            vec![MicroOp::FetchOperand {
+                rows: rows(elements),
+            }]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vpc::VecRef;
+
+    #[test]
+    fn compute_vpc_routes_to_its_subarray() {
+        let vpc = Vpc::Mul {
+            src1: VecRef::new(130, 100),
+            src2: VecRef::new(130, 100),
+        };
+        let cmds = decode_vpc(vpc, 64);
+        assert_eq!(cmds, vec![BankCommand::Compute { subarray: 130, vpc }]);
+    }
+
+    #[test]
+    fn tran_decodes_to_read_plus_write() {
+        let cmds = decode_vpc(
+            Vpc::Tran {
+                src: 3,
+                dst: 200,
+                len: 64,
+            },
+            64,
+        );
+        assert_eq!(cmds.len(), 2);
+        assert!(matches!(
+            cmds[0],
+            BankCommand::StageRead {
+                subarray: 3,
+                elements: 64
+            }
+        ));
+        assert!(matches!(
+            cmds[1],
+            BankCommand::StageWrite {
+                subarray: 200,
+                elements: 64
+            }
+        ));
+    }
+
+    #[test]
+    fn dot_product_decodes_per_figure_14() {
+        let vpc = Vpc::Mul {
+            src1: VecRef::new(0, 2000),
+            src2: VecRef::new(0, 2000),
+        };
+        let ops = decode_bank_command(BankCommand::Compute { subarray: 0, vpc }, 64);
+        // (1) two operand fetches, (2) scalar muls, (3) scalar adds,
+        // (4) result store — exactly the paper's decomposition.
+        assert_eq!(
+            ops,
+            vec![
+                MicroOp::FetchOperand { rows: 32 },
+                MicroOp::FetchOperand { rows: 32 },
+                MicroOp::ScalarMuls { count: 2000 },
+                MicroOp::ScalarAdds { count: 2000 },
+                MicroOp::StoreResult { rows: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn add_skips_multiplier() {
+        let vpc = Vpc::Add {
+            src1: VecRef::new(0, 64),
+            src2: VecRef::new(0, 64),
+        };
+        let ops = decode_bank_command(BankCommand::Compute { subarray: 0, vpc }, 64);
+        assert!(ops
+            .iter()
+            .all(|op| !matches!(op, MicroOp::ScalarMuls { .. })));
+        assert!(ops
+            .iter()
+            .any(|op| matches!(op, MicroOp::ScalarAdds { count: 64 })));
+    }
+
+    #[test]
+    fn smul_skips_circle_adder() {
+        let vpc = Vpc::Smul {
+            src: VecRef::new(0, 64),
+        };
+        let ops = decode_bank_command(BankCommand::Compute { subarray: 0, vpc }, 64);
+        assert!(ops
+            .iter()
+            .all(|op| !matches!(op, MicroOp::ScalarAdds { .. })));
+    }
+
+    #[test]
+    fn rows_round_up() {
+        let vpc = Vpc::Smul {
+            src: VecRef::new(0, 65),
+        };
+        let ops = decode_bank_command(BankCommand::Compute { subarray: 0, vpc }, 64);
+        assert!(matches!(ops[0], MicroOp::FetchOperand { rows: 2 }));
+    }
+}

@@ -1,0 +1,192 @@
+//! StreamPIM device configuration and entry points.
+
+use crate::engine::{Engine, EngineParams};
+use crate::placement::PlacementKind;
+use crate::report::ExecReport;
+use crate::schedule::Schedule;
+use crate::Result;
+use rm_core::config::BusKind;
+use rm_core::DeviceConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's §IV-C optimizations are active (Figure 22's ablation
+/// axis). Each level includes the previous ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum OptLevel {
+    /// Naive: sequential placement, natural command order.
+    Base,
+    /// `distribute`: rows spread across PIM subarrays, operands broadcast,
+    /// results collected — but the natural command order still lets
+    /// read/write traffic block computation.
+    Distribute,
+    /// `distribute` + `unblock`: disjoint operand/result subarray sets and
+    /// reordered commands, so transfers overlap computation.
+    #[default]
+    Unblock,
+}
+
+impl OptLevel {
+    /// The placement policy this level implies.
+    pub fn placement(self) -> PlacementKind {
+        match self {
+            OptLevel::Base => PlacementKind::Base,
+            OptLevel::Distribute | OptLevel::Unblock => PlacementKind::Distribute,
+        }
+    }
+
+    /// Whether transfers may overlap computation across subarrays.
+    pub fn overlaps_transfers(self) -> bool {
+        matches!(self, OptLevel::Unblock)
+    }
+}
+
+/// Full configuration of a simulated StreamPIM platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamPimConfig {
+    /// Device geometry, timing, energy and PIM knobs (Table III defaults).
+    pub device: DeviceConfig,
+    /// Optimization level (paper default: both optimizations on).
+    pub opt: OptLevel,
+    /// Scheduling-model parameters (see [`EngineParams`]).
+    pub engine: EngineParams,
+}
+
+impl StreamPimConfig {
+    /// The paper's evaluated configuration: Table III device, domain-wall
+    /// bus, `distribute` + `unblock`.
+    pub fn paper_default() -> Self {
+        StreamPimConfig {
+            device: DeviceConfig::paper_default(),
+            opt: OptLevel::Unblock,
+            engine: EngineParams::default(),
+        }
+    }
+
+    /// The `StPIM-e` ablation: identical, but the in-subarray RM buses are
+    /// replaced with electrical buses.
+    pub fn electrical_bus() -> Self {
+        let mut cfg = StreamPimConfig::paper_default();
+        cfg.device.bus = BusKind::Electrical;
+        cfg
+    }
+
+    /// Variant with a different optimization level (Figure 22).
+    pub fn with_opt(mut self, opt: OptLevel) -> Self {
+        self.opt = opt;
+        self
+    }
+
+    /// Variant with a different PIM subarray count (Figure 21). The count
+    /// must be a multiple of the PIM bank count; subarrays-per-bank is
+    /// adjusted (the paper co-adjusts capacity per subarray; capacity only
+    /// affects placement spans, which scale accordingly).
+    pub fn with_pim_subarrays(mut self, count: u32) -> Self {
+        let banks = self.device.pim_banks.max(1);
+        self.device.geometry.subarrays_per_bank = (count / banks).max(1);
+        self
+    }
+
+    /// Variant with a different bus segment size (Table V).
+    pub fn with_segment_domains(mut self, segment_domains: u32) -> Self {
+        self.device.segment_domains = segment_domains;
+        self
+    }
+}
+
+impl Default for StreamPimConfig {
+    fn default() -> Self {
+        StreamPimConfig::paper_default()
+    }
+}
+
+/// A simulated StreamPIM device.
+///
+/// ```
+/// use pim_device::{StreamPim, StreamPimConfig};
+///
+/// let device = StreamPim::new(StreamPimConfig::default())?;
+/// assert_eq!(device.config().device.pim_subarrays(), 512);
+/// # Ok::<(), pim_device::PimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamPim {
+    config: StreamPimConfig,
+}
+
+impl StreamPim {
+    /// Validates `config` and builds the device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PimError::Config`] for inconsistent configurations.
+    pub fn new(config: StreamPimConfig) -> Result<Self> {
+        config
+            .device
+            .validate()
+            .map_err(|e| crate::PimError::Config(e.to_string()))?;
+        config.engine.validate().map_err(crate::PimError::Config)?;
+        Ok(StreamPim { config })
+    }
+
+    /// The device configuration.
+    #[inline]
+    pub fn config(&self) -> &StreamPimConfig {
+        &self.config
+    }
+
+    /// Prices a schedule on this device: the core simulation entry point.
+    pub fn execute(&self, schedule: &Schedule) -> ExecReport {
+        Engine::new(&self.config).run(schedule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_validates() {
+        let d = StreamPim::new(StreamPimConfig::paper_default()).unwrap();
+        assert_eq!(d.config().opt, OptLevel::Unblock);
+    }
+
+    #[test]
+    fn opt_levels() {
+        assert_eq!(OptLevel::Base.placement(), PlacementKind::Base);
+        assert_eq!(OptLevel::Distribute.placement(), PlacementKind::Distribute);
+        assert!(OptLevel::Unblock.overlaps_transfers());
+        assert!(!OptLevel::Distribute.overlaps_transfers());
+    }
+
+    #[test]
+    fn pim_subarray_sweep() {
+        for count in [128u32, 256, 512, 1024] {
+            let cfg = StreamPimConfig::paper_default().with_pim_subarrays(count);
+            assert_eq!(cfg.device.pim_subarrays(), count);
+            StreamPim::new(cfg).unwrap();
+        }
+    }
+
+    #[test]
+    fn electrical_variant() {
+        let cfg = StreamPimConfig::electrical_bus();
+        assert_eq!(cfg.device.bus, BusKind::Electrical);
+        StreamPim::new(cfg).unwrap();
+    }
+
+    #[test]
+    fn segment_sweep() {
+        for seg in [64u32, 256, 512, 1024] {
+            let cfg = StreamPimConfig::paper_default().with_segment_domains(seg);
+            assert_eq!(cfg.device.segment_domains, seg);
+            StreamPim::new(cfg).unwrap();
+        }
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut cfg = StreamPimConfig::paper_default();
+        cfg.device.word_bits = 13;
+        assert!(StreamPim::new(cfg).is_err());
+    }
+}

@@ -1,0 +1,638 @@
+//! The analytic execution engine: prices a [`Schedule`] in time and energy.
+//!
+//! ## Model
+//!
+//! The engine works at VPC granularity with closed-form per-VPC costs (the
+//! substrate crates provide them), then composes them according to the
+//! optimization level:
+//!
+//! * **Per compute VPC.** The RM processor pipeline cost comes from
+//!   [`rm_proc::PipelineModel`]; operand/result streaming between mats and
+//!   the processor is priced by the configured bus. With the **domain-wall
+//!   bus** the stream is pipelined against processing, so the subarray is
+//!   busy for `max(processing, streaming)` and the minimum counts as
+//!   *overlapped* time. With the **electrical bus** every row crossing the
+//!   bus is an electromagnetic conversion that cannot overlap shifts inside
+//!   the subarray, so the two serialize.
+//! * **Per TRAN VPC.** Inter-subarray/bank moves go through conventional
+//!   read+write operations on the shared internal buses; one transfer lane
+//!   per PIM bank works in parallel.
+//! * **Round composition.** `Base` serializes everything on the owning
+//!   subarray. `Distribute` runs a round's computes across subarrays, but
+//!   the natural command order interleaves result collections with
+//!   computes; since read/write cannot overlap shift/compute inside a
+//!   subarray, stalled transfers head-of-line-block the queue and a large
+//!   fraction of the compute work serializes — modelled by
+//!   [`EngineParams::dist_serialization`]. `Unblock` batches transfer
+//!   phases against compute phases of neighbouring rounds, so the total is
+//!   the maximum of the compute-critical and transfer-critical paths.
+//! * **Controller.** Each VPC occupies its bank controller for one decode
+//!   slot; with many subarrays this fixed per-VPC cost becomes the
+//!   scalability ceiling (Figure 21's saturation).
+
+use crate::device::{OptLevel, StreamPimConfig};
+use crate::report::ExecReport;
+use crate::schedule::Schedule;
+use crate::vpc::Vpc;
+use rm_bus::{BusModel, ElectricalBusModel};
+use rm_core::config::BusKind;
+use rm_core::{EnergyBreakdown, OpCounters};
+use rm_proc::{PipelineModel, ProcOp};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Scheduling-model parameters.
+///
+/// These four constants are the engine's only free parameters; they are
+/// calibrated once against the paper's Figure 22 ablation (see
+/// `EXPERIMENTS.md`) and never tuned per workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineParams {
+    /// Fraction of a round's compute work that serializes across subarrays
+    /// when the natural command order lets transfers block computation
+    /// (`Distribute` without `unblock`).
+    pub dist_serialization: f64,
+    /// Electrical-bus conversions per row: a 512-bit row crosses a narrower
+    /// electrical bus in this many read+write beats (`StPIM-e`).
+    pub electrical_beats_per_row: u64,
+    /// Mat-side shift steps per row streamed to/from the RM bus (alignment,
+    /// fan-out copy onto the transfer track, shift-out).
+    pub mat_shifts_per_row: u64,
+    /// Parallel in-subarray RM buses (paper Figure 7 shows "a set of
+    /// internal RM Buses"): operand and result streams split across them.
+    pub operand_buses: u64,
+    /// Bank-controller decode occupancy per VPC, nanoseconds.
+    pub controller_ns_per_vpc: f64,
+    /// Fraction of the RM bus's end-to-end fill latency exposed once per
+    /// round (the rest overlaps the round's broadcasts). Smaller segments
+    /// mean more segments to traverse, which is Table V's time overhead.
+    pub bus_fill_exposure: f64,
+}
+
+impl EngineParams {
+    /// Checks parameter sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if !(0.0..=1.0).contains(&self.dist_serialization) {
+            return Err("dist_serialization must be in [0, 1]".into());
+        }
+        if self.electrical_beats_per_row == 0 {
+            return Err("electrical_beats_per_row must be non-zero".into());
+        }
+        if self.controller_ns_per_vpc < 0.0 {
+            return Err("controller_ns_per_vpc must be non-negative".into());
+        }
+        if self.operand_buses == 0 {
+            return Err("operand_buses must be non-zero".into());
+        }
+        if !(0.0..=1.0).contains(&self.bus_fill_exposure) {
+            return Err("bus_fill_exposure must be in [0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for EngineParams {
+    fn default() -> Self {
+        EngineParams {
+            dist_serialization: 0.12,
+            electrical_beats_per_row: 5,
+            mat_shifts_per_row: 1,
+            controller_ns_per_vpc: 5.0,
+            operand_buses: 2,
+            bus_fill_exposure: 0.6,
+        }
+    }
+}
+
+/// Per-VPC cost record produced by the substrate models.
+#[derive(Debug, Clone, Copy, Default)]
+struct VpcCost {
+    /// Subarray occupancy, ns.
+    busy_ns: f64,
+    /// Pure processing time within `busy_ns`, ns.
+    proc_ns: f64,
+    /// Exclusive in-subarray transfer within `busy_ns` (bus excess), ns.
+    excl_transfer_ns: f64,
+    /// Overlapped transfer/processing within `busy_ns`, ns.
+    overlapped_ns: f64,
+    /// Whether the exclusive transfer is conversion (electrical) rather
+    /// than shift (domain-wall).
+    transfer_is_conversion: bool,
+    /// Energy of the VPC.
+    energy: EnergyBreakdown,
+    /// Counter deltas.
+    counters: OpCounters,
+}
+
+/// The analytic engine (see module docs).
+#[derive(Debug, Clone)]
+pub struct Engine {
+    opt: OptLevel,
+    params: EngineParams,
+    pipeline: PipelineModel,
+    bus: BusModel,
+    electrical: ElectricalBusModel,
+    bus_kind: BusKind,
+    cycle_ns: f64,
+    words_per_row: u64,
+    tran_lanes: u64,
+    read_ns: f64,
+    write_ns: f64,
+    read_pj: f64,
+    write_pj: f64,
+    shift_pj: f64,
+    add_pj: f64,
+    mul_pj: f64,
+}
+
+impl Engine {
+    /// Builds an engine from a validated configuration.
+    pub fn new(cfg: &StreamPimConfig) -> Self {
+        let dev = &cfg.device;
+        let pipeline = PipelineModel::new(
+            dev.word_bits,
+            dev.duplicators,
+            dev.geometry.save_tracks_per_mat,
+        );
+        let bus = match dev.bus {
+            BusKind::DomainWall => BusModel::domain_wall_with_segment(dev.segment_domains as u64),
+            BusKind::Electrical => BusModel::electrical_default(),
+        };
+        Engine {
+            opt: cfg.opt,
+            params: cfg.engine,
+            pipeline,
+            bus,
+            electrical: ElectricalBusModel::paper_default(),
+            bus_kind: dev.bus,
+            cycle_ns: dev.cycle_ns(),
+            words_per_row: (dev.geometry.save_tracks_per_mat / dev.word_bits).max(1) as u64,
+            tran_lanes: dev.pim_banks.max(1) as u64,
+            read_ns: dev.timing.read_ns,
+            write_ns: dev.timing.write_ns,
+            read_pj: dev.energy.read_pj,
+            write_pj: dev.energy.write_pj,
+            shift_pj: dev.energy.shift_pj,
+            add_pj: dev.energy.pim_add_pj,
+            mul_pj: dev.energy.pim_mul_pj,
+        }
+    }
+
+    /// Prices a schedule.
+    pub fn run(&self, schedule: &Schedule) -> ExecReport {
+        let mut report = ExecReport::new();
+        // Accumulated compute-phase volumes (for breakdown attribution).
+        let mut vol_proc = 0.0f64;
+        let mut vol_excl_shift = 0.0f64;
+        let mut vol_excl_conv = 0.0f64;
+        let mut vol_overlap = 0.0f64;
+        // Critical-path accumulators.
+        let mut compute_critical = 0.0f64; // Σ per-round compute makespans
+        let mut tran_lane_ns = vec![0.0f64; self.tran_lanes as usize];
+        let mut serial_total = 0.0f64; // Base/Distribute running total
+        let mut vpc_count = 0u64;
+
+        for round in &schedule.rounds {
+            let repeat = round.repeat.max(1) as f64;
+            // --- Transfers of this round ---------------------------------
+            let mut round_tran_lane = vec![0.0f64; self.tran_lanes as usize];
+            let mut round_tran_sum = 0.0;
+            for t in round.broadcasts.iter().chain(&round.collects) {
+                if let Vpc::Tran { dst, len, .. } = *t {
+                    let cost = self.tran_cost(len as u64);
+                    let lane = (dst as u64 % self.tran_lanes) as usize;
+                    round_tran_lane[lane] += cost.busy_ns;
+                    round_tran_sum += cost.busy_ns;
+                    report.energy += cost.energy * repeat;
+                    scale_counters(&mut report.counters, cost.counters, round.repeat);
+                    vpc_count += round.repeat;
+                }
+            }
+            let round_tran_parallel = round_tran_lane.iter().copied().fold(0.0f64, f64::max);
+
+            // --- Computes of this round -----------------------------------
+            let mut sub_load: HashMap<u32, f64> = HashMap::new();
+            let mut round_busy_sum = 0.0;
+            for c in &round.computes {
+                let cost = self.compute_cost(c);
+                round_busy_sum += cost.busy_ns;
+                *sub_load.entry(c.home_subarray().unwrap_or(0)).or_default() += cost.busy_ns;
+                vol_proc += cost.proc_ns * repeat;
+                vol_overlap += cost.overlapped_ns * repeat;
+                if cost.transfer_is_conversion {
+                    vol_excl_conv += cost.excl_transfer_ns * repeat;
+                } else {
+                    vol_excl_shift += cost.excl_transfer_ns * repeat;
+                }
+                report.energy += cost.energy * repeat;
+                scale_counters(&mut report.counters, cost.counters, round.repeat);
+                vpc_count += round.repeat;
+            }
+            let max_sub = sub_load.values().copied().fold(0.0f64, f64::max);
+            let used = sub_load.len().max(1) as f64;
+            // Exposed once per round: the bus pipeline must fill before the
+            // first operands reach the processors.
+            let fill_ns = if round.computes.is_empty() || self.bus_kind != BusKind::DomainWall {
+                0.0
+            } else {
+                self.bus.word_latency_ns(self.cycle_ns) * self.params.bus_fill_exposure
+            };
+            let parallel_makespan = max_sub.max(round_busy_sum / used) + fill_ns;
+
+            // --- Compose per optimization level ---------------------------
+            match self.opt {
+                OptLevel::Base => {
+                    // Everything serializes: transfers and computes alike.
+                    serial_total += repeat * (round_tran_sum + round_busy_sum);
+                    compute_critical += repeat * round_busy_sum;
+                }
+                OptLevel::Distribute => {
+                    let blocked = self.params.dist_serialization * round_busy_sum
+                        + (1.0 - self.params.dist_serialization) * parallel_makespan;
+                    serial_total += repeat * (round_tran_parallel + blocked);
+                    compute_critical += repeat * blocked;
+                }
+                OptLevel::Unblock => {
+                    compute_critical += repeat * parallel_makespan;
+                    for (lane, t) in round_tran_lane.iter().enumerate() {
+                        tran_lane_ns[lane] += t * repeat;
+                    }
+                }
+            }
+        }
+
+        report.vpc = schedule.counts();
+        debug_assert_eq!(report.vpc.total(), vpc_count);
+
+        // Controller decode occupancy: per-VPC, parallel across PIM banks.
+        let controller_ns =
+            vpc_count as f64 * self.params.controller_ns_per_vpc / self.tran_lanes as f64;
+        report.energy.other_pj += vpc_count as f64 * 1.0; // 1 pJ decode per VPC
+
+        // --- Total and breakdown ------------------------------------------
+        let tran_critical = tran_lane_ns.iter().copied().fold(0.0f64, f64::max);
+        let (total, tran_exposed) = match self.opt {
+            OptLevel::Base | OptLevel::Distribute => (serial_total, true),
+            OptLevel::Unblock => (compute_critical.max(tran_critical), false),
+        };
+        let total = total.max(controller_ns);
+
+        // Scale the per-VPC compute volumes onto the compute-critical time.
+        let vol_sum = vol_proc + vol_excl_shift + vol_excl_conv + vol_overlap;
+        let k = if vol_sum > 0.0 {
+            compute_critical / vol_sum
+        } else {
+            0.0
+        };
+        report.time.process_ns = vol_proc * k;
+        report.time.shift_ns = vol_excl_shift * k;
+        report.time.overlapped_ns = vol_overlap * k;
+        let conv = vol_excl_conv * k;
+        // Electrical conversions split between read and write by latency.
+        let rw = self.read_ns + self.write_ns;
+        report.time.read_ns = conv * self.read_ns / rw;
+        report.time.write_ns = conv * self.write_ns / rw;
+
+        if tran_exposed {
+            // Inter-subarray transfer phases are exclusive read/write time.
+            let tran_time = total - compute_critical.min(total);
+            report.time.read_ns += tran_time * self.read_ns / rw;
+            report.time.write_ns += tran_time * self.write_ns / rw;
+        } else {
+            // Unblock: transfers beyond the compute-critical path extend the
+            // makespan; hidden transfers vanish into overlap.
+            let excess = (tran_critical - compute_critical).max(0.0);
+            report.time.read_ns += excess * self.read_ns / rw;
+            report.time.write_ns += excess * self.write_ns / rw;
+        }
+
+        // Controller excess (if it set the total) counts as processing.
+        let accounted = report.time.total_ns();
+        if total > accounted {
+            report.time.process_ns += total - accounted;
+        }
+        report
+    }
+
+    /// Subarray/lane occupancy of one command under this engine's cost
+    /// models (the event-driven reference engine composes these into
+    /// explicit timelines).
+    pub fn vpc_busy_ns(&self, vpc: &Vpc) -> f64 {
+        match *vpc {
+            Vpc::Tran { len, .. } => self.tran_cost(len as u64).busy_ns,
+            _ => self.compute_cost(vpc).busy_ns,
+        }
+    }
+
+    /// Rows needed to stream `words` between mats and the processor.
+    fn rows_for(&self, words: u64) -> u64 {
+        words.div_ceil(self.words_per_row).max(1)
+    }
+
+    fn compute_cost(&self, vpc: &Vpc) -> VpcCost {
+        let op = match *vpc {
+            Vpc::Mul { src1, .. } => ProcOp::DotProduct { n: src1.len as u64 },
+            Vpc::Smul { src } => ProcOp::ScalarVectorMul { n: src.len as u64 },
+            Vpc::Add { src1, .. } => ProcOp::VectorAdd { n: src1.len as u64 },
+            Vpc::Tran { .. } => unreachable!("compute_cost called on TRAN"),
+        };
+        let proc = self.pipeline.cost(op);
+        let proc_ns = proc.cycles as f64 * self.cycle_ns;
+        let rows = self.rows_for(proc.io_words);
+
+        let mut cost = VpcCost {
+            proc_ns,
+            counters: OpCounters {
+                pim_adds: proc.word_adds,
+                pim_muls: proc.word_muls,
+                ..OpCounters::default()
+            },
+            energy: EnergyBreakdown {
+                compute_pj: proc.word_adds as f64 * self.add_pj
+                    + proc.word_muls as f64 * self.mul_pj,
+                ..EnergyBreakdown::default()
+            },
+            ..VpcCost::default()
+        };
+
+        match self.bus_kind {
+            BusKind::DomainWall => {
+                // Streams split across the subarray's parallel RM buses;
+                // energy still covers every row moved.
+                let rows_per_bus = rows.div_ceil(self.params.operand_buses);
+                let bus = rm_bus::BusCost {
+                    time_ns: self.bus.stream_cost(rows_per_bus, self.cycle_ns).time_ns,
+                    ..self.bus.stream_cost(rows, self.cycle_ns)
+                };
+                // Mat-side shifts feed the bus; their time is subsumed by
+                // the stream, their energy is extra.
+                let mat_shift_steps = rows * self.params.mat_shifts_per_row;
+                cost.energy.shift_pj += bus.shift_pj + mat_shift_steps as f64 * self.shift_pj;
+                cost.counters.shifts += rows + mat_shift_steps;
+                cost.counters.shift_distance += rows + mat_shift_steps;
+                // Pipelined: streaming overlaps processing.
+                cost.busy_ns = proc_ns.max(bus.time_ns);
+                cost.overlapped_ns = proc_ns.min(bus.time_ns);
+                cost.excl_transfer_ns = (bus.time_ns - proc_ns).max(0.0);
+                cost.proc_ns = (proc_ns - bus.time_ns).max(0.0);
+                cost.transfer_is_conversion = false;
+            }
+            BusKind::Electrical => {
+                let beats = rows * self.params.electrical_beats_per_row;
+                let bus_ns = self.electrical.stream_ns(beats);
+                // Each beat converts 1/beats_per_row of a row, so the
+                // per-beat conversion energy is that fraction of the
+                // per-row read/write energy.
+                let (read_pj, write_pj) = self.electrical.stream_energy_split_pj(beats);
+                let frac = 1.0 / self.params.electrical_beats_per_row as f64;
+                let (read_pj, write_pj) = (read_pj * frac, write_pj * frac);
+                cost.energy.read_pj += read_pj;
+                cost.energy.write_pj += write_pj;
+                cost.counters.reads += beats;
+                cost.counters.writes += beats;
+                // Conversions cannot overlap shifts/compute in the subarray.
+                cost.busy_ns = proc_ns + bus_ns;
+                cost.excl_transfer_ns = bus_ns;
+                cost.proc_ns = proc_ns;
+                cost.transfer_is_conversion = true;
+            }
+        }
+        cost
+    }
+
+    fn tran_cost(&self, elements: u64) -> VpcCost {
+        let rows = self.rows_for(elements);
+        // Read at the source, write at the destination; reads and writes of
+        // consecutive rows pipeline against each other.
+        let mut busy_ns =
+            self.read_ns + self.write_ns + (rows - 1) as f64 * self.read_ns.max(self.write_ns);
+        let mut energy = EnergyBreakdown {
+            read_pj: rows as f64 * self.read_pj,
+            write_pj: rows as f64 * self.write_pj,
+            ..EnergyBreakdown::default()
+        };
+        if self.bus_kind == BusKind::Electrical {
+            // With electrical in-subarray buses the arriving rows must also
+            // be distributed from the row buffer to the destination mats
+            // over the narrow electrical bus (StreamPIM shifts them in
+            // instead), costing extra conversion beats on the mat-side leg.
+            let beats = rows as f64 * self.params.electrical_beats_per_row as f64 / 2.0;
+            busy_ns += beats * self.write_ns;
+            energy.write_pj += beats * self.write_pj / self.params.electrical_beats_per_row as f64;
+        }
+        VpcCost {
+            busy_ns,
+            energy,
+            counters: OpCounters {
+                reads: rows,
+                writes: rows,
+                ..OpCounters::default()
+            },
+            ..VpcCost::default()
+        }
+    }
+}
+
+/// Adds `delta` into `acc`, `times` times (saturating is unnecessary at the
+/// scales involved; totals stay far below u64::MAX).
+fn scale_counters(acc: &mut OpCounters, delta: OpCounters, times: u64) {
+    acc.reads += delta.reads * times;
+    acc.writes += delta.writes * times;
+    acc.shifts += delta.shifts * times;
+    acc.shift_distance += delta.shift_distance * times;
+    acc.transverse_reads += delta.transverse_reads * times;
+    acc.pim_adds += delta.pim_adds * times;
+    acc.pim_muls += delta.pim_muls * times;
+    acc.gate_ops += delta.gate_ops * times;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Round;
+    use crate::vpc::VecRef;
+
+    fn schedule(rounds: usize, computes_per_round: usize, len: u32) -> Schedule {
+        let mut s = Schedule::new();
+        for r in 0..rounds {
+            let mut round = Round::new();
+            round.broadcasts.push(Vpc::Tran {
+                src: 600,
+                dst: r as u32 % 8,
+                len,
+            });
+            for i in 0..computes_per_round {
+                let sub = (r * computes_per_round + i) as u32 % 512;
+                round.computes.push(Vpc::Mul {
+                    src1: VecRef::new(sub, len),
+                    src2: VecRef::new(sub, len),
+                });
+                // Results scatter back across destination subarrays.
+                round.collects.push(Vpc::Tran {
+                    src: sub,
+                    dst: sub.wrapping_add(64),
+                    len: 1,
+                });
+            }
+            s.push(round);
+        }
+        s
+    }
+
+    fn run(opt: OptLevel) -> ExecReport {
+        let cfg = StreamPimConfig::paper_default().with_opt(opt);
+        Engine::new(&cfg).run(&schedule(20, 256, 2000))
+    }
+
+    #[test]
+    fn optimization_ordering_matches_figure_22() {
+        let base = run(OptLevel::Base);
+        let dist = run(OptLevel::Distribute);
+        let unblock = run(OptLevel::Unblock);
+        assert!(
+            base.total_ns() > dist.total_ns(),
+            "distribute must beat base: {} vs {}",
+            base.total_ns(),
+            dist.total_ns()
+        );
+        assert!(
+            dist.total_ns() > unblock.total_ns(),
+            "unblock must beat distribute: {} vs {}",
+            dist.total_ns(),
+            unblock.total_ns()
+        );
+        // The gaps are large (paper: 7.1x and 199.7x overall).
+        assert!(base.total_ns() / dist.total_ns() > 2.0);
+        assert!(dist.total_ns() / unblock.total_ns() > 2.0);
+    }
+
+    #[test]
+    fn unblock_hides_transfers() {
+        let unblock = run(OptLevel::Unblock);
+        assert!(
+            unblock.time.exclusive_transfer_fraction() < 0.05,
+            "exclusive transfer should be tiny, got {}",
+            unblock.time.exclusive_transfer_fraction()
+        );
+        assert!(unblock.time.overlapped_ns > 0.0);
+    }
+
+    #[test]
+    fn energy_is_schedule_order_independent() {
+        let base = run(OptLevel::Base);
+        let unblock = run(OptLevel::Unblock);
+        assert!((base.total_pj() - unblock.total_pj()).abs() / base.total_pj() < 1e-9);
+    }
+
+    #[test]
+    fn electrical_bus_is_slower_and_hungrier() {
+        let dw = run_with_config(StreamPimConfig::paper_default());
+        let el = run_with_config(StreamPimConfig::electrical_bus());
+        assert!(
+            el.total_ns() > dw.total_ns() * 1.5,
+            "{} vs {}",
+            el.total_ns(),
+            dw.total_ns()
+        );
+        assert!(el.total_pj() > dw.total_pj());
+        assert!(el.energy.read_pj + el.energy.write_pj > dw.energy.read_pj + dw.energy.write_pj);
+    }
+
+    fn run_with_config(cfg: StreamPimConfig) -> ExecReport {
+        Engine::new(&cfg).run(&schedule(20, 256, 2000))
+    }
+
+    #[test]
+    fn more_subarrays_help_until_saturation() {
+        let times: Vec<f64> = [128u32, 256, 512, 1024]
+            .iter()
+            .map(|&n| {
+                let cfg = StreamPimConfig::paper_default().with_pim_subarrays(n);
+                // Spread computes over all subarrays of the variant.
+                let mut s = Schedule::new();
+                for r in 0..50 {
+                    let mut round = Round::new();
+                    for i in 0..1024usize {
+                        let sub = ((r * 1024 + i) as u32) % n;
+                        round.computes.push(Vpc::Mul {
+                            src1: VecRef::new(sub, 2000),
+                            src2: VecRef::new(sub, 2000),
+                        });
+                        round.collects.push(Vpc::Tran {
+                            src: sub,
+                            dst: (sub + 1) % n,
+                            len: 1,
+                        });
+                    }
+                    s.push(round);
+                }
+                Engine::new(&cfg).run(&s).total_ns()
+            })
+            .collect();
+        assert!(times[0] > times[1] && times[1] > times[2], "{times:?}");
+        // Saturation: the 512 -> 1024 step gains less than 256 -> 512.
+        let gain_512 = times[1] / times[2];
+        let gain_1024 = times[2] / times[3];
+        assert!(gain_1024 < gain_512, "{times:?}");
+    }
+
+    #[test]
+    fn counters_track_work() {
+        let r = run(OptLevel::Unblock);
+        assert_eq!(r.counters.pim_muls, 20 * 256 * 2000);
+        assert!(r.counters.reads > 0);
+        assert!(r.counters.shifts > 0);
+        assert_eq!(r.vpc.pim, 20 * 256);
+        assert_eq!(r.vpc.moves, 20 * 257);
+    }
+
+    #[test]
+    fn empty_schedule_is_free() {
+        let cfg = StreamPimConfig::paper_default();
+        let r = Engine::new(&cfg).run(&Schedule::new());
+        assert_eq!(r.total_ns(), 0.0);
+        assert_eq!(r.total_pj(), 0.0);
+    }
+
+    #[test]
+    fn segment_size_sweep_small_overhead() {
+        // Table V: shrinking segments from 1024 to 64 costs only ~2% time
+        // and leaves energy unchanged.
+        let t = |seg: u32| {
+            // Full-utilization rounds (4 VPCs per subarray), as real
+            // kernel lowerings produce.
+            let cfg = StreamPimConfig::paper_default().with_segment_domains(seg);
+            let r = Engine::new(&cfg).run(&schedule(20, 2048, 2600));
+            (r.total_ns(), r.total_pj())
+        };
+        let (t1024, e1024) = t(1024);
+        let (t64, e64) = t(64);
+        let overhead = t64 / t1024 - 1.0;
+        assert!((0.0..0.10).contains(&overhead), "time overhead {overhead}");
+        assert!((e64 - e1024).abs() / e1024 < 1e-9, "energy flat");
+    }
+
+    #[test]
+    fn params_validation() {
+        let p = EngineParams {
+            dist_serialization: 1.5,
+            ..EngineParams::default()
+        };
+        assert!(p.validate().is_err());
+        let p = EngineParams {
+            electrical_beats_per_row: 0,
+            ..EngineParams::default()
+        };
+        assert!(p.validate().is_err());
+        let p = EngineParams {
+            bus_fill_exposure: 2.0,
+            ..EngineParams::default()
+        };
+        assert!(p.validate().is_err());
+        assert!(EngineParams::default().validate().is_ok());
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type for the StreamPIM device model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the device model and the `PimTask` interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PimError {
+    /// A matrix handle does not belong to the task.
+    UnknownMatrix {
+        /// The offending handle index.
+        handle: usize,
+    },
+    /// Operation operands have incompatible shapes.
+    ShapeMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// The device configuration is invalid.
+    Config(String),
+    /// A task was run with no operations.
+    EmptyTask,
+    /// The destination of an operation is also one of its sources in a way
+    /// the lowering cannot honour.
+    AliasedOperands {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// Wrapped racetrack-memory error from the functional layer.
+    Memory(rm_core::RmError),
+}
+
+impl fmt::Display for PimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PimError::UnknownMatrix { handle } => {
+                write!(f, "matrix handle {handle} is not part of this task")
+            }
+            PimError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
+            PimError::Config(msg) => write!(f, "invalid device configuration: {msg}"),
+            PimError::EmptyTask => write!(f, "task has no operations to run"),
+            PimError::AliasedOperands { detail } => write!(f, "aliased operands: {detail}"),
+            PimError::Memory(e) => write!(f, "memory error: {e}"),
+        }
+    }
+}
+
+impl Error for PimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PimError::Memory(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rm_core::RmError> for PimError {
+    fn from(e: rm_core::RmError) -> Self {
+        PimError::Memory(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty_lowercase() {
+        let errors = [
+            PimError::UnknownMatrix { handle: 3 },
+            PimError::ShapeMismatch {
+                detail: "2x3 * 4x5".into(),
+            },
+            PimError::Config("zero banks".into()),
+            PimError::EmptyTask,
+            PimError::AliasedOperands {
+                detail: "dst = a".into(),
+            },
+            PimError::Memory(rm_core::RmError::InvalidConfig("x".into())),
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn memory_error_has_source() {
+        let e = PimError::from(rm_core::RmError::InvalidConfig("x".into()));
+        assert!(Error::source(&e).is_some());
+    }
+}

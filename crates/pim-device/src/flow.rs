@@ -1,0 +1,300 @@
+//! Bit-level subarray data flow (paper §III-F, Figure 13).
+//!
+//! This module wires the *functional* substrates together — mats with save
+//! and transfer tracks (`rm-core`), the segmented RM bus (`rm-bus`) and the
+//! RM processor datapath (`rm-proc`) — and executes a PIM task exactly as
+//! Figure 13 describes:
+//!
+//! 1. data is fan-out-copied from save tracks to transfer tracks and
+//!    shifted onto the RM bus (non-destructive read, no conversion);
+//! 2. the bus streams it to the RM processor;
+//! 3. the processor computes (duplicator → multiplier → tree → circle);
+//! 4. the result streams back over the return bus;
+//! 5. and shifts into the destination mat row.
+//!
+//! The headline claim — *magnetic signals stored in mats are never
+//! converted into electronic signals* — is testable here: the whole flow
+//! performs **zero RM read or write operations** after the initial host
+//! load (see the tests).
+
+use crate::error::PimError;
+use crate::Result;
+use rm_bus::SegmentedBus;
+use rm_core::Subarray;
+use rm_proc::RmProcessor;
+
+/// Bus segments in the functional in-subarray buses.
+const BUS_SEGMENTS: usize = 8;
+
+/// A functional PIM subarray: mats + buses + processor.
+///
+/// Uses a reduced geometry (2 mats of 16 save + 16 transfer tracks, 64
+/// rows) — big enough to exercise every mechanism, small enough to simulate
+/// every domain.
+///
+/// ```
+/// use pim_device::flow::SubarrayFlow;
+///
+/// let mut flow = SubarrayFlow::new()?;
+/// flow.load_vector(0, &[1, 2, 3, 4])?;
+/// flow.load_vector(16, &[5, 6, 7, 8])?;
+/// let result = flow.dot(0, 16, 4, 32)?;
+/// assert_eq!(result, 1 * 5 + 2 * 6 + 3 * 7 + 4 * 8);
+/// # Ok::<(), pim_device::PimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SubarrayFlow {
+    subarray: Subarray,
+    processor: RmProcessor,
+    to_proc: SegmentedBus,
+    from_proc: SegmentedBus,
+    /// Row reads/writes performed by the host load phase (excluded from the
+    /// conversion-free guarantee).
+    loads: u64,
+}
+
+impl SubarrayFlow {
+    /// Builds the functional subarray with the paper's per-mat track split
+    /// and an 8-bit, 2-duplicator processor.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; `Result` for parity with the other constructors.
+    pub fn new() -> Result<Self> {
+        Ok(SubarrayFlow {
+            subarray: Subarray::new(2, 2, 16, 16, 64, 4),
+            processor: RmProcessor::new(8, 2),
+            to_proc: SegmentedBus::new(BUS_SEGMENTS),
+            from_proc: SegmentedBus::new(BUS_SEGMENTS),
+            loads: 0,
+        })
+    }
+
+    /// Elements per mat row (bytes, at 8-bit words).
+    pub fn elements_per_row(&self) -> usize {
+        self.subarray.row_bytes()
+    }
+
+    /// Rows available.
+    pub fn rows(&self) -> usize {
+        self.subarray.total_rows()
+    }
+
+    /// Host-loads a byte vector starting at `row` (one conversion-full
+    /// write per row — this is the host filling memory, not the PIM path).
+    ///
+    /// # Errors
+    ///
+    /// Returns a memory error if the span exceeds the subarray.
+    pub fn load_vector(&mut self, row: usize, data: &[u8]) -> Result<()> {
+        let epr = self.elements_per_row();
+        for (i, chunk) in data.chunks(epr).enumerate() {
+            let mut padded = vec![0u8; epr];
+            padded[..chunk.len()].copy_from_slice(chunk);
+            self.subarray.write_row(row + i, &padded)?;
+            self.loads += 1;
+        }
+        Ok(())
+    }
+
+    /// Reads a vector back (host path, for verification).
+    ///
+    /// # Errors
+    ///
+    /// Returns a memory error if the span exceeds the subarray.
+    pub fn read_vector(&mut self, row: usize, len: usize) -> Result<Vec<u8>> {
+        let epr = self.elements_per_row();
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len.div_ceil(epr) {
+            let data = self.subarray.read_row(row + i)?;
+            out.extend_from_slice(&data);
+        }
+        out.truncate(len);
+        Ok(out)
+    }
+
+    /// Streams `rows` rows starting at `row` onto the to-processor bus via
+    /// the non-destructive transfer-track path, collecting the delivered
+    /// words at the processor tap (Figure 13 steps ① and ②).
+    fn stream_to_processor(&mut self, row: usize, n_rows: usize) -> Result<Vec<u8>> {
+        let mut collected = Vec::new();
+        let mut pending: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+        for i in 0..n_rows {
+            let (mat, local) = self.subarray.locate_row(row + i)?;
+            let mat_ref = self.subarray.mat_mut(mat)?;
+            // Non-destructive read: fan-out copy, then shift the replica out.
+            mat_ref.copy_row_to_transfer(local)?;
+            let bytes = mat_ref.shift_out_transfer_row(local)?;
+            pending.push_back(pack(&bytes));
+        }
+        // Pipelined injection: one data segment per couple, empty gaps kept.
+        let epr = self.elements_per_row();
+        let mut guard = 0;
+        while collected.len() < n_rows * epr {
+            if let Some(&word) = pending.front() {
+                if self.to_proc.try_inject(0, word, BUS_SEGMENTS - 1) {
+                    pending.pop_front();
+                }
+            }
+            for delivery in self.to_proc.cycle() {
+                collected.extend(unpack(delivery.packet.data, self.elements_per_row()));
+            }
+            guard += 1;
+            if guard > 10_000 {
+                return Err(PimError::Config("bus failed to drain".into()));
+            }
+        }
+        Ok(collected)
+    }
+
+    /// Returns the result vector to `dst_row` over the return bus
+    /// (Figure 13 steps ④ and ⑤): words shift in, no write operations.
+    fn stream_from_processor(&mut self, dst_row: usize, bytes: &[u8]) -> Result<()> {
+        let epr = self.elements_per_row();
+        let mut chunks: std::collections::VecDeque<(usize, u64)> = bytes
+            .chunks(epr)
+            .enumerate()
+            .map(|(i, c)| {
+                let mut padded = vec![0u8; epr];
+                padded[..c.len()].copy_from_slice(c);
+                (i, pack(&padded))
+            })
+            .collect();
+        let mut arrived = 0;
+        let total = chunks.len().max(1);
+        let mut guard = 0;
+        while arrived < total && !(chunks.is_empty() && self.from_proc.is_empty()) {
+            if let Some(&(_, word)) = chunks.front() {
+                if self.from_proc.try_inject(0, word, BUS_SEGMENTS - 1) {
+                    chunks.pop_front();
+                }
+            }
+            for delivery in self.from_proc.cycle() {
+                let data = unpack(delivery.packet.data, epr);
+                let (mat, local) = self.subarray.locate_row(dst_row + arrived)?;
+                self.subarray.mat_mut(mat)?.shift_in_row(local, &data)?;
+                arrived += 1;
+            }
+            guard += 1;
+            if guard > 10_000 {
+                return Err(PimError::Config("return bus failed to drain".into()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes a dot product entirely through the PIM path: operand
+    /// vectors of `len` elements at `a_row` and `b_row`, 32-bit result
+    /// little-endian at `dst_row`.
+    ///
+    /// # Errors
+    ///
+    /// Returns memory errors for bad spans.
+    pub fn dot(&mut self, a_row: usize, b_row: usize, len: usize, dst_row: usize) -> Result<u64> {
+        let epr = self.elements_per_row();
+        let n_rows = len.div_ceil(epr);
+        let a = self.stream_to_processor(a_row, n_rows)?;
+        let b = self.stream_to_processor(b_row, n_rows)?;
+        let a_words: Vec<u64> = a.iter().take(len).map(|&x| x as u64).collect();
+        let b_words: Vec<u64> = b.iter().take(len).map(|&x| x as u64).collect();
+        // Figure 13 step ③: the RM processor pipeline.
+        let (result, _tally) = self.processor.dot(&a_words, &b_words);
+        self.stream_from_processor(dst_row, &(result as u32).to_le_bytes())?;
+        Ok(result)
+    }
+
+    /// Row read/write operations performed *after* the host load — the
+    /// conversion count of the PIM path. Zero by design.
+    pub fn pim_conversions(&self) -> u64 {
+        let c = self.subarray.counters();
+        (c.reads + c.writes).saturating_sub(self.loads)
+    }
+
+    /// Shift operations performed so far (the PIM path's only currency).
+    pub fn shifts(&self) -> u64 {
+        self.subarray.counters().shifts
+            + self.to_proc.segment_shifts()
+            + self.from_proc.segment_shifts()
+    }
+}
+
+/// Packs up to 8 row bytes into a bus word.
+fn pack(bytes: &[u8]) -> u64 {
+    let mut w = 0u64;
+    for (i, &b) in bytes.iter().take(8).enumerate() {
+        w |= (b as u64) << (8 * i);
+    }
+    w
+}
+
+/// Unpacks a bus word back into `n` row bytes.
+fn unpack(word: u64, n: usize) -> Vec<u8> {
+    (0..n.min(8)).map(|i| (word >> (8 * i)) as u8).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_through_the_full_path_matches_host() {
+        let mut flow = SubarrayFlow::new().unwrap();
+        let a: Vec<u8> = (1..=10).collect();
+        let b: Vec<u8> = (11..=20).collect();
+        flow.load_vector(0, &a).unwrap();
+        flow.load_vector(16, &b).unwrap();
+        let got = flow.dot(0, 16, 10, 40).unwrap();
+        let expect: u64 = a.iter().zip(&b).map(|(&x, &y)| x as u64 * y as u64).sum();
+        assert_eq!(got, expect);
+        // The result really landed in the destination rows.
+        let stored = flow.read_vector(40, 4).unwrap();
+        assert_eq!(
+            u32::from_le_bytes(stored.try_into().unwrap()) as u64,
+            expect
+        );
+    }
+
+    #[test]
+    fn pim_path_performs_zero_conversions() {
+        let mut flow = SubarrayFlow::new().unwrap();
+        flow.load_vector(0, &[3, 5, 7, 9]).unwrap();
+        flow.load_vector(16, &[2, 4, 6, 8]).unwrap();
+        let loads_only = flow.pim_conversions();
+        assert_eq!(loads_only, 0, "nothing but loads so far");
+        let _ = flow.dot(0, 16, 4, 40).unwrap();
+        // The paper's claim: the PIM data path is pure shift.
+        assert_eq!(flow.pim_conversions(), 0, "no reads/writes on the PIM path");
+        assert!(flow.shifts() > 0, "shifts did all the work");
+    }
+
+    #[test]
+    fn operands_survive_the_non_destructive_read() {
+        let mut flow = SubarrayFlow::new().unwrap();
+        let a: Vec<u8> = vec![10, 20, 30, 40, 50, 60];
+        flow.load_vector(0, &a).unwrap();
+        flow.load_vector(16, &a).unwrap();
+        let _ = flow.dot(0, 16, 6, 40).unwrap();
+        assert_eq!(
+            flow.read_vector(0, 6).unwrap(),
+            a,
+            "save tracks keep the data"
+        );
+    }
+
+    #[test]
+    fn repeated_dots_reuse_the_same_hardware() {
+        let mut flow = SubarrayFlow::new().unwrap();
+        flow.load_vector(0, &[1, 1, 1, 1]).unwrap();
+        flow.load_vector(16, &[2, 2, 2, 2]).unwrap();
+        for _ in 0..3 {
+            assert_eq!(flow.dot(0, 16, 4, 40).unwrap(), 8);
+        }
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let bytes = [0xDE, 0xAD, 0xBE, 0xEF];
+        assert_eq!(unpack(pack(&bytes), 4), bytes);
+        assert_eq!(pack(&[]), 0);
+    }
+}

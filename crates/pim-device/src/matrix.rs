@@ -1,0 +1,302 @@
+//! Host-side dense matrix used by the `PimTask` programming interface.
+//!
+//! Values are `i64`; the physical device operates on `word_bits`-wide
+//! fixed-point elements (8-bit in the paper), which the bit-accurate layer
+//! in `rm-proc` validates. The task layer computes *functional* results in
+//! host precision so correctness checks are exact, while the *cost* model
+//! uses the configured word width.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major `i64` matrix.
+///
+/// ```
+/// use pim_device::matrix::Matrix;
+///
+/// let a = Matrix::from_fn(2, 3, |i, j| (i * 3 + j) as i64);
+/// assert_eq!(a[(1, 2)], 5);
+/// assert_eq!(a.transpose()[(2, 1)], 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a generator function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> i64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major value vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` or a dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<i64>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        assert_eq!(data.len(), rows * cols, "data length must match dimensions");
+        Matrix { rows, cols, data }
+    }
+
+    /// The `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Matrix::from_fn(n, n, |i, j| (i == j) as i64)
+    }
+
+    /// A column vector from a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn column(values: &[i64]) -> Self {
+        Matrix::from_vec(values.len(), 1, values.to_vec())
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row(&self, i: usize) -> &[i64] {
+        assert!(i < self.rows, "row {i} out of range 0..{}", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Column `j` as an owned vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn col(&self, j: usize) -> Vec<i64> {
+        assert!(j < self.cols, "column {j} out of range 0..{}", self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// The raw row-major data.
+    pub fn as_slice(&self) -> &[i64] {
+        &self.data
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Reference matrix product `self * rhs` (wrapping i64 arithmetic).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "inner dimensions must agree: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for j in 0..rhs.cols {
+                let mut acc = 0i64;
+                for k in 0..self.cols {
+                    acc = acc.wrapping_add(self[(i, k)].wrapping_mul(rhs[(k, j)]));
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    /// Reference element-wise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "shapes must agree for addition");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a.wrapping_add(b))
+                .collect(),
+        }
+    }
+
+    /// Reference scalar product `alpha * self`.
+    pub fn scale(&self, alpha: i64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&a| a.wrapping_mul(alpha)).collect(),
+        }
+    }
+
+    /// Maximum absolute value (for word-width fit diagnostics).
+    pub fn max_abs(&self) -> i64 {
+        self.data
+            .iter()
+            .map(|v| v.saturating_abs())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = i64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &i64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut i64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show = self.rows.min(8);
+        for i in 0..show {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:6} ", self[(i, j)])?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Matrix::from_fn(2, 3, |i, j| (10 * i + j) as i64);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m[(1, 2)], 12);
+        assert_eq!(m.row(1), &[10, 11, 12]);
+        assert_eq!(m.col(2), vec![2, 12]);
+    }
+
+    #[test]
+    fn identity_matmul_is_identity() {
+        let a = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as i64);
+        assert_eq!(a.matmul(&Matrix::identity(3)), a);
+        assert_eq!(Matrix::identity(3).matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_vec(2, 2, vec![1, 2, 3, 4]);
+        let b = Matrix::from_vec(2, 2, vec![5, 6, 7, 8]);
+        assert_eq!(a.matmul(&b), Matrix::from_vec(2, 2, vec![19, 22, 43, 50]));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(3, 5, |i, j| (i * 7 + j * 3) as i64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = Matrix::from_vec(1, 3, vec![1, 2, 3]);
+        let b = Matrix::from_vec(1, 3, vec![10, 20, 30]);
+        assert_eq!(a.add(&b), Matrix::from_vec(1, 3, vec![11, 22, 33]));
+        assert_eq!(a.scale(-2), Matrix::from_vec(1, 3, vec![-2, -4, -6]));
+    }
+
+    #[test]
+    fn column_vector() {
+        let v = Matrix::column(&[1, 2, 3]);
+        assert_eq!(v.shape(), (3, 1));
+        assert_eq!(v[(2, 0)], 3);
+    }
+
+    #[test]
+    fn max_abs() {
+        let a = Matrix::from_vec(1, 3, vec![-5, 2, 4]);
+        assert_eq!(a.max_abs(), 5);
+        assert_eq!(Matrix::zeros(2, 2).max_abs(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_shape_checked() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dims_rejected() {
+        let _ = Matrix::zeros(0, 3);
+    }
+}

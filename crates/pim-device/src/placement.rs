@@ -1,0 +1,202 @@
+//! Matrix placement across PIM subarrays (paper §IV-C, Figure 15).
+//!
+//! A VPC executes inside a single subarray, so *where* matrix rows live
+//! decides how much subarray-level parallelism a task can reach:
+//!
+//! * **base** — rows are stored at sequential addresses, so a matrix packs
+//!   into as few subarrays as capacity allows; all its dot products then
+//!   serialize on those subarrays' processors.
+//! * **distribute** — rows are spread round-robin across all PIM subarrays;
+//!   the operand vector is broadcast to the participating subarrays before
+//!   computation, every row's dot product runs in parallel, and results are
+//!   collected to the destination afterwards.
+//!
+//! Vectors longer than a subarray's capacity are **sliced** across several
+//! subarrays and the partial results combined (paper §IV-C's slicing
+//! strategy); `slices_for` reports how many slices a vector needs.
+
+use rm_core::DeviceConfig;
+use serde::{Deserialize, Serialize};
+
+/// Placement policy for matrix rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PlacementKind {
+    /// Sequential addresses: a matrix occupies the fewest subarrays its
+    /// size allows.
+    Base,
+    /// Round-robin rows over all PIM subarrays (the `distribute`
+    /// optimization).
+    #[default]
+    Distribute,
+}
+
+/// Resolves matrix rows to PIM subarray homes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    kind: PlacementKind,
+    /// Number of PIM subarrays available.
+    pim_subarrays: u32,
+    /// Subarray capacity in bytes (for base packing and slicing).
+    subarray_bytes: u64,
+    /// Element width in bytes.
+    elem_bytes: u32,
+    /// Per-matrix base subarray offsets (assigned at registration).
+    matrix_base: Vec<u32>,
+    /// Per-matrix rows and columns (for packing).
+    matrix_shape: Vec<(u32, u32)>,
+    /// Next free subarray for base packing.
+    next_base: u32,
+}
+
+impl Placement {
+    /// Creates a placement resolver for `config` with the given policy.
+    pub fn new(kind: PlacementKind, config: &DeviceConfig) -> Self {
+        Placement {
+            kind,
+            pim_subarrays: config.pim_subarrays().max(1),
+            subarray_bytes: config.geometry.subarray_bytes(),
+            elem_bytes: config.word_bits.div_ceil(8),
+            matrix_base: Vec::new(),
+            matrix_shape: Vec::new(),
+            next_base: 0,
+        }
+    }
+
+    /// The placement policy.
+    #[inline]
+    pub fn kind(&self) -> PlacementKind {
+        self.kind
+    }
+
+    /// PIM subarrays available.
+    #[inline]
+    pub fn pim_subarrays(&self) -> u32 {
+        self.pim_subarrays
+    }
+
+    /// Registers a `rows x cols` matrix and returns its placement id.
+    pub fn register_matrix(&mut self, rows: u32, cols: u32) -> usize {
+        let id = self.matrix_base.len();
+        self.matrix_base.push(self.next_base);
+        self.matrix_shape.push((rows, cols));
+        // Base packing: advance by the subarrays this matrix occupies.
+        let bytes = rows as u64 * cols as u64 * self.elem_bytes as u64;
+        let occupied = bytes.div_ceil(self.subarray_bytes).max(1) as u32;
+        self.next_base = (self.next_base + occupied) % self.pim_subarrays;
+        id
+    }
+
+    /// Home subarray of row `row` of matrix `matrix`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `matrix` was not registered.
+    pub fn home_of_row(&self, matrix: usize, row: u32) -> u32 {
+        let base = self.matrix_base[matrix];
+        let (rows, cols) = self.matrix_shape[matrix];
+        debug_assert!(row < rows, "row {row} out of range 0..{rows}");
+        match self.kind {
+            PlacementKind::Base => {
+                // Sequential layout: rows fill a subarray before spilling to
+                // the next one.
+                let row_bytes = cols as u64 * self.elem_bytes as u64;
+                let rows_per_sub = (self.subarray_bytes / row_bytes.max(1)).max(1);
+                (base + (row as u64 / rows_per_sub) as u32) % self.pim_subarrays
+            }
+            PlacementKind::Distribute => (base + row) % self.pim_subarrays,
+        }
+    }
+
+    /// Number of distinct subarrays hosting rows of `matrix`.
+    pub fn span_of(&self, matrix: usize) -> u32 {
+        let (rows, cols) = self.matrix_shape[matrix];
+        match self.kind {
+            PlacementKind::Base => {
+                let row_bytes = cols as u64 * self.elem_bytes as u64;
+                let rows_per_sub = (self.subarray_bytes / row_bytes.max(1)).max(1);
+                ((rows as u64).div_ceil(rows_per_sub) as u32)
+                    .min(self.pim_subarrays)
+                    .max(1)
+            }
+            PlacementKind::Distribute => rows.min(self.pim_subarrays).max(1),
+        }
+    }
+
+    /// Number of slices a `len`-element vector needs to fit subarrays
+    /// (1 when it fits whole — the common case: a subarray holds 1/2048 of
+    /// the device).
+    pub fn slices_for(&self, len: u64) -> u64 {
+        let bytes = len * self.elem_bytes as u64;
+        bytes.div_ceil(self.subarray_bytes).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rm_core::DeviceConfig;
+
+    fn cfg() -> DeviceConfig {
+        DeviceConfig::paper_default()
+    }
+
+    #[test]
+    fn distribute_spreads_rows_round_robin() {
+        let mut p = Placement::new(PlacementKind::Distribute, &cfg());
+        let m = p.register_matrix(2000, 2000);
+        let homes: std::collections::HashSet<u32> =
+            (0..2000).map(|r| p.home_of_row(m, r)).collect();
+        assert_eq!(homes.len(), 512, "2000 rows cover all 512 PIM subarrays");
+        assert_eq!(p.home_of_row(m, 0), p.home_of_row(m, 512));
+    }
+
+    #[test]
+    fn base_packs_rows_into_few_subarrays() {
+        let mut p = Placement::new(PlacementKind::Base, &cfg());
+        // 2000 x 2000 int8 = 4 MB ≈ one 4 MiB subarray.
+        let m = p.register_matrix(2000, 2000);
+        let homes: std::collections::HashSet<u32> =
+            (0..2000).map(|r| p.home_of_row(m, r)).collect();
+        assert!(
+            homes.len() <= 2,
+            "base layout packs tightly, got {}",
+            homes.len()
+        );
+        assert_eq!(p.span_of(m), homes.len() as u32);
+    }
+
+    #[test]
+    fn base_spans_grow_with_matrix_size() {
+        let mut p = Placement::new(PlacementKind::Base, &cfg());
+        let small = p.register_matrix(100, 100);
+        let large = p.register_matrix(4000, 4000);
+        assert_eq!(p.span_of(small), 1);
+        assert!(p.span_of(large) >= 3);
+    }
+
+    #[test]
+    fn different_matrices_get_different_bases() {
+        let mut p = Placement::new(PlacementKind::Base, &cfg());
+        let a = p.register_matrix(2000, 2600);
+        let b = p.register_matrix(2600, 2300);
+        assert_ne!(p.home_of_row(a, 0), p.home_of_row(b, 0));
+    }
+
+    #[test]
+    fn slicing_kicks_in_for_oversized_vectors() {
+        let p = Placement::new(PlacementKind::Distribute, &cfg());
+        // Subarray = 4 MiB; an 8 M-element int8 vector needs 2 slices.
+        assert_eq!(p.slices_for(1000), 1);
+        assert_eq!(p.slices_for(8 * 1024 * 1024), 2);
+        assert_eq!(p.slices_for(0), 1);
+    }
+
+    #[test]
+    fn distribute_span_is_min_rows_subarrays() {
+        let mut p = Placement::new(PlacementKind::Distribute, &cfg());
+        let tall = p.register_matrix(2000, 10);
+        let short = p.register_matrix(10, 2000);
+        assert_eq!(p.span_of(tall), 512);
+        assert_eq!(p.span_of(short), 10);
+    }
+}

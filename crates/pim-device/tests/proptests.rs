@@ -1,0 +1,159 @@
+//! Property-based tests for the device layer: functional correctness over
+//! arbitrary shapes/values, and engine model invariants.
+
+use pim_device::matrix::Matrix;
+use pim_device::schedule::{Round, Schedule};
+use pim_device::task::{MatrixOp, PimTask};
+use pim_device::vpc::{VecRef, Vpc};
+use pim_device::{OptLevel, StreamPim, StreamPimConfig};
+use proptest::prelude::*;
+
+fn device() -> StreamPim {
+    StreamPim::new(StreamPimConfig::paper_default()).expect("valid")
+}
+
+fn small_matrix(rows: usize, cols: usize, seed: i64) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| {
+        ((i as i64 * 31 + j as i64 * 17 + seed) % 16).abs()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// MatMul over arbitrary shapes equals the host reference.
+    #[test]
+    fn matmul_matches_reference(m in 1usize..20, k in 1usize..20, n in 1usize..20, seed in 0i64..100) {
+        let a = small_matrix(m, k, seed);
+        let b = small_matrix(k, n, seed + 1);
+        let mut task = PimTask::new();
+        let ha = task.add_matrix(&a).unwrap();
+        let hb = task.add_matrix(&b).unwrap();
+        let hc = task.add_output(m, n).unwrap();
+        task.add_operation(MatrixOp::MatMul { a: ha, b: hb, dst: hc }).unwrap();
+        let out = task.run(&device()).unwrap();
+        prop_assert_eq!(out.matrix(hc).unwrap(), &a.matmul(&b));
+    }
+
+    /// A random chain of shape-compatible square-matrix operations applies
+    /// in program order, independent of the optimization level.
+    #[test]
+    fn random_op_chains_apply_in_order(
+        n in 2usize..10,
+        ops in proptest::collection::vec(0u8..4, 1..6),
+        seed in 0i64..50,
+        opt_pick in 0u8..3,
+    ) {
+        let opt = [OptLevel::Base, OptLevel::Distribute, OptLevel::Unblock][opt_pick as usize];
+        let dev = StreamPim::new(StreamPimConfig::paper_default().with_opt(opt)).unwrap();
+        let a = small_matrix(n, n, seed);
+        let b = small_matrix(n, n, seed + 9);
+
+        let mut task = PimTask::new();
+        let ha = task.add_matrix(&a).unwrap();
+        let hb = task.add_matrix(&b).unwrap();
+        let mut cur = ha;
+        let mut reference = a.clone();
+        for &op in &ops {
+            let dst = task.add_output(n, n).unwrap();
+            match op {
+                0 => {
+                    task.add_operation(MatrixOp::MatMul { a: cur, b: hb, dst }).unwrap();
+                    reference = reference.matmul(&b);
+                }
+                1 => {
+                    task.add_operation(MatrixOp::MatAdd { a: cur, b: hb, dst }).unwrap();
+                    reference = reference.add(&b);
+                }
+                2 => {
+                    task.add_operation(MatrixOp::ScalarMul { alpha: 3, a: cur, dst }).unwrap();
+                    reference = reference.scale(3);
+                }
+                _ => {
+                    task.add_operation(MatrixOp::Axpby { alpha: 2, a: cur, beta: -1, b: hb, dst })
+                        .unwrap();
+                    reference = reference.scale(2).add(&b.scale(-1));
+                }
+            }
+            cur = dst;
+        }
+        let out = task.run(&dev).unwrap();
+        prop_assert_eq!(out.matrix(cur).unwrap(), &reference);
+    }
+
+    /// Engine pricing is monotone in vector length and in repeat count.
+    #[test]
+    fn engine_monotone(len in 1u32..4000, repeat in 1u64..1000) {
+        let dev = device();
+        let mk = |len: u32, repeat: u64| {
+            let mut s = Schedule::new();
+            let mut r = Round::new().repeated(repeat);
+            r.computes.push(Vpc::Mul { src1: VecRef::new(0, len), src2: VecRef::new(0, len) });
+            r.collects.push(Vpc::Tran { src: 0, dst: 1, len: 1 });
+            s.push(r);
+            dev.execute(&s)
+        };
+        let base = mk(len, repeat);
+        let longer = mk(len + 64, repeat);
+        let more = mk(len, repeat + 10);
+        prop_assert!(longer.total_ns() >= base.total_ns());
+        prop_assert!(more.total_ns() >= base.total_ns());
+        prop_assert!(longer.total_pj() >= base.total_pj());
+        prop_assert!(more.total_pj() > base.total_pj());
+    }
+
+    /// Energy scales exactly linearly with repeat (the prototype-pricing
+    /// optimization is exact for identical rounds).
+    #[test]
+    fn energy_linear_in_repeat(len in 1u32..2000, repeat in 1u64..500) {
+        let dev = device();
+        let mk = |repeat: u64| {
+            let mut s = Schedule::new();
+            let mut r = Round::new().repeated(repeat);
+            r.computes.push(Vpc::Mul { src1: VecRef::new(3, len), src2: VecRef::new(3, len) });
+            s.push(r);
+            dev.execute(&s).total_pj()
+        };
+        let e1 = mk(repeat);
+        let e2 = mk(2 * repeat);
+        prop_assert!((e2 - 2.0 * e1).abs() < 1e-6 * e2.max(1.0));
+    }
+
+    /// Flattened trace counts agree with the arithmetic counts, repeat
+    /// included.
+    #[test]
+    fn trace_counts_agree(n_computes in 1usize..20, repeat in 1u64..20) {
+        let mut s = Schedule::new();
+        let mut r = Round::new().repeated(repeat);
+        for i in 0..n_computes {
+            r.computes.push(Vpc::Smul { src: VecRef::new(i as u32, 10) });
+            r.collects.push(Vpc::Tran { src: i as u32, dst: 600, len: 10 });
+        }
+        s.push(r);
+        let arithmetic = s.counts();
+        let flattened = s.unblock_order().counts();
+        prop_assert_eq!(arithmetic, flattened);
+        let natural = s.natural_order().counts();
+        prop_assert_eq!(arithmetic, natural);
+    }
+
+    /// Optimizations never make execution slower.
+    #[test]
+    fn optimizations_never_hurt(m in 4usize..24, seed in 0i64..20) {
+        let a = small_matrix(m, m, seed);
+        let run = |opt: OptLevel| {
+            let dev = StreamPim::new(StreamPimConfig::paper_default().with_opt(opt)).unwrap();
+            let mut task = PimTask::new();
+            let ha = task.add_matrix(&a).unwrap();
+            let hb = task.add_matrix(&a).unwrap();
+            let hc = task.add_output(m, m).unwrap();
+            task.add_operation(MatrixOp::MatMul { a: ha, b: hb, dst: hc }).unwrap();
+            task.price(&dev).unwrap().total_ns()
+        };
+        let base = run(OptLevel::Base);
+        let dist = run(OptLevel::Distribute);
+        let unblock = run(OptLevel::Unblock);
+        prop_assert!(dist <= base);
+        prop_assert!(unblock <= dist);
+    }
+}

@@ -1,0 +1,102 @@
+//! Serialization round-trips: configurations, commands, schedules and
+//! reports are all plain data a downstream user can persist and replay.
+
+use pim_device::matrix::Matrix;
+use pim_device::schedule::{Round, Schedule};
+use pim_device::task::{MatrixOp, PimTask};
+use pim_device::vpc::{VecRef, Vpc};
+use pim_device::{StreamPim, StreamPimConfig};
+
+#[test]
+fn config_round_trips_through_json() {
+    let cfg = StreamPimConfig::paper_default();
+    let json = serde_json::to_string_pretty(&cfg).expect("serializes");
+    let back: StreamPimConfig = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(cfg, back);
+}
+
+#[test]
+fn electrical_variant_survives_round_trip() {
+    let cfg = StreamPimConfig::electrical_bus().with_segment_domains(256);
+    let back: StreamPimConfig =
+        serde_json::from_str(&serde_json::to_string(&cfg).unwrap()).unwrap();
+    assert_eq!(cfg, back);
+    // And the deserialized config still builds a device.
+    StreamPim::new(back).expect("valid after round trip");
+}
+
+#[test]
+fn vpcs_round_trip() {
+    let vpcs = vec![
+        Vpc::Mul {
+            src1: VecRef::new(3, 100),
+            src2: VecRef::new(3, 100),
+        },
+        Vpc::Smul {
+            src: VecRef::new(7, 50),
+        },
+        Vpc::Add {
+            src1: VecRef::new(1, 8),
+            src2: VecRef::new(1, 8),
+        },
+        Vpc::Tran {
+            src: 0,
+            dst: 511,
+            len: 2000,
+        },
+    ];
+    let back: Vec<Vpc> = serde_json::from_str(&serde_json::to_string(&vpcs).unwrap()).unwrap();
+    assert_eq!(vpcs, back);
+}
+
+#[test]
+fn schedule_round_trips_with_repeat() {
+    let mut schedule = Schedule::new();
+    let mut round = Round::new().repeated(2300);
+    round.broadcasts.push(Vpc::Tran {
+        src: 600,
+        dst: 0,
+        len: 2600,
+    });
+    round.computes.push(Vpc::Mul {
+        src1: VecRef::new(0, 2600),
+        src2: VecRef::new(0, 2600),
+    });
+    round.collects.push(Vpc::Tran {
+        src: 0,
+        dst: 9,
+        len: 1,
+    });
+    schedule.push(round);
+
+    let back: Schedule = serde_json::from_str(&serde_json::to_string(&schedule).unwrap()).unwrap();
+    assert_eq!(schedule, back);
+    assert_eq!(back.counts().pim, 2300);
+}
+
+#[test]
+fn report_round_trips_and_preserves_totals() {
+    let device = StreamPim::new(StreamPimConfig::paper_default()).unwrap();
+    let mut task = PimTask::new();
+    let a = task
+        .add_matrix(&Matrix::from_fn(16, 16, |i, j| (i + j) as i64))
+        .unwrap();
+    let b = task.add_matrix(&Matrix::identity(16)).unwrap();
+    let c = task.add_output(16, 16).unwrap();
+    task.add_operation(MatrixOp::MatMul { a, b, dst: c })
+        .unwrap();
+    let report = task.price(&device).unwrap();
+
+    let json = serde_json::to_string(&report).unwrap();
+    let back: pim_device::ExecReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(report, back);
+    assert_eq!(report.total_ns(), back.total_ns());
+    assert_eq!(report.total_pj(), back.total_pj());
+}
+
+#[test]
+fn matrix_round_trips() {
+    let m = Matrix::from_fn(5, 7, |i, j| (i as i64 - j as i64) * 3);
+    let back: Matrix = serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+    assert_eq!(m, back);
+}

@@ -1,0 +1,14 @@
+fn main() {
+    for row in pim_workloads::trace::table_iv() {
+        println!(
+            "{:8} pim {:>12} (paper {:>10}) err {:5.3} | moves {:>12} (paper {:>10}) err {:5.3}",
+            row.kernel,
+            row.measured_pim,
+            row.paper_pim,
+            row.pim_error(),
+            row.measured_moves,
+            row.paper_moves,
+            row.move_error()
+        );
+    }
+}

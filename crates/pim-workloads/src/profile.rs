@@ -1,0 +1,61 @@
+//! Kernel characterization for the host-side (CPU/GPU/DRAM) baselines.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate compute/memory characterization of one kernel execution.
+///
+/// The baseline platform models derive execution time from these quantities
+/// plus their own machine parameters; keeping the characterization with the
+/// workload (not the platform) guarantees every platform prices the same
+/// work.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Workload name.
+    pub name: String,
+    /// Floating-point operations (polybench kernels are double-precision on
+    /// the host platforms).
+    pub flops: f64,
+    /// Bytes moved between memory and the compute units assuming the
+    /// host's cache blocking (compulsory traffic x reuse factor).
+    pub bytes: f64,
+    /// Resident working set in bytes (drives cache-fit decisions).
+    pub working_set: f64,
+    /// Whether the kernel is in the paper's "small workload" group (the
+    /// matrix-vector kernels of Figure 3: atax, bicg, gesummv, mvt).
+    pub small: bool,
+    /// Fraction of the host's tuned-kernel throughput this workload
+    /// sustains (1.0 for the polybench kernels; DNN inference with small
+    /// batches runs far below tuned-gemm efficiency).
+    pub cpu_efficiency: f64,
+}
+
+impl KernelProfile {
+    /// Arithmetic intensity in flops per byte.
+    pub fn intensity(&self) -> f64 {
+        if self.bytes == 0.0 {
+            0.0
+        } else {
+            self.flops / self.bytes
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intensity() {
+        let p = KernelProfile {
+            name: "x".into(),
+            flops: 100.0,
+            bytes: 50.0,
+            working_set: 10.0,
+            small: false,
+            cpu_efficiency: 1.0,
+        };
+        assert_eq!(p.intensity(), 2.0);
+        let z = KernelProfile { bytes: 0.0, ..p };
+        assert_eq!(z.intensity(), 0.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Fixed-point quantization for offloading real-valued models (paper §VI:
+//! wider data representations are built on the same integer datapath).
+//!
+//! The RM processor computes on `word_bits`-wide integers. Real-valued
+//! workloads (the DNN inferences of §V-E) are offloaded by quantizing
+//! operands to fixed point, multiplying on the device, and rescaling the
+//! results — the standard INT8 inference recipe. This module provides the
+//! symmetric-range quantizer, the product rescaling, and error bounds the
+//! tests verify.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A symmetric linear quantizer onto `bits`-bit signed integers.
+///
+/// ```
+/// use pim_workloads::quant::Quantizer;
+///
+/// let values = [0.5_f64, -1.25, 2.0];
+/// let q = Quantizer::fit(&values, 8);
+/// let ints: Vec<i64> = values.iter().map(|&v| q.quantize(v)).collect();
+/// for (&v, &i) in values.iter().zip(&ints) {
+///     assert!((q.dequantize(i) - v).abs() <= q.step());
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quantizer {
+    scale: f64,
+    bits: u32,
+}
+
+impl Quantizer {
+    /// Fits a quantizer to cover `values` with `bits`-bit signed integers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `2..=31` or `values` is empty.
+    pub fn fit(values: &[f64], bits: u32) -> Self {
+        assert!((2..=31).contains(&bits), "bits must be in 2..=31");
+        assert!(!values.is_empty(), "need values to fit");
+        let max_abs = values
+            .iter()
+            .fold(0.0f64, |m, &v| m.max(v.abs()))
+            .max(f64::MIN_POSITIVE);
+        let qmax = ((1i64 << (bits - 1)) - 1) as f64;
+        Quantizer {
+            scale: qmax / max_abs,
+            bits,
+        }
+    }
+
+    /// Fits a quantizer to a matrix interpreted as `f64` values scaled by
+    /// `unit` (convenience for integer test matrices).
+    pub fn fit_matrix(m: &Matrix, bits: u32) -> Self {
+        let values: Vec<f64> = m.as_slice().iter().map(|&v| v as f64).collect();
+        Quantizer::fit(&values, bits)
+    }
+
+    /// The quantization step (one integer level in real units).
+    pub fn step(&self) -> f64 {
+        1.0 / self.scale
+    }
+
+    /// Integer bit width.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Quantizes a real value (saturating to the representable range).
+    pub fn quantize(&self, v: f64) -> i64 {
+        let qmax = (1i64 << (self.bits - 1)) - 1;
+        ((v * self.scale).round() as i64).clamp(-qmax, qmax)
+    }
+
+    /// Recovers the real value of a quantized integer.
+    pub fn dequantize(&self, q: i64) -> f64 {
+        q as f64 / self.scale
+    }
+
+    /// Quantizes a whole real-valued matrix (given as a generator).
+    pub fn quantize_matrix(
+        &self,
+        rows: usize,
+        cols: usize,
+        f: impl Fn(usize, usize) -> f64,
+    ) -> Matrix {
+        Matrix::from_fn(rows, cols, |i, j| self.quantize(f(i, j)))
+    }
+
+    /// Dequantization scale for a *product* of two quantized operands: the
+    /// integer matmul result divides by both scales.
+    pub fn product_dequant(a: &Quantizer, b: &Quantizer, q: i64) -> f64 {
+        q as f64 / (a.scale * b.scale)
+    }
+
+    /// Worst-case absolute error of a length-`k` dot product of values
+    /// bounded by `max_a`/`max_b` under these quantizers: each operand
+    /// contributes half a step.
+    pub fn dot_error_bound(a: &Quantizer, b: &Quantizer, k: usize, max_a: f64, max_b: f64) -> f64 {
+        let ea = 0.5 * a.step();
+        let eb = 0.5 * b.step();
+        k as f64 * (ea * max_b + eb * max_a + ea * eb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_a(i: usize, j: usize) -> f64 {
+        ((i * 31 + j * 17) % 97) as f64 / 40.0 - 1.0
+    }
+
+    fn gen_b(i: usize, j: usize) -> f64 {
+        ((i * 13 + j * 7) % 89) as f64 / 30.0 - 1.2
+    }
+
+    #[test]
+    fn quantize_dequantize_within_one_step() {
+        let values: Vec<f64> = (0..100).map(|i| (i as f64 - 50.0) / 13.0).collect();
+        let q = Quantizer::fit(&values, 8);
+        for &v in &values {
+            assert!((q.dequantize(q.quantize(v)) - v).abs() <= q.step(), "{v}");
+        }
+    }
+
+    #[test]
+    fn saturation_at_range_edges() {
+        let q = Quantizer::fit(&[1.0], 8);
+        assert_eq!(q.quantize(2.0), 127, "saturates high");
+        assert_eq!(q.quantize(-2.0), -127, "saturates low");
+    }
+
+    #[test]
+    fn quantized_matmul_tracks_real_matmul() {
+        let (m, k, n) = (12, 20, 9);
+        let qa = Quantizer::fit(
+            &(0..m * k).map(|x| gen_a(x / k, x % k)).collect::<Vec<_>>(),
+            8,
+        );
+        let qb = Quantizer::fit(
+            &(0..k * n).map(|x| gen_b(x / n, x % n)).collect::<Vec<_>>(),
+            8,
+        );
+        let a_int = qa.quantize_matrix(m, k, gen_a);
+        let b_int = qb.quantize_matrix(k, n, gen_b);
+        let c_int = a_int.matmul(&b_int);
+
+        let bound = Quantizer::dot_error_bound(&qa, &qb, k, 1.5, 1.8);
+        for i in 0..m {
+            for j in 0..n {
+                let real: f64 = (0..k).map(|t| gen_a(i, t) * gen_b(t, j)).sum();
+                let approx = Quantizer::product_dequant(&qa, &qb, c_int[(i, j)]);
+                assert!(
+                    (real - approx).abs() <= bound,
+                    "({i},{j}): real {real} vs quantized {approx} (bound {bound})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_bits_shrink_error() {
+        let values: Vec<f64> = (0..64).map(|i| (i as f64) / 7.0 - 4.0).collect();
+        let q8 = Quantizer::fit(&values, 8);
+        let q12 = Quantizer::fit(&values, 12);
+        assert!(q12.step() < q8.step() / 8.0);
+        assert_eq!(q8.bits(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "need values")]
+    fn empty_fit_panics() {
+        let _ = Quantizer::fit(&[], 8);
+    }
+}

@@ -1,0 +1,83 @@
+//! Trace statistics helpers (Table IV regeneration).
+
+use crate::polybench::Kernel;
+use pim_device::vpc::VpcCounts;
+use pim_device::{StreamPim, StreamPimConfig};
+use serde::{Deserialize, Serialize};
+
+/// One row of the regenerated Table IV.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRow {
+    /// Kernel name.
+    pub kernel: String,
+    /// Measured VPC counts from our lowering.
+    pub measured_pim: u64,
+    /// Measured move-VPC count.
+    pub measured_moves: u64,
+    /// The paper's `#PIM-VPC`.
+    pub paper_pim: f64,
+    /// The paper's `#move-VPC`.
+    pub paper_moves: f64,
+}
+
+impl TraceRow {
+    /// Relative error of the `#PIM-VPC` count vs the paper.
+    pub fn pim_error(&self) -> f64 {
+        (self.measured_pim as f64 - self.paper_pim).abs() / self.paper_pim
+    }
+
+    /// Relative error of the `#move-VPC` count vs the paper.
+    pub fn move_error(&self) -> f64 {
+        (self.measured_moves as f64 - self.paper_moves).abs() / self.paper_moves
+    }
+}
+
+/// Regenerates Table IV: lowers every kernel at full size and reports the
+/// VPC counts next to the paper's numbers.
+pub fn table_iv() -> Vec<TraceRow> {
+    let device = StreamPim::new(StreamPimConfig::paper_default()).expect("paper default is valid");
+    Kernel::ALL
+        .iter()
+        .map(|&kernel| {
+            let built = kernel.paper_instance().build_task(None);
+            let counts: VpcCounts = built
+                .task
+                .lower(&device)
+                .expect("kernels have operations")
+                .counts();
+            let (paper_pim, paper_moves) = kernel.paper_vpc_counts();
+            TraceRow {
+                kernel: kernel.name().to_string(),
+                measured_pim: counts.pim,
+                measured_moves: counts.moves,
+                paper_pim,
+                paper_moves,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_has_nine_rows_within_tolerance() {
+        let rows = table_iv();
+        assert_eq!(rows.len(), 9);
+        for row in &rows {
+            assert!(
+                row.pim_error() < 0.10,
+                "{}: pim error {:.3}",
+                row.kernel,
+                row.pim_error()
+            );
+            assert!(
+                row.move_error() < 0.15,
+                "{}: move error {:.3}",
+                row.kernel,
+                row.move_error()
+            );
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! A set of parallel in-subarray RM buses (paper Figure 7: "a set of
+//! internal RM Buses").
+//!
+//! Each PIM subarray carries several domain-wall buses so operand streams,
+//! result streams and concurrent transfers do not serialize on a single
+//! wire. [`BusSet`] manages `k` [`SegmentedBus`] instances with round-robin
+//! issue and per-bus statistics — the functional counterpart of the
+//! engine's `operand_buses` parameter.
+
+use crate::segmented::{Delivery, SegmentedBus};
+use serde::{Deserialize, Serialize};
+
+/// `k` parallel segmented buses with round-robin injection.
+///
+/// ```
+/// use rm_bus::BusSet;
+///
+/// let mut set = BusSet::new(2, 8);
+/// assert!(set.inject(1, 7).is_some());
+/// assert!(set.inject(2, 7).is_some()); // lands on the second bus
+/// let delivered = set.drain();
+/// assert_eq!(delivered.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusSet {
+    buses: Vec<SegmentedBus>,
+    next: usize,
+}
+
+impl BusSet {
+    /// Creates `count` buses of `segments` segments each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero (see [`SegmentedBus::new`] for segments).
+    pub fn new(count: usize, segments: usize) -> Self {
+        assert!(count > 0, "a bus set needs at least one bus");
+        BusSet {
+            buses: (0..count).map(|_| SegmentedBus::new(segments)).collect(),
+            next: 0,
+        }
+    }
+
+    /// Number of buses.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.buses.len()
+    }
+
+    /// Injects `data` heading to tap `dst` on the first bus (round-robin
+    /// from the last used) that accepts it; returns the bus index used.
+    pub fn inject(&mut self, data: u64, dst: usize) -> Option<usize> {
+        let n = self.buses.len();
+        for offset in 0..n {
+            let idx = (self.next + offset) % n;
+            if self.buses[idx].try_inject(0, data, dst) {
+                self.next = (idx + 1) % n;
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// Advances every bus one cycle, collecting all deliveries (tagged with
+    /// the bus index).
+    pub fn cycle(&mut self) -> Vec<(usize, Delivery)> {
+        let mut out = Vec::new();
+        for (idx, bus) in self.buses.iter_mut().enumerate() {
+            for d in bus.cycle() {
+                out.push((idx, d));
+            }
+        }
+        out
+    }
+
+    /// Whether every bus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buses.iter().all(SegmentedBus::is_empty)
+    }
+
+    /// Runs until empty (guard-limited), collecting deliveries.
+    pub fn drain(&mut self) -> Vec<(usize, Delivery)> {
+        let mut out = Vec::new();
+        let guard = self.buses[0].len() * 4 + 16;
+        for _ in 0..guard {
+            if self.is_empty() {
+                break;
+            }
+            out.extend(self.cycle());
+        }
+        out
+    }
+
+    /// Total packets delivered across the set.
+    pub fn delivered(&self) -> u64 {
+        self.buses.iter().map(SegmentedBus::delivered).sum()
+    }
+
+    /// Per-bus delivered counts (for balance checks).
+    pub fn delivered_per_bus(&self) -> Vec<u64> {
+        self.buses.iter().map(SegmentedBus::delivered).collect()
+    }
+
+    /// Total segment shifts across the set (the energy driver).
+    pub fn segment_shifts(&self) -> u64 {
+        self.buses.iter().map(SegmentedBus::segment_shifts).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_balances_load() {
+        let mut set = BusSet::new(4, 16);
+        let mut sent = 0u64;
+        let mut got = 0usize;
+        while got < 64 {
+            while sent < 64 {
+                if set.inject(sent, 15).is_none() {
+                    break;
+                }
+                sent += 1;
+            }
+            got += set.cycle().len();
+        }
+        let per_bus = set.delivered_per_bus();
+        assert_eq!(per_bus.iter().sum::<u64>(), 64);
+        for &d in &per_bus {
+            assert_eq!(d, 16, "even split: {per_bus:?}");
+        }
+    }
+
+    #[test]
+    fn k_buses_deliver_k_times_faster() {
+        let throughput = |k: usize| {
+            let mut set = BusSet::new(k, 16);
+            let mut sent = 0u64;
+            let mut got = 0usize;
+            let mut cycles = 0u64;
+            while got < 60 {
+                while sent < 60 && set.inject(sent, 15).is_some() {
+                    sent += 1;
+                }
+                got += set.cycle().len();
+                cycles += 1;
+                assert!(cycles < 10_000);
+            }
+            cycles
+        };
+        let one = throughput(1);
+        let two = throughput(2);
+        let four = throughput(4);
+        assert!(two < one && four < two, "{one} > {two} > {four}");
+        // Steady-state throughput scales ~linearly with the bus count.
+        assert!((one as f64 / two as f64) > 1.6);
+    }
+
+    #[test]
+    fn payloads_survive_and_counts_add_up() {
+        let mut set = BusSet::new(3, 8);
+        for v in 0u64..3 {
+            assert!(set.inject(100 + v, 7).is_some());
+        }
+        let delivered = set.drain();
+        let mut values: Vec<u64> = delivered.iter().map(|(_, d)| d.packet.data).collect();
+        values.sort_unstable();
+        assert_eq!(values, vec![100, 101, 102]);
+        assert_eq!(set.delivered(), 3);
+        assert!(set.segment_shifts() >= 3 * 7);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn injection_fails_when_all_entries_blocked() {
+        let mut set = BusSet::new(2, 4);
+        assert!(set.inject(1, 3).is_some());
+        assert!(set.inject(2, 3).is_some());
+        // Entries occupied on both buses, no cycle in between.
+        assert!(set.inject(3, 3).is_none());
+        set.cycle();
+        set.cycle();
+        assert!(set.inject(3, 3).is_some());
+    }
+}

@@ -1,0 +1,116 @@
+//! Cost model of a conventional electrical in-subarray bus.
+//!
+//! Every word that crosses an electrical bus pays **electromagnetic
+//! conversion** twice: an RM read senses the magnetic data into an
+//! electrical signal at the source, and an RM write converts it back into
+//! magnetization at the destination (the RM processor's operand tracks, or a
+//! mat row on the return path). This is the `StPIM-e` ablation platform of
+//! the paper's evaluation — identical to StreamPIM except for this bus.
+
+use rm_core::{EnergyParams, TimingParams};
+use serde::{Deserialize, Serialize};
+
+/// Electrical bus cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ElectricalBusModel {
+    /// RM timing constants (read/write latencies are the conversion costs).
+    pub timing: TimingParams,
+    /// RM energy constants.
+    pub energy: EnergyParams,
+    /// Wire propagation latency per word, nanoseconds (small; electrical).
+    pub wire_ns: f64,
+    /// Words movable per memory-core cycle on the wires (bus width).
+    pub words_per_cycle: u64,
+}
+
+impl ElectricalBusModel {
+    /// Defaults matching the paper's setup: Table III conversion costs and a
+    /// one-word-per-cycle electrical bus with 1 ns wires.
+    pub fn paper_default() -> Self {
+        ElectricalBusModel {
+            timing: TimingParams::paper_default(),
+            energy: EnergyParams::paper_default(),
+            wire_ns: 1.0,
+            words_per_cycle: 1,
+        }
+    }
+
+    /// Latency of one word crossing the bus, nanoseconds: read-out
+    /// conversion + wire + write-in conversion.
+    pub fn word_latency_ns(&self) -> f64 {
+        self.timing.read_ns + self.wire_ns + self.timing.write_ns
+    }
+
+    /// Time to stream `n` words, nanoseconds.
+    ///
+    /// Reads, the wire and writes pipeline against each other, but each
+    /// conversion stage is serialized per word, so the stream is throughput-
+    /// bound by the slowest stage (the RM write) plus one fill.
+    pub fn stream_ns(&self, n_words: u64) -> f64 {
+        if n_words == 0 {
+            return 0.0;
+        }
+        let bottleneck =
+            self.timing.write_ns.max(self.timing.read_ns) / self.words_per_cycle as f64;
+        self.word_latency_ns() + bottleneck * (n_words - 1) as f64
+    }
+
+    /// Energy of streaming `n` words, picojoules: one read + one write
+    /// conversion per word (wire energy is negligible at this granularity).
+    pub fn stream_energy_pj(&self, n_words: u64) -> f64 {
+        (self.energy.read_pj + self.energy.write_pj) * n_words as f64
+    }
+
+    /// Split of [`Self::stream_energy_pj`] into (read, write) picojoules.
+    pub fn stream_energy_split_pj(&self, n_words: u64) -> (f64, f64) {
+        (
+            self.energy.read_pj * n_words as f64,
+            self.energy.write_pj * n_words as f64,
+        )
+    }
+}
+
+impl Default for ElectricalBusModel {
+    fn default() -> Self {
+        ElectricalBusModel::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segmented::SegmentedBusModel;
+
+    #[test]
+    fn word_latency_is_conversion_dominated() {
+        let m = ElectricalBusModel::paper_default();
+        assert!((m.word_latency_ns() - (3.91 + 1.0 + 10.27)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stream_scales_with_write_bottleneck() {
+        let m = ElectricalBusModel::paper_default();
+        let t1 = m.stream_ns(1);
+        let t101 = m.stream_ns(101);
+        assert!(((t101 - t1) / 100.0 - 10.27).abs() < 1e-9);
+        assert_eq!(m.stream_ns(0), 0.0);
+    }
+
+    #[test]
+    fn energy_is_conversion_per_word() {
+        let m = ElectricalBusModel::paper_default();
+        assert!((m.stream_energy_pj(10) - 10.0 * (3.80 + 11.79)).abs() < 1e-9);
+        let (r, w) = m.stream_energy_split_pj(10);
+        assert!((r - 38.0).abs() < 1e-9);
+        assert!((w - 117.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rm_bus_beats_electrical_bus_on_energy() {
+        // The core claim of §III-D: shift-based transfer avoids conversion.
+        let dw = SegmentedBusModel::paper_default();
+        let el = ElectricalBusModel::paper_default();
+        let n = 1000;
+        assert!(dw.stream_energy_pj(n) < el.stream_energy_pj(n));
+    }
+}

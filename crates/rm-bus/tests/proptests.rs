@@ -1,0 +1,90 @@
+//! Property-based tests for the segmented RM bus.
+
+use proptest::prelude::*;
+use rm_bus::{BusModel, SegmentedBus, SegmentedBusModel};
+
+proptest! {
+    /// Every injected packet is eventually delivered, exactly once, with the
+    /// payload intact and latency equal to the hop distance.
+    #[test]
+    fn packets_are_delivered_exactly_once(
+        n_segments in 4usize..32,
+        words in proptest::collection::vec(any::<u64>(), 1..10),
+    ) {
+        let mut bus = SegmentedBus::new(n_segments);
+        let dst = n_segments - 1;
+        let mut sent = 0usize;
+        let mut got = Vec::new();
+        let mut guard = 0;
+        while got.len() < words.len() {
+            if sent < words.len() && bus.try_inject(0, words[sent], dst) {
+                sent += 1;
+            }
+            got.extend(bus.cycle());
+            guard += 1;
+            prop_assert!(guard < 10_000, "bus must drain");
+        }
+        prop_assert_eq!(bus.delivered() as usize, words.len());
+        let payloads: Vec<u64> = got.iter().map(|d| d.packet.data).collect();
+        prop_assert_eq!(payloads, words.clone());
+        for d in &got {
+            prop_assert_eq!(d.latency_cycles as usize, dst);
+        }
+    }
+
+    /// The data-then-empty invariant holds after every cycle: no two
+    /// adjacent segments both carry data when injections respect the rule.
+    #[test]
+    fn empty_gap_invariant(
+        n_segments in 4usize..24,
+        steps in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let mut bus = SegmentedBus::new(n_segments);
+        let mut s = seed;
+        let mut occupancies = Vec::new();
+        for _ in 0..steps {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if s % 3 != 0 {
+                let _ = bus.try_inject(0, s, n_segments - 1);
+            }
+            bus.cycle();
+            occupancies.push(bus.occupancy());
+        }
+        // Invariant: at most ceil(n/2) data segments at any time.
+        for occ in occupancies {
+            prop_assert!(occ <= n_segments.div_ceil(2));
+        }
+    }
+
+    /// Pipelined streaming is never slower than word-at-a-time transfer,
+    /// for any segment size and stream length.
+    #[test]
+    fn pipelining_never_loses(seg in 64u64..2048, n in 1u64..10_000) {
+        let m = SegmentedBusModel::with_segment_domains(seg);
+        prop_assert!(m.stream_cycles(n) <= m.unpipelined_cycles(n));
+    }
+
+    /// Bus energy is linear in the word count and independent of
+    /// segmentation (Table V's flat energy row).
+    #[test]
+    fn energy_linear_and_segment_independent(n in 0u64..100_000, seg in 64u64..2048) {
+        let base = SegmentedBusModel::paper_default();
+        let other = SegmentedBusModel::with_segment_domains(seg);
+        prop_assert!((base.stream_energy_pj(n) - other.stream_energy_pj(n)).abs() < 1e-6);
+        let e1 = base.stream_energy_pj(n);
+        let e2 = base.stream_energy_pj(2 * n);
+        prop_assert!((e2 - 2.0 * e1).abs() < 1e-6);
+    }
+
+    /// The unified model prices both flavours monotonically in n.
+    #[test]
+    fn unified_model_monotone(n in 1u64..10_000) {
+        for model in [BusModel::domain_wall_default(), BusModel::electrical_default()] {
+            let a = model.stream_cost(n, 10.0);
+            let b = model.stream_cost(n + 1, 10.0);
+            prop_assert!(b.time_ns >= a.time_ns);
+            prop_assert!(b.energy_pj() >= a.energy_pj());
+        }
+    }
+}

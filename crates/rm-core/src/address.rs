@@ -1,0 +1,243 @@
+//! Physical-address components and the byte-address decode scheme.
+//!
+//! The device is organized bank → subarray → mat → row (Figure 2 of the
+//! paper). A flat byte address is decoded most-significant-first as
+//! `bank : subarray : mat : row : byte-in-row`, matching the row-interleaved
+//! layout the paper's `distribute` placement relies on.
+
+use crate::config::Geometry;
+use crate::error::RmError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", stringify!($name), self.0)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Index of a bank within the device.
+    BankId
+);
+id_newtype!(
+    /// Index of a subarray within its bank.
+    SubarrayId
+);
+id_newtype!(
+    /// Index of a mat within its subarray.
+    MatId
+);
+
+/// Row address within a mat.
+///
+/// A *row* is the set of domains at the same along-track offset across all
+/// save tracks of a mat; it is the unit moved by one aligned access (like a
+/// DRAM row, but reached by shifting).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct RowAddr(pub u64);
+
+impl RowAddr {
+    /// Returns the raw row index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RowAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Row{}", self.0)
+    }
+}
+
+/// Fully decoded physical location of a byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Addr {
+    /// Bank holding the byte.
+    pub bank: BankId,
+    /// Subarray within the bank.
+    pub subarray: SubarrayId,
+    /// Mat within the subarray.
+    pub mat: MatId,
+    /// Row within the mat.
+    pub row: RowAddr,
+    /// Byte offset within the row.
+    pub byte: u32,
+}
+
+impl Addr {
+    /// Decodes a flat byte address against a device geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmError::AddressOutOfRange`] if `addr` is beyond the
+    /// device capacity implied by `geom`.
+    pub fn decode(addr: u64, geom: &Geometry) -> Result<Addr> {
+        let capacity = geom.capacity_bytes();
+        if addr >= capacity {
+            return Err(RmError::AddressOutOfRange { addr, capacity });
+        }
+        let row_bytes = geom.row_bytes() as u64;
+        let rows = geom.rows_per_mat() as u64;
+        let mat_bytes = row_bytes * rows;
+        let sub_bytes = mat_bytes * geom.mats_per_subarray as u64;
+        let bank_bytes = sub_bytes * geom.subarrays_per_bank as u64;
+
+        let bank = addr / bank_bytes;
+        let rem = addr % bank_bytes;
+        let subarray = rem / sub_bytes;
+        let rem = rem % sub_bytes;
+        let mat = rem / mat_bytes;
+        let rem = rem % mat_bytes;
+        let row = rem / row_bytes;
+        let byte = rem % row_bytes;
+
+        Ok(Addr {
+            bank: BankId(bank as u32),
+            subarray: SubarrayId(subarray as u32),
+            mat: MatId(mat as u32),
+            row: RowAddr(row),
+            byte: byte as u32,
+        })
+    }
+
+    /// Re-encodes this location as a flat byte address.
+    pub fn encode(&self, geom: &Geometry) -> u64 {
+        let row_bytes = geom.row_bytes() as u64;
+        let rows = geom.rows_per_mat() as u64;
+        let mat_bytes = row_bytes * rows;
+        let sub_bytes = mat_bytes * geom.mats_per_subarray as u64;
+        let bank_bytes = sub_bytes * geom.subarrays_per_bank as u64;
+        self.bank.0 as u64 * bank_bytes
+            + self.subarray.0 as u64 * sub_bytes
+            + self.mat.0 as u64 * mat_bytes
+            + self.row.0 * row_bytes
+            + self.byte as u64
+    }
+
+    /// Identifies the subarray globally (across banks).
+    ///
+    /// Useful as a key for per-subarray scheduling resources.
+    pub fn global_subarray(&self, geom: &Geometry) -> usize {
+        self.bank.index() * geom.subarrays_per_bank as usize + self.subarray.index()
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}/{}/{}+{}",
+            self.bank, self.subarray, self.mat, self.row, self.byte
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Geometry;
+
+    fn geom() -> Geometry {
+        Geometry::paper_default()
+    }
+
+    #[test]
+    fn decode_zero() {
+        let a = Addr::decode(0, &geom()).unwrap();
+        assert_eq!(a, Addr::default());
+    }
+
+    #[test]
+    fn decode_out_of_range() {
+        let g = geom();
+        let err = Addr::decode(g.capacity_bytes(), &g).unwrap_err();
+        assert!(matches!(err, RmError::AddressOutOfRange { .. }));
+    }
+
+    #[test]
+    fn encode_decode_round_trip_samples() {
+        let g = geom();
+        let cap = g.capacity_bytes();
+        for addr in [0, 1, 63, 64, 4096, cap / 2, cap - 1, cap / 3, cap / 7 * 5] {
+            let decoded = Addr::decode(addr, &g).unwrap();
+            assert_eq!(decoded.encode(&g), addr, "round trip for {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn last_byte_decodes_to_last_location() {
+        let g = geom();
+        let a = Addr::decode(g.capacity_bytes() - 1, &g).unwrap();
+        assert_eq!(a.bank.0, g.banks - 1);
+        assert_eq!(a.subarray.0, g.subarrays_per_bank - 1);
+        assert_eq!(a.mat.0, g.mats_per_subarray - 1);
+        assert_eq!(a.row.0 as u32, g.rows_per_mat() - 1);
+        assert_eq!(a.byte as usize, g.row_bytes() as usize - 1);
+    }
+
+    #[test]
+    fn global_subarray_is_unique_per_bank_subarray() {
+        let g = geom();
+        let a = Addr {
+            bank: BankId(3),
+            subarray: SubarrayId(5),
+            ..Addr::default()
+        };
+        let b = Addr {
+            bank: BankId(3),
+            subarray: SubarrayId(6),
+            ..Addr::default()
+        };
+        let c = Addr {
+            bank: BankId(4),
+            subarray: SubarrayId(5),
+            ..Addr::default()
+        };
+        let set: std::collections::HashSet<_> =
+            [a, b, c].iter().map(|x| x.global_subarray(&g)).collect();
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn display_formats() {
+        let a = Addr {
+            bank: BankId(1),
+            subarray: SubarrayId(2),
+            mat: MatId(3),
+            row: RowAddr(4),
+            byte: 5,
+        };
+        assert_eq!(a.to_string(), "BankId1/SubarrayId2/MatId3/Row4+5");
+    }
+}

@@ -1,0 +1,196 @@
+//! A bank: independently operable group of subarrays (paper §III-B).
+
+use crate::config::Geometry;
+use crate::error::RmError;
+use crate::stats::OpCounters;
+use crate::subarray::Subarray;
+use crate::Result;
+
+/// A bank of subarrays sharing global peripheral circuitry.
+///
+/// Banks are the top-level unit of parallelism: requests interleaved across
+/// banks (and, with local row buffers, across subarrays) proceed
+/// concurrently. The functional model here provides byte-addressed access;
+/// scheduling/parallelism is modelled by the execution engine in
+/// `pim-device`.
+#[derive(Debug, Clone)]
+pub struct Bank {
+    subarrays: Vec<Subarray>,
+    subarray_bytes: usize,
+}
+
+impl Bank {
+    /// Creates a bank following `geom`, with `transfer_mats` of each
+    /// subarray's mats carrying transfer tracks.
+    pub fn new(geom: &Geometry, transfer_mats: usize) -> Self {
+        let subarrays: Vec<Subarray> = (0..geom.subarrays_per_bank)
+            .map(|_| {
+                Subarray::new(
+                    geom.mats_per_subarray as usize,
+                    transfer_mats,
+                    geom.save_tracks_per_mat as usize,
+                    geom.transfer_tracks_per_mat as usize,
+                    geom.domains_per_track as usize,
+                    geom.ports_per_track as usize,
+                )
+            })
+            .collect();
+        let subarray_bytes = subarrays[0].capacity_bytes();
+        Bank {
+            subarrays,
+            subarray_bytes,
+        }
+    }
+
+    /// Number of subarrays.
+    #[inline]
+    pub fn subarray_count(&self) -> usize {
+        self.subarrays.len()
+    }
+
+    /// Capacity in bytes.
+    #[inline]
+    pub fn capacity_bytes(&self) -> usize {
+        self.subarray_bytes * self.subarrays.len()
+    }
+
+    /// Immutable access to a subarray.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmError::RowIndex`] if `index` is out of range.
+    pub fn subarray(&self, index: usize) -> Result<&Subarray> {
+        self.subarrays.get(index).ok_or(RmError::RowIndex {
+            row: index as u64,
+            rows: self.subarrays.len() as u64,
+        })
+    }
+
+    /// Mutable access to a subarray.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmError::RowIndex`] if `index` is out of range.
+    pub fn subarray_mut(&mut self, index: usize) -> Result<&mut Subarray> {
+        let n = self.subarrays.len();
+        self.subarrays.get_mut(index).ok_or(RmError::RowIndex {
+            row: index as u64,
+            rows: n as u64,
+        })
+    }
+
+    /// Reads a byte span (bank-local addressing, subarray-major).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmError::AddressOutOfRange`] if the span exceeds capacity.
+    pub fn read_bytes(&mut self, offset: usize, buf: &mut [u8]) -> Result<()> {
+        self.check_span(offset, buf.len())?;
+        let mut pos = 0;
+        while pos < buf.len() {
+            let addr = offset + pos;
+            let sub = addr / self.subarray_bytes;
+            let within = addr % self.subarray_bytes;
+            let take = (self.subarray_bytes - within).min(buf.len() - pos);
+            self.subarrays[sub].read_bytes(within, &mut buf[pos..pos + take])?;
+            pos += take;
+        }
+        Ok(())
+    }
+
+    /// Writes a byte span (bank-local addressing, subarray-major).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmError::AddressOutOfRange`] if the span exceeds capacity.
+    pub fn write_bytes(&mut self, offset: usize, data: &[u8]) -> Result<()> {
+        self.check_span(offset, data.len())?;
+        let mut pos = 0;
+        while pos < data.len() {
+            let addr = offset + pos;
+            let sub = addr / self.subarray_bytes;
+            let within = addr % self.subarray_bytes;
+            let take = (self.subarray_bytes - within).min(data.len() - pos);
+            self.subarrays[sub].write_bytes(within, &data[pos..pos + take])?;
+            pos += take;
+        }
+        Ok(())
+    }
+
+    /// Aggregated counters over all subarrays.
+    pub fn counters(&self) -> OpCounters {
+        self.subarrays.iter().map(|s| s.counters()).sum()
+    }
+
+    /// Resets counters on every subarray.
+    pub fn reset_counters(&mut self) {
+        for s in &mut self.subarrays {
+            s.reset_counters();
+        }
+    }
+
+    fn check_span(&self, offset: usize, len: usize) -> Result<()> {
+        let cap = self.capacity_bytes();
+        if offset.checked_add(len).is_none_or(|end| end > cap) {
+            return Err(RmError::AddressOutOfRange {
+                addr: offset as u64,
+                capacity: cap as u64,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Geometry;
+
+    fn bank() -> Bank {
+        Bank::new(&Geometry::tiny(), 1)
+    }
+
+    #[test]
+    fn geometry() {
+        let g = Geometry::tiny();
+        let b = bank();
+        assert_eq!(b.subarray_count(), g.subarrays_per_bank as usize);
+        assert_eq!(
+            b.capacity_bytes() as u64,
+            g.subarray_bytes() * g.subarrays_per_bank as u64
+        );
+    }
+
+    #[test]
+    fn byte_round_trip_across_subarrays() {
+        let mut b = bank();
+        let sub_bytes = b.capacity_bytes() / b.subarray_count();
+        let data: Vec<u8> = (0..64u8).collect();
+        // Straddle the subarray boundary.
+        let offset = sub_bytes - 32;
+        b.write_bytes(offset, &data).unwrap();
+        let mut back = vec![0u8; 64];
+        b.read_bytes(offset, &mut back).unwrap();
+        assert_eq!(back, data);
+        // Both subarrays saw traffic.
+        assert!(b.subarray(0).unwrap().counters().writes > 0);
+        assert!(b.subarray(1).unwrap().counters().writes > 0);
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let mut b = bank();
+        let cap = b.capacity_bytes();
+        assert!(b.write_bytes(cap - 1, &[0, 0]).is_err());
+        assert!(b.subarray(99).is_err());
+    }
+
+    #[test]
+    fn counters_reset() {
+        let mut b = bank();
+        b.write_bytes(0, &[1, 2, 3]).unwrap();
+        assert!(b.counters().writes > 0);
+        b.reset_counters();
+        assert_eq!(b.counters().writes, 0);
+    }
+}

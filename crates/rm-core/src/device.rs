@@ -1,0 +1,275 @@
+//! The full racetrack-memory device: banks behind a flat byte address space.
+
+use crate::address::Addr;
+use crate::bank::Bank;
+use crate::config::DeviceConfig;
+use crate::energy::EnergyBreakdown;
+use crate::error::RmError;
+use crate::stats::OpCounters;
+use crate::Result;
+
+/// A functional racetrack-memory device.
+///
+/// Instantiates every domain of every track, so it is intended for reduced
+/// geometries ([`crate::Geometry::tiny`] or similar) in tests, examples and
+/// bit-level validation; the full Table III device (8 GiB of domains) is
+/// driven through the analytic execution engine in `pim-device`, which never
+/// materializes domains.
+///
+/// ```
+/// use rm_core::{DeviceConfig, RmDevice};
+///
+/// let mut dev = RmDevice::new(&DeviceConfig::tiny()).unwrap();
+/// dev.write_bytes(0x40, &[1, 2, 3]).unwrap();
+/// let mut buf = [0u8; 3];
+/// dev.read_bytes(0x40, &mut buf).unwrap();
+/// assert_eq!(buf, [1, 2, 3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RmDevice {
+    banks: Vec<Bank>,
+    config: DeviceConfig,
+}
+
+/// Mats per subarray that carry transfer tracks (paper §V-G: 2 of 16).
+pub const DEFAULT_TRANSFER_MATS: usize = 2;
+
+impl RmDevice {
+    /// Builds a device from `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmError::InvalidConfig`] if the configuration is
+    /// inconsistent.
+    pub fn new(config: &DeviceConfig) -> Result<Self> {
+        config.validate()?;
+        let transfer_mats = DEFAULT_TRANSFER_MATS.min(config.geometry.mats_per_subarray as usize);
+        let banks = (0..config.geometry.banks)
+            .map(|_| Bank::new(&config.geometry, transfer_mats))
+            .collect();
+        Ok(RmDevice {
+            banks,
+            config: config.clone(),
+        })
+    }
+
+    /// The device configuration.
+    #[inline]
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Total capacity in bytes.
+    #[inline]
+    pub fn capacity_bytes(&self) -> u64 {
+        self.config.geometry.capacity_bytes()
+    }
+
+    /// Number of banks.
+    #[inline]
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Immutable access to a bank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmError::RowIndex`] if `index` is out of range.
+    pub fn bank(&self, index: usize) -> Result<&Bank> {
+        self.banks.get(index).ok_or(RmError::RowIndex {
+            row: index as u64,
+            rows: self.banks.len() as u64,
+        })
+    }
+
+    /// Mutable access to a bank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmError::RowIndex`] if `index` is out of range.
+    pub fn bank_mut(&mut self, index: usize) -> Result<&mut Bank> {
+        let n = self.banks.len();
+        self.banks.get_mut(index).ok_or(RmError::RowIndex {
+            row: index as u64,
+            rows: n as u64,
+        })
+    }
+
+    /// Decodes a flat address against this device's geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmError::AddressOutOfRange`] for addresses beyond capacity.
+    pub fn decode(&self, addr: u64) -> Result<Addr> {
+        Addr::decode(addr, &self.config.geometry)
+    }
+
+    /// Reads a byte span from the flat address space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmError::AddressOutOfRange`] if the span exceeds capacity.
+    pub fn read_bytes(&mut self, addr: u64, buf: &mut [u8]) -> Result<()> {
+        self.check_span(addr, buf.len())?;
+        let bank_bytes = self.bank_bytes();
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let a = addr + pos as u64;
+            let bank = (a / bank_bytes) as usize;
+            let within = (a % bank_bytes) as usize;
+            let take = ((bank_bytes as usize) - within).min(buf.len() - pos);
+            self.banks[bank].read_bytes(within, &mut buf[pos..pos + take])?;
+            pos += take;
+        }
+        Ok(())
+    }
+
+    /// Writes a byte span into the flat address space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmError::AddressOutOfRange`] if the span exceeds capacity.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<()> {
+        self.check_span(addr, data.len())?;
+        let bank_bytes = self.bank_bytes();
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let a = addr + pos as u64;
+            let bank = (a / bank_bytes) as usize;
+            let within = (a % bank_bytes) as usize;
+            let take = ((bank_bytes as usize) - within).min(data.len() - pos);
+            self.banks[bank].write_bytes(within, &data[pos..pos + take])?;
+            pos += take;
+        }
+        Ok(())
+    }
+
+    /// Aggregated counters over the whole device.
+    pub fn counters(&self) -> OpCounters {
+        self.banks.iter().map(|b| b.counters()).sum()
+    }
+
+    /// Resets all counters.
+    pub fn reset_counters(&mut self) {
+        for b in &mut self.banks {
+            b.reset_counters();
+        }
+    }
+
+    /// Derives (time, energy) estimates from the accumulated counters using
+    /// this device's timing/energy parameters. Time assumes fully serialized
+    /// operation (an upper bound; the engine models parallelism).
+    pub fn serial_cost_estimate(&self) -> (f64, EnergyBreakdown) {
+        let c = self.counters();
+        let t = &self.config.timing;
+        let e = &self.config.energy;
+        let time_ns = c.reads as f64 * t.read_ns
+            + c.writes as f64 * t.write_ns
+            + c.shift_distance as f64 * t.shift_ns
+            + c.transverse_reads as f64 * t.transverse_read_ns;
+        let energy = EnergyBreakdown {
+            read_pj: c.reads as f64 * e.read_pj + c.transverse_reads as f64 * e.transverse_read_pj,
+            write_pj: c.writes as f64 * e.write_pj,
+            shift_pj: c.shift_distance as f64 * e.shift_pj,
+            compute_pj: c.pim_adds as f64 * e.pim_add_pj + c.pim_muls as f64 * e.pim_mul_pj,
+            other_pj: 0.0,
+        };
+        (time_ns, energy)
+    }
+
+    fn bank_bytes(&self) -> u64 {
+        self.capacity_bytes() / self.banks.len() as u64
+    }
+
+    fn check_span(&self, addr: u64, len: usize) -> Result<()> {
+        let cap = self.capacity_bytes();
+        if addr.checked_add(len as u64).is_none_or(|end| end > cap) {
+            return Err(RmError::AddressOutOfRange {
+                addr,
+                capacity: cap,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+
+    fn device() -> RmDevice {
+        RmDevice::new(&DeviceConfig::tiny()).unwrap()
+    }
+
+    #[test]
+    fn capacity_matches_geometry() {
+        let d = device();
+        assert_eq!(d.capacity_bytes(), d.config().geometry.capacity_bytes());
+        assert_eq!(d.bank_count(), 2);
+    }
+
+    #[test]
+    fn round_trip_within_bank() {
+        let mut d = device();
+        d.write_bytes(100, &[7, 8, 9]).unwrap();
+        let mut buf = [0u8; 3];
+        d.read_bytes(100, &mut buf).unwrap();
+        assert_eq!(buf, [7, 8, 9]);
+    }
+
+    #[test]
+    fn round_trip_across_bank_boundary() {
+        let mut d = device();
+        let boundary = d.capacity_bytes() / 2;
+        let data: Vec<u8> = (0..32u8).collect();
+        d.write_bytes(boundary - 16, &data).unwrap();
+        let mut buf = vec![0u8; 32];
+        d.read_bytes(boundary - 16, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        assert!(d.bank(0).unwrap().counters().writes > 0);
+        assert!(d.bank(1).unwrap().counters().writes > 0);
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let mut d = device();
+        let cap = d.capacity_bytes();
+        assert!(d.write_bytes(cap, &[1]).is_err());
+        assert!(d.write_bytes(cap - 1, &[1, 2]).is_err());
+        let mut buf = [0u8; 1];
+        assert!(d.read_bytes(u64::MAX, &mut buf).is_err());
+    }
+
+    #[test]
+    fn decode_agrees_with_geometry() {
+        let d = device();
+        let a = d.decode(0).unwrap();
+        assert_eq!(a.bank.0, 0);
+        assert!(d.decode(d.capacity_bytes()).is_err());
+    }
+
+    #[test]
+    fn serial_cost_estimate_counts_writes() {
+        let mut d = device();
+        d.write_bytes(0, &[1u8; 8]).unwrap();
+        let (time, energy) = d.serial_cost_estimate();
+        assert!(time > 0.0);
+        assert!(energy.write_pj > 0.0);
+        assert_eq!(energy.compute_pj, 0.0);
+        d.reset_counters();
+        let (time, _) = d.serial_cost_estimate();
+        assert_eq!(time, 0.0);
+    }
+
+    #[test]
+    fn first_mats_have_transfer_tracks() {
+        let d = device();
+        let bank = d.bank(0).unwrap();
+        let sub = bank.subarray(0).unwrap();
+        assert!(sub.mat(0).unwrap().has_transfer_tracks());
+        // Tiny geometry has 2 mats and DEFAULT_TRANSFER_MATS = 2.
+        assert!(sub.mat(1).unwrap().has_transfer_tracks());
+    }
+}

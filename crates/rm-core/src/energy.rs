@@ -1,0 +1,199 @@
+//! Operation energies (Table III) and the energy-accounting breakdown.
+
+use serde::{Deserialize, Serialize};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+/// Energy constants for racetrack-memory operations, in picojoules.
+///
+/// From Table III: read 3.80 pJ, write 11.79 pJ, shift 3.26 pJ per row-level
+/// operation, and the RM processor's domain-wall arithmetic costs 0.03 pJ per
+/// 8-bit ADD and 0.18 pJ per 8-bit MUL at the 32 nm node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// Energy of reading one aligned row.
+    pub read_pj: f64,
+    /// Energy of writing one aligned row.
+    pub write_pj: f64,
+    /// Energy of shifting a track by one domain position.
+    pub shift_pj: f64,
+    /// Energy of one transverse read over a span.
+    pub transverse_read_pj: f64,
+    /// Energy of one word-level domain-wall addition in the RM processor.
+    pub pim_add_pj: f64,
+    /// Energy of one word-level domain-wall multiplication in the RM processor.
+    pub pim_mul_pj: f64,
+}
+
+impl EnergyParams {
+    /// Table III constants (32 nm fabrication process).
+    pub fn paper_default() -> Self {
+        EnergyParams {
+            read_pj: 3.80,
+            write_pj: 11.79,
+            shift_pj: 3.26,
+            transverse_read_pj: 3.80,
+            pim_add_pj: 0.03,
+            pim_mul_pj: 0.18,
+        }
+    }
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams::paper_default()
+    }
+}
+
+/// Energy consumed by a simulated execution, split by cause.
+///
+/// The categories mirror the paper's Figures 18 & 20: `read`/`write` are
+/// electromagnetic conversions, `shift` is domain motion (both on tracks and
+/// on the RM bus), `compute` is arithmetic (domain-wall gates or CMOS ALU
+/// depending on platform), and `other` covers host-side and peripheral costs
+/// (DRAM refresh, instruction processing, ...). All values in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Row reads / electromagnetic sensing.
+    pub read_pj: f64,
+    /// Row writes / electromagnetic conversion on store.
+    pub write_pj: f64,
+    /// Shift operations (track alignment and RM-bus transfer).
+    pub shift_pj: f64,
+    /// Arithmetic computation.
+    pub compute_pj: f64,
+    /// Everything else (host, refresh, peripheral logic).
+    pub other_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// An empty breakdown (zero energy).
+    pub fn new() -> Self {
+        EnergyBreakdown::default()
+    }
+
+    /// Total energy across all categories, picojoules.
+    #[inline]
+    pub fn total_pj(&self) -> f64 {
+        self.read_pj + self.write_pj + self.shift_pj + self.compute_pj + self.other_pj
+    }
+
+    /// Fraction of the total spent moving data (read + write + shift).
+    ///
+    /// Returns 0 when the total is zero.
+    pub fn transfer_fraction(&self) -> f64 {
+        let total = self.total_pj();
+        if total == 0.0 {
+            0.0
+        } else {
+            (self.read_pj + self.write_pj + self.shift_pj) / total
+        }
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+
+    fn add(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            read_pj: self.read_pj + rhs.read_pj,
+            write_pj: self.write_pj + rhs.write_pj,
+            shift_pj: self.shift_pj + rhs.shift_pj,
+            compute_pj: self.compute_pj + rhs.compute_pj,
+            other_pj: self.other_pj + rhs.other_pj,
+        }
+    }
+}
+
+impl AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: EnergyBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<f64> for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+
+    /// Scales every category; handy for "n identical operations".
+    fn mul(self, k: f64) -> EnergyBreakdown {
+        EnergyBreakdown {
+            read_pj: self.read_pj * k,
+            write_pj: self.write_pj * k,
+            shift_pj: self.shift_pj * k,
+            compute_pj: self.compute_pj * k,
+            other_pj: self.other_pj * k,
+        }
+    }
+}
+
+impl Sum for EnergyBreakdown {
+    fn sum<I: Iterator<Item = EnergyBreakdown>>(iter: I) -> EnergyBreakdown {
+        iter.fold(EnergyBreakdown::default(), |acc, x| acc + x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let e = EnergyParams::paper_default();
+        assert_eq!(e.read_pj, 3.80);
+        assert_eq!(e.write_pj, 11.79);
+        assert_eq!(e.shift_pj, 3.26);
+        assert_eq!(e.pim_add_pj, 0.03);
+        assert_eq!(e.pim_mul_pj, 0.18);
+    }
+
+    #[test]
+    fn pim_ops_are_orders_cheaper_than_writes() {
+        let e = EnergyParams::paper_default();
+        assert!(e.pim_mul_pj * 10.0 < e.write_pj);
+    }
+
+    #[test]
+    fn breakdown_total_and_fraction() {
+        let b = EnergyBreakdown {
+            read_pj: 1.0,
+            write_pj: 2.0,
+            shift_pj: 3.0,
+            compute_pj: 4.0,
+            other_pj: 0.0,
+        };
+        assert_eq!(b.total_pj(), 10.0);
+        assert!((b.transfer_fraction() - 0.6).abs() < 1e-12);
+        assert_eq!(EnergyBreakdown::default().transfer_fraction(), 0.0);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let b = EnergyBreakdown {
+            read_pj: 1.0,
+            ..Default::default()
+        };
+        let c = b + b;
+        assert_eq!(c.read_pj, 2.0);
+        let d = c * 2.5;
+        assert_eq!(d.read_pj, 5.0);
+        let mut e = EnergyBreakdown::default();
+        e += d;
+        assert_eq!(e.read_pj, 5.0);
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let parts = vec![
+            EnergyBreakdown {
+                compute_pj: 1.5,
+                ..Default::default()
+            },
+            EnergyBreakdown {
+                compute_pj: 2.5,
+                ..Default::default()
+            },
+        ];
+        let total: EnergyBreakdown = parts.into_iter().sum();
+        assert_eq!(total.compute_pj, 4.0);
+    }
+}

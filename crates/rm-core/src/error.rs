@@ -1,0 +1,169 @@
+//! Error type for racetrack-memory operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the functional racetrack-memory model.
+///
+/// Every fallible operation in this crate returns [`crate::Result`], whose
+/// error arm is this enum. Variants carry enough context to identify the
+/// offending component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RmError {
+    /// A shift would push data past the reserved overhead domains.
+    ShiftOutOfRange {
+        /// Shift distance that was requested.
+        requested: usize,
+        /// Maximum distance available in that direction.
+        available: usize,
+    },
+    /// An access-port index does not exist on the nanowire.
+    PortIndex {
+        /// The requested port index.
+        index: usize,
+        /// Number of ports on the wire.
+        count: usize,
+    },
+    /// A domain index is outside the wire's data region.
+    DomainIndex {
+        /// The requested domain index.
+        index: usize,
+        /// Number of data domains on the wire.
+        len: usize,
+    },
+    /// A track index is outside the mat.
+    TrackIndex {
+        /// The requested track index.
+        index: usize,
+        /// Number of tracks of that kind in the mat.
+        count: usize,
+    },
+    /// A row address is outside the addressed component.
+    RowIndex {
+        /// The requested row.
+        row: u64,
+        /// Number of rows available.
+        rows: u64,
+    },
+    /// A physical address does not decode to a valid location.
+    AddressOutOfRange {
+        /// The byte address.
+        addr: u64,
+        /// Device capacity in bytes.
+        capacity: u64,
+    },
+    /// A span of domains for a transverse read is invalid (empty or reversed).
+    InvalidSpan {
+        /// Span start (inclusive).
+        start: usize,
+        /// Span end (exclusive).
+        end: usize,
+    },
+    /// A configuration value is inconsistent (e.g. zero-size geometry).
+    InvalidConfig(String),
+    /// A buffer passed to a bulk read/write has the wrong length.
+    LengthMismatch {
+        /// Length the operation expected.
+        expected: usize,
+        /// Length that was provided.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for RmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RmError::ShiftOutOfRange {
+                requested,
+                available,
+            } => write!(
+                f,
+                "shift of {requested} domains exceeds the {available} reserved overhead domains"
+            ),
+            RmError::PortIndex { index, count } => {
+                write!(
+                    f,
+                    "access port {index} out of range (wire has {count} ports)"
+                )
+            }
+            RmError::DomainIndex { index, len } => {
+                write!(
+                    f,
+                    "domain {index} out of range (wire stores {len} data domains)"
+                )
+            }
+            RmError::TrackIndex { index, count } => {
+                write!(f, "track {index} out of range (mat has {count} tracks)")
+            }
+            RmError::RowIndex { row, rows } => {
+                write!(f, "row {row} out of range (component has {rows} rows)")
+            }
+            RmError::AddressOutOfRange { addr, capacity } => {
+                write!(
+                    f,
+                    "address {addr:#x} outside device capacity of {capacity} bytes"
+                )
+            }
+            RmError::InvalidSpan { start, end } => {
+                write!(f, "invalid transverse-read span {start}..{end}")
+            }
+            RmError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            RmError::LengthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "buffer length {actual} does not match expected {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for RmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errors: Vec<RmError> = vec![
+            RmError::ShiftOutOfRange {
+                requested: 5,
+                available: 2,
+            },
+            RmError::PortIndex { index: 3, count: 1 },
+            RmError::DomainIndex { index: 99, len: 64 },
+            RmError::TrackIndex {
+                index: 600,
+                count: 512,
+            },
+            RmError::RowIndex { row: 10, rows: 4 },
+            RmError::AddressOutOfRange {
+                addr: 0xdead,
+                capacity: 1024,
+            },
+            RmError::InvalidSpan { start: 4, end: 2 },
+            RmError::InvalidConfig("zero banks".into()),
+            RmError::LengthMismatch {
+                expected: 8,
+                actual: 4,
+            },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(
+                msg.chars().next().unwrap().is_lowercase(),
+                "message {msg:?}"
+            );
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RmError>();
+    }
+}

@@ -1,0 +1,243 @@
+//! Shift-fault injection (over-shift / under-shift).
+//!
+//! Shifting a long nanowire is analog: the current pulse may move the
+//! domain train one position too far (*over-shift*) or not far enough
+//! (*under-shift*), and the error probability grows with shift distance
+//! (paper §III-D challenge 3, and the DOWNSHIFT / PIETT literature it
+//! cites). The segmented RM bus bounds every shift to one segment precisely
+//! to keep this probability small. This module provides the stochastic model
+//! used by the reliability example and the bus ablation.
+
+use serde::{Deserialize, Serialize};
+
+/// Minimal deterministic PRNG (SplitMix64) so the fault model is `Clone`,
+/// seed-reproducible and dependency-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in [0, 1).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Outcome of one shift operation under the fault model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultOutcome {
+    /// The shift moved exactly the requested distance.
+    Correct,
+    /// The shift moved one position further than requested.
+    OverShift,
+    /// The shift moved one position less than requested.
+    UnderShift,
+}
+
+impl FaultOutcome {
+    /// Distance actually realized for a requested `distance`.
+    #[inline]
+    pub fn realized_distance(self, distance: usize) -> usize {
+        match self {
+            FaultOutcome::Correct => distance,
+            FaultOutcome::OverShift => distance + 1,
+            FaultOutcome::UnderShift => distance.saturating_sub(1),
+        }
+    }
+
+    /// Whether this outcome corrupted the alignment.
+    #[inline]
+    pub fn is_fault(self) -> bool {
+        !matches!(self, FaultOutcome::Correct)
+    }
+}
+
+/// Stochastic model of shift faults.
+///
+/// Each single-position shift step independently misbehaves with probability
+/// `p_over + p_under`; for a `d`-position shift the per-operation fault
+/// probability is therefore `1 - (1 - p)^d`, capturing the paper's
+/// observation that long shifts accumulate fault probability. The model is
+/// deterministic for a given seed.
+///
+/// ```
+/// use rm_core::ShiftFaultModel;
+///
+/// let mut fm = ShiftFaultModel::new(0.01, 0.01, 42);
+/// let outcome = fm.sample(4);
+/// let _ = outcome.realized_distance(4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShiftFaultModel {
+    p_over: f64,
+    p_under: f64,
+    rng: SplitMix64,
+    injected: u64,
+    sampled: u64,
+}
+
+impl ShiftFaultModel {
+    /// Creates a model with per-step over/under-shift probabilities and a
+    /// deterministic RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]` or their sum exceeds 1.
+    pub fn new(p_over: f64, p_under: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p_over), "p_over must be in [0,1]");
+        assert!((0.0..=1.0).contains(&p_under), "p_under must be in [0,1]");
+        assert!(
+            p_over + p_under <= 1.0,
+            "probabilities must sum to at most 1"
+        );
+        ShiftFaultModel {
+            p_over,
+            p_under,
+            rng: SplitMix64::new(seed),
+            injected: 0,
+            sampled: 0,
+        }
+    }
+
+    /// A model that never faults (useful as a default).
+    pub fn reliable() -> Self {
+        ShiftFaultModel::new(0.0, 0.0, 0)
+    }
+
+    /// Per-operation fault probability for a shift of `distance` steps.
+    pub fn fault_probability(&self, distance: usize) -> f64 {
+        let p_step = self.p_over + self.p_under;
+        1.0 - (1.0 - p_step).powi(distance as i32)
+    }
+
+    /// Samples the outcome of one shift of `distance` steps.
+    pub fn sample(&mut self, distance: usize) -> FaultOutcome {
+        self.sampled += 1;
+        if distance == 0 {
+            return FaultOutcome::Correct;
+        }
+        let p_fault = self.fault_probability(distance);
+        let u: f64 = self.rng.next_f64();
+        if u >= p_fault {
+            return FaultOutcome::Correct;
+        }
+        self.injected += 1;
+        // Conditional split between over and under.
+        let p_step = self.p_over + self.p_under;
+        let over_share = if p_step == 0.0 {
+            0.5
+        } else {
+            self.p_over / p_step
+        };
+        if self.rng.next_f64() < over_share {
+            FaultOutcome::OverShift
+        } else {
+            FaultOutcome::UnderShift
+        }
+    }
+
+    /// Number of faults injected so far.
+    #[inline]
+    pub fn faults_injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Number of shift operations sampled so far.
+    #[inline]
+    pub fn shifts_sampled(&self) -> u64 {
+        self.sampled
+    }
+}
+
+impl Default for ShiftFaultModel {
+    fn default() -> Self {
+        ShiftFaultModel::reliable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_model_never_faults() {
+        let mut fm = ShiftFaultModel::reliable();
+        for d in 0..100 {
+            assert_eq!(fm.sample(d), FaultOutcome::Correct);
+        }
+        assert_eq!(fm.faults_injected(), 0);
+        assert_eq!(fm.shifts_sampled(), 100);
+    }
+
+    #[test]
+    fn certain_model_always_faults() {
+        let mut fm = ShiftFaultModel::new(1.0, 0.0, 1);
+        for _ in 0..10 {
+            assert_eq!(fm.sample(1), FaultOutcome::OverShift);
+        }
+        let mut fm = ShiftFaultModel::new(0.0, 1.0, 1);
+        assert_eq!(fm.sample(3), FaultOutcome::UnderShift);
+    }
+
+    #[test]
+    fn fault_probability_grows_with_distance() {
+        let fm = ShiftFaultModel::new(0.005, 0.005, 0);
+        let p1 = fm.fault_probability(1);
+        let p16 = fm.fault_probability(16);
+        let p256 = fm.fault_probability(256);
+        assert!(p1 < p16 && p16 < p256);
+        assert!((p1 - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn realized_distance() {
+        assert_eq!(FaultOutcome::Correct.realized_distance(4), 4);
+        assert_eq!(FaultOutcome::OverShift.realized_distance(4), 5);
+        assert_eq!(FaultOutcome::UnderShift.realized_distance(4), 3);
+        assert_eq!(FaultOutcome::UnderShift.realized_distance(0), 0);
+        assert!(FaultOutcome::OverShift.is_fault());
+        assert!(!FaultOutcome::Correct.is_fault());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = ShiftFaultModel::new(0.1, 0.1, 7);
+        let mut b = ShiftFaultModel::new(0.1, 0.1, 7);
+        let sa: Vec<_> = (0..50).map(|_| a.sample(8)).collect();
+        let sb: Vec<_> = (0..50).map(|_| b.sample(8)).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn empirical_rate_tracks_model() {
+        let mut fm = ShiftFaultModel::new(0.05, 0.05, 123);
+        let trials = 20_000;
+        let mut faults = 0;
+        for _ in 0..trials {
+            if fm.sample(1).is_fault() {
+                faults += 1;
+            }
+        }
+        let rate = faults as f64 / trials as f64;
+        assert!((rate - 0.1).abs() < 0.02, "empirical rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to at most 1")]
+    fn rejects_overfull_probabilities() {
+        let _ = ShiftFaultModel::new(0.7, 0.7, 0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Guarded shifts: detect-and-correct shift-fault tolerance (paper §VI).
+//!
+//! The paper notes StreamPIM "can adopt architectural supports ... to
+//! compensate for error tolerance": because the segmented bus bounds every
+//! shift to one segment, a misaligned hop is always a ±1-position error that
+//! per-segment position markers can detect, and a single corrective
+//! one-step shift repairs — the DOWNSHIFT/PIETT style of protection the
+//! paper cites. This module wraps a nanowire's shifts with that
+//! detect-and-correct loop and counts the repairs.
+
+use crate::fault::{FaultOutcome, ShiftFaultModel};
+use crate::nanowire::{Nanowire, ShiftDir};
+use crate::Result;
+
+/// A shift driver with marker-based misalignment detection and correction.
+///
+/// ```
+/// use rm_core::{GuardedShifter, Nanowire, ShiftDir, ShiftFaultModel};
+///
+/// let mut wire = Nanowire::new(64, &[0, 32]);
+/// let mut guard = GuardedShifter::new(ShiftFaultModel::new(0.05, 0.05, 42));
+/// for _ in 0..10 {
+///     guard.shift(&mut wire, ShiftDir::Right, 1).unwrap();
+/// }
+/// // Despite injected faults, the realized offset is exact.
+/// assert_eq!(wire.offset(), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GuardedShifter {
+    faults: ShiftFaultModel,
+    shifts: u64,
+    detected: u64,
+    corrected: u64,
+}
+
+impl GuardedShifter {
+    /// Wraps `faults` with detection and correction.
+    pub fn new(faults: ShiftFaultModel) -> Self {
+        GuardedShifter {
+            faults,
+            shifts: 0,
+            detected: 0,
+            corrected: 0,
+        }
+    }
+
+    /// A guard over a fault-free channel (for differential tests).
+    pub fn reliable() -> Self {
+        GuardedShifter::new(ShiftFaultModel::reliable())
+    }
+
+    /// Guarded shift: performs the (possibly faulty) shift, checks the
+    /// realized offset against the expectation via the position markers,
+    /// and issues a corrective one-step shift when misaligned.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::RmError::ShiftOutOfRange`] if even the corrected
+    /// motion cannot fit the overhead region; the wire is left consistent.
+    pub fn shift(&mut self, wire: &mut Nanowire, dir: ShiftDir, distance: usize) -> Result<()> {
+        self.shifts += 1;
+        let expected = wire.offset() + dir.sign() * distance as isize;
+        let outcome = wire.shift_with_faults(dir, distance, &mut self.faults)?;
+        if outcome.is_fault() {
+            self.detected += 1;
+            // The marker check reveals the sign of the error; one corrective
+            // single-step shift restores alignment.
+            let correction = match outcome {
+                FaultOutcome::OverShift => dir.reversed(),
+                FaultOutcome::UnderShift => dir,
+                FaultOutcome::Correct => unreachable!("is_fault() was true"),
+            };
+            wire.shift(correction, 1)?;
+            self.corrected += 1;
+        }
+        debug_assert_eq!(wire.offset(), expected, "guarded shift restores alignment");
+        Ok(())
+    }
+
+    /// Guarded shifts issued so far.
+    #[inline]
+    pub fn shifts(&self) -> u64 {
+        self.shifts
+    }
+
+    /// Faults detected by the marker check.
+    #[inline]
+    pub fn detected(&self) -> u64 {
+        self.detected
+    }
+
+    /// Faults repaired (equals [`Self::detected`] unless a correction
+    /// itself failed at a range boundary).
+    #[inline]
+    pub fn corrected(&self) -> u64 {
+        self.corrected
+    }
+
+    /// Observed fault rate over the guarded shifts.
+    pub fn observed_fault_rate(&self) -> f64 {
+        if self.shifts == 0 {
+            0.0
+        } else {
+            self.detected as f64 / self.shifts as f64
+        }
+    }
+
+    /// Extra shift operations spent on corrections, as a fraction of useful
+    /// shifts (the §VI overhead of the redundancy design).
+    pub fn correction_overhead(&self) -> f64 {
+        if self.shifts == 0 {
+            0.0
+        } else {
+            self.corrected as f64 / self.shifts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guarded_shifts_are_exact_under_faults() {
+        let mut wire = Nanowire::new(128, &[0, 64]);
+        let mut guard = GuardedShifter::new(ShiftFaultModel::new(0.1, 0.1, 7));
+        let mut expected = 0isize;
+        for i in 0..200 {
+            let dir = if i % 3 == 0 {
+                ShiftDir::Left
+            } else {
+                ShiftDir::Right
+            };
+            let dist = (i % 4) + 1;
+            // Keep within the overhead region.
+            if (expected + dir.sign() * dist as isize).unsigned_abs() > wire.overhead() - 2 {
+                continue;
+            }
+            guard.shift(&mut wire, dir, dist).unwrap();
+            expected += dir.sign() * dist as isize;
+            assert_eq!(wire.offset(), expected);
+        }
+        assert!(guard.detected() > 0, "faults were actually injected");
+        assert_eq!(guard.detected(), guard.corrected());
+    }
+
+    #[test]
+    fn reliable_guard_never_corrects() {
+        let mut wire = Nanowire::new(32, &[16]);
+        let mut guard = GuardedShifter::reliable();
+        for _ in 0..10 {
+            guard.shift(&mut wire, ShiftDir::Right, 1).unwrap();
+        }
+        assert_eq!(guard.detected(), 0);
+        assert_eq!(guard.observed_fault_rate(), 0.0);
+        assert_eq!(guard.correction_overhead(), 0.0);
+    }
+
+    #[test]
+    fn observed_rate_tracks_model() {
+        let mut wire = Nanowire::new(64, &[0, 32]);
+        let mut guard = GuardedShifter::new(ShiftFaultModel::new(0.05, 0.05, 123));
+        for i in 0..5000 {
+            let dir = if i % 2 == 0 {
+                ShiftDir::Right
+            } else {
+                ShiftDir::Left
+            };
+            guard.shift(&mut wire, dir, 1).unwrap();
+        }
+        let rate = guard.observed_fault_rate();
+        assert!((rate - 0.1).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn data_is_untouched_by_corrections() {
+        let mut wire = Nanowire::new(32, &[16]);
+        let bits: Vec<bool> = (0..32).map(|i| i % 5 == 0).collect();
+        wire.load_bits(&bits).unwrap();
+        let mut guard = GuardedShifter::new(ShiftFaultModel::new(0.3, 0.3, 1));
+        for i in 0..50 {
+            let dir = if i % 2 == 0 {
+                ShiftDir::Right
+            } else {
+                ShiftDir::Left
+            };
+            guard.shift(&mut wire, dir, 2).unwrap();
+        }
+        assert_eq!(wire.to_bits(), bits);
+        assert_eq!(wire.offset(), 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Racetrack-memory (RM) substrate for the StreamPIM reproduction.
+//!
+//! Racetrack memory — also called domain-wall memory (DWM) — stores bits as
+//! magnetization directions of *domains* along ferromagnetic nanowires.
+//! Domains are moved past a small number of fixed *access ports* by applying
+//! a spin-polarized current (the *shift* operation); a domain aligned with a
+//! port can then be read or written through the magnetic tunnel junction the
+//! two form.
+//!
+//! This crate provides:
+//!
+//! * a **functional model** — [`Nanowire`], [`Mat`], [`Subarray`], [`Bank`]
+//!   and [`RmDevice`] faithfully move bits around, including the reserved
+//!   overhead domains that prevent data loss during shifts, the save-track /
+//!   transfer-track split used for non-destructive reads, and the transverse
+//!   read used by the CORUSCANT baseline;
+//! * a **timing and energy model** — [`TimingParams`] / [`EnergyParams`]
+//!   carrying the constants from Table III of the paper, plus the
+//!   [`stats`] accounting types every simulated platform reports through;
+//! * a **fault model** — [`fault::ShiftFaultModel`] injects over/under-shift
+//!   faults so reliability studies (paper §VI) can be reproduced.
+//!
+//! # Example
+//!
+//! ```
+//! use rm_core::{Nanowire, ShiftDir};
+//!
+//! // A 64-domain racetrack with one access port at position 0.
+//! let mut wire = Nanowire::new(64, &[0]);
+//! wire.write_port(0, true).unwrap();
+//! wire.shift(ShiftDir::Right, 3).unwrap();
+//! wire.shift(ShiftDir::Left, 3).unwrap();
+//! assert_eq!(wire.read_port(0).unwrap(), true);
+//! ```
+
+pub mod address;
+pub mod bank;
+pub mod config;
+pub mod device;
+pub mod energy;
+pub mod error;
+pub mod fault;
+pub mod guard;
+pub mod magnet;
+pub mod mat;
+pub mod nanowire;
+pub mod stats;
+pub mod subarray;
+pub mod timing;
+
+pub use address::{Addr, BankId, MatId, RowAddr, SubarrayId};
+pub use bank::Bank;
+pub use config::{DeviceConfig, Geometry};
+pub use device::RmDevice;
+pub use energy::{EnergyBreakdown, EnergyParams};
+pub use error::RmError;
+pub use fault::{FaultOutcome, ShiftFaultModel};
+pub use guard::GuardedShifter;
+pub use magnet::Magnetization;
+pub use mat::Mat;
+pub use nanowire::{Nanowire, ShiftDir};
+pub use stats::{OpCounters, TimeBreakdown};
+pub use subarray::Subarray;
+pub use timing::TimingParams;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, RmError>;

@@ -1,0 +1,119 @@
+//! Magnetization direction of a single domain.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Not;
+
+/// Magnetization direction of one ferromagnetic domain.
+///
+/// A domain stores one bit: the paper's convention (and ours) is that
+/// [`Magnetization::Up`] encodes a logical `1` and [`Magnetization::Down`]
+/// a logical `0`. Shifting a domain across a domain-wall inverter flips the
+/// direction (the Dzyaloshinskii–Moriya interaction), which is modelled by
+/// the [`Not`] implementation.
+///
+/// ```
+/// use rm_core::Magnetization;
+///
+/// let up = Magnetization::from_bit(true);
+/// assert_eq!(!up, Magnetization::Down);
+/// assert!(up.as_bit());
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub enum Magnetization {
+    /// Magnetization pointing "up": logical `1`.
+    Up,
+    /// Magnetization pointing "down": logical `0`.
+    #[default]
+    Down,
+}
+
+impl Magnetization {
+    /// Converts a logical bit to a magnetization direction.
+    #[inline]
+    pub fn from_bit(bit: bool) -> Self {
+        if bit {
+            Magnetization::Up
+        } else {
+            Magnetization::Down
+        }
+    }
+
+    /// Returns the logical bit encoded by this direction.
+    #[inline]
+    pub fn as_bit(self) -> bool {
+        matches!(self, Magnetization::Up)
+    }
+}
+
+impl Not for Magnetization {
+    type Output = Magnetization;
+
+    #[inline]
+    fn not(self) -> Magnetization {
+        match self {
+            Magnetization::Up => Magnetization::Down,
+            Magnetization::Down => Magnetization::Up,
+        }
+    }
+}
+
+impl From<bool> for Magnetization {
+    #[inline]
+    fn from(bit: bool) -> Self {
+        Magnetization::from_bit(bit)
+    }
+}
+
+impl From<Magnetization> for bool {
+    #[inline]
+    fn from(m: Magnetization) -> bool {
+        m.as_bit()
+    }
+}
+
+impl fmt::Display for Magnetization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Magnetization::Up => write!(f, "↑"),
+            Magnetization::Down => write!(f, "↓"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_round_trip() {
+        for bit in [false, true] {
+            assert_eq!(Magnetization::from_bit(bit).as_bit(), bit);
+            assert_eq!(bool::from(Magnetization::from(bit)), bit);
+        }
+    }
+
+    #[test]
+    fn not_inverts() {
+        assert_eq!(!Magnetization::Up, Magnetization::Down);
+        assert_eq!(!Magnetization::Down, Magnetization::Up);
+        assert_eq!(!!Magnetization::Up, Magnetization::Up);
+    }
+
+    #[test]
+    fn default_is_down() {
+        // Freshly nucleated domains hold logical zero.
+        assert_eq!(Magnetization::default(), Magnetization::Down);
+        assert!(!Magnetization::default().as_bit());
+    }
+
+    #[test]
+    fn display_differs() {
+        assert_ne!(
+            Magnetization::Up.to_string(),
+            Magnetization::Down.to_string()
+        );
+    }
+}

@@ -1,0 +1,461 @@
+//! A mat: a lockstep-shifted array of racetracks with save and transfer
+//! tracks (paper §III-E).
+//!
+//! A *row* is the set of domains at the same along-track position across all
+//! save tracks, so a mat with 512 save tracks stores 64-byte rows. Save
+//! tracks hold data and carry access ports; transfer tracks have no ports —
+//! they receive fan-out copies of save-track rows and shift them out towards
+//! the RM bus, implementing the paper's **non-destructive read**: the save
+//! track keeps its data while the replica leaves the mat as pure magnetic
+//! signal (no electromagnetic conversion).
+//!
+//! Accounting granularity: one `read`/`write` counter tick corresponds to one
+//! *row* access, and one `shift` tick to a one-domain lockstep shift of the
+//! whole mat. All platforms in this reproduction use the same granularity, so
+//! relative comparisons are unaffected by the choice.
+
+use crate::error::RmError;
+use crate::nanowire::{Nanowire, ShiftDir};
+use crate::stats::OpCounters;
+use crate::Result;
+
+/// A group of domain-wall nanowires shifted in lockstep.
+///
+/// ```
+/// use rm_core::Mat;
+///
+/// let mut mat = Mat::new(16, 16, 64, 4);
+/// mat.write_row(7, &[0xAB, 0xCD]).unwrap();
+/// assert_eq!(mat.read_row(7).unwrap(), vec![0xAB, 0xCD]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mat {
+    save: Vec<Nanowire>,
+    transfer: Vec<Nanowire>,
+    domains_per_track: usize,
+    ports: Vec<usize>,
+    counters: OpCounters,
+}
+
+impl Mat {
+    /// Creates a mat of `save_tracks` port-connected tracks and
+    /// `transfer_tracks` portless copy tracks, each `domains_per_track`
+    /// long, with `ports_per_track` evenly spaced access ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `save_tracks` is not a positive multiple of 8 (rows must be
+    /// whole bytes), or if `domains_per_track`/`ports_per_track` are zero.
+    pub fn new(
+        save_tracks: usize,
+        transfer_tracks: usize,
+        domains_per_track: usize,
+        ports_per_track: usize,
+    ) -> Self {
+        assert!(
+            save_tracks > 0 && save_tracks.is_multiple_of(8),
+            "save tracks must be a positive multiple of 8"
+        );
+        assert!(domains_per_track > 0, "tracks need at least one domain");
+        assert!(ports_per_track > 0, "tracks need at least one port");
+        let stride = domains_per_track / ports_per_track;
+        let ports: Vec<usize> = (0..ports_per_track).map(|i| i * stride).collect();
+        let save = (0..save_tracks)
+            .map(|_| Nanowire::new(domains_per_track, &ports))
+            .collect();
+        // Transfer tracks have no access ports of their own; model them with
+        // a single virtual port at 0 used only by the functional copy.
+        let transfer = (0..transfer_tracks)
+            .map(|_| Nanowire::new(domains_per_track, &[0]))
+            .collect();
+        Mat {
+            save,
+            transfer,
+            domains_per_track,
+            ports,
+            counters: OpCounters::default(),
+        }
+    }
+
+    /// Number of save tracks.
+    #[inline]
+    pub fn save_tracks(&self) -> usize {
+        self.save.len()
+    }
+
+    /// Number of transfer tracks.
+    #[inline]
+    pub fn transfer_tracks(&self) -> usize {
+        self.transfer.len()
+    }
+
+    /// Whether this mat can serve non-destructive reads towards the bus.
+    #[inline]
+    pub fn has_transfer_tracks(&self) -> bool {
+        !self.transfer.is_empty()
+    }
+
+    /// Rows stored by this mat.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.domains_per_track
+    }
+
+    /// Bytes per row.
+    #[inline]
+    pub fn row_bytes(&self) -> usize {
+        self.save.len() / 8
+    }
+
+    /// Operation counters accumulated by this mat.
+    #[inline]
+    pub fn counters(&self) -> OpCounters {
+        self.counters
+    }
+
+    /// Resets the counters.
+    pub fn reset_counters(&mut self) {
+        self.counters = OpCounters::default();
+    }
+
+    /// Aligns `row` under its nearest access port, shifting all tracks in
+    /// lockstep; returns the shift distance in domains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmError::RowIndex`] for an out-of-range row or
+    /// [`RmError::ShiftOutOfRange`] if alignment would exceed the overhead.
+    pub fn align_row(&mut self, row: usize) -> Result<usize> {
+        self.check_row(row)?;
+        // Choose, among ports whose alignment offset stays inside the
+        // reserved overhead region, the one minimizing the shift distance
+        // from the current offset.
+        let offset = self.save[0].offset();
+        let overhead = self.save[0].overhead() as isize;
+        let (best_port, dist) = self
+            .ports
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &p)| {
+                let target = p as isize - row as isize;
+                (target.abs() <= overhead).then_some((i, (target - offset).unsigned_abs()))
+            })
+            .min_by_key(|&(_, d)| d)
+            .ok_or(RmError::ShiftOutOfRange {
+                requested: row,
+                available: overhead as usize,
+            })?;
+        if dist > 0 {
+            let target = self.ports[best_port] as isize - row as isize;
+            let dir = if target > offset {
+                ShiftDir::Right
+            } else {
+                ShiftDir::Left
+            };
+            for wire in self.save.iter_mut().chain(self.transfer.iter_mut()) {
+                wire.shift(dir, dist)?;
+            }
+            self.counters.shifts += dist as u64;
+            self.counters.shift_distance += dist as u64;
+        }
+        Ok(dist)
+    }
+
+    /// Reads `row` (non-destructively, through the access ports).
+    ///
+    /// The returned vector has [`Self::row_bytes`] bytes; bit `t` of the row
+    /// lives on save track `t`, packed LSB-first into bytes.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::align_row`].
+    pub fn read_row(&mut self, row: usize) -> Result<Vec<u8>> {
+        self.align_row(row)?;
+        self.counters.reads += 1;
+        let mut out = vec![0u8; self.row_bytes()];
+        for (t, wire) in self.save.iter().enumerate() {
+            let idx = row_index_under_any_port(wire, row)?;
+            if wire.peek(idx)? {
+                out[t / 8] |= 1 << (t % 8);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Writes `row` through the access ports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmError::LengthMismatch`] if `data` is not exactly one row,
+    /// plus the errors of [`Self::align_row`].
+    pub fn write_row(&mut self, row: usize, data: &[u8]) -> Result<()> {
+        if data.len() != self.row_bytes() {
+            return Err(RmError::LengthMismatch {
+                expected: self.row_bytes(),
+                actual: data.len(),
+            });
+        }
+        self.align_row(row)?;
+        self.counters.writes += 1;
+        for (t, wire) in self.save.iter_mut().enumerate() {
+            let bit = data[t / 8] & (1 << (t % 8)) != 0;
+            let idx = row_index_under_any_port(wire, row)?;
+            wire.poke(idx, bit)?;
+        }
+        Ok(())
+    }
+
+    /// Fan-out copies `row` from the save tracks onto the transfer tracks
+    /// without disturbing the save tracks (paper Figure 7d): the replica can
+    /// then leave via [`Self::shift_out_transfer_row`] while the original
+    /// stays — a non-destructive read with zero read/write operations.
+    ///
+    /// Costs one lockstep shift (the fan-out propagation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmError::TrackIndex`] if the mat has no transfer tracks,
+    /// or [`RmError::RowIndex`] for a bad row.
+    pub fn copy_row_to_transfer(&mut self, row: usize) -> Result<()> {
+        if self.transfer.is_empty() {
+            return Err(RmError::TrackIndex { index: 0, count: 0 });
+        }
+        self.check_row(row)?;
+        self.counters.shifts += 1;
+        self.counters.shift_distance += 1;
+        // Each transfer track mirrors the corresponding save track (modulo
+        // count if fewer transfer tracks exist: row is copied in chunks).
+        for t in 0..self.save.len().min(self.transfer.len()) {
+            let bit = self.save[t].peek(row)?;
+            self.transfer[t].poke(row, bit)?;
+        }
+        // If there are fewer transfer tracks than save tracks, remaining bits
+        // are copied on subsequent chunk positions of the same tracks.
+        if self.transfer.len() < self.save.len() {
+            for t in self.transfer.len()..self.save.len() {
+                let bit = self.save[t].peek(row)?;
+                let dst_track = t % self.transfer.len();
+                // Place the overflow chunk at the same row; transfer tracks
+                // stream chunks out sequentially so only data order matters.
+                let dst_row = (row + t / self.transfer.len()) % self.domains_per_track;
+                self.transfer[dst_track].poke(dst_row, bit)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Shifts the replica of `row` off the transfer tracks (towards the RM
+    /// bus) and returns its bytes. Destructive on the transfer tracks only;
+    /// the save tracks keep the data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmError::TrackIndex`] if the mat has no transfer tracks, or
+    /// [`RmError::RowIndex`] for a bad row.
+    pub fn shift_out_transfer_row(&mut self, row: usize) -> Result<Vec<u8>> {
+        if self.transfer.is_empty() {
+            return Err(RmError::TrackIndex { index: 0, count: 0 });
+        }
+        self.check_row(row)?;
+        self.counters.shifts += 1;
+        self.counters.shift_distance += 1;
+        let mut out = vec![0u8; self.row_bytes()];
+        for t in 0..self.save.len() {
+            let (src_track, src_row) = if t < self.transfer.len() {
+                (t, row)
+            } else {
+                (
+                    t % self.transfer.len(),
+                    (row + t / self.transfer.len()) % self.domains_per_track,
+                )
+            };
+            if self.transfer[src_track].peek(src_row)? {
+                out[t / 8] |= 1 << (t % 8);
+            }
+            // Domains physically leave the wire.
+            self.transfer[src_track].poke(src_row, false)?;
+        }
+        Ok(out)
+    }
+
+    /// Destructively shifts `row` straight off the save tracks (used when
+    /// the data is genuinely being *moved*, e.g. operand consumption).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmError::RowIndex`] for a bad row.
+    pub fn shift_out_save_row(&mut self, row: usize) -> Result<Vec<u8>> {
+        self.check_row(row)?;
+        self.counters.shifts += 1;
+        self.counters.shift_distance += 1;
+        let mut out = vec![0u8; self.row_bytes()];
+        for (t, wire) in self.save.iter_mut().enumerate() {
+            if wire.peek(row)? {
+                out[t / 8] |= 1 << (t % 8);
+            }
+            wire.poke(row, false)?;
+        }
+        Ok(out)
+    }
+
+    /// Receives a row arriving from the RM bus by shift (no electromagnetic
+    /// conversion — this is *not* a write operation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmError::LengthMismatch`] or [`RmError::RowIndex`].
+    pub fn shift_in_row(&mut self, row: usize, data: &[u8]) -> Result<()> {
+        if data.len() != self.row_bytes() {
+            return Err(RmError::LengthMismatch {
+                expected: self.row_bytes(),
+                actual: data.len(),
+            });
+        }
+        self.check_row(row)?;
+        self.counters.shifts += 1;
+        self.counters.shift_distance += 1;
+        for (t, wire) in self.save.iter_mut().enumerate() {
+            let bit = data[t / 8] & (1 << (t % 8)) != 0;
+            wire.poke(row, bit)?;
+        }
+        Ok(())
+    }
+
+    fn check_row(&self, row: usize) -> Result<()> {
+        if row >= self.domains_per_track {
+            return Err(RmError::RowIndex {
+                row: row as u64,
+                rows: self.domains_per_track as u64,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// After `align_row`, the logical index under the aligned port is simply the
+/// row itself expressed in the wire's (offset-adjusted) coordinates; this
+/// helper finds it robustly regardless of which port won the alignment.
+fn row_index_under_any_port(wire: &Nanowire, row: usize) -> Result<usize> {
+    // Alignment guarantees some port sits over `row`; data never moves
+    // between logical indices (only the frame shifts), so index == row.
+    if row >= wire.len() {
+        return Err(RmError::DomainIndex {
+            index: row,
+            len: wire.len(),
+        });
+    }
+    Ok(row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat() -> Mat {
+        Mat::new(16, 16, 64, 4)
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let m = mat();
+        assert_eq!(m.save_tracks(), 16);
+        assert_eq!(m.transfer_tracks(), 16);
+        assert_eq!(m.rows(), 64);
+        assert_eq!(m.row_bytes(), 2);
+        assert!(m.has_transfer_tracks());
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut m = mat();
+        m.write_row(0, &[0x01, 0x80]).unwrap();
+        m.write_row(63, &[0xFF, 0x00]).unwrap();
+        assert_eq!(m.read_row(0).unwrap(), vec![0x01, 0x80]);
+        assert_eq!(m.read_row(63).unwrap(), vec![0xFF, 0x00]);
+    }
+
+    #[test]
+    fn read_is_non_destructive() {
+        let mut m = mat();
+        m.write_row(5, &[0xAA, 0x55]).unwrap();
+        for _ in 0..3 {
+            assert_eq!(m.read_row(5).unwrap(), vec![0xAA, 0x55]);
+        }
+    }
+
+    #[test]
+    fn align_row_uses_nearest_port_and_counts_shifts() {
+        let mut m = mat();
+        // Ports at 0, 16, 32, 48. Row 17 is 1 away from port 16.
+        let d = m.align_row(17).unwrap();
+        assert_eq!(d, 1);
+        // Row 15 is 1 away from port 16 in the other direction: from the
+        // current offset (-1), moving to offset +1 costs 2.
+        let d = m.align_row(15).unwrap();
+        assert_eq!(d, 2);
+        assert_eq!(m.counters().shift_distance, 3);
+    }
+
+    #[test]
+    fn rejects_bad_rows_and_lengths() {
+        let mut m = mat();
+        assert!(m.read_row(64).is_err());
+        assert!(m.write_row(0, &[0u8; 3]).is_err());
+        assert!(m.shift_in_row(0, &[0u8; 1]).is_err());
+    }
+
+    #[test]
+    fn non_destructive_read_path_keeps_save_data() {
+        let mut m = mat();
+        m.write_row(3, &[0xDE, 0xAD]).unwrap();
+        let writes_before = m.counters().writes;
+        m.copy_row_to_transfer(3).unwrap();
+        let out = m.shift_out_transfer_row(3).unwrap();
+        assert_eq!(out, vec![0xDE, 0xAD]);
+        // Save tracks untouched, and the path performed no write ops.
+        assert_eq!(m.read_row(3).unwrap(), vec![0xDE, 0xAD]);
+        assert_eq!(m.counters().writes, writes_before);
+    }
+
+    #[test]
+    fn transfer_row_is_consumed_after_shift_out() {
+        let mut m = mat();
+        m.write_row(9, &[0xFF, 0xFF]).unwrap();
+        m.copy_row_to_transfer(9).unwrap();
+        assert_eq!(m.shift_out_transfer_row(9).unwrap(), vec![0xFF, 0xFF]);
+        // Second shift-out yields zeros: the replica left the wire.
+        assert_eq!(m.shift_out_transfer_row(9).unwrap(), vec![0x00, 0x00]);
+    }
+
+    #[test]
+    fn destructive_save_read_erases() {
+        let mut m = mat();
+        m.write_row(12, &[0x12, 0x34]).unwrap();
+        assert_eq!(m.shift_out_save_row(12).unwrap(), vec![0x12, 0x34]);
+        assert_eq!(m.read_row(12).unwrap(), vec![0x00, 0x00]);
+    }
+
+    #[test]
+    fn shift_in_is_not_a_write_op() {
+        let mut m = mat();
+        m.shift_in_row(2, &[0x77, 0x01]).unwrap();
+        assert_eq!(m.counters().writes, 0);
+        assert_eq!(m.read_row(2).unwrap(), vec![0x77, 0x01]);
+    }
+
+    #[test]
+    fn fewer_transfer_tracks_than_save_tracks_still_round_trips() {
+        let mut m = Mat::new(16, 4, 64, 4);
+        m.write_row(10, &[0xC3, 0x5A]).unwrap();
+        m.copy_row_to_transfer(10).unwrap();
+        assert_eq!(m.shift_out_transfer_row(10).unwrap(), vec![0xC3, 0x5A]);
+    }
+
+    #[test]
+    fn matless_transfer_errors() {
+        let mut m = Mat::new(8, 0, 32, 2);
+        assert!(!m.has_transfer_tracks());
+        assert!(m.copy_row_to_transfer(0).is_err());
+        assert!(m.shift_out_transfer_row(0).is_err());
+    }
+}

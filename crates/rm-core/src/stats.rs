@@ -1,0 +1,217 @@
+//! Operation counters and execution-time breakdown shared by every platform.
+
+use serde::{Deserialize, Serialize};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// Raw counts of low-level memory operations performed by a simulation.
+///
+/// Counters are the ground truth from which time and energy are derived;
+/// tests assert on them directly (e.g. "a non-destructive read performs zero
+/// writes on the save track").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct OpCounters {
+    /// Row reads through access ports.
+    pub reads: u64,
+    /// Row writes through access ports.
+    pub writes: u64,
+    /// Shift *operations* issued (each may move several tracks in lockstep).
+    pub shifts: u64,
+    /// Total shift distance in domain positions, summed over operations.
+    pub shift_distance: u64,
+    /// Transverse reads (CORUSCANT mechanism).
+    pub transverse_reads: u64,
+    /// Word-level PIM additions executed by domain-wall logic.
+    pub pim_adds: u64,
+    /// Word-level PIM multiplications executed by domain-wall logic.
+    pub pim_muls: u64,
+    /// Individual logic-gate traversals (NOT/NAND/NOR), for gate-level runs.
+    pub gate_ops: u64,
+}
+
+impl OpCounters {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        OpCounters::default()
+    }
+}
+
+impl Add for OpCounters {
+    type Output = OpCounters;
+
+    fn add(self, r: OpCounters) -> OpCounters {
+        OpCounters {
+            reads: self.reads + r.reads,
+            writes: self.writes + r.writes,
+            shifts: self.shifts + r.shifts,
+            shift_distance: self.shift_distance + r.shift_distance,
+            transverse_reads: self.transverse_reads + r.transverse_reads,
+            pim_adds: self.pim_adds + r.pim_adds,
+            pim_muls: self.pim_muls + r.pim_muls,
+            gate_ops: self.gate_ops + r.gate_ops,
+        }
+    }
+}
+
+impl AddAssign for OpCounters {
+    fn add_assign(&mut self, r: OpCounters) {
+        *self = *self + r;
+    }
+}
+
+impl Sum for OpCounters {
+    fn sum<I: Iterator<Item = OpCounters>>(iter: I) -> OpCounters {
+        iter.fold(OpCounters::default(), |a, b| a + b)
+    }
+}
+
+/// Wall-clock decomposition of a simulated execution, in nanoseconds.
+///
+/// Mirrors the paper's Figure 19: `read`/`write`/`shift` are *exclusive*
+/// data-transfer time (not overlapped with computation), `process` is
+/// exclusive computation time, and `overlapped` is time in which transfer and
+/// processing proceeded concurrently (the pipelined-streaming win). The total
+/// execution time is the sum of all five fields.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    /// Exclusive RM/DRAM read time.
+    pub read_ns: f64,
+    /// Exclusive RM/DRAM write time.
+    pub write_ns: f64,
+    /// Exclusive shift (track alignment + RM-bus) time.
+    pub shift_ns: f64,
+    /// Exclusive processing (arithmetic) time.
+    pub process_ns: f64,
+    /// Time in which transfer and processing overlapped.
+    pub overlapped_ns: f64,
+}
+
+impl TimeBreakdown {
+    /// An empty breakdown.
+    pub fn new() -> Self {
+        TimeBreakdown::default()
+    }
+
+    /// Total execution time: the sum of all categories.
+    #[inline]
+    pub fn total_ns(&self) -> f64 {
+        self.read_ns + self.write_ns + self.shift_ns + self.process_ns + self.overlapped_ns
+    }
+
+    /// Fraction of total time spent *exclusively* transferring data.
+    ///
+    /// Returns 0 when the total is zero.
+    pub fn exclusive_transfer_fraction(&self) -> f64 {
+        let total = self.total_ns();
+        if total == 0.0 {
+            0.0
+        } else {
+            (self.read_ns + self.write_ns + self.shift_ns) / total
+        }
+    }
+
+    /// Scales every category by `k` (e.g. to replicate one modelled unit of
+    /// work `k` times).
+    pub fn scaled(&self, k: f64) -> TimeBreakdown {
+        TimeBreakdown {
+            read_ns: self.read_ns * k,
+            write_ns: self.write_ns * k,
+            shift_ns: self.shift_ns * k,
+            process_ns: self.process_ns * k,
+            overlapped_ns: self.overlapped_ns * k,
+        }
+    }
+}
+
+impl Add for TimeBreakdown {
+    type Output = TimeBreakdown;
+
+    fn add(self, r: TimeBreakdown) -> TimeBreakdown {
+        TimeBreakdown {
+            read_ns: self.read_ns + r.read_ns,
+            write_ns: self.write_ns + r.write_ns,
+            shift_ns: self.shift_ns + r.shift_ns,
+            process_ns: self.process_ns + r.process_ns,
+            overlapped_ns: self.overlapped_ns + r.overlapped_ns,
+        }
+    }
+}
+
+impl AddAssign for TimeBreakdown {
+    fn add_assign(&mut self, r: TimeBreakdown) {
+        *self = *self + r;
+    }
+}
+
+impl Sum for TimeBreakdown {
+    fn sum<I: Iterator<Item = TimeBreakdown>>(iter: I) -> TimeBreakdown {
+        iter.fold(TimeBreakdown::default(), |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add() {
+        let a = OpCounters {
+            reads: 1,
+            shifts: 2,
+            shift_distance: 10,
+            ..Default::default()
+        };
+        let b = OpCounters {
+            reads: 3,
+            writes: 4,
+            ..Default::default()
+        };
+        let c = a + b;
+        assert_eq!(c.reads, 4);
+        assert_eq!(c.writes, 4);
+        assert_eq!(c.shifts, 2);
+        assert_eq!(c.shift_distance, 10);
+    }
+
+    #[test]
+    fn counters_sum() {
+        let total: OpCounters = (0..5)
+            .map(|_| OpCounters {
+                pim_muls: 2,
+                ..Default::default()
+            })
+            .sum();
+        assert_eq!(total.pim_muls, 10);
+    }
+
+    #[test]
+    fn time_total_is_sum_of_categories() {
+        let t = TimeBreakdown {
+            read_ns: 1.0,
+            write_ns: 2.0,
+            shift_ns: 3.0,
+            process_ns: 4.0,
+            overlapped_ns: 5.0,
+        };
+        assert_eq!(t.total_ns(), 15.0);
+        assert!((t.exclusive_transfer_fraction() - 6.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_total_has_zero_fraction() {
+        assert_eq!(TimeBreakdown::default().exclusive_transfer_fraction(), 0.0);
+    }
+
+    #[test]
+    fn scaled_multiplies_all() {
+        let t = TimeBreakdown {
+            read_ns: 1.0,
+            process_ns: 2.0,
+            ..Default::default()
+        };
+        let s = t.scaled(3.0);
+        assert_eq!(s.read_ns, 3.0);
+        assert_eq!(s.process_ns, 6.0);
+        assert_eq!(s.total_ns(), 9.0);
+    }
+}

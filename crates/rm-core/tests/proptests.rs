@@ -1,0 +1,123 @@
+//! Property-based tests for the racetrack-memory substrate.
+
+use proptest::prelude::*;
+use rm_core::{Addr, Geometry, Mat, Nanowire, ShiftDir, Subarray};
+
+proptest! {
+    /// Logical data is invariant under shifts: shifting moves the frame,
+    /// never the bit pattern.
+    #[test]
+    fn shifts_never_corrupt_data(
+        bits in proptest::collection::vec(any::<bool>(), 32),
+        moves in proptest::collection::vec((any::<bool>(), 0usize..4), 0..32),
+    ) {
+        let mut wire = Nanowire::new(32, &[0, 16]);
+        wire.load_bits(&bits).unwrap();
+        for (right, dist) in moves {
+            let dir = if right { ShiftDir::Right } else { ShiftDir::Left };
+            let _ = wire.shift(dir, dist); // out-of-range shifts are rejected, not destructive
+        }
+        prop_assert_eq!(wire.to_bits(), bits);
+    }
+
+    /// A shift right by `d` followed by a shift left by `d` restores the
+    /// offset exactly.
+    #[test]
+    fn shift_round_trip_restores_offset(d in 0usize..16) {
+        let mut wire = Nanowire::new(32, &[16]);
+        let before = wire.offset();
+        wire.shift(ShiftDir::Right, d).unwrap();
+        wire.shift(ShiftDir::Left, d).unwrap();
+        prop_assert_eq!(wire.offset(), before);
+    }
+
+    /// Writing then reading any domain through any port round-trips.
+    #[test]
+    fn port_write_read_round_trip(
+        index in 0usize..64,
+        bit in any::<bool>(),
+    ) {
+        let mut wire = Nanowire::with_even_ports(64, 4);
+        let (port, _) = wire.align_nearest(index).unwrap();
+        wire.write_port(port, bit).unwrap();
+        // Wander off and come back.
+        wire.align_nearest((index + 13) % 64).unwrap();
+        let (port, _) = wire.align_nearest(index).unwrap();
+        prop_assert_eq!(wire.read_port(port).unwrap(), bit);
+    }
+
+    /// Transverse read equals the popcount of the span, for any data.
+    #[test]
+    fn transverse_read_is_popcount(
+        bits in proptest::collection::vec(any::<bool>(), 64),
+        len in 1usize..32,
+    ) {
+        let mut wire = Nanowire::new(64, &[0]);
+        wire.load_bits(&bits).unwrap();
+        let expect = bits[..len].iter().filter(|&&b| b).count() as u32;
+        prop_assert_eq!(wire.transverse_read(0, len).unwrap(), expect);
+    }
+
+    /// Mat rows round-trip for arbitrary contents and row order.
+    #[test]
+    fn mat_rows_round_trip(
+        rows in proptest::collection::vec((0usize..64, any::<u8>(), any::<u8>()), 1..20),
+    ) {
+        let mut mat = Mat::new(16, 16, 64, 4);
+        let mut model = std::collections::HashMap::new();
+        for (row, lo, hi) in rows {
+            mat.write_row(row, &[lo, hi]).unwrap();
+            model.insert(row, vec![lo, hi]);
+        }
+        for (row, data) in model {
+            prop_assert_eq!(mat.read_row(row).unwrap(), data);
+        }
+    }
+
+    /// The non-destructive read path returns the row and preserves it.
+    #[test]
+    fn non_destructive_read_preserves_row(
+        row in 0usize..64,
+        lo in any::<u8>(),
+        hi in any::<u8>(),
+    ) {
+        let mut mat = Mat::new(16, 8, 64, 4);
+        mat.write_row(row, &[lo, hi]).unwrap();
+        mat.copy_row_to_transfer(row).unwrap();
+        let out = mat.shift_out_transfer_row(row).unwrap();
+        prop_assert_eq!(out, vec![lo, hi]);
+        prop_assert_eq!(mat.read_row(row).unwrap(), vec![lo, hi]);
+    }
+
+    /// Subarray byte spans round-trip at arbitrary offsets and lengths.
+    #[test]
+    fn subarray_span_round_trip(
+        offset in 0usize..200,
+        data in proptest::collection::vec(any::<u8>(), 1..50),
+    ) {
+        let mut sub = Subarray::new(2, 1, 16, 16, 64, 4);
+        prop_assume!(offset + data.len() <= sub.capacity_bytes());
+        sub.write_bytes(offset, &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        sub.read_bytes(offset, &mut back).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    /// Address decode/encode is a bijection over the device capacity.
+    #[test]
+    fn addr_decode_encode_bijection(addr in 0u64..(8u64 << 30)) {
+        let geom = Geometry::paper_default();
+        let decoded = Addr::decode(addr, &geom).unwrap();
+        prop_assert_eq!(decoded.encode(&geom), addr);
+    }
+
+    /// Distinct addresses decode to distinct locations.
+    #[test]
+    fn addr_decode_is_injective(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        prop_assume!(a != b);
+        let geom = Geometry::paper_default();
+        let da = Addr::decode(a, &geom).unwrap();
+        let db = Addr::decode(b, &geom).unwrap();
+        prop_assert_ne!(da, db);
+    }
+}

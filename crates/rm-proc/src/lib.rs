@@ -1,0 +1,33 @@
+//! The StreamPIM RM processor (paper §III-C).
+//!
+//! The RM processor is a matrix datapath built entirely from domain-wall
+//! nanowire structures — no CMOS arithmetic. It is organized as a four-stage
+//! pipeline (paper Figure 11):
+//!
+//! 1. **Fetch/split** — a stream of scalar operands enters; one operand goes
+//!    to the duplicator, the other is split into separate bits.
+//! 2. **Duplicate + multiply** — the duplicator bank replicates the operand
+//!    once per bit; the multiplier ANDs the replicas into partial products.
+//! 3. **Adder tree** — sums the partial products into the scalar product.
+//! 4. **Circle adder** — accumulates products into the dot-product result
+//!    (bypassed for plain multiplication; used alone for addition).
+//!
+//! Two views are provided:
+//!
+//! * [`processor::RmProcessor`] — a bit-accurate functional datapath wiring
+//!   the `dw-logic` structures together, with full gate accounting. Use it
+//!   to *verify* results and energy at small scales.
+//! * [`pipeline::PipelineModel`] — the closed-form cycle/energy cost model
+//!   the execution engine uses at full workload scale. Its constants are
+//!   derived from the functional components (duplication stall, tree depth,
+//!   circle latency), so both views agree on the physics.
+
+pub mod op;
+pub mod pipeline;
+pub mod processor;
+pub mod stream;
+
+pub use op::{ProcCost, ProcOp};
+pub use pipeline::PipelineModel;
+pub use processor::RmProcessor;
+pub use stream::{PipelineSim, StreamRun};

@@ -1,0 +1,254 @@
+//! Bit-accurate functional datapath of the RM processor.
+//!
+//! Wires the `dw-logic` structures together exactly as Figure 11 describes:
+//! duplicator bank → multiplier (partial products) → adder tree → circle
+//! adder. Every gate traversal is tallied, so small-scale runs double as
+//! energy ground truth for the closed-form model.
+
+use crate::op::ProcOp;
+use crate::pipeline::PipelineModel;
+use dw_logic::adder_tree::AdderTree;
+use dw_logic::circle_adder::CircleAdder;
+use dw_logic::cost::GateTally;
+use dw_logic::duplicator::DuplicatorBank;
+use dw_logic::multiplier::Multiplier;
+
+/// A functional RM processor for `width`-bit elements.
+///
+/// The accumulator is 64-bit (wrapping), comfortably holding dot products of
+/// any realistic vector length of `width ≤ 16` elements.
+///
+/// ```
+/// use rm_proc::RmProcessor;
+///
+/// let mut proc = RmProcessor::new(8, 2);
+/// let (result, tally) = proc.dot(&[1, 2, 3], &[4, 5, 6]);
+/// assert_eq!(result, 32);
+/// assert!(tally.total() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RmProcessor {
+    width: u32,
+    duplicators: DuplicatorBank,
+    multiplier: Multiplier,
+    product_tree: AdderTree,
+    circle: CircleAdder,
+    ops_executed: u64,
+}
+
+impl RmProcessor {
+    /// Creates a processor for `width`-bit elements with `duplicators`
+    /// duplicator units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=16` or `duplicators` is zero.
+    pub fn new(width: u32, duplicators: u32) -> Self {
+        assert!(
+            (1..=16).contains(&width),
+            "functional processor supports widths 1..=16"
+        );
+        RmProcessor {
+            width,
+            duplicators: DuplicatorBank::new(duplicators, width),
+            multiplier: Multiplier::new(width),
+            product_tree: AdderTree::new(2 * width),
+            circle: CircleAdder::new(63),
+            ops_executed: 0,
+        }
+    }
+
+    /// Element width in bits.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Vector operations executed so far.
+    #[inline]
+    pub fn ops_executed(&self) -> u64 {
+        self.ops_executed
+    }
+
+    /// One scalar multiplication through stages 1-3, returning the exact
+    /// `2*width`-bit product.
+    pub fn scalar_mul(&mut self, a: u64, b: u64, tally: &mut GateTally) -> u64 {
+        // Stage 2a: the duplicator bank replicates `a` once per bit of `b`.
+        let (replicas, _cycles) = self.duplicators.replicate(a, self.width as usize, tally);
+        // Stage 2b: AND replicas against the bits of `b`.
+        let pps = self
+            .multiplier
+            .partial_products(&replicas, b & self.mask(), tally);
+        // Stage 3: the adder tree sums the partial products.
+        self.product_tree.sum(&pps, tally)
+    }
+
+    /// Dot product of two element slices (values masked to `width` bits).
+    ///
+    /// Returns the result and the accumulated gate tally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn dot(&mut self, a: &[u64], b: &[u64]) -> (u64, GateTally) {
+        assert_eq!(a.len(), b.len(), "dot product needs equal-length vectors");
+        let mut tally = GateTally::new();
+        self.circle.reset();
+        for (&x, &y) in a.iter().zip(b) {
+            let product = self.scalar_mul(x & self.mask(), y & self.mask(), &mut tally);
+            // Stage 4: the circle adder accumulates.
+            self.circle.accumulate(product, &mut tally);
+        }
+        self.ops_executed += 1;
+        (self.circle.take_result(), tally)
+    }
+
+    /// Element-wise vector addition (stages 1-3 bypassed; circle adder in
+    /// scalar mode). Sums wrap at `width + 1` bits — the carry-out travels
+    /// with the result, as in the ripple adder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn vadd(&mut self, a: &[u64], b: &[u64]) -> (Vec<u64>, GateTally) {
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "vector addition needs equal-length vectors"
+        );
+        let mut tally = GateTally::new();
+        let out = a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| {
+                let (sum, carry) =
+                    self.circle
+                        .scalar_add(x & self.mask(), y & self.mask(), &mut tally);
+                sum | ((carry as u64) << self.width)
+            })
+            .collect();
+        self.ops_executed += 1;
+        (out, tally)
+    }
+
+    /// Scalar-vector multiplication: duplicates `s` repeatedly and pipelines
+    /// scalar multiplications (circle adder bypassed).
+    pub fn svmul(&mut self, s: u64, v: &[u64]) -> (Vec<u64>, GateTally) {
+        let mut tally = GateTally::new();
+        let out = v
+            .iter()
+            .map(|&x| self.scalar_mul(s, x, &mut tally))
+            .collect();
+        self.ops_executed += 1;
+        (out, tally)
+    }
+
+    /// The pipeline cost model matching this processor's configuration,
+    /// given the row width (save tracks per mat).
+    pub fn pipeline_model(&self, save_tracks: u32) -> PipelineModel {
+        PipelineModel::new(self.width, self.duplicators.count() as u32, save_tracks)
+    }
+
+    /// Cost of `op` under this processor's pipeline model (convenience).
+    pub fn cost(&self, op: ProcOp, save_tracks: u32) -> crate::op::ProcCost {
+        self.pipeline_model(save_tracks).cost(op)
+    }
+
+    fn mask(&self) -> u64 {
+        (1u64 << self.width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_mul_matches_host() {
+        let mut p = RmProcessor::new(8, 2);
+        let mut t = GateTally::new();
+        for (a, b) in [(0, 0), (1, 1), (255, 255), (17, 13), (128, 2)] {
+            assert_eq!(p.scalar_mul(a, b, &mut t), a * b);
+        }
+    }
+
+    #[test]
+    fn dot_matches_host() {
+        let mut p = RmProcessor::new(8, 2);
+        let a = [1u64, 2, 3, 4, 5];
+        let b = [10u64, 20, 30, 40, 50];
+        let (r, tally) = p.dot(&a, &b);
+        assert_eq!(r, 550);
+        assert!(tally.fanout > 0, "duplications happened");
+        assert!(tally.nand > 0, "adders ran");
+        assert_eq!(p.ops_executed(), 1);
+    }
+
+    #[test]
+    fn dot_masks_oversized_elements() {
+        let mut p = RmProcessor::new(8, 2);
+        let (r, _) = p.dot(&[0x1FF], &[2]);
+        assert_eq!(r, 0xFF * 2);
+    }
+
+    #[test]
+    fn vadd_matches_host_with_carry() {
+        let mut p = RmProcessor::new(8, 2);
+        let (out, _) = p.vadd(&[200, 1], &[100, 2]);
+        assert_eq!(out, vec![300, 3]);
+    }
+
+    #[test]
+    fn svmul_matches_host() {
+        let mut p = RmProcessor::new(8, 1);
+        let (out, _) = p.svmul(7, &[0, 1, 2, 36]);
+        assert_eq!(out, vec![0, 7, 14, 252]);
+    }
+
+    #[test]
+    fn empty_vectors_are_fine() {
+        let mut p = RmProcessor::new(8, 2);
+        let (r, tally) = p.dot(&[], &[]);
+        assert_eq!(r, 0);
+        assert_eq!(tally.total(), 0);
+        let (out, _) = p.vadd(&[], &[]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn dot_length_mismatch_panics() {
+        let mut p = RmProcessor::new(8, 2);
+        let _ = p.dot(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn sixteen_bit_width_works() {
+        let mut p = RmProcessor::new(16, 2);
+        let (r, _) = p.dot(&[60_000, 2], &[60_000, 3]);
+        assert_eq!(r, 60_000u64 * 60_000 + 6);
+    }
+
+    #[test]
+    fn gate_energy_consistency_dot_vs_components() {
+        // A 1-element dot product tallies exactly one scalar_mul plus one
+        // circle accumulation.
+        let mut p1 = RmProcessor::new(8, 2);
+        let (_, t_dot) = p1.dot(&[123], &[45]);
+        let mut p2 = RmProcessor::new(8, 2);
+        let mut t_parts = GateTally::new();
+        let product = p2.scalar_mul(123, 45, &mut t_parts);
+        let mut circle = CircleAdder::new(63);
+        circle.accumulate(product, &mut t_parts);
+        assert_eq!(t_dot, t_parts);
+    }
+
+    #[test]
+    fn cost_model_accessible() {
+        let p = RmProcessor::new(8, 2);
+        let model = p.pipeline_model(512);
+        assert_eq!(model.lanes, 64);
+        let c = p.cost(ProcOp::VectorAdd { n: 64 }, 512);
+        assert!(c.cycles > 0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Cycle-stepped pipeline simulator (paper Figure 11).
+//!
+//! [`crate::PipelineModel`] prices the four-stage pipeline in closed form.
+//! This module *runs* it: beats (row-wide element groups) advance through
+//! explicit stage registers one cycle at a time — fetch/split, duplicate +
+//! multiply (the stage whose duplication stall sets the initiation
+//! interval), adder tree, circle accumulate — producing both the result and
+//! the measured cycle count. The tests check the closed form against the
+//! measurement.
+
+use crate::pipeline::PipelineModel;
+use dw_logic::cost::GateTally;
+use dw_logic::multiplier::Multiplier;
+use serde::{Deserialize, Serialize};
+
+/// One beat in flight: up to `lanes` element pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Beat {
+    a: Vec<u64>,
+    b: Vec<u64>,
+}
+
+/// Measured outcome of a simulated dot product.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamRun {
+    /// The dot-product result.
+    pub result: u64,
+    /// Cycles from first fetch to the final accumulate.
+    pub cycles: u64,
+    /// Beats processed.
+    pub beats: u64,
+}
+
+/// The cycle-stepped pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineSim {
+    model: PipelineModel,
+    multiplier: Multiplier,
+}
+
+impl PipelineSim {
+    /// Builds a simulator matching `model`'s configuration.
+    pub fn new(model: PipelineModel) -> Self {
+        PipelineSim {
+            model,
+            multiplier: Multiplier::new(model.word_bits),
+        }
+    }
+
+    /// The underlying closed-form model.
+    pub fn model(&self) -> &PipelineModel {
+        &self.model
+    }
+
+    /// Runs a dot product through the pipeline cycle by cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn run_dot(&self, a: &[u64], b: &[u64]) -> StreamRun {
+        assert_eq!(a.len(), b.len(), "dot product needs equal-length vectors");
+        if a.is_empty() {
+            return StreamRun {
+                result: 0,
+                cycles: 0,
+                beats: 0,
+            };
+        }
+        let lanes = self.model.lanes as usize;
+        let interval = self.model.beat_interval();
+        let mask = (1u64 << self.model.word_bits) - 1;
+
+        // Input beats, in order.
+        let mut input: std::collections::VecDeque<Beat> = a
+            .chunks(lanes)
+            .zip(b.chunks(lanes))
+            .map(|(ca, cb)| Beat {
+                a: ca.iter().map(|&x| x & mask).collect(),
+                b: cb.iter().map(|&x| x & mask).collect(),
+            })
+            .collect();
+        let total_beats = input.len() as u64;
+
+        // Stage registers. Stage 2 holds (beat, cycles_remaining).
+        let mut s1: Option<Beat> = None;
+        let mut s2: Option<(Beat, u64)> = None;
+        let mut s3: Option<Vec<u64>> = None; // products leaving the multiplier
+        let mut s4: Option<Vec<u64>> = None; // sums leaving the tree
+        let mut acc: u64 = 0;
+        let mut retired = 0u64;
+        let mut cycles = 0u64;
+        let mut tally = GateTally::new();
+
+        while retired < total_beats {
+            cycles += 1;
+            // Stage 4: circle adder accumulates one beat's products.
+            if let Some(products) = s4.take() {
+                for p in products {
+                    acc = acc.wrapping_add(p);
+                }
+                retired += 1;
+            }
+            // Stage 3: adder tree finishes a beat's partial-product sums.
+            if s4.is_none() {
+                if let Some(products) = s3.take() {
+                    s4 = Some(products);
+                }
+            }
+            // Stage 2: duplicate + multiply; occupies `interval` cycles.
+            if let Some((beat, remaining)) = s2.take() {
+                if remaining > 1 {
+                    s2 = Some((beat, remaining - 1));
+                } else if s3.is_none() {
+                    let products: Vec<u64> = beat
+                        .a
+                        .iter()
+                        .zip(&beat.b)
+                        .map(|(&x, &y)| self.multiplier.multiply(x, y, &mut tally))
+                        .collect();
+                    s3 = Some(products);
+                } else {
+                    s2 = Some((beat, 1)); // structural stall: S3 occupied
+                }
+            }
+            // Stage 1: fetch/split one beat.
+            if s2.is_none() {
+                if let Some(beat) = s1.take() {
+                    s2 = Some((beat, interval));
+                }
+            }
+            if s1.is_none() {
+                if let Some(beat) = input.pop_front() {
+                    s1 = Some(beat);
+                }
+            }
+            debug_assert!(
+                cycles < 64 + total_beats * (interval + 4),
+                "pipeline must drain"
+            );
+        }
+        StreamRun {
+            result: acc,
+            cycles,
+            beats: total_beats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::ProcOp;
+
+    fn sim() -> PipelineSim {
+        PipelineSim::new(PipelineModel::paper_default())
+    }
+
+    fn vectors(n: usize) -> (Vec<u64>, Vec<u64>) {
+        let a: Vec<u64> = (0..n as u64).map(|i| (i * 7 + 3) % 256).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| (i * 13 + 1) % 256).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn results_match_host_dot() {
+        let s = sim();
+        for n in [1usize, 5, 64, 200, 1000] {
+            let (a, b) = vectors(n);
+            let run = s.run_dot(&a, &b);
+            let expect: u64 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
+            assert_eq!(run.result, expect, "n = {n}");
+            assert_eq!(run.beats, n.div_ceil(64) as u64);
+        }
+    }
+
+    #[test]
+    fn empty_dot_is_free() {
+        let run = sim().run_dot(&[], &[]);
+        assert_eq!(run.result, 0);
+        assert_eq!(run.cycles, 0);
+    }
+
+    #[test]
+    fn measured_cycles_track_the_closed_form() {
+        // Long streams: the steady state dominates and the two views agree.
+        let s = sim();
+        for n in [640usize, 6400, 64_000] {
+            let (a, b) = vectors(n);
+            let measured = s.run_dot(&a, &b).cycles;
+            let modelled = s.model().cost(ProcOp::DotProduct { n: n as u64 }).cycles;
+            let err = (measured as f64 - modelled as f64).abs() / modelled as f64;
+            assert!(
+                err < 0.30,
+                "n = {n}: measured {measured} vs model {modelled} ({err:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn model_fill_bounds_the_simulator() {
+        // Single beat: the closed form carries the full component fill
+        // (duplication steps, tree depth, circle steps) while the simulator
+        // hops stage registers in one cycle — so the model is the upper
+        // bound.
+        let s = sim();
+        let (a, b) = vectors(64);
+        let measured = s.run_dot(&a, &b).cycles;
+        let modelled = s.model().cost(ProcOp::DotProduct { n: 64 }).cycles;
+        assert!(measured <= modelled, "{measured} <= {modelled}");
+    }
+
+    #[test]
+    fn steady_state_interval_is_the_duplication_stall() {
+        let s = sim();
+        let (a1, b1) = vectors(64 * 10);
+        let (a2, b2) = vectors(64 * 20);
+        let c1 = s.run_dot(&a1, &b1).cycles;
+        let c2 = s.run_dot(&a2, &b2).cycles;
+        // 10 extra beats cost ~10 * beat_interval cycles.
+        let per_beat = (c2 - c1) as f64 / 10.0;
+        assert!(
+            (per_beat - s.model().beat_interval() as f64).abs() <= 1.0,
+            "per-beat {per_beat} vs interval {}",
+            s.model().beat_interval()
+        );
+    }
+
+    #[test]
+    fn more_duplicators_speed_the_measured_pipeline() {
+        let (a, b) = vectors(64 * 16);
+        let slow = PipelineSim::new(PipelineModel::new(8, 1, 512))
+            .run_dot(&a, &b)
+            .cycles;
+        let fast = PipelineSim::new(PipelineModel::new(8, 4, 512))
+            .run_dot(&a, &b)
+            .cycles;
+        assert!(fast < slow, "{fast} vs {slow}");
+    }
+}

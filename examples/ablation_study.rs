@@ -1,0 +1,70 @@
+//! Design-choice ablations on one kernel: optimization levels (Figure 22),
+//! bus flavour (StPIM vs StPIM-e), duplicator count and segment size.
+//!
+//! ```sh
+//! cargo run --release --example ablation_study -- 0.5
+//! ```
+
+use streampim::pim_baselines::platform::{Platform, Workload};
+use streampim::pim_device::{OptLevel, StreamPimConfig};
+use streampim::pim_workloads::polybench::Kernel;
+use streampim::rm_core::config::BusKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
+    let instance = if (scale - 1.0).abs() < 1e-9 {
+        Kernel::Gemm.paper_instance()
+    } else {
+        Kernel::Gemm.scaled(scale)
+    };
+    let workload = Workload::from_kernel(&instance);
+    println!("gemm at scale {scale}\n");
+
+    let price = |cfg: StreamPimConfig| -> Result<f64, Box<dyn std::error::Error>> {
+        Ok(Platform::stream_pim(cfg)?.run(&workload)?.total_ns())
+    };
+
+    // Optimization ablation (Figure 22).
+    println!("## optimization levels");
+    let base = price(StreamPimConfig::paper_default().with_opt(OptLevel::Base))?;
+    for opt in [OptLevel::Base, OptLevel::Distribute, OptLevel::Unblock] {
+        let t = price(StreamPimConfig::paper_default().with_opt(opt))?;
+        println!(
+            "  {opt:<12?} {:>10.3} ms   {:>8.1}x vs base",
+            t / 1e6,
+            base / t
+        );
+    }
+
+    // Bus ablation (StPIM-e).
+    println!("\n## in-subarray bus");
+    for (name, bus) in [
+        ("domain-wall", BusKind::DomainWall),
+        ("electrical", BusKind::Electrical),
+    ] {
+        let mut cfg = StreamPimConfig::paper_default();
+        cfg.device.bus = bus;
+        let t = price(cfg)?;
+        println!("  {name:<12} {:>10.3} ms", t / 1e6);
+    }
+
+    // Duplicator count (stage-2 stall: ceil(word_bits / duplicators)).
+    println!("\n## duplicators per processor");
+    for d in [1u32, 2, 4, 8] {
+        let mut cfg = StreamPimConfig::paper_default();
+        cfg.device.duplicators = d;
+        let t = price(cfg)?;
+        println!("  {d} duplicator(s) {:>10.3} ms", t / 1e6);
+    }
+
+    // Bus segment size (Table V).
+    println!("\n## bus segment size");
+    for seg in [64u32, 256, 512, 1024] {
+        let t = price(StreamPimConfig::paper_default().with_segment_domains(seg))?;
+        println!("  {seg:>4} domains   {:>10.3} ms", t / 1e6);
+    }
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Run one polybench kernel on every evaluated platform and print the
+//! comparison (a single column of the paper's Figures 17 and 18).
+//!
+//! ```sh
+//! cargo run --release --example polybench_sweep -- gemm 0.25
+//! ```
+//!
+//! The first argument is the kernel name (default `gemm`), the second the
+//! problem-size scale (default `0.25`; use `1.0` for the paper's full
+//! sizes).
+
+use streampim::pim_baselines::platform::{Platform, PlatformKind, Workload};
+use streampim::pim_workloads::polybench::Kernel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kernel_name = args.first().map(String::as_str).unwrap_or("gemm");
+    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.25);
+
+    let kernel = Kernel::ALL
+        .into_iter()
+        .find(|k| k.name() == kernel_name)
+        .ok_or_else(|| format!("unknown kernel {kernel_name:?}; try one of: 2mm 3mm gemm syrk syr2k atax bicg gesu mvt"))?;
+
+    let instance = if (scale - 1.0).abs() < 1e-9 {
+        kernel.paper_instance()
+    } else {
+        kernel.scaled(scale)
+    };
+    let workload = Workload::from_kernel(&instance);
+    println!(
+        "kernel {kernel} at scale {scale} ({:.2e} flops on the host platforms)\n",
+        workload.profile.flops
+    );
+
+    println!(
+        "{:<10} {:>12} {:>10} {:>12} {:>10}",
+        "platform", "time", "speedup", "energy", "vs StPIM"
+    );
+    let mut base_ns = None;
+    let mut stpim_pj = None;
+    let mut rows = Vec::new();
+    for kind in PlatformKind::FIGURE_17 {
+        let report = Platform::new(kind)?.run(&workload)?;
+        if kind == PlatformKind::CpuRm {
+            base_ns = Some(report.total_ns());
+        }
+        if kind == PlatformKind::StPim {
+            stpim_pj = Some(report.total_pj());
+        }
+        rows.push((kind, report));
+    }
+    let base_ns = base_ns.expect("CPU-RM runs first");
+    let stpim_pj = stpim_pj.expect("StPIM runs last");
+    for (kind, report) in rows {
+        println!(
+            "{:<10} {:>9.3} ms {:>9.2}x {:>9.3} mJ {:>9.2}x",
+            kind.name(),
+            report.total_ns() / 1e6,
+            base_ns / report.total_ns(),
+            report.total_pj() / 1e9,
+            report.total_pj() / stpim_pj,
+        );
+    }
+    println!("\n(speedup is over CPU-RM; energy column is relative to StPIM)");
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Quickstart: offload a small matrix computation to the simulated
+//! StreamPIM device and inspect the result and the execution report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use streampim::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Build the paper-default device: 8 GiB racetrack memory, 512 PIM
+    // subarrays, domain-wall RM bus, distribute + unblock optimizations.
+    let device = StreamPim::new(StreamPimConfig::default())?;
+
+    // A small integer GEMM: C = A * B + C0.
+    let a = Matrix::from_fn(64, 48, |i, j| ((i * 7 + j * 3) % 16) as i64);
+    let b = Matrix::from_fn(48, 32, |i, j| ((i + 2 * j) % 16) as i64);
+    let c0 = Matrix::from_fn(64, 32, |i, j| ((i + j) % 16) as i64);
+
+    // The paper's three-step programming interface (Figure 16):
+    // 1. create a task, 2. register operands and operations, 3. run.
+    let mut task = PimTask::new();
+    let ha = task.add_matrix(&a)?;
+    let hb = task.add_matrix(&b)?;
+    let hc0 = task.add_matrix(&c0)?;
+    let tmp = task.add_output(64, 32)?;
+    let out = task.add_output(64, 32)?;
+    task.add_operation(MatrixOp::MatMul {
+        a: ha,
+        b: hb,
+        dst: tmp,
+    })?;
+    task.add_operation(MatrixOp::MatAdd {
+        a: tmp,
+        b: hc0,
+        dst: out,
+    })?;
+
+    let outcome = task.run(&device)?;
+
+    // Functional correctness against host math.
+    let expect = a.matmul(&b).add(&c0);
+    assert_eq!(outcome.matrix(out)?, &expect);
+    println!("result verified against host reference ✓");
+
+    // What did it cost on the device?
+    let r = &outcome.report;
+    println!("\nexecution report:");
+    println!(
+        "  VPCs            : {} compute + {} move",
+        r.vpc.pim, r.vpc.moves
+    );
+    println!("  time            : {:.2} us", r.total_ns() / 1e3);
+    println!(
+        "    exclusive transfer {:.1}%  |  overlapped {:.1}%",
+        r.time.exclusive_transfer_fraction() * 100.0,
+        r.time.overlapped_ns / r.total_ns() * 100.0
+    );
+    println!("  energy          : {:.2} nJ", r.total_pj() / 1e3);
+    println!(
+        "    transfer share {:.1}%  (reads+writes+shifts)",
+        r.energy.transfer_fraction() * 100.0
+    );
+    println!(
+        "  word-level ops  : {} MUL, {} ADD",
+        r.counters.pim_muls, r.counters.pim_adds
+    );
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! # StreamPIM
+//!
+//! A full-system reproduction of **"StreamPIM: Streaming Matrix Computation
+//! in Racetrack Memory"** (HPCA 2024). This umbrella crate re-exports the
+//! workspace crates so downstream users can depend on a single package:
+//!
+//! * [`rm_core`] — racetrack-memory substrate (nanowires, mats, subarrays,
+//!   banks; timing/energy/fault models).
+//! * [`dw_logic`] — domain-wall logic gates and the arithmetic structures
+//!   built from them (full adders, duplicator, circle adder, multiplier).
+//! * [`rm_bus`] — the segmented domain-wall nanowire bus (and the electrical
+//!   bus used by the `StPIM-e` ablation).
+//! * [`rm_proc`] — the 4-stage pipelined RM processor.
+//! * [`pim_device`] — the StreamPIM device: VPC ISA, bank controller,
+//!   placement and `unblock` optimizations, execution engine, and the
+//!   `PimTask` programming interface.
+//! * [`pim_baselines`] — CPU-RM, CPU-DRAM, GPU, CORUSCANT, ELP2IM and FELIX
+//!   comparison platforms behind one `Platform` trait.
+//! * [`pim_workloads`] — polybench kernels and DNN (MLP/BERT) workload
+//!   generators with host-side reference math.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use streampim::prelude::*;
+//!
+//! // Multiply two small matrices on the simulated StreamPIM device.
+//! let a = Matrix::from_fn(4, 4, |i, j| (i + j) as i64);
+//! let b = Matrix::identity(4);
+//! let device = StreamPim::new(StreamPimConfig::default()).unwrap();
+//!
+//! let mut task = PimTask::new();
+//! let ha = task.add_matrix(&a).unwrap();
+//! let hb = task.add_matrix(&b).unwrap();
+//! let hc = task.add_output(4, 4).unwrap();
+//! task.add_operation(MatrixOp::MatMul { a: ha, b: hb, dst: hc }).unwrap();
+//!
+//! let outcome = task.run(&device).unwrap();
+//! assert_eq!(outcome.matrix(hc).unwrap(), &a);
+//! assert!(outcome.report.time.total_ns() > 0.0);
+//! ```
+
+pub use dw_logic;
+pub use pim_baselines;
+pub use pim_device;
+pub use pim_workloads;
+pub use rm_bus;
+pub use rm_core;
+pub use rm_proc;
+
+/// Convenient glob-import surface for examples and tests.
+pub mod prelude {
+    pub use pim_baselines::platform::{Platform, PlatformKind};
+    pub use pim_device::device::{StreamPim, StreamPimConfig};
+    pub use pim_device::report::ExecReport;
+    pub use pim_device::task::{MatrixOp, PimTask, TaskOutcome};
+    pub use pim_device::vpc::{VecRef, Vpc};
+    pub use pim_workloads::matrix::Matrix;
+    pub use pim_workloads::polybench::Kernel;
+    pub use rm_core::{DeviceConfig, EnergyBreakdown, Geometry, TimeBreakdown};
+}

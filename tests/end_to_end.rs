@@ -1,0 +1,197 @@
+//! Cross-crate integration tests: the full PIM stack computes correctly and
+//! the platform comparison behaves like the paper.
+
+use streampim::pim_baselines::platform::{Platform, PlatformKind, Workload};
+use streampim::pim_workloads::polybench::Kernel;
+use streampim::prelude::*;
+
+fn device() -> StreamPim {
+    StreamPim::new(StreamPimConfig::default()).expect("paper default validates")
+}
+
+#[test]
+fn every_kernel_is_functionally_exact_at_small_scale() {
+    let device = device();
+    for kernel in Kernel::ALL {
+        let instance = kernel.scaled(0.01);
+        let built = instance.build_task(Some(2024));
+        let outcome = built.task.run(&device).expect("kernels run");
+        let got = outcome.matrix(built.output).expect("output exists");
+        assert_eq!(got, &instance.reference(2024), "kernel {kernel}");
+    }
+}
+
+#[test]
+fn functional_results_are_schedule_invariant() {
+    // base / distribute / unblock change only the cost, never the result.
+    use streampim::pim_device::OptLevel;
+    for kernel in [Kernel::Gemm, Kernel::Mvt, Kernel::Gesummv] {
+        let instance = kernel.scaled(0.01);
+        let built = instance.build_task(Some(7));
+        let mut results = Vec::new();
+        let mut times = Vec::new();
+        for opt in [OptLevel::Base, OptLevel::Distribute, OptLevel::Unblock] {
+            let dev =
+                StreamPim::new(StreamPimConfig::default().with_opt(opt)).expect("valid config");
+            let outcome = built.task.run(&dev).expect("runs");
+            results.push(outcome.matrix(built.output).expect("output").clone());
+            times.push(outcome.report.total_ns());
+        }
+        assert_eq!(results[0], results[1], "{kernel}: base vs distribute");
+        assert_eq!(results[1], results[2], "{kernel}: distribute vs unblock");
+        assert!(
+            times[0] > times[1] && times[1] > times[2],
+            "{kernel}: opts help: {times:?}"
+        );
+    }
+}
+
+#[test]
+fn figure_17_platform_ordering_holds_at_full_scale_gemm() {
+    let workload = Workload::from_kernel(&Kernel::Gemm.paper_instance());
+    let time = |kind: PlatformKind| {
+        Platform::new(kind)
+            .expect("platform builds")
+            .run(&workload)
+            .expect("pricing succeeds")
+            .total_ns()
+    };
+    let cpu_rm = time(PlatformKind::CpuRm);
+    let cpu_dram = time(PlatformKind::CpuDram);
+    let elp2im = time(PlatformKind::Elp2im);
+    let felix = time(PlatformKind::Felix);
+    let coruscant = time(PlatformKind::Coruscant);
+    let stpim_e = time(PlatformKind::StPimE);
+    let stpim = time(PlatformKind::StPim);
+
+    // The paper's Figure 17 ordering on large kernels.
+    assert!(cpu_dram < cpu_rm, "DRAM beats RM as plain memory");
+    assert!(elp2im < cpu_dram, "ELP2IM beats the hosts on gemm");
+    assert!(felix < elp2im, "FELIX beats ELP2IM");
+    assert!(coruscant < felix, "CORUSCANT beats FELIX");
+    assert!(stpim < stpim_e, "the RM bus beats the electrical bus");
+    assert!(stpim < coruscant, "StreamPIM beats the state of the art");
+
+    // Rough magnitudes: StPIM 20-35x over CPU-RM on gemm.
+    let speedup = cpu_rm / stpim;
+    assert!((15.0..45.0).contains(&speedup), "gemm speedup {speedup}");
+}
+
+#[test]
+fn figure_18_energy_ordering_holds_at_full_scale_gemm() {
+    let workload = Workload::from_kernel(&Kernel::Gemm.paper_instance());
+    let energy = |kind: PlatformKind| {
+        Platform::new(kind)
+            .unwrap()
+            .run(&workload)
+            .unwrap()
+            .total_pj()
+    };
+    let stpim = energy(PlatformKind::StPim);
+    assert!(
+        energy(PlatformKind::StPimE) > stpim,
+        "electrical bus costs energy"
+    );
+    assert!(
+        energy(PlatformKind::Coruscant) > stpim,
+        "conversion costs energy"
+    );
+    assert!(
+        energy(PlatformKind::CpuDram) > 30.0 * stpim,
+        "host is far hungrier"
+    );
+}
+
+#[test]
+fn report_breakdowns_are_self_consistent() {
+    let workload = Workload::from_kernel(&Kernel::Gemm.scaled(0.2));
+    for kind in PlatformKind::FIGURE_17 {
+        let r = Platform::new(kind).unwrap().run(&workload).unwrap();
+        let t = &r.time;
+        let sum = t.read_ns + t.write_ns + t.shift_ns + t.process_ns + t.overlapped_ns;
+        assert!(
+            (sum - t.total_ns()).abs() < 1e-6 * t.total_ns().max(1.0),
+            "{kind}: breakdown sums to total"
+        );
+        assert!(t.read_ns >= 0.0 && t.write_ns >= 0.0 && t.shift_ns >= 0.0);
+        assert!(t.process_ns >= 0.0 && t.overlapped_ns >= 0.0);
+        let e = &r.energy;
+        assert!(e.total_pj() > 0.0, "{kind}: energy positive");
+    }
+}
+
+#[test]
+fn streampim_hides_transfers_on_large_kernels() {
+    let workload = Workload::from_kernel(&Kernel::ThreeMm.paper_instance());
+    let stpim = Platform::new(PlatformKind::StPim)
+        .unwrap()
+        .run(&workload)
+        .unwrap();
+    assert!(
+        stpim.time.exclusive_transfer_fraction() < 0.05,
+        "Figure 19: exclusive transfer should be tiny, got {}",
+        stpim.time.exclusive_transfer_fraction()
+    );
+    let coruscant = Platform::new(PlatformKind::Coruscant)
+        .unwrap()
+        .run(&workload)
+        .unwrap();
+    assert!(
+        coruscant.time.exclusive_transfer_fraction() > 0.6,
+        "CORUSCANT pays conversion in the open, got {}",
+        coruscant.time.exclusive_transfer_fraction()
+    );
+}
+
+#[test]
+fn vpc_counts_scale_with_problem_size() {
+    let device = device();
+    let small = Kernel::Gemm
+        .scaled(0.1)
+        .build_task(None)
+        .task
+        .lower(&device)
+        .unwrap()
+        .counts();
+    let large = Kernel::Gemm
+        .scaled(0.2)
+        .build_task(None)
+        .task
+        .lower(&device)
+        .unwrap()
+        .counts();
+    // #PIM-VPC for gemm is ~quadratic in the linear scale.
+    let ratio = large.pim as f64 / small.pim as f64;
+    assert!((3.0..5.0).contains(&ratio), "quadratic growth, got {ratio}");
+}
+
+#[test]
+fn chained_tasks_compose() {
+    // y = (A + B) * x computed as two chained operations.
+    let device = device();
+    let a = Matrix::from_fn(12, 12, |i, j| ((i + j) % 9) as i64);
+    let b = Matrix::from_fn(12, 12, |i, j| ((3 * i + j) % 9) as i64);
+    let x = Matrix::column(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12]);
+
+    let mut task = PimTask::new();
+    let ha = task.add_matrix(&a).unwrap();
+    let hb = task.add_matrix(&b).unwrap();
+    let hx = task.add_matrix(&x).unwrap();
+    let hsum = task.add_output(12, 12).unwrap();
+    let hy = task.add_output(12, 1).unwrap();
+    task.add_operation(MatrixOp::MatAdd {
+        a: ha,
+        b: hb,
+        dst: hsum,
+    })
+    .unwrap();
+    task.add_operation(MatrixOp::MatVec {
+        a: hsum,
+        x: hx,
+        dst: hy,
+    })
+    .unwrap();
+
+    let outcome = task.run(&device).unwrap();
+    assert_eq!(outcome.matrix(hy).unwrap(), &a.add(&b).matmul(&x));
+}
