@@ -1,0 +1,30 @@
+# Developer entry points. `make verify` mirrors the CI pipeline
+# (.github/workflows/ci.yml) and the tier-1 acceptance gate.
+
+CARGO ?= cargo
+
+.PHONY: verify fmt lint build test bench-build experiments
+
+verify: fmt lint build test bench-build
+	@echo "verify: all gates passed"
+
+fmt:
+	$(CARGO) fmt --all --check
+
+lint:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+build:
+	$(CARGO) build --release --workspace
+
+test:
+	$(CARGO) test -q --workspace
+
+# Benches and examples must stay compilable even when not run.
+bench-build:
+	$(CARGO) bench --workspace --no-run
+	$(CARGO) build --release --examples
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	$(CARGO) run --release -p pim-bench --bin experiments -- all

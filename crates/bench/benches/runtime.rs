@@ -1,0 +1,107 @@
+//! Batch-runtime throughput: jobs/sec across worker counts, and the effect
+//! of a warm schedule cache.
+//!
+//! One iteration executes a full mixed batch, so ns/iter is directly
+//! comparable across worker counts (speedup requires a multi-core host;
+//! on one core the extra workers only add scheduling overhead, which the
+//! job sizes below are chosen to keep small).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pim_baselines::PlatformKind;
+use pim_runtime::{Job, Runtime, RuntimeConfig};
+use pim_workloads::{Kernel, WorkloadSpec};
+use std::hint::black_box;
+
+/// A mixed batch across kernels and platforms (small instances so one
+/// bench iteration executes a full batch).
+fn batch() -> Vec<Job> {
+    let kernels = [Kernel::Atax, Kernel::Bicg, Kernel::Gesummv, Kernel::Mvt];
+    let platforms = [
+        PlatformKind::StPim,
+        PlatformKind::StPimE,
+        PlatformKind::Coruscant,
+        PlatformKind::CpuRm,
+    ];
+    kernels
+        .into_iter()
+        .flat_map(|k| {
+            platforms
+                .into_iter()
+                .map(move |p| Job::new(WorkloadSpec::polybench(k, 0.05), p))
+        })
+        .collect()
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_batch_workers");
+    group.sample_size(10);
+    let jobs = batch();
+    let n_cpu = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut worker_counts = vec![1usize, 4, n_cpu];
+    worker_counts.sort_unstable();
+    worker_counts.dedup(); // n_cpu may coincide with 1 or 4
+    for workers in worker_counts {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            // Fresh runtime per iteration: a cold cache every time, so the
+            // measurement isolates worker scaling from cache warmth.
+            b.iter(|| {
+                let runtime = Runtime::new(RuntimeConfig {
+                    workers: w,
+                    cache_enabled: true,
+                });
+                black_box(runtime.run_batch(black_box(&jobs)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache_warmth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_batch_cache");
+    group.sample_size(10);
+    let jobs = batch();
+
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let runtime = Runtime::new(RuntimeConfig {
+                workers: 4,
+                cache_enabled: true,
+            });
+            black_box(runtime.run_batch(black_box(&jobs)))
+        })
+    });
+
+    group.bench_function("warm", |b| {
+        let runtime = Runtime::new(RuntimeConfig {
+            workers: 4,
+            cache_enabled: true,
+        });
+        runtime.run_batch(&jobs); // prime the cache
+        assert!(runtime.cache().misses() > 0);
+        b.iter(|| black_box(runtime.run_batch(black_box(&jobs))));
+        assert!(runtime.cache().hits() > 0, "warm runs hit the cache");
+    });
+
+    group.bench_function("disabled", |b| {
+        let runtime = Runtime::new(RuntimeConfig {
+            workers: 4,
+            cache_enabled: false,
+        });
+        b.iter(|| black_box(runtime.run_batch(black_box(&jobs))));
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = runtime;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10);
+    targets = bench_worker_scaling,
+    bench_cache_warmth
+}
+criterion_main!(runtime);

@@ -12,6 +12,7 @@ use pim_device::{PimError, StreamPim, StreamPimConfig};
 use pim_workloads::dnn::DnnModel;
 use pim_workloads::polybench::KernelInstance;
 use pim_workloads::profile::KernelProfile;
+use pim_workloads::spec::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 
 /// The platforms of the paper's evaluation (Figure 17/18 legend).
@@ -98,6 +99,16 @@ impl Workload {
             task: model.build_task(),
         }
     }
+
+    /// Materializes a serializable [`WorkloadSpec`] (the runtime's job
+    /// request format) into both platform representations.
+    pub fn from_spec(spec: &WorkloadSpec) -> Self {
+        Workload {
+            name: spec.name(),
+            profile: spec.profile(),
+            task: spec.build_task(),
+        }
+    }
 }
 
 /// A ready-to-run platform.
@@ -170,20 +181,71 @@ impl Platform {
     /// Returns [`PimError::EmptyTask`] if a PIM platform receives a
     /// workload whose task has no operations.
     pub fn run(&self, workload: &Workload) -> Result<ExecReport, PimError> {
+        self.run_with_schedule(workload, None)
+    }
+
+    /// The StreamPIM configuration whose lowering this platform prices, or
+    /// `None` for host platforms that never lower (CPU/GPU). Schedules
+    /// lowered under this configuration can be passed back through
+    /// [`Platform::run_with_schedule`]; platforms returning the same
+    /// configuration can share cached schedules for the same task.
+    pub fn lowering_config(&self) -> Option<StreamPimConfig> {
+        match &self.inner {
+            Inner::Cpu(_) | Inner::Gpu(_) => None,
+            Inner::StreamPim(device) => Some(device.config().clone()),
+            // The idealized PIM baselines price word-level work derived
+            // from the reference (paper-default) lowering.
+            Inner::Coruscant(_) | Inner::BitSerial(_) => Some(StreamPimConfig::paper_default()),
+        }
+    }
+
+    /// Prices `workload`, reusing a previously lowered `schedule` when one
+    /// is supplied. The schedule must come from lowering `workload.task`
+    /// under this platform's [`Platform::lowering_config`]; lowering is
+    /// deterministic, so the result is identical to [`Platform::run`] —
+    /// only the lowering cost is skipped. Host platforms ignore the
+    /// schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::EmptyTask`] if a PIM platform must lower a
+    /// workload whose task has no operations.
+    pub fn run_with_schedule(
+        &self,
+        workload: &Workload,
+        schedule: Option<&Schedule>,
+    ) -> Result<ExecReport, PimError> {
         let mut report = match &self.inner {
             Inner::Cpu(m) => return Ok(m.run_profile(&workload.profile)),
             Inner::Gpu(m) => return Ok(m.run_profile(&workload.profile)),
-            Inner::StreamPim(device) => workload.task.price(device)?,
+            Inner::StreamPim(device) => match schedule {
+                Some(s) => device.execute(s),
+                None => workload.task.price(device)?,
+            },
             Inner::Coruscant(m) => {
-                let schedule = workload.task.lower(&reference_device()?)?;
-                let mut r = m.run_schedule(&schedule);
-                add_baseline_movement(&mut r, &schedule);
+                let lowered;
+                let s = match schedule {
+                    Some(s) => s,
+                    None => {
+                        lowered = workload.task.lower(&reference_device()?)?;
+                        &lowered
+                    }
+                };
+                let mut r = m.run_schedule(s);
+                add_baseline_movement(&mut r, s);
                 r
             }
             Inner::BitSerial(m) => {
-                let schedule = workload.task.lower(&reference_device()?)?;
-                let mut r = m.run_schedule(&schedule);
-                add_baseline_movement(&mut r, &schedule);
+                let lowered;
+                let s = match schedule {
+                    Some(s) => s,
+                    None => {
+                        lowered = workload.task.lower(&reference_device()?)?;
+                        &lowered
+                    }
+                };
+                let mut r = m.run_schedule(s);
+                add_baseline_movement(&mut r, s);
                 r
             }
         };
@@ -277,6 +339,32 @@ mod tests {
         assert!(stpim < run(PlatformKind::Elp2im), "beats ELP2IM");
         assert!(stpim < run(PlatformKind::Felix), "beats FELIX");
         assert!(stpim < run(PlatformKind::CpuRm), "beats CPU-RM");
+    }
+
+    #[test]
+    fn cached_schedule_reproduces_direct_run() {
+        let w = Workload::from_kernel(&Kernel::Atax.scaled(0.02));
+        for kind in PlatformKind::FIGURE_17 {
+            let p = Platform::new(kind).unwrap();
+            let direct = p.run(&w).unwrap();
+            let schedule = p
+                .lowering_config()
+                .map(|cfg| w.task.lower(&StreamPim::new(cfg).unwrap()).unwrap());
+            let cached = p.run_with_schedule(&w, schedule.as_ref()).unwrap();
+            assert_eq!(direct, cached, "{kind}: schedule reuse changes nothing");
+        }
+    }
+
+    #[test]
+    fn from_spec_matches_from_kernel() {
+        let spec = WorkloadSpec::polybench(Kernel::Gemm, 0.02);
+        let a = Workload::from_spec(&spec);
+        let b = Workload::from_kernel(&Kernel::Gemm.scaled(0.02));
+        // Spec names carry the scale suffix; the priced work is identical.
+        assert!(a.name.starts_with(&b.name), "{} vs {}", a.name, b.name);
+        assert_eq!(a.profile, b.profile);
+        let p = Platform::new(PlatformKind::StPim).unwrap();
+        assert_eq!(p.run(&a).unwrap(), p.run(&b).unwrap());
     }
 
     #[test]

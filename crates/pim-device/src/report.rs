@@ -93,7 +93,11 @@ impl fmt::Display for ExecReport {
                 self.energy.other_pj / e * 100.0
             )?;
         }
-        write!(f, "VPCs   {} compute + {} move", self.vpc.pim, self.vpc.moves)
+        write!(
+            f,
+            "VPCs   {} compute + {} move",
+            self.vpc.pim, self.vpc.moves
+        )
     }
 }
 

@@ -221,6 +221,29 @@ impl Schedule {
         }
     }
 
+    /// Content fingerprint of the schedule (FNV-1a over the canonical debug
+    /// rendering). Two schedules with identical rounds share a fingerprint;
+    /// lowering is deterministic, so equal `(config, task)` pairs always map
+    /// to the same fingerprint. Used by the runtime's schedule cache to
+    /// sanity-check cached entries cheaply (rounds stay repeat-compressed —
+    /// nothing is expanded).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut feed = |s: &str| {
+            for b in s.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for round in &self.rounds {
+            feed(&format!(
+                "{:?}|{:?}|{:?}|{}",
+                round.broadcasts, round.computes, round.collects, round.repeat
+            ));
+        }
+        h
+    }
+
     /// VPC counts (identical for both orders), computed without expansion.
     pub fn counts(&self) -> crate::vpc::VpcCounts {
         let mut c = crate::vpc::VpcCounts::default();
@@ -331,6 +354,21 @@ mod tests {
         let g = s.op_groups();
         assert_eq!(g.dots, vec![(100, 15)]);
         assert_eq!(g.elementwise_elements, 0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "equal content");
+        let mut c = sample();
+        c.rounds[0].repeat = 2;
+        assert_ne!(a.fingerprint(), c.fingerprint(), "repeat changes content");
+        assert_ne!(
+            Schedule::new().fingerprint(),
+            0,
+            "empty schedule has a stable nonzero seed hash"
+        );
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Content-addressed schedule cache.
+//!
+//! Task lowering is deterministic: the schedule is a pure function of the
+//! lowering configuration and the workload spec. The cache therefore keys
+//! entries by an FNV-1a digest of the canonical debug rendering of that
+//! pair — no invalidation protocol is needed, entries are immutable, and a
+//! hit is guaranteed to be byte-identical to what a fresh lowering would
+//! produce (the determinism tests enforce this end to end).
+
+use crate::job::fnv;
+use pim_device::schedule::Schedule;
+use pim_device::{PimError, StreamPimConfig};
+use pim_workloads::WorkloadSpec;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Thread-safe cache of lowered schedules, shared across jobs and workers.
+#[derive(Debug, Default)]
+pub struct ScheduleCache {
+    entries: Mutex<HashMap<u64, Arc<Schedule>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ScheduleCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ScheduleCache::default()
+    }
+
+    /// The cache key for a `(lowering config, workload)` pair.
+    ///
+    /// `StreamPimConfig` contains floats, so it cannot derive `Hash`; the
+    /// debug rendering is canonical instead (Rust formats floats with the
+    /// shortest round-trip representation, so distinct configs render
+    /// distinctly and equal configs render equally).
+    pub fn key(config: &StreamPimConfig, workload: &WorkloadSpec) -> u64 {
+        fnv(&format!("{config:?}|{workload:?}"))
+    }
+
+    /// Returns the schedule for `key`, lowering it with `lower` on a miss.
+    /// The second component reports whether this call was a hit.
+    ///
+    /// Lowering runs outside the lock so a slow lowering never serializes
+    /// unrelated lookups; if two workers race on the same key, both lower
+    /// (deterministically, to identical schedules) and the first insert
+    /// wins.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error from `lower` on a miss.
+    pub fn get_or_lower<F>(&self, key: u64, lower: F) -> Result<(Arc<Schedule>, bool), PimError>
+    where
+        F: FnOnce() -> Result<Schedule, PimError>,
+    {
+        if let Some(found) = self.entries.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(found), true));
+        }
+        let lowered = Arc::new(lower()?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock().expect("cache lock");
+        let entry = entries.entry(key).or_insert_with(|| Arc::clone(&lowered));
+        debug_assert_eq!(
+            entry.fingerprint(),
+            lowered.fingerprint(),
+            "deterministic lowering: racing lowerings must agree"
+        );
+        Ok((Arc::clone(entry), false))
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (i.e. lowerings performed) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct schedules resident.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache holds no schedules.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries (counters are preserved).
+    pub fn clear(&self) {
+        self.entries.lock().expect("cache lock").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_device::StreamPim;
+    use pim_workloads::Kernel;
+
+    fn lower(spec: &WorkloadSpec, cfg: &StreamPimConfig) -> Result<Schedule, PimError> {
+        let device = StreamPim::new(cfg.clone())?;
+        spec.build_task().lower(&device)
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = ScheduleCache::new();
+        let cfg = StreamPimConfig::paper_default();
+        let spec = WorkloadSpec::polybench(Kernel::Atax, 0.02);
+        let key = ScheduleCache::key(&cfg, &spec);
+
+        let (first, hit1) = cache.get_or_lower(key, || lower(&spec, &cfg)).unwrap();
+        assert!(!hit1, "cold lookup misses");
+        let (second, hit2) = cache
+            .get_or_lower(key, || panic!("must not re-lower"))
+            .unwrap();
+        assert!(hit2, "warm lookup hits");
+        assert_eq!(first.fingerprint(), second.fingerprint());
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+    }
+
+    #[test]
+    fn keys_separate_configs_and_workloads() {
+        let cfg = StreamPimConfig::paper_default();
+        let cfg_e = StreamPimConfig::electrical_bus();
+        let a = WorkloadSpec::polybench(Kernel::Atax, 0.02);
+        let b = WorkloadSpec::polybench(Kernel::Bicg, 0.02);
+        assert_ne!(
+            ScheduleCache::key(&cfg, &a),
+            ScheduleCache::key(&cfg, &b),
+            "different workloads"
+        );
+        assert_ne!(
+            ScheduleCache::key(&cfg, &a),
+            ScheduleCache::key(&cfg_e, &a),
+            "different configs"
+        );
+        assert_eq!(
+            ScheduleCache::key(&cfg, &a),
+            ScheduleCache::key(&StreamPimConfig::paper_default(), &a),
+            "equal pairs share a key"
+        );
+    }
+
+    #[test]
+    fn errors_propagate_and_do_not_poison() {
+        let cache = ScheduleCache::new();
+        let err = cache.get_or_lower(7, || Err(PimError::EmptyTask));
+        assert!(err.is_err());
+        assert!(cache.is_empty());
+        let cfg = StreamPimConfig::paper_default();
+        let spec = WorkloadSpec::polybench(Kernel::Mvt, 0.02);
+        cache.get_or_lower(7, || lower(&spec, &cfg)).unwrap();
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_counters() {
+        let cache = ScheduleCache::new();
+        let cfg = StreamPimConfig::paper_default();
+        let spec = WorkloadSpec::polybench(Kernel::Atax, 0.02);
+        let key = ScheduleCache::key(&cfg, &spec);
+        cache.get_or_lower(key, || lower(&spec, &cfg)).unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.misses(), 1);
+    }
+}

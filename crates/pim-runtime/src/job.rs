@@ -1,0 +1,167 @@
+//! Job requests: what to run, where, and under which configuration.
+
+use pim_baselines::{Platform, PlatformKind};
+use pim_device::{OptLevel, PimError, StreamPimConfig};
+use pim_workloads::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+
+/// One batch-runtime request: a workload priced on a platform.
+///
+/// Jobs are plain serializable values; nothing heavyweight (matrices,
+/// schedules, devices) is built until the runtime dispatches them. The
+/// optional `config`/`opt` overrides apply to the StreamPIM family
+/// ([`PlatformKind::StPim`]/[`PlatformKind::StPimE`]); other platforms have
+/// fixed paper configurations and ignore them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Display name (defaults to `<workload>/<platform>`).
+    pub name: String,
+    /// What to price.
+    pub workload: WorkloadSpec,
+    /// Where to price it.
+    pub platform: PlatformKind,
+    /// Full StreamPIM configuration override (StreamPIM family only).
+    pub config: Option<StreamPimConfig>,
+    /// Optimization-level override, applied on top of `config` or the
+    /// platform default (StreamPIM family only).
+    pub opt: Option<OptLevel>,
+}
+
+impl Job {
+    /// A job with the platform's default configuration.
+    pub fn new(workload: WorkloadSpec, platform: PlatformKind) -> Self {
+        Job {
+            name: format!("{}/{}", workload.name(), platform.name()),
+            workload,
+            platform,
+            config: None,
+            opt: None,
+        }
+    }
+
+    /// Replaces the display name (builder style).
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Sets a full StreamPIM configuration override (builder style).
+    pub fn with_config(mut self, config: StreamPimConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Sets an optimization-level override (builder style).
+    pub fn with_opt(mut self, opt: OptLevel) -> Self {
+        self.opt = Some(opt);
+        self
+    }
+
+    /// The StreamPIM configuration this job runs under, with overrides
+    /// applied — `None` for platforms that are not in the StreamPIM family.
+    pub fn effective_config(&self) -> Option<StreamPimConfig> {
+        let base = match (&self.config, self.platform) {
+            (Some(cfg), _) => cfg.clone(),
+            (None, PlatformKind::StPim) => StreamPimConfig::paper_default(),
+            (None, PlatformKind::StPimE) => StreamPimConfig::electrical_bus(),
+            (None, _) => return None,
+        };
+        Some(match self.opt {
+            Some(opt) => base.with_opt(opt),
+            None => base,
+        })
+    }
+
+    /// Builds the platform instance this job targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::Config`] for invalid configuration overrides.
+    pub fn build_platform(&self) -> Result<Platform, PimError> {
+        match self.platform {
+            PlatformKind::StPim | PlatformKind::StPimE => Platform::stream_pim(
+                self.effective_config()
+                    .expect("StreamPIM-family jobs always have a config"),
+            ),
+            other => Platform::new(other),
+        }
+    }
+
+    /// Stable identity of the platform instance this job needs: jobs with
+    /// equal keys can share one [`Platform`] from the runtime's pool.
+    pub(crate) fn platform_key(&self) -> u64 {
+        fnv(&format!(
+            "{:?}|{:?}",
+            self.platform,
+            self.effective_config()
+        ))
+    }
+}
+
+/// FNV-1a over a string — the runtime's content-address primitive.
+pub(crate) fn fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_workloads::Kernel;
+
+    #[test]
+    fn default_config_follows_platform() {
+        let spec = WorkloadSpec::polybench(Kernel::Gemm, 0.02);
+        let stpim = Job::new(spec, PlatformKind::StPim);
+        assert_eq!(
+            stpim.effective_config(),
+            Some(StreamPimConfig::paper_default())
+        );
+        let stpim_e = Job::new(spec, PlatformKind::StPimE);
+        assert_eq!(
+            stpim_e.effective_config(),
+            Some(StreamPimConfig::electrical_bus())
+        );
+        let cpu = Job::new(spec, PlatformKind::CpuRm);
+        assert_eq!(cpu.effective_config(), None);
+    }
+
+    #[test]
+    fn opt_override_applies_on_top_of_default() {
+        let spec = WorkloadSpec::polybench(Kernel::Gemm, 0.02);
+        let job = Job::new(spec, PlatformKind::StPim).with_opt(OptLevel::Base);
+        assert_eq!(job.effective_config().unwrap().opt, OptLevel::Base);
+    }
+
+    #[test]
+    fn platform_keys_separate_configs() {
+        let spec = WorkloadSpec::polybench(Kernel::Gemm, 0.02);
+        let a = Job::new(spec, PlatformKind::StPim);
+        let b = Job::new(spec, PlatformKind::StPim).with_opt(OptLevel::Distribute);
+        let c = Job::new(spec, PlatformKind::StPim);
+        assert_ne!(a.platform_key(), b.platform_key());
+        assert_eq!(a.platform_key(), c.platform_key());
+    }
+
+    #[test]
+    fn jobs_round_trip_through_json() {
+        let job = Job::new(
+            WorkloadSpec::polybench(Kernel::Atax, 0.05),
+            PlatformKind::Coruscant,
+        )
+        .named("atax-on-coruscant");
+        let json = serde_json::to_string(&job).unwrap();
+        let back: Job = serde_json::from_str(&json).unwrap();
+        assert_eq!(job, back);
+    }
+
+    #[test]
+    fn default_name_is_descriptive() {
+        let job = Job::new(WorkloadSpec::polybench(Kernel::Mvt, 1.0), PlatformKind::Gpu);
+        assert_eq!(job.name, "mvt/GPU");
+    }
+}

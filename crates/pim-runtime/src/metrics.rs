@@ -1,0 +1,186 @@
+//! Job-level and aggregate runtime metrics, exportable as JSON.
+//!
+//! Two kinds of numbers live here and must not be confused:
+//!
+//! * **Simulated** quantities (`sim_time_ns`, `sim_energy_pj`, the
+//!   aggregate [`ExecReport`]) come from the pricing model and are
+//!   deterministic per job.
+//! * **Host** quantities (`latency_ns`, `queue_depth`, steal counts) are
+//!   wall-clock observations of the runtime itself and vary run to run.
+//!   They are kept out of [`crate::JobOutcome`] precisely so job results
+//!   stay byte-identical across schedules and worker counts.
+
+use pim_device::ExecReport;
+use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+
+/// Metrics for one completed (or failed) job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobMetrics {
+    /// Index of the job in its batch.
+    pub index: usize,
+    /// Job display name.
+    pub name: String,
+    /// Platform display name.
+    pub platform: String,
+    /// Host wall-clock latency from dispatch to completion, nanoseconds.
+    pub latency_ns: u64,
+    /// Jobs still queued (batch-wide) when this job was dispatched.
+    pub queue_depth: usize,
+    /// Worker that executed the job.
+    pub worker: usize,
+    /// Whether the schedule came from the cache.
+    pub cache_hit: bool,
+    /// Whether the job completed without error.
+    pub ok: bool,
+    /// Simulated execution time, nanoseconds (0 for failed jobs).
+    pub sim_time_ns: f64,
+    /// Simulated energy, picojoules (0 for failed jobs).
+    pub sim_energy_pj: f64,
+}
+
+/// Point-in-time export of the registry (the JSON schema documented in the
+/// README's "Runtime layer" section).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Jobs submitted across all batches.
+    pub jobs_submitted: u64,
+    /// Jobs that completed successfully.
+    pub jobs_completed: u64,
+    /// Jobs that returned an error.
+    pub jobs_failed: u64,
+    /// Schedule-cache hits.
+    pub cache_hits: u64,
+    /// Schedule-cache misses (lowerings performed).
+    pub cache_misses: u64,
+    /// Distinct schedules resident in the cache.
+    pub cache_entries: u64,
+    /// Largest queue depth observed at any dispatch.
+    pub max_queue_depth: usize,
+    /// Items executed from a stolen deque across all batches.
+    pub steals: u64,
+    /// Sum of all per-job host latencies, nanoseconds.
+    pub total_latency_ns: u64,
+    /// Simulated totals summed over all successful jobs.
+    pub aggregate: ExecReport,
+    /// Per-job rows, ordered by batch submission index.
+    pub jobs: Vec<JobMetrics>,
+}
+
+/// Thread-safe collector the runtime records into.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<MetricsSnapshot>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Records one finished job. `report` is `None` for failed jobs.
+    pub fn record_job(&self, mut metrics: JobMetrics, report: Option<&ExecReport>) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner.jobs_submitted += 1;
+        match report {
+            Some(r) => {
+                inner.jobs_completed += 1;
+                metrics.ok = true;
+                metrics.sim_time_ns = r.total_ns();
+                metrics.sim_energy_pj = r.total_pj();
+                inner.aggregate.absorb(r);
+            }
+            None => {
+                inner.jobs_failed += 1;
+                metrics.ok = false;
+            }
+        }
+        inner.max_queue_depth = inner.max_queue_depth.max(metrics.queue_depth);
+        inner.total_latency_ns += metrics.latency_ns;
+        inner.jobs.push(metrics);
+    }
+
+    /// Folds one batch's executor steal count into the totals.
+    pub fn record_steals(&self, steals: u64) {
+        self.inner.lock().expect("metrics lock").steals += steals;
+    }
+
+    /// Updates the cache statistics (overwrites; the cache owns the truth).
+    pub fn record_cache(&self, hits: u64, misses: u64, entries: usize) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner.cache_hits = hits;
+        inner.cache_misses = misses;
+        inner.cache_entries = entries as u64;
+    }
+
+    /// A copy of the current state, with per-job rows sorted by batch
+    /// index (completion order is nondeterministic; the export is not).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.inner.lock().expect("metrics lock").clone();
+        snap.jobs.sort_by_key(|j| j.index);
+        snap
+    }
+
+    /// Serializes the snapshot as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.snapshot()).expect("metrics serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(index: usize, latency_ns: u64, queue_depth: usize) -> JobMetrics {
+        JobMetrics {
+            index,
+            name: format!("job-{index}"),
+            platform: "StPIM".into(),
+            latency_ns,
+            queue_depth,
+            worker: 0,
+            cache_hit: false,
+            ok: false,
+            sim_time_ns: 0.0,
+            sim_energy_pj: 0.0,
+        }
+    }
+
+    #[test]
+    fn records_aggregate_and_sorts_jobs() {
+        let registry = MetricsRegistry::new();
+        let mut report = ExecReport::new();
+        report.time.process_ns = 50.0;
+        report.energy.compute_pj = 20.0;
+        registry.record_job(metrics(1, 10, 1), Some(&report));
+        registry.record_job(metrics(0, 30, 2), Some(&report));
+        registry.record_job(metrics(2, 5, 0), None);
+        registry.record_steals(3);
+        registry.record_cache(4, 2, 2);
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.jobs_submitted, 3);
+        assert_eq!(snap.jobs_completed, 2);
+        assert_eq!(snap.jobs_failed, 1);
+        assert_eq!(snap.aggregate.total_ns(), 100.0);
+        assert_eq!(snap.max_queue_depth, 2);
+        assert_eq!(snap.total_latency_ns, 45);
+        assert_eq!(snap.steals, 3);
+        assert_eq!((snap.cache_hits, snap.cache_misses), (4, 2));
+        let order: Vec<usize> = snap.jobs.iter().map(|j| j.index).collect();
+        assert_eq!(order, vec![0, 1, 2], "export is batch-ordered");
+        assert!(snap.jobs[0].ok && !snap.jobs[2].ok);
+        assert_eq!(snap.jobs[0].sim_time_ns, 50.0);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let registry = MetricsRegistry::new();
+        registry.record_job(metrics(0, 7, 1), Some(&ExecReport::new()));
+        let json = registry.to_json();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, registry.snapshot());
+        assert!(json.contains("\"jobs_completed\": 1"));
+    }
+}

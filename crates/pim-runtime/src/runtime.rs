@@ -1,0 +1,364 @@
+//! The batch runtime: platform pool + executor + cache + metrics.
+
+use crate::cache::ScheduleCache;
+use crate::executor;
+use crate::job::Job;
+use crate::metrics::{JobMetrics, MetricsRegistry, MetricsSnapshot};
+use pim_baselines::{Platform, Workload};
+use pim_device::schedule::Schedule;
+use pim_device::{ExecReport, StreamPim};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Runtime tuning knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Worker threads per batch (clamped to the batch size; 0 means 1).
+    pub workers: usize,
+    /// Whether lowered schedules are cached across jobs and batches.
+    pub cache_enabled: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8),
+            cache_enabled: true,
+        }
+    }
+}
+
+/// The deterministic result of one job: everything here is a pure function
+/// of the job itself. Host-side observations (latency, worker id, queue
+/// depth) deliberately live in [`MetricsRegistry`] instead — see the
+/// determinism contract in the crate docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Index of the job in the submitted batch.
+    pub index: usize,
+    /// Job display name.
+    pub name: String,
+    /// The priced result, or the error message for failed jobs.
+    pub report: Result<ExecReport, String>,
+}
+
+/// All outcomes of one batch, in submission order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchResult {
+    /// One outcome per submitted job, index-aligned with the input slice.
+    pub outcomes: Vec<JobOutcome>,
+}
+
+impl BatchResult {
+    /// Number of jobs that completed successfully.
+    pub fn completed(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.report.is_ok()).count()
+    }
+
+    /// Number of jobs that failed.
+    pub fn failed(&self) -> usize {
+        self.outcomes.len() - self.completed()
+    }
+}
+
+/// A multi-tenant batch-simulation service: submit [`Job`] batches, get
+/// index-aligned deterministic [`JobOutcome`]s, observe host behavior
+/// through the metrics registry.
+///
+/// The runtime owns three shared, thread-safe structures that persist
+/// across batches: a pool of platform instances (jobs with equal
+/// platform+config share one), the schedule cache, and the metrics
+/// registry.
+#[derive(Debug, Default)]
+pub struct Runtime {
+    config: RuntimeConfig,
+    cache: ScheduleCache,
+    metrics: MetricsRegistry,
+    platforms: Mutex<HashMap<u64, Arc<Platform>>>,
+}
+
+impl Runtime {
+    /// A runtime with the given configuration.
+    pub fn new(config: RuntimeConfig) -> Self {
+        Runtime {
+            config,
+            cache: ScheduleCache::new(),
+            metrics: MetricsRegistry::new(),
+            platforms: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// The schedule cache (for inspection; the runtime feeds it itself).
+    pub fn cache(&self) -> &ScheduleCache {
+        &self.cache
+    }
+
+    /// A metrics snapshot covering every batch run so far.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The metrics as pretty-printed JSON (schema: [`MetricsSnapshot`]).
+    pub fn metrics_json(&self) -> String {
+        self.metrics.to_json()
+    }
+
+    /// Runs a batch of jobs on the work-stealing pool and returns outcomes
+    /// in submission order. Individual job failures are reported in their
+    /// outcome; they never abort the batch.
+    pub fn run_batch(&self, jobs: &[Job]) -> BatchResult {
+        let n = jobs.len();
+        let slots: Vec<Mutex<Option<JobOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let pending = AtomicUsize::new(n);
+
+        let stats = executor::run_indexed(self.config.workers, n, |worker, index| {
+            let queue_depth = pending.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
+            let started = Instant::now();
+            let job = &jobs[index];
+            let (report, cache_hit) = self.run_one(job);
+            let latency_ns = started.elapsed().as_nanos() as u64;
+            self.metrics.record_job(
+                JobMetrics {
+                    index,
+                    name: job.name.clone(),
+                    platform: job.platform.name().to_string(),
+                    latency_ns,
+                    queue_depth,
+                    worker,
+                    cache_hit,
+                    ok: false,          // set by record_job
+                    sim_time_ns: 0.0,   // set by record_job
+                    sim_energy_pj: 0.0, // set by record_job
+                },
+                report.as_ref().ok(),
+            );
+            *slots[index].lock().expect("slot lock") = Some(JobOutcome {
+                index,
+                name: job.name.clone(),
+                report: report.map_err(|e| e.to_string()),
+            });
+        });
+
+        self.metrics.record_steals(stats.steals);
+        self.metrics
+            .record_cache(self.cache.hits(), self.cache.misses(), self.cache.len());
+
+        BatchResult {
+            outcomes: slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("slot lock")
+                        .expect("every index executed")
+                })
+                .collect(),
+        }
+    }
+
+    /// Prices one job, reusing pooled platforms and cached schedules.
+    fn run_one(&self, job: &Job) -> (Result<ExecReport, pim_device::PimError>, bool) {
+        let platform = match self.pooled_platform(job) {
+            Ok(p) => p,
+            Err(e) => return (Err(e), false),
+        };
+        let workload = Workload::from_spec(&job.workload);
+
+        let mut cache_hit = false;
+        let schedule: Option<Arc<Schedule>> = match platform.lowering_config() {
+            Some(cfg) if self.config.cache_enabled => {
+                let key = ScheduleCache::key(&cfg, &job.workload);
+                match self
+                    .cache
+                    .get_or_lower(key, || workload.task.lower(&StreamPim::new(cfg.clone())?))
+                {
+                    Ok((schedule, hit)) => {
+                        cache_hit = hit;
+                        Some(schedule)
+                    }
+                    Err(e) => return (Err(e), false),
+                }
+            }
+            _ => None,
+        };
+
+        (
+            platform.run_with_schedule(&workload, schedule.as_deref()),
+            cache_hit,
+        )
+    }
+
+    /// Fetches (or builds) the shared platform instance for `job`.
+    fn pooled_platform(&self, job: &Job) -> Result<Arc<Platform>, pim_device::PimError> {
+        let key = job.platform_key();
+        if let Some(found) = self.platforms.lock().expect("platform pool lock").get(&key) {
+            return Ok(Arc::clone(found));
+        }
+        let built = Arc::new(job.build_platform()?);
+        let mut pool = self.platforms.lock().expect("platform pool lock");
+        Ok(Arc::clone(pool.entry(key).or_insert(built)))
+    }
+
+    /// Number of distinct platform instances currently pooled.
+    pub fn pooled_platforms(&self) -> usize {
+        self.platforms.lock().expect("platform pool lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_baselines::PlatformKind;
+    use pim_device::OptLevel;
+    use pim_workloads::{Kernel, WorkloadSpec};
+
+    fn small_jobs() -> Vec<Job> {
+        vec![
+            Job::new(
+                WorkloadSpec::polybench(Kernel::Atax, 0.02),
+                PlatformKind::StPim,
+            ),
+            Job::new(
+                WorkloadSpec::polybench(Kernel::Atax, 0.02),
+                PlatformKind::StPim,
+            ),
+            Job::new(
+                WorkloadSpec::polybench(Kernel::Bicg, 0.02),
+                PlatformKind::Coruscant,
+            ),
+            Job::new(
+                WorkloadSpec::polybench(Kernel::Mvt, 0.02),
+                PlatformKind::CpuRm,
+            ),
+        ]
+    }
+
+    #[test]
+    fn batch_outcomes_are_index_aligned() {
+        let runtime = Runtime::new(RuntimeConfig {
+            workers: 2,
+            cache_enabled: true,
+        });
+        let jobs = small_jobs();
+        let batch = runtime.run_batch(&jobs);
+        assert_eq!(batch.outcomes.len(), jobs.len());
+        assert_eq!(batch.completed(), jobs.len());
+        assert_eq!(batch.failed(), 0);
+        for (i, outcome) in batch.outcomes.iter().enumerate() {
+            assert_eq!(outcome.index, i);
+            assert_eq!(outcome.name, jobs[i].name);
+            assert!(outcome.report.as_ref().unwrap().total_ns() > 0.0);
+        }
+    }
+
+    #[test]
+    fn identical_jobs_share_a_cached_schedule() {
+        let runtime = Runtime::new(RuntimeConfig {
+            workers: 1,
+            cache_enabled: true,
+        });
+        runtime.run_batch(&small_jobs());
+        // Jobs 0 and 1 share (config, workload); job 2 lowers its own; job
+        // 3 is a host platform and never lowers.
+        assert_eq!(runtime.cache().misses(), 2);
+        assert_eq!(runtime.cache().hits(), 1);
+        assert_eq!(runtime.cache().len(), 2);
+    }
+
+    #[test]
+    fn cache_can_be_disabled() {
+        let runtime = Runtime::new(RuntimeConfig {
+            workers: 1,
+            cache_enabled: false,
+        });
+        let batch = runtime.run_batch(&small_jobs());
+        assert_eq!(batch.completed(), 4);
+        assert_eq!(runtime.cache().hits() + runtime.cache().misses(), 0);
+    }
+
+    #[test]
+    fn platform_pool_deduplicates_instances() {
+        let runtime = Runtime::new(RuntimeConfig {
+            workers: 2,
+            cache_enabled: true,
+        });
+        runtime.run_batch(&small_jobs());
+        // StPim (x2 jobs) + Coruscant + CpuRm = 3 distinct platforms.
+        assert_eq!(runtime.pooled_platforms(), 3);
+    }
+
+    #[test]
+    fn failed_jobs_do_not_abort_the_batch() {
+        // segment_domains = 0 fails device validation, so the bad job's
+        // platform cannot be built; the good job must still complete.
+        let bad = Job::new(
+            WorkloadSpec::polybench(Kernel::Atax, 0.02),
+            PlatformKind::StPim,
+        )
+        .with_config(pim_device::StreamPimConfig::paper_default().with_segment_domains(0));
+        let good = Job::new(
+            WorkloadSpec::polybench(Kernel::Atax, 0.02),
+            PlatformKind::StPim,
+        );
+        let runtime = Runtime::new(RuntimeConfig {
+            workers: 2,
+            cache_enabled: true,
+        });
+        let batch = runtime.run_batch(&[bad, good]);
+        assert_eq!(batch.outcomes.len(), 2);
+        assert!(batch.outcomes[0].report.is_err(), "invalid config fails");
+        assert!(batch.outcomes[1].report.is_ok(), "other jobs unaffected");
+        assert_eq!((batch.completed(), batch.failed()), (1, 1));
+        let snap = runtime.metrics();
+        assert_eq!((snap.jobs_completed, snap.jobs_failed), (1, 1));
+    }
+
+    #[test]
+    fn opt_override_changes_the_report() {
+        let spec = WorkloadSpec::polybench(Kernel::Gemm, 0.05);
+        let runtime = Runtime::new(RuntimeConfig {
+            workers: 2,
+            cache_enabled: true,
+        });
+        let jobs = vec![
+            Job::new(spec, PlatformKind::StPim),
+            Job::new(spec, PlatformKind::StPim).with_opt(OptLevel::Base),
+        ];
+        let batch = runtime.run_batch(&jobs);
+        let unblock = batch.outcomes[0].report.as_ref().unwrap().total_ns();
+        let base = batch.outcomes[1].report.as_ref().unwrap().total_ns();
+        assert!(
+            unblock < base,
+            "optimizations help: unblock {unblock} vs base {base}"
+        );
+        // Different configs must not share cache entries.
+        assert_eq!(runtime.cache().misses(), 2);
+    }
+
+    #[test]
+    fn metrics_reflect_the_batch() {
+        let runtime = Runtime::new(RuntimeConfig {
+            workers: 2,
+            cache_enabled: true,
+        });
+        runtime.run_batch(&small_jobs());
+        let snap = runtime.metrics();
+        assert_eq!(snap.jobs_submitted, 4);
+        assert_eq!(snap.jobs_completed, 4);
+        assert_eq!(snap.jobs.len(), 4);
+        assert_eq!(snap.cache_hits, 1);
+        assert!(snap.aggregate.total_ns() > 0.0);
+        assert!(snap.jobs.iter().all(|j| j.ok));
+        let json = runtime.metrics_json();
+        assert!(json.contains("\"jobs_submitted\": 4"));
+    }
+}

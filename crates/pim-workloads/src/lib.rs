@@ -18,6 +18,7 @@ pub mod matrix;
 pub mod polybench;
 pub mod profile;
 pub mod quant;
+pub mod spec;
 pub mod trace;
 
 pub use dnn::DnnModel;
@@ -25,3 +26,4 @@ pub use matrix::Matrix;
 pub use polybench::{Kernel, KernelInstance};
 pub use profile::KernelProfile;
 pub use quant::Quantizer;
+pub use spec::{DnnKind, WorkloadSpec};

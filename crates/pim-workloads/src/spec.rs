@@ -1,0 +1,224 @@
+//! Serializable workload specifications for the batch runtime.
+//!
+//! A [`WorkloadSpec`] names a workload by value — a polybench kernel at a
+//! scale, a DNN model, or a raw matrix-multiply shape — without holding any
+//! built matrices. Specs are `Eq + Hash` and round-trip through JSON, so
+//! they can key schedule caches and travel in job requests; the heavyweight
+//! [`PimTask`]/[`KernelProfile`] representations are built on demand.
+//!
+//! Scale is stored in parts-per-million ([`WorkloadSpec::polybench`]) rather
+//! than as `f64` precisely so the spec stays `Eq + Hash`: two jobs naming
+//! the same kernel at the same scale compare equal and cache-collide, which
+//! is the point.
+
+use crate::dnn::DnnModel;
+use crate::matrix::Matrix;
+use crate::polybench::Kernel;
+use crate::profile::KernelProfile;
+use pim_device::task::PimTask;
+use serde::{Deserialize, Serialize};
+
+/// The DNN models of the paper's §V-E evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DnnKind {
+    /// Three-layer MLP.
+    Mlp,
+    /// BERT-base encoder layer stack.
+    Bert,
+}
+
+impl DnnKind {
+    /// Builds the model description.
+    pub fn model(self) -> DnnModel {
+        match self {
+            DnnKind::Mlp => DnnModel::mlp(),
+            DnnKind::Bert => DnnModel::bert(),
+        }
+    }
+
+    /// The model's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DnnKind::Mlp => "mlp",
+            DnnKind::Bert => "bert",
+        }
+    }
+}
+
+/// A workload named by value: cheap to clone, compare, hash and serialize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// A polybench kernel at `scale_ppm` parts-per-million of the paper's
+    /// problem size (1_000_000 = full size; see [`Kernel::scaled`]).
+    Polybench {
+        /// The kernel.
+        kernel: Kernel,
+        /// Scale factor in parts per million.
+        scale_ppm: u32,
+    },
+    /// The offloadable matrix work of a DNN model.
+    Dnn {
+        /// The model.
+        model: DnnKind,
+    },
+    /// A single dense matrix multiplication `C[m,n] = A[m,k] * B[k,n]`.
+    MatMul {
+        /// Rows of `A`.
+        m: usize,
+        /// Inner dimension.
+        k: usize,
+        /// Columns of `B`.
+        n: usize,
+    },
+}
+
+impl WorkloadSpec {
+    /// Polybench spec at a fractional scale (`1.0` = paper size). The scale
+    /// is quantized to parts-per-million.
+    pub fn polybench(kernel: Kernel, scale: f64) -> Self {
+        WorkloadSpec::Polybench {
+            kernel,
+            scale_ppm: (scale * 1e6).round().max(0.0) as u32,
+        }
+    }
+
+    /// DNN spec.
+    pub fn dnn(model: DnnKind) -> Self {
+        WorkloadSpec::Dnn { model }
+    }
+
+    /// Display name (kernel/model name, plus shape or scale when reduced).
+    pub fn name(&self) -> String {
+        match self {
+            WorkloadSpec::Polybench { kernel, scale_ppm } => {
+                if *scale_ppm == 1_000_000 {
+                    kernel.name().to_string()
+                } else {
+                    format!("{}@{:.4}", kernel.name(), *scale_ppm as f64 / 1e6)
+                }
+            }
+            WorkloadSpec::Dnn { model } => model.name().to_string(),
+            WorkloadSpec::MatMul { m, k, n } => format!("matmul_{m}x{k}x{n}"),
+        }
+    }
+
+    /// Builds the PIM task (shape-only: matrices are zeros, as pricing only
+    /// consumes shapes).
+    pub fn build_task(&self) -> PimTask {
+        match self {
+            WorkloadSpec::Polybench { kernel, scale_ppm } => {
+                let inst = if *scale_ppm == 1_000_000 {
+                    kernel.paper_instance()
+                } else {
+                    kernel.scaled(*scale_ppm as f64 / 1e6)
+                };
+                inst.build_task(None).task
+            }
+            WorkloadSpec::Dnn { model } => model.model().build_task(),
+            WorkloadSpec::MatMul { m, k, n } => {
+                let mut task = PimTask::new();
+                let a = task
+                    .add_matrix(&Matrix::zeros(*m, *k))
+                    .expect("matmul shapes are consistent");
+                let b = task
+                    .add_matrix(&Matrix::zeros(*k, *n))
+                    .expect("matmul shapes are consistent");
+                let dst = task.add_output(*m, *n).expect("matmul output fits");
+                task.add_operation(pim_device::task::MatrixOp::MatMul { a, b, dst })
+                    .expect("operand shapes agree");
+                task
+            }
+        }
+    }
+
+    /// Builds the host-side characterization consumed by CPU/GPU baselines.
+    pub fn profile(&self) -> KernelProfile {
+        match self {
+            WorkloadSpec::Polybench { kernel, scale_ppm } => {
+                let inst = if *scale_ppm == 1_000_000 {
+                    kernel.paper_instance()
+                } else {
+                    kernel.scaled(*scale_ppm as f64 / 1e6)
+                };
+                inst.profile()
+            }
+            WorkloadSpec::Dnn { model } => model.model().offload_profile(),
+            WorkloadSpec::MatMul { m, k, n } => {
+                let (m, k, n) = (*m as f64, *k as f64, *n as f64);
+                KernelProfile {
+                    name: self.name(),
+                    flops: 2.0 * m * k * n,
+                    // Compulsory traffic: read A and B, write C (with the
+                    // read-modify-write the host's blocked gemm incurs).
+                    bytes: 8.0 * (m * k + k * n + 2.0 * m * n),
+                    working_set: 8.0 * (m * k + k * n + m * n),
+                    small: false,
+                    cpu_efficiency: 1.0,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_are_hashable_and_comparable() {
+        use std::collections::HashSet;
+        let a = WorkloadSpec::polybench(Kernel::Gemm, 0.02);
+        let b = WorkloadSpec::polybench(Kernel::Gemm, 0.02);
+        let c = WorkloadSpec::polybench(Kernel::Gemm, 0.03);
+        assert_eq!(a, b, "same kernel and scale compare equal");
+        assert_ne!(a, c);
+        let set: HashSet<WorkloadSpec> = [a, b, c].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn specs_round_trip_through_json() {
+        let specs = [
+            WorkloadSpec::polybench(Kernel::Atax, 1.0),
+            WorkloadSpec::dnn(DnnKind::Bert),
+            WorkloadSpec::MatMul {
+                m: 64,
+                k: 32,
+                n: 16,
+            },
+        ];
+        for spec in specs {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(spec, back, "{json}");
+        }
+    }
+
+    #[test]
+    fn build_task_matches_kernel_builder() {
+        let spec = WorkloadSpec::polybench(Kernel::Gemm, 0.02);
+        let direct = Kernel::Gemm.scaled(0.02).build_task(None).task;
+        let from_spec = spec.build_task();
+        assert_eq!(direct.operation_count(), from_spec.operation_count());
+    }
+
+    #[test]
+    fn matmul_spec_builds_and_profiles() {
+        let spec = WorkloadSpec::MatMul { m: 16, k: 8, n: 12 };
+        assert_eq!(spec.build_task().operation_count(), 1);
+        let p = spec.profile();
+        assert_eq!(p.flops, 2.0 * 16.0 * 8.0 * 12.0);
+        assert!(p.bytes > 0.0);
+        assert_eq!(spec.name(), "matmul_16x8x12");
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(WorkloadSpec::polybench(Kernel::Mvt, 1.0).name(), "mvt");
+        assert_eq!(
+            WorkloadSpec::polybench(Kernel::Mvt, 0.25).name(),
+            "mvt@0.2500"
+        );
+        assert_eq!(WorkloadSpec::dnn(DnnKind::Mlp).name(), "mlp");
+    }
+}

@@ -22,13 +22,32 @@ pub struct TraceRow {
 
 impl TraceRow {
     /// Relative error of the `#PIM-VPC` count vs the paper.
+    ///
+    /// A zero paper count with a zero measurement is exact agreement (0.0);
+    /// a zero paper count with a nonzero measurement is unbounded error
+    /// (`f64::INFINITY`). Neither produces NaN.
     pub fn pim_error(&self) -> f64 {
-        (self.measured_pim as f64 - self.paper_pim).abs() / self.paper_pim
+        relative_error(self.measured_pim as f64, self.paper_pim)
     }
 
-    /// Relative error of the `#move-VPC` count vs the paper.
+    /// Relative error of the `#move-VPC` count vs the paper (same zero
+    /// handling as [`TraceRow::pim_error`]).
     pub fn move_error(&self) -> f64 {
-        (self.measured_moves as f64 - self.paper_moves).abs() / self.paper_moves
+        relative_error(self.measured_moves as f64, self.paper_moves)
+    }
+}
+
+/// `|measured - reference| / reference`, defined at `reference == 0`: exact
+/// agreement is 0.0, any deviation from a zero reference is infinite.
+fn relative_error(measured: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        if measured == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (measured - reference).abs() / reference
     }
 }
 
@@ -60,6 +79,28 @@ pub fn table_iv() -> Vec<TraceRow> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn zero_paper_counts_do_not_produce_nan() {
+        let exact = TraceRow {
+            kernel: "zero".into(),
+            measured_pim: 0,
+            measured_moves: 0,
+            paper_pim: 0.0,
+            paper_moves: 0.0,
+        };
+        assert_eq!(exact.pim_error(), 0.0, "0 measured vs 0 paper is exact");
+        assert_eq!(exact.move_error(), 0.0);
+
+        let off = TraceRow {
+            measured_pim: 5,
+            measured_moves: 3,
+            ..exact
+        };
+        assert_eq!(off.pim_error(), f64::INFINITY, "nonzero vs 0 is unbounded");
+        assert_eq!(off.move_error(), f64::INFINITY);
+        assert!(!off.pim_error().is_nan());
+    }
 
     #[test]
     fn table_iv_has_nine_rows_within_tolerance() {

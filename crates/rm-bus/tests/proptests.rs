@@ -45,7 +45,7 @@ proptest! {
         let mut occupancies = Vec::new();
         for _ in 0..steps {
             s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-            if s % 3 != 0 {
+            if !s.is_multiple_of(3) {
                 let _ = bus.try_inject(0, s, n_segments - 1);
             }
             bus.cycle();

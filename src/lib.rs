@@ -18,6 +18,9 @@
 //!   comparison platforms behind one `Platform` trait.
 //! * [`pim_workloads`] — polybench kernels and DNN (MLP/BERT) workload
 //!   generators with host-side reference math.
+//! * [`pim_runtime`] — concurrent batch-simulation runtime: work-stealing
+//!   job execution over pooled platforms, a content-addressed schedule
+//!   cache, and a JSON-exportable metrics registry.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +46,7 @@
 pub use dw_logic;
 pub use pim_baselines;
 pub use pim_device;
+pub use pim_runtime;
 pub use pim_workloads;
 pub use rm_bus;
 pub use rm_core;
@@ -55,7 +59,9 @@ pub mod prelude {
     pub use pim_device::report::ExecReport;
     pub use pim_device::task::{MatrixOp, PimTask, TaskOutcome};
     pub use pim_device::vpc::{VecRef, Vpc};
+    pub use pim_runtime::{Job, Runtime, RuntimeConfig};
     pub use pim_workloads::matrix::Matrix;
     pub use pim_workloads::polybench::Kernel;
+    pub use pim_workloads::spec::{DnnKind, WorkloadSpec};
     pub use rm_core::{DeviceConfig, EnergyBreakdown, Geometry, TimeBreakdown};
 }
