@@ -9,8 +9,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pim_baselines::PlatformKind;
 use pim_runtime::{Job, Runtime, RuntimeConfig};
+use pim_trace::{Collector, NullSink, TraceSink};
 use pim_workloads::{Kernel, WorkloadSpec};
 use std::hint::black_box;
+use std::sync::Arc;
 
 /// A mixed batch across kernels and platforms (small instances so one
 /// bench iteration executes a full batch).
@@ -95,6 +97,42 @@ fn bench_cache_warmth(c: &mut Criterion) {
     group.finish();
 }
 
+/// Tracing overhead: the disabled-sink path must be free (the <2%
+/// acceptance budget of the observability layer), and even a live
+/// collector should stay cheap relative to the simulations themselves.
+fn bench_tracing_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_batch_tracing");
+    group.sample_size(10);
+    let jobs = batch();
+    let cfg = RuntimeConfig {
+        workers: 4,
+        cache_enabled: true,
+    };
+
+    group.bench_function("untraced", |b| {
+        let runtime = Runtime::new(cfg.clone());
+        runtime.run_batch(&jobs); // warm cache: isolate steady-state cost
+        b.iter(|| black_box(runtime.run_batch(black_box(&jobs))));
+    });
+
+    group.bench_function("null_sink", |b| {
+        let runtime = Runtime::with_sink(cfg.clone(), Arc::new(NullSink));
+        runtime.run_batch(&jobs);
+        b.iter(|| black_box(runtime.run_batch(black_box(&jobs))));
+    });
+
+    group.bench_function("collector", |b| {
+        let runtime = Runtime::with_sink(
+            cfg.clone(),
+            Arc::new(Collector::new()) as Arc<dyn TraceSink>,
+        );
+        runtime.run_batch(&jobs);
+        b.iter(|| black_box(runtime.run_batch(black_box(&jobs))));
+    });
+
+    group.finish();
+}
+
 criterion_group! {
     name = runtime;
     config = Criterion::default()
@@ -102,6 +140,7 @@ criterion_group! {
         .measurement_time(std::time::Duration::from_millis(1200))
         .sample_size(10);
     targets = bench_worker_scaling,
-    bench_cache_warmth
+    bench_cache_warmth,
+    bench_tracing_overhead
 }
 criterion_main!(runtime);

@@ -2,14 +2,17 @@
 //!
 //! ```text
 //! experiments [--scale F] [fig3 fig4 fig17 fig18 fig19 fig20 fig21 fig22
-//!              fig23 table4 table5 area fab | all]
+//!              fig23 table4 table5 area fab trace | all]
 //! ```
 //!
 //! `--scale F` shrinks every kernel dimension by `F` (default 1.0 = the
-//! paper's full problem sizes).
+//! paper's full problem sizes). `trace` additionally writes `trace.json`
+//! (Chrome trace-event format; load at <https://ui.perfetto.dev>) next to
+//! the printed utilization report.
 
 use pim_bench::figures::{self, Scale};
 use pim_bench::render;
+use pim_bench::trace;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -29,7 +32,9 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--scale F] [fig3 fig4 fig17 fig18 fig19 fig20 \
-                     fig21 fig22 fig23 table4 table5 area fab | all]"
+                     fig21 fig22 fig23 table4 table5 area fab trace | all]\n\
+                     `trace` writes trace.json (Perfetto) and prints the utilization \
+                     report; it is not part of `all`."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -103,6 +108,21 @@ fn run_one(name: &str, scale: Scale) -> Result<String, Box<dyn std::error::Error
         "table5" => render::table5(&figures::table5(scale)?),
         "area" => render::area(&figures::area()),
         "fab" => render::fabrication(&figures::fabrication()),
+        "trace" => {
+            // The full-size gemm schedule is too large for the event
+            // engine's expanded timelines; cap the trace scale.
+            let run = trace::trace_kernel(
+                pim_workloads::polybench::Kernel::Gemm,
+                Scale(scale.0.min(0.05)),
+            )?;
+            std::fs::write("trace.json", &run.json)?;
+            format!(
+                "## Trace — gemm utilization (wrote trace.json, {} spans; \
+                 open at https://ui.perfetto.dev)\n\n{}\n\noverlap fraction: \
+                 base {:.4}, unblock {:.4}",
+                run.spans, run.report, run.overlap_base, run.overlap_unblock
+            )
+        }
         other => return Err(format!("unknown experiment {other:?}").into()),
     })
 }

@@ -8,5 +8,6 @@
 
 pub mod figures;
 pub mod render;
+pub mod trace;
 
 pub use figures::*;

@@ -9,6 +9,7 @@ use pim_device::report::ExecReport;
 use pim_device::schedule::Schedule;
 use pim_device::task::PimTask;
 use pim_device::{PimError, StreamPim, StreamPimConfig};
+use pim_trace::{NullSink, Phase, Span, TraceSink, Track};
 use pim_workloads::dnn::DnnModel;
 use pim_workloads::polybench::KernelInstance;
 use pim_workloads::profile::KernelProfile;
@@ -215,13 +216,50 @@ impl Platform {
         workload: &Workload,
         schedule: Option<&Schedule>,
     ) -> Result<ExecReport, PimError> {
+        self.run_with_schedule_traced(workload, schedule, &NullSink)
+    }
+
+    /// Like [`Platform::run_with_schedule`], but emits spans describing the
+    /// execution timeline into `sink`. StreamPIM platforms emit the analytic
+    /// engine's per-round phase spans; every other platform emits a single
+    /// span covering its closed-form total (those models have no internal
+    /// timeline to expose). The returned report is identical to the
+    /// untraced path for any sink.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Platform::run_with_schedule`].
+    pub fn run_with_schedule_traced(
+        &self,
+        workload: &Workload,
+        schedule: Option<&Schedule>,
+        sink: &dyn TraceSink,
+    ) -> Result<ExecReport, PimError> {
         let mut report = match &self.inner {
-            Inner::Cpu(m) => return Ok(m.run_profile(&workload.profile)),
-            Inner::Gpu(m) => return Ok(m.run_profile(&workload.profile)),
-            Inner::StreamPim(device) => match schedule {
-                Some(s) => device.execute(s),
-                None => workload.task.price(device)?,
-            },
+            Inner::Cpu(m) => {
+                let r = m.run_profile(&workload.profile);
+                emit_platform_span(sink, self.name(), workload, &r);
+                return Ok(r);
+            }
+            Inner::Gpu(m) => {
+                let r = m.run_profile(&workload.profile);
+                emit_platform_span(sink, self.name(), workload, &r);
+                return Ok(r);
+            }
+            Inner::StreamPim(device) => {
+                let lowered;
+                let s = match schedule {
+                    Some(s) => s,
+                    // `PimTask::price` is exactly lower-then-execute, so
+                    // lowering here keeps the traced and untraced paths
+                    // byte-identical.
+                    None => {
+                        lowered = workload.task.lower(device)?;
+                        &lowered
+                    }
+                };
+                device.execute_traced(s, sink)
+            }
             Inner::Coruscant(m) => {
                 let lowered;
                 let s = match schedule {
@@ -252,7 +290,29 @@ impl Platform {
         // Peripheral/controller static power of the PIM device over the
         // execution (the CPU/GPU models fold theirs into per-op energies).
         report.energy.other_pj += report.time.total_ns() * PIM_STATIC_W * 1000.0;
+        if !matches!(&self.inner, Inner::StreamPim(_)) {
+            // The idealized PIM baselines are closed-form too: one span.
+            emit_platform_span(sink, self.name(), workload, &report);
+        }
         Ok(report)
+    }
+}
+
+/// One whole-run span for platforms without an internal timeline.
+fn emit_platform_span(sink: &dyn TraceSink, platform: &'static str, w: &Workload, r: &ExecReport) {
+    if sink.enabled() && r.total_ns() > 0.0 {
+        sink.record_span(
+            Span::sim(
+                format!("{platform} {}", w.name),
+                "compute",
+                Track::Phase(Phase::Compute),
+                0.0,
+                r.total_ns(),
+            )
+            .arg("platform", platform)
+            .arg("time_ns", r.total_ns())
+            .arg("energy_pj", r.total_pj()),
+        );
     }
 }
 
@@ -365,6 +425,19 @@ mod tests {
         assert_eq!(a.profile, b.profile);
         let p = Platform::new(PlatformKind::StPim).unwrap();
         assert_eq!(p.run(&a).unwrap(), p.run(&b).unwrap());
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_on_every_platform() {
+        let w = Workload::from_kernel(&Kernel::Gemm.scaled(0.02));
+        for kind in PlatformKind::FIGURE_17 {
+            let p = Platform::new(kind).unwrap();
+            let sink = pim_trace::Collector::new();
+            let traced = p.run_with_schedule_traced(&w, None, &sink).unwrap();
+            let plain = p.run(&w).unwrap();
+            assert_eq!(traced, plain, "{kind}: tracing must not change pricing");
+            assert!(sink.span_count() > 0, "{kind}: no spans recorded");
+        }
     }
 
     #[test]

@@ -138,6 +138,17 @@ impl StreamPim {
     pub fn execute(&self, schedule: &Schedule) -> ExecReport {
         Engine::new(&self.config).run(schedule)
     }
+
+    /// Like [`StreamPim::execute`], but emits phase spans describing the
+    /// analytic timeline to `sink`. With a disabled sink (e.g.
+    /// [`pim_trace::NullSink`]) this is identical to `execute`.
+    pub fn execute_traced(
+        &self,
+        schedule: &Schedule,
+        sink: &dyn pim_trace::TraceSink,
+    ) -> ExecReport {
+        Engine::new(&self.config).run_traced(schedule, sink)
+    }
 }
 
 #[cfg(test)]

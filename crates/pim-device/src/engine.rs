@@ -34,6 +34,7 @@ use crate::device::{OptLevel, StreamPimConfig};
 use crate::report::ExecReport;
 use crate::schedule::Schedule;
 use crate::vpc::Vpc;
+use pim_trace::{NullSink, Phase, Span, TraceSink, Track};
 use rm_bus::{BusModel, ElectricalBusModel};
 use rm_core::config::BusKind;
 use rm_core::{EnergyBreakdown, OpCounters};
@@ -184,6 +185,20 @@ impl Engine {
 
     /// Prices a schedule.
     pub fn run(&self, schedule: &Schedule) -> ExecReport {
+        self.run_traced(schedule, &NullSink)
+    }
+
+    /// Prices a schedule, emitting one phase span per round into `sink`
+    /// (broadcast / compute / collect timelines, [`pim_trace::Phase`]).
+    ///
+    /// The phase timeline is *synthetic*: the closed forms compose
+    /// per-round makespans, not per-command start times, so spans carry the
+    /// per-round phase durations laid out according to the optimization
+    /// level — one serial clock for `Base`/`Distribute`, separate
+    /// compute/transfer clocks (both from zero) for `Unblock`, which is
+    /// exactly the overlap structure the closed form assumes. The priced
+    /// [`ExecReport`] is identical to [`Engine::run`] for every sink.
+    pub fn run_traced(&self, schedule: &Schedule, sink: &dyn TraceSink) -> ExecReport {
         let mut report = ExecReport::new();
         // Accumulated compute-phase volumes (for breakdown attribution).
         let mut vol_proc = 0.0f64;
@@ -194,25 +209,43 @@ impl Engine {
         let mut compute_critical = 0.0f64; // Σ per-round compute makespans
         let mut tran_lane_ns = vec![0.0f64; self.tran_lanes as usize];
         let mut serial_total = 0.0f64; // Base/Distribute running total
+        let mut tran_clock = 0.0f64; // Unblock transfer-phase span clock
         let mut vpc_count = 0u64;
 
-        for round in &schedule.rounds {
+        for (round_idx, round) in schedule.rounds.iter().enumerate() {
             let repeat = round.repeat.max(1) as f64;
             // --- Transfers of this round ---------------------------------
-            let mut round_tran_lane = vec![0.0f64; self.tran_lanes as usize];
-            let mut round_tran_sum = 0.0;
-            for t in round.broadcasts.iter().chain(&round.collects) {
-                if let Vpc::Tran { dst, len, .. } = *t {
-                    let cost = self.tran_cost(len as u64);
-                    let lane = (dst as u64 % self.tran_lanes) as usize;
-                    round_tran_lane[lane] += cost.busy_ns;
-                    round_tran_sum += cost.busy_ns;
-                    report.energy += cost.energy * repeat;
-                    scale_counters(&mut report.counters, cost.counters, round.repeat);
-                    vpc_count += round.repeat;
+            // Broadcasts and collects accumulate separately so the trace
+            // can show them as distinct phases; the engine composition only
+            // consumes their per-lane sum.
+            let mut bcast_lane = vec![0.0f64; self.tran_lanes as usize];
+            let mut collect_lane = vec![0.0f64; self.tran_lanes as usize];
+            let mut bcast_sum = 0.0;
+            let mut collect_sum = 0.0;
+            for (trans, lane_ns, sum) in [
+                (&round.broadcasts, &mut bcast_lane, &mut bcast_sum),
+                (&round.collects, &mut collect_lane, &mut collect_sum),
+            ] {
+                for t in trans {
+                    if let Vpc::Tran { dst, len, .. } = *t {
+                        let cost = self.tran_cost(len as u64);
+                        let lane = (dst as u64 % self.tran_lanes) as usize;
+                        lane_ns[lane] += cost.busy_ns;
+                        *sum += cost.busy_ns;
+                        report.energy += cost.energy * repeat;
+                        scale_counters(&mut report.counters, cost.counters, round.repeat);
+                        vpc_count += round.repeat;
+                    }
                 }
             }
+            let round_tran_sum = bcast_sum + collect_sum;
+            let round_tran_lane: Vec<f64> = bcast_lane
+                .iter()
+                .zip(&collect_lane)
+                .map(|(b, c)| b + c)
+                .collect();
             let round_tran_parallel = round_tran_lane.iter().copied().fold(0.0f64, f64::max);
+            let bcast_parallel = bcast_lane.iter().copied().fold(0.0f64, f64::max);
 
             // --- Computes of this round -----------------------------------
             let mut sub_load: HashMap<u32, f64> = HashMap::new();
@@ -244,19 +277,118 @@ impl Engine {
             let parallel_makespan = max_sub.max(round_busy_sum / used) + fill_ns;
 
             // --- Compose per optimization level ---------------------------
+            // Phase-span layout: (broadcast, compute, collect) durations and
+            // the clocks they start on. Zero-duration phases are skipped.
+            let emit = |sink: &dyn TraceSink, phase: Phase, cat, start: f64, dur: f64| {
+                if dur > 0.0 {
+                    sink.record_span(
+                        Span::sim(
+                            format!("round {round_idx} {}", phase_label(phase)),
+                            cat,
+                            Track::Phase(phase),
+                            start,
+                            dur,
+                        )
+                        .arg("round", round_idx)
+                        .arg("repeat", round.repeat)
+                        .arg("broadcasts", round.broadcasts.len())
+                        .arg("computes", round.computes.len())
+                        .arg("collects", round.collects.len()),
+                    );
+                }
+            };
             match self.opt {
                 OptLevel::Base => {
                     // Everything serializes: transfers and computes alike.
+                    if sink.enabled() {
+                        let mut clock = serial_total;
+                        emit(
+                            sink,
+                            Phase::Broadcast,
+                            "transfer",
+                            clock,
+                            repeat * bcast_sum,
+                        );
+                        clock += repeat * bcast_sum;
+                        emit(
+                            sink,
+                            Phase::Compute,
+                            "compute",
+                            clock,
+                            repeat * round_busy_sum,
+                        );
+                        clock += repeat * round_busy_sum;
+                        emit(
+                            sink,
+                            Phase::Collect,
+                            "transfer",
+                            clock,
+                            repeat * collect_sum,
+                        );
+                    }
                     serial_total += repeat * (round_tran_sum + round_busy_sum);
                     compute_critical += repeat * round_busy_sum;
                 }
                 OptLevel::Distribute => {
                     let blocked = self.params.dist_serialization * round_busy_sum
                         + (1.0 - self.params.dist_serialization) * parallel_makespan;
+                    if sink.enabled() {
+                        // The lane-parallel transfer time, split between the
+                        // broadcast and collect phases pro rata.
+                        let bcast_share = if round_tran_sum > 0.0 {
+                            round_tran_parallel * bcast_sum / round_tran_sum
+                        } else {
+                            0.0
+                        };
+                        let mut clock = serial_total;
+                        emit(
+                            sink,
+                            Phase::Broadcast,
+                            "transfer",
+                            clock,
+                            repeat * bcast_share,
+                        );
+                        clock += repeat * bcast_share;
+                        emit(sink, Phase::Compute, "compute", clock, repeat * blocked);
+                        clock += repeat * blocked;
+                        emit(
+                            sink,
+                            Phase::Collect,
+                            "transfer",
+                            clock,
+                            repeat * (round_tran_parallel - bcast_share),
+                        );
+                    }
                     serial_total += repeat * (round_tran_parallel + blocked);
                     compute_critical += repeat * blocked;
                 }
                 OptLevel::Unblock => {
+                    if sink.enabled() {
+                        // Compute and transfer run on independent clocks —
+                        // the overlap the closed form assumes.
+                        emit(
+                            sink,
+                            Phase::Compute,
+                            "compute",
+                            compute_critical,
+                            repeat * parallel_makespan,
+                        );
+                        emit(
+                            sink,
+                            Phase::Broadcast,
+                            "transfer",
+                            tran_clock,
+                            repeat * bcast_parallel,
+                        );
+                        emit(
+                            sink,
+                            Phase::Collect,
+                            "transfer",
+                            tran_clock + repeat * bcast_parallel,
+                            repeat * (round_tran_parallel - bcast_parallel),
+                        );
+                        tran_clock += repeat * round_tran_parallel;
+                    }
                     compute_critical += repeat * parallel_makespan;
                     for (lane, t) in round_tran_lane.iter().enumerate() {
                         tran_lane_ns[lane] += t * repeat;
@@ -325,6 +457,15 @@ impl Engine {
         match *vpc {
             Vpc::Tran { len, .. } => self.tran_cost(len as u64).busy_ns,
             _ => self.compute_cost(vpc).busy_ns,
+        }
+    }
+
+    /// Operation-counter deltas of one command under this engine's cost
+    /// models (trace spans carry these as per-span arguments).
+    pub fn vpc_counters(&self, vpc: &Vpc) -> OpCounters {
+        match *vpc {
+            Vpc::Tran { len, .. } => self.tran_cost(len as u64).counters,
+            _ => self.compute_cost(vpc).counters,
         }
     }
 
@@ -434,6 +575,15 @@ impl Engine {
             },
             ..VpcCost::default()
         }
+    }
+}
+
+/// Phase display label for round span names.
+fn phase_label(phase: Phase) -> &'static str {
+    match phase {
+        Phase::Broadcast => "broadcast",
+        Phase::Compute => "compute",
+        Phase::Collect => "collect",
     }
 }
 
@@ -614,6 +764,75 @@ mod tests {
         let overhead = t64 / t1024 - 1.0;
         assert!((0.0..0.10).contains(&overhead), "time overhead {overhead}");
         assert!((e64 - e1024).abs() / e1024 < 1e-9, "energy flat");
+    }
+
+    #[test]
+    fn tracing_does_not_change_the_report() {
+        let s = schedule(10, 64, 800);
+        for opt in [OptLevel::Base, OptLevel::Distribute, OptLevel::Unblock] {
+            let cfg = StreamPimConfig::paper_default().with_opt(opt);
+            let engine = Engine::new(&cfg);
+            let sink = pim_trace::Collector::new();
+            let plain = engine.run(&s);
+            let traced = engine.run_traced(&s, &sink);
+            assert_eq!(plain, traced, "sink must not perturb pricing ({opt:?})");
+            assert!(sink.span_count() > 0, "phases should be recorded ({opt:?})");
+        }
+    }
+
+    #[test]
+    fn base_phase_spans_are_serial_and_tile_the_total() {
+        let cfg = StreamPimConfig::paper_default().with_opt(OptLevel::Base);
+        let s = schedule(5, 32, 600);
+        let sink = pim_trace::Collector::new();
+        let report = Engine::new(&cfg).run_traced(&s, &sink);
+        let a = pim_trace::analyze::Analysis::of(&sink.spans());
+        // Base is fully serial: compute and transfer never overlap, and the
+        // phase spans tile [0, total] exactly (no controller floor here).
+        assert_eq!(a.overlap_ns, 0.0, "base must not overlap");
+        assert!(
+            (a.makespan_ns - report.total_ns()).abs() / report.total_ns() < 1e-9,
+            "spans end at the report total: {} vs {}",
+            a.makespan_ns,
+            report.total_ns()
+        );
+    }
+
+    #[test]
+    fn unblock_phase_spans_overlap_more_than_base() {
+        let s = schedule(20, 256, 2000);
+        let frac = |opt: OptLevel| {
+            let cfg = StreamPimConfig::paper_default().with_opt(opt);
+            let sink = pim_trace::Collector::new();
+            Engine::new(&cfg).run_traced(&s, &sink);
+            pim_trace::analyze::Analysis::of(&sink.spans()).overlap_fraction
+        };
+        let base = frac(OptLevel::Base);
+        let unblock = frac(OptLevel::Unblock);
+        assert_eq!(base, 0.0);
+        assert!(
+            unblock > base,
+            "unblock must overlap transfers with compute: {unblock} vs {base}"
+        );
+    }
+
+    #[test]
+    fn vpc_counter_split() {
+        let engine = Engine::new(&StreamPimConfig::paper_default());
+        let mul = Vpc::Mul {
+            src1: VecRef::new(0, 100),
+            src2: VecRef::new(0, 100),
+        };
+        let tran = Vpc::Tran {
+            src: 0,
+            dst: 1,
+            len: 100,
+        };
+        let m = engine.vpc_counters(&mul);
+        assert!(m.pim_muls > 0 && m.reads == 0);
+        let t = engine.vpc_counters(&tran);
+        assert!(t.reads > 0 || t.writes > 0);
+        assert_eq!(t.pim_muls, 0);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::device::{OptLevel, StreamPimConfig};
 use crate::engine::Engine;
 use crate::schedule::Schedule;
 use crate::vpc::Vpc;
+use pim_trace::{Span, TraceSink, Track};
 use std::collections::HashMap;
 
 /// Explicit-timeline reference engine.
@@ -72,6 +73,70 @@ impl EventEngine {
             OptLevel::Unblock => self.run_overlapped(schedule),
             OptLevel::Distribute => unreachable!("rejected in new()"),
         }
+    }
+
+    /// Runs `schedule` like [`EventEngine::run`], additionally emitting one
+    /// span per scheduled command into `sink`: compute commands land on
+    /// their subarray's track, transfers on their lane's track, and every
+    /// command's decode slot on the decoder track. Span arguments carry the
+    /// VPC kind and the per-command operation-counter deltas.
+    pub fn run_traced(
+        &self,
+        schedule: &Schedule,
+        sink: &dyn TraceSink,
+    ) -> (f64, Vec<ScheduledVpc>) {
+        let (makespan, intervals) = self.run(schedule);
+        if sink.enabled() {
+            // Decode slots serialize on the per-bank controllers; the model
+            // spreads them evenly over the lanes, so one aggregate decoder
+            // track shows slots of `controller_ns / lanes` back to back.
+            let decode_slot = self.controller_ns_per_vpc / self.tran_lanes as f64;
+            for (i, sv) in intervals.iter().enumerate() {
+                let counters = self.analytic.vpc_counters(&sv.vpc);
+                let dur = sv.end_ns - sv.start_ns;
+                let span = match sv.vpc {
+                    Vpc::Tran { src, dst, len } => Span::sim(
+                        format!("TRAN x{len}"),
+                        "transfer",
+                        Track::TransferLane((dst as usize % self.tran_lanes) as u32),
+                        sv.start_ns,
+                        dur,
+                    )
+                    .arg("kind", "TRAN")
+                    .arg("src", src)
+                    .arg("dst", dst)
+                    .arg("elements", len)
+                    .arg("reads", counters.reads)
+                    .arg("writes", counters.writes),
+                    compute => Span::sim(
+                        format!("{} x{}", kind_name(&compute), compute.elements()),
+                        "compute",
+                        Track::Subarray(compute.home_subarray().unwrap_or(0)),
+                        sv.start_ns,
+                        dur,
+                    )
+                    .arg("kind", kind_name(&compute))
+                    .arg("elements", compute.elements())
+                    .arg("pim_adds", counters.pim_adds)
+                    .arg("pim_muls", counters.pim_muls)
+                    .arg("shifts", counters.shifts),
+                };
+                sink.record_span(span);
+                if decode_slot > 0.0 {
+                    sink.record_span(
+                        Span::sim(
+                            "decode",
+                            "decode",
+                            Track::Decoder,
+                            i as f64 * decode_slot,
+                            decode_slot,
+                        )
+                        .arg("kind", kind_name(&sv.vpc)),
+                    );
+                }
+            }
+        }
+        (makespan, intervals)
     }
 
     /// `Base`: one global timeline, natural command order.
@@ -202,6 +267,16 @@ impl EventEngine {
     }
 }
 
+/// Mnemonic of a command (Table II spelling) for span names/args.
+fn kind_name(vpc: &Vpc) -> &'static str {
+    match vpc {
+        Vpc::Mul { .. } => "MUL",
+        Vpc::Smul { .. } => "SMUL",
+        Vpc::Add { .. } => "ADD",
+        Vpc::Tran { .. } => "TRAN",
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,5 +394,43 @@ mod tests {
     fn distribute_rejected() {
         let cfg = StreamPimConfig::paper_default().with_opt(OptLevel::Distribute);
         let _ = EventEngine::new(&cfg);
+    }
+
+    #[test]
+    fn traced_run_covers_every_resource_class() {
+        let cfg = StreamPimConfig::paper_default();
+        let s = schedule(3, 16, 500);
+        let sink = pim_trace::Collector::new();
+        let (traced_ns, intervals) = EventEngine::new(&cfg).run_traced(&s, &sink);
+        let (plain_ns, _) = EventEngine::new(&cfg).run(&s);
+        assert_eq!(traced_ns, plain_ns, "sink must not perturb the makespan");
+        let spans = sink.spans();
+        // One span per scheduled command plus one decode span per command.
+        assert_eq!(spans.len(), 2 * intervals.len());
+        for class in ["subarray", "lane", "decoder"] {
+            assert!(
+                spans.iter().any(|sp| sp.track.class() == class),
+                "missing class {class}"
+            );
+        }
+        // Compute spans live on subarray tracks, transfers on lanes.
+        for sp in &spans {
+            match (&sp.track, sp.cat) {
+                (Track::Subarray(_), cat) => assert_eq!(cat, "compute"),
+                (Track::TransferLane(_), cat) => assert_eq!(cat, "transfer"),
+                (Track::Decoder, cat) => assert_eq!(cat, "decode"),
+                (t, c) => panic!("unexpected track {t:?} for cat {c}"),
+            }
+        }
+    }
+
+    #[test]
+    fn traced_run_with_null_sink_records_nothing() {
+        let cfg = StreamPimConfig::paper_default();
+        let s = schedule(2, 8, 300);
+        let sink = pim_trace::NullSink;
+        let (ns, intervals) = EventEngine::new(&cfg).run_traced(&s, &sink);
+        assert!(ns > 0.0);
+        assert!(!intervals.is_empty());
     }
 }

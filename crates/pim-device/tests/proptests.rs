@@ -1,15 +1,46 @@
 //! Property-based tests for the device layer: functional correctness over
 //! arbitrary shapes/values, and engine model invariants.
 
+use pim_device::engine::Engine;
+use pim_device::engine_event::EventEngine;
 use pim_device::matrix::Matrix;
 use pim_device::schedule::{Round, Schedule};
 use pim_device::task::{MatrixOp, PimTask};
 use pim_device::vpc::{VecRef, Vpc};
 use pim_device::{OptLevel, StreamPim, StreamPimConfig};
+use pim_trace::{Collector, Track};
 use proptest::prelude::*;
 
 fn device() -> StreamPim {
     StreamPim::new(StreamPimConfig::paper_default()).expect("valid")
+}
+
+/// A broadcast/compute/collect schedule shaped like real kernel lowerings,
+/// small enough for the event engine's expanded timelines.
+fn event_schedule(rounds: usize, computes: usize, len: u32) -> Schedule {
+    let mut s = Schedule::new();
+    for r in 0..rounds {
+        let mut round = Round::new();
+        round.broadcasts.push(Vpc::Tran {
+            src: 600,
+            dst: r as u32 % 8,
+            len,
+        });
+        for i in 0..computes {
+            let sub = ((r * computes + i) % 512) as u32;
+            round.computes.push(Vpc::Mul {
+                src1: VecRef::new(sub, len),
+                src2: VecRef::new(sub, len),
+            });
+            round.collects.push(Vpc::Tran {
+                src: sub,
+                dst: sub.wrapping_add(64),
+                len: 1,
+            });
+        }
+        s.push(round);
+    }
+    s
 }
 
 fn small_matrix(rows: usize, cols: usize, seed: i64) -> Matrix {
@@ -135,6 +166,75 @@ proptest! {
         prop_assert_eq!(arithmetic, flattened);
         let natural = s.natural_order().counts();
         prop_assert_eq!(arithmetic, natural);
+    }
+
+    /// EventEngine trace spans never overlap on the same subarray or
+    /// transfer-lane timeline: the operational model respects resource
+    /// exclusivity for every schedule shape.
+    #[test]
+    fn event_spans_never_overlap_per_resource(
+        rounds in 1usize..4,
+        computes in 1usize..16,
+        len in 1u32..600,
+        opt_pick in 0u8..2,
+    ) {
+        let opt = [OptLevel::Base, OptLevel::Unblock][opt_pick as usize];
+        let cfg = StreamPimConfig::paper_default().with_opt(opt);
+        let s = event_schedule(rounds, computes, len);
+        let sink = Collector::new();
+        EventEngine::new(&cfg).run_traced(&s, &sink);
+        let mut per_track: std::collections::HashMap<Track, Vec<(f64, f64)>> =
+            std::collections::HashMap::new();
+        for sp in sink.spans() {
+            if matches!(sp.track, Track::Subarray(_) | Track::TransferLane(_)) {
+                per_track.entry(sp.track).or_default().push((sp.start_ns, sp.end_ns()));
+            }
+        }
+        for (track, mut iv) in per_track {
+            iv.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in iv.windows(2) {
+                prop_assert!(
+                    w[0].1 <= w[1].0 + 1e-9,
+                    "{:?} overlap on {:?} ({:?})", w, track, opt
+                );
+            }
+        }
+    }
+
+    /// The EventEngine makespan is reproducible from its own spans: the
+    /// latest span end (or the controller decode floor, whichever is
+    /// larger) equals the reported makespan, and for Base that in turn
+    /// matches the analytic engine exactly.
+    #[test]
+    fn event_span_ends_reproduce_makespan(
+        rounds in 1usize..4,
+        computes in 1usize..16,
+        len in 1u32..600,
+        opt_pick in 0u8..2,
+    ) {
+        let opt = [OptLevel::Base, OptLevel::Unblock][opt_pick as usize];
+        let cfg = StreamPimConfig::paper_default().with_opt(opt);
+        let s = event_schedule(rounds, computes, len);
+        let sink = Collector::new();
+        let (makespan, _) = EventEngine::new(&cfg).run_traced(&s, &sink);
+        let lanes = cfg.device.pim_banks.max(1) as f64;
+        let floor = s.counts().total() as f64 * cfg.engine.controller_ns_per_vpc / lanes;
+        let latest = sink
+            .spans()
+            .iter()
+            .filter(|sp| !matches!(sp.track, Track::Decoder))
+            .fold(0.0f64, |m, sp| m.max(sp.end_ns()));
+        prop_assert!(
+            (latest.max(floor) - makespan).abs() <= 1e-9 * makespan.max(1.0),
+            "span ends {} / floor {} vs makespan {} ({:?})", latest, floor, makespan, opt
+        );
+        if opt == OptLevel::Base {
+            let analytic = Engine::new(&cfg).run(&s).total_ns();
+            prop_assert!(
+                (makespan - analytic).abs() <= 1e-9 * analytic.max(1.0),
+                "base event makespan {} != analytic {}", makespan, analytic
+            );
+        }
     }
 
     /// Optimizations never make execution slower.

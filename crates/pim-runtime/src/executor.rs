@@ -24,14 +24,16 @@ pub struct ExecutorStats {
     pub steals: u64,
 }
 
-/// Runs `f(worker_id, item_index)` for every index in `0..n_items` on
-/// `workers` threads with work stealing. Returns per-worker counters.
+/// Runs `f(worker_id, item_index, stolen)` for every index in `0..n_items`
+/// on `workers` threads with work stealing; `stolen` is true when the item
+/// came from a victim's deque rather than the worker's own. Returns
+/// per-worker counters.
 ///
 /// `f` must tolerate concurrent invocation from different threads (it is
 /// `Sync`); each index is executed exactly once.
 pub fn run_indexed<F>(workers: usize, n_items: usize, f: F) -> ExecutorStats
 where
-    F: Fn(usize, usize) + Sync,
+    F: Fn(usize, usize, bool) + Sync,
 {
     let workers = workers.max(1).min(n_items.max(1));
     let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
@@ -49,6 +51,7 @@ where
             scope.spawn(move || loop {
                 // Own deque first (front), then sweep victims (back).
                 let mut item = queues[me].lock().expect("queue lock").pop_front();
+                let mut was_stolen = false;
                 if item.is_none() {
                     for offset in 1..workers {
                         let victim = (me + offset) % workers;
@@ -56,13 +59,14 @@ where
                         {
                             steals.fetch_add(1, Ordering::Relaxed);
                             item = Some(stolen);
+                            was_stolen = true;
                             break;
                         }
                     }
                 }
                 match item {
                     Some(idx) => {
-                        f(me, idx);
+                        f(me, idx, was_stolen);
                         per_worker[me].fetch_add(1, Ordering::Relaxed);
                     }
                     None => break,
@@ -89,7 +93,7 @@ mod tests {
     fn every_index_runs_exactly_once() {
         let n = 1000;
         let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
-        let stats = run_indexed(4, n, |_w, i| {
+        let stats = run_indexed(4, n, |_w, i, _stolen| {
             counts[i].fetch_add(1, Ordering::Relaxed);
         });
         assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
@@ -102,7 +106,11 @@ mod tests {
         // stealing it would own a quarter of the items but most of the
         // runtime; stealing shifts its queue to idle workers.
         let n = 64;
-        let stats = run_indexed(4, n, |_w, i| {
+        let flagged = AtomicUsize::new(0);
+        let stats = run_indexed(4, n, |_w, i, stolen| {
+            if stolen {
+                flagged.fetch_add(1, Ordering::Relaxed);
+            }
             if i % 4 == 0 {
                 std::thread::sleep(std::time::Duration::from_millis(2));
             }
@@ -112,25 +120,30 @@ mod tests {
             stats.steals > 0,
             "idle workers steal the slow worker's backlog"
         );
+        assert_eq!(
+            flagged.load(Ordering::Relaxed) as u64,
+            stats.steals,
+            "the per-item stolen flag agrees with the aggregate counter"
+        );
     }
 
     #[test]
     fn single_worker_and_empty_batches_work() {
         let ran = AtomicUsize::new(0);
-        let stats = run_indexed(1, 5, |w, _i| {
+        let stats = run_indexed(1, 5, |w, _i, _stolen| {
             assert_eq!(w, 0);
             ran.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(ran.load(Ordering::Relaxed), 5);
         assert_eq!(stats.per_worker, vec![5]);
 
-        let stats = run_indexed(8, 0, |_w, _i| panic!("no items"));
+        let stats = run_indexed(8, 0, |_w, _i, _stolen| panic!("no items"));
         assert_eq!(stats.per_worker.iter().sum::<u64>(), 0);
     }
 
     #[test]
     fn worker_count_is_clamped_to_items() {
-        let stats = run_indexed(16, 3, |_w, _i| {});
+        let stats = run_indexed(16, 3, |_w, _i, _stolen| {});
         assert_eq!(stats.per_worker.len(), 3, "no more workers than items");
     }
 }

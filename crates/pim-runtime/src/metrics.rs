@@ -61,10 +61,62 @@ pub struct MetricsSnapshot {
     pub steals: u64,
     /// Sum of all per-job host latencies, nanoseconds.
     pub total_latency_ns: u64,
+    /// Median host latency, nanoseconds (histogram upper-bound estimate;
+    /// 0 when no jobs ran).
+    pub latency_p50_ns: u64,
+    /// 95th-percentile host latency, nanoseconds.
+    pub latency_p95_ns: u64,
+    /// 99th-percentile host latency, nanoseconds.
+    pub latency_p99_ns: u64,
+    /// Power-of-two latency histogram: bucket `b` counts jobs whose
+    /// latency needs exactly `b` significant bits (i.e. lands in
+    /// `[2^(b-1), 2^b)` ns; bucket 0 counts zero-latency jobs). Fixed
+    /// bucket bounds keep recording O(1) and merge-friendly; the
+    /// percentiles above are computed from this histogram at snapshot
+    /// time and are exact to within one power-of-two bucket.
+    pub latency_histogram: Vec<u64>,
     /// Simulated totals summed over all successful jobs.
     pub aggregate: ExecReport,
     /// Per-job rows, ordered by batch submission index.
     pub jobs: Vec<JobMetrics>,
+}
+
+/// Number of histogram buckets: enough for any `u64` latency.
+const LATENCY_BUCKETS: usize = 65;
+
+/// The histogram bucket for one latency observation.
+fn latency_bucket(latency_ns: u64) -> usize {
+    (u64::BITS - latency_ns.leading_zeros()) as usize
+}
+
+/// The inclusive upper bound of bucket `b`, used as the percentile
+/// estimate (a conservative, never-underestimating bound).
+fn bucket_upper_bound(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// The smallest latency bound `v` such that at least `q` of the recorded
+/// observations are ≤ `v`.
+fn percentile(hist: &[u64], q: f64) -> u64 {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (b, &count) in hist.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return bucket_upper_bound(b);
+        }
+    }
+    bucket_upper_bound(hist.len() - 1)
 }
 
 /// Thread-safe collector the runtime records into.
@@ -98,6 +150,10 @@ impl MetricsRegistry {
         }
         inner.max_queue_depth = inner.max_queue_depth.max(metrics.queue_depth);
         inner.total_latency_ns += metrics.latency_ns;
+        if inner.latency_histogram.len() < LATENCY_BUCKETS {
+            inner.latency_histogram.resize(LATENCY_BUCKETS, 0);
+        }
+        inner.latency_histogram[latency_bucket(metrics.latency_ns)] += 1;
         inner.jobs.push(metrics);
     }
 
@@ -119,6 +175,9 @@ impl MetricsRegistry {
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut snap = self.inner.lock().expect("metrics lock").clone();
         snap.jobs.sort_by_key(|j| j.index);
+        snap.latency_p50_ns = percentile(&snap.latency_histogram, 0.50);
+        snap.latency_p95_ns = percentile(&snap.latency_histogram, 0.95);
+        snap.latency_p99_ns = percentile(&snap.latency_histogram, 0.99);
         snap
     }
 
@@ -172,6 +231,55 @@ mod tests {
         assert_eq!(order, vec![0, 1, 2], "export is batch-ordered");
         assert!(snap.jobs[0].ok && !snap.jobs[2].ok);
         assert_eq!(snap.jobs[0].sim_time_ns, 50.0);
+    }
+
+    #[test]
+    fn latency_percentiles_from_histogram() {
+        let registry = MetricsRegistry::new();
+        // 98 fast jobs (~1 us) and 2 slow outliers (~1 ms): p50/p95 must
+        // sit in the fast bucket, p99 must reach the outliers.
+        for i in 0..98 {
+            registry.record_job(metrics(i, 1_000, 0), Some(&ExecReport::new()));
+        }
+        for i in 98..100 {
+            registry.record_job(metrics(i, 1_000_000, 0), Some(&ExecReport::new()));
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.latency_histogram.iter().sum::<u64>(), 100);
+        // 1_000 has 10 significant bits: bucket 10, upper bound 1023.
+        assert_eq!(snap.latency_p50_ns, 1023);
+        assert_eq!(snap.latency_p95_ns, 1023);
+        // 1_000_000 has 20 significant bits: bucket 20, bound 2^20 - 1.
+        assert_eq!(snap.latency_p99_ns, (1 << 20) - 1);
+        // Percentiles are monotone and bound the true values from above.
+        assert!(snap.latency_p50_ns <= snap.latency_p95_ns);
+        assert!(snap.latency_p95_ns <= snap.latency_p99_ns);
+        assert!(snap.latency_p50_ns >= 1_000);
+        assert!(snap.latency_p99_ns >= 1_000_000);
+    }
+
+    #[test]
+    fn latency_percentiles_edge_cases() {
+        // Empty registry: all zeros.
+        let empty = MetricsRegistry::new().snapshot();
+        assert_eq!(
+            (
+                empty.latency_p50_ns,
+                empty.latency_p95_ns,
+                empty.latency_p99_ns
+            ),
+            (0, 0, 0)
+        );
+        // A single zero-latency job lands in bucket 0.
+        let registry = MetricsRegistry::new();
+        registry.record_job(metrics(0, 0, 0), Some(&ExecReport::new()));
+        let snap = registry.snapshot();
+        assert_eq!(snap.latency_p99_ns, 0);
+        assert_eq!(snap.latency_histogram[0], 1);
+        // Extreme latency saturates instead of overflowing.
+        let registry = MetricsRegistry::new();
+        registry.record_job(metrics(0, u64::MAX, 0), Some(&ExecReport::new()));
+        assert_eq!(registry.snapshot().latency_p50_ns, u64::MAX);
     }
 
     #[test]

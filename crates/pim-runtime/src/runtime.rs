@@ -7,6 +7,7 @@ use crate::metrics::{JobMetrics, MetricsRegistry, MetricsSnapshot};
 use pim_baselines::{Platform, Workload};
 use pim_device::schedule::Schedule;
 use pim_device::{ExecReport, StreamPim};
+use pim_trace::{Event, NullSink, Span, TraceSink, Track};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -74,23 +75,47 @@ impl BatchResult {
 /// across batches: a pool of platform instances (jobs with equal
 /// platform+config share one), the schedule cache, and the metrics
 /// registry.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Runtime {
     config: RuntimeConfig,
     cache: ScheduleCache,
     metrics: MetricsRegistry,
     platforms: Mutex<HashMap<u64, Arc<Platform>>>,
+    sink: Arc<dyn TraceSink>,
+    /// Zero point of the host clock domain: all host-span timestamps are
+    /// nanoseconds since runtime construction.
+    origin: Instant,
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Runtime::new(RuntimeConfig::default())
+    }
 }
 
 impl Runtime {
-    /// A runtime with the given configuration.
+    /// A runtime with the given configuration and tracing disabled.
     pub fn new(config: RuntimeConfig) -> Self {
+        Runtime::with_sink(config, Arc::new(NullSink))
+    }
+
+    /// A runtime that records host-side spans (job execution, lowering,
+    /// cache probes, steals) and the simulated timeline of every StreamPIM
+    /// job into `sink`. With [`NullSink`] this is exactly [`Runtime::new`].
+    pub fn with_sink(config: RuntimeConfig, sink: Arc<dyn TraceSink>) -> Self {
         Runtime {
             config,
             cache: ScheduleCache::new(),
             metrics: MetricsRegistry::new(),
             platforms: Mutex::new(HashMap::new()),
+            sink,
+            origin: Instant::now(),
         }
+    }
+
+    /// Nanoseconds since runtime construction (the host clock domain).
+    fn host_ns(&self, at: Instant) -> f64 {
+        at.duration_since(self.origin).as_nanos() as f64
     }
 
     /// The active configuration.
@@ -120,13 +145,48 @@ impl Runtime {
         let n = jobs.len();
         let slots: Vec<Mutex<Option<JobOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let pending = AtomicUsize::new(n);
+        let batch_start = Instant::now();
 
-        let stats = executor::run_indexed(self.config.workers, n, |worker, index| {
+        let stats = executor::run_indexed(self.config.workers, n, |worker, index, stolen| {
             let queue_depth = pending.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
             let started = Instant::now();
             let job = &jobs[index];
-            let (report, cache_hit) = self.run_one(job);
+            let (report, cache_hit) = self.run_one(job, worker);
             let latency_ns = started.elapsed().as_nanos() as u64;
+            if self.sink.enabled() {
+                let track = Track::Worker(worker as u32);
+                let dispatch_ns = self.host_ns(started);
+                if stolen {
+                    self.sink.record_instant(
+                        Event::host("steal", "steal", track, dispatch_ns)
+                            .arg("index", index)
+                            .arg("job", job.name.clone()),
+                    );
+                }
+                self.sink.record_span(
+                    Span::host(
+                        job.name.clone(),
+                        "job",
+                        track,
+                        dispatch_ns,
+                        latency_ns as f64,
+                    )
+                    .arg("index", index)
+                    .arg("platform", job.platform.name())
+                    .arg("cache_hit", cache_hit)
+                    .arg("queue_depth", queue_depth)
+                    .arg("stolen", stolen)
+                    .arg("ok", report.is_ok())
+                    .arg(
+                        "sim_time_ns",
+                        report.as_ref().map(|r| r.total_ns()).unwrap_or(0.0),
+                    )
+                    .arg(
+                        "queued_ns",
+                        started.duration_since(batch_start).as_nanos() as u64,
+                    ),
+                );
+            }
             self.metrics.record_job(
                 JobMetrics {
                     index,
@@ -166,7 +226,13 @@ impl Runtime {
     }
 
     /// Prices one job, reusing pooled platforms and cached schedules.
-    fn run_one(&self, job: &Job) -> (Result<ExecReport, pim_device::PimError>, bool) {
+    /// `worker` attributes host-side lowering spans to the executing
+    /// worker's track.
+    fn run_one(
+        &self,
+        job: &Job,
+        worker: usize,
+    ) -> (Result<ExecReport, pim_device::PimError>, bool) {
         let platform = match self.pooled_platform(job) {
             Ok(p) => p,
             Err(e) => return (Err(e), false),
@@ -177,11 +243,39 @@ impl Runtime {
         let schedule: Option<Arc<Schedule>> = match platform.lowering_config() {
             Some(cfg) if self.config.cache_enabled => {
                 let key = ScheduleCache::key(&cfg, &job.workload);
+                let probe_start = Instant::now();
                 match self
                     .cache
                     .get_or_lower(key, || workload.task.lower(&StreamPim::new(cfg.clone())?))
                 {
                     Ok((schedule, hit)) => {
+                        if self.sink.enabled() {
+                            self.sink.record_instant(
+                                Event::host(
+                                    if hit { "cache hit" } else { "cache miss" },
+                                    "cache",
+                                    Track::Cache,
+                                    self.host_ns(probe_start),
+                                )
+                                .arg("job", job.name.clone())
+                                .arg("hit", hit),
+                            );
+                            if !hit {
+                                // A miss means the closure lowered the task;
+                                // the probe's wall-clock is the lowering cost
+                                // (lock overhead is negligible next to it).
+                                self.sink.record_span(
+                                    Span::host(
+                                        format!("lower {}", job.name),
+                                        "lowering",
+                                        Track::Worker(worker as u32),
+                                        self.host_ns(probe_start),
+                                        probe_start.elapsed().as_nanos() as f64,
+                                    )
+                                    .arg("job", job.name.clone()),
+                                );
+                            }
+                        }
                         cache_hit = hit;
                         Some(schedule)
                     }
@@ -342,6 +436,46 @@ mod tests {
         );
         // Different configs must not share cache entries.
         assert_eq!(runtime.cache().misses(), 2);
+    }
+
+    #[test]
+    fn traced_batch_records_host_spans_and_identical_outcomes() {
+        // One worker: concurrent probes of an identical job pair may both
+        // miss (benign re-lowering), which would make the exact counts
+        // below nondeterministic.
+        let sink = Arc::new(pim_trace::Collector::new());
+        let traced = Runtime::with_sink(
+            RuntimeConfig {
+                workers: 1,
+                cache_enabled: true,
+            },
+            Arc::clone(&sink) as Arc<dyn TraceSink>,
+        );
+        let plain = Runtime::new(RuntimeConfig {
+            workers: 1,
+            cache_enabled: true,
+        });
+        let jobs = small_jobs();
+        let traced_batch = traced.run_batch(&jobs);
+        let plain_batch = plain.run_batch(&jobs);
+        // Deterministic outcomes are unaffected by tracing.
+        assert_eq!(traced_batch, plain_batch);
+
+        let spans = sink.spans();
+        let events = sink.events();
+        // One job span per job, on a worker track, in the host domain.
+        let job_spans: Vec<_> = spans.iter().filter(|s| s.cat == "job").collect();
+        assert_eq!(job_spans.len(), jobs.len());
+        assert!(job_spans
+            .iter()
+            .all(|s| s.track.class() == "worker" && s.domain == pim_trace::ClockDomain::Host));
+        // Jobs 0/1 share a schedule: one hit + two misses on the cache
+        // track (job 3 is a host platform and never probes).
+        let probes: Vec<_> = events.iter().filter(|e| e.cat == "cache").collect();
+        assert_eq!(probes.len(), 3);
+        assert_eq!(probes.iter().filter(|e| e.name == "cache hit").count(), 1);
+        // Each miss produced a lowering span.
+        assert_eq!(spans.iter().filter(|s| s.cat == "lowering").count(), 2);
     }
 
     #[test]

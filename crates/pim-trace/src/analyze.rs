@@ -1,0 +1,367 @@
+//! Utilization analytics over collected spans.
+//!
+//! Answers the questions the paper's timeline figures answer: how busy is
+//! each resource ([`ResourceUtil`]), what bounds the makespan
+//! ([`Analysis::critical_path_ns`]), how much computation hides transfers
+//! ([`Analysis::overlap_fraction`] — the §IV-C `unblock` effect), and where
+//! wall-clock goes overall ([`Breakdown`] — the Fig. 3-style table).
+//!
+//! All quantities derive from span intervals only; category strings
+//! (`"compute"` vs `"transfer"`) classify the overlap sets. Spans from
+//! different clock domains must not be mixed in one analysis — filter
+//! first if a collector holds both.
+
+use crate::span::Span;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Busy statistics of one resource timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceUtil {
+    /// Track display name (`subarray 17`, `transfer lane 3`, ...).
+    pub track: String,
+    /// Resource class (`subarray`, `lane`, `decoder`, `phase`, `worker`,
+    /// `cache`).
+    pub class: &'static str,
+    /// Spans recorded on the track.
+    pub spans: usize,
+    /// Busy time: the measure of the union of the track's span intervals
+    /// (self-overlaps are not double-counted), ns.
+    pub busy_ns: f64,
+    /// `busy_ns / makespan` of the whole analysis window.
+    pub utilization: f64,
+}
+
+/// Fig. 3-style decomposition of the analysis window.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Breakdown {
+    /// Time where ≥1 compute span is active and no transfer span is, ns.
+    pub compute_only_ns: f64,
+    /// Time where ≥1 transfer span is active and no compute span is, ns.
+    pub transfer_only_ns: f64,
+    /// Time where compute and transfer are simultaneously active, ns.
+    pub overlapped_ns: f64,
+    /// Remainder of the window: neither category active, ns.
+    pub idle_ns: f64,
+}
+
+/// Utilization analytics over one set of spans (one clock domain).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Analysis {
+    /// Window length: latest span end minus earliest span start, ns.
+    pub makespan_ns: f64,
+    /// Per-resource utilization, ordered by (class, track name).
+    pub resources: Vec<ResourceUtil>,
+    /// Resource-bound lower bound on the makespan: the largest single
+    /// track's busy time. The gap `makespan - critical_path` is
+    /// composition slack (dependencies, phasing), not resource shortage.
+    pub critical_path_ns: f64,
+    /// Time compute and transfer proceed simultaneously, ns.
+    pub overlap_ns: f64,
+    /// `overlap_ns` over the total time either category is active (0 when
+    /// nothing is active). Strictly higher under `OptLevel::Unblock` than
+    /// `OptLevel::Base` for the same schedule — the §IV-C claim.
+    pub overlap_fraction: f64,
+    /// The Fig. 3-style window decomposition.
+    pub breakdown: Breakdown,
+}
+
+impl Analysis {
+    /// Analyzes `spans` (all spans should share one clock domain).
+    pub fn of(spans: &[Span]) -> Analysis {
+        if spans.is_empty() {
+            return Analysis {
+                makespan_ns: 0.0,
+                resources: Vec::new(),
+                critical_path_ns: 0.0,
+                overlap_ns: 0.0,
+                overlap_fraction: 0.0,
+                breakdown: Breakdown::default(),
+            };
+        }
+        let origin = spans
+            .iter()
+            .map(|s| s.start_ns)
+            .fold(f64::INFINITY, f64::min);
+        let end = spans.iter().map(|s| s.end_ns()).fold(0.0f64, f64::max);
+        let makespan = (end - origin).max(0.0);
+
+        // Per-track interval unions.
+        let mut per_track: BTreeMap<(&'static str, String), Vec<(f64, f64)>> = BTreeMap::new();
+        for s in spans {
+            per_track
+                .entry((s.track.class(), s.track.to_string()))
+                .or_default()
+                .push((s.start_ns, s.end_ns()));
+        }
+        let mut resources: Vec<ResourceUtil> = per_track
+            .into_iter()
+            .map(|((class, track), mut intervals)| {
+                let spans = intervals.len();
+                let busy_ns = union_measure(&mut intervals);
+                ResourceUtil {
+                    track,
+                    class,
+                    spans,
+                    busy_ns,
+                    utilization: if makespan > 0.0 {
+                        busy_ns / makespan
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect();
+        resources.sort_by(|a, b| (a.class, &a.track).cmp(&(b.class, &b.track)));
+        let critical_path_ns = resources.iter().map(|r| r.busy_ns).fold(0.0f64, f64::max);
+
+        // Category unions for the overlap/breakdown sweep.
+        let mut compute: Vec<(f64, f64)> = Vec::new();
+        let mut transfer: Vec<(f64, f64)> = Vec::new();
+        for s in spans {
+            match s.cat {
+                "compute" => compute.push((s.start_ns, s.end_ns())),
+                "transfer" => transfer.push((s.start_ns, s.end_ns())),
+                _ => {}
+            }
+        }
+        let compute = union_intervals(&mut compute);
+        let transfer = union_intervals(&mut transfer);
+        let compute_total = measure(&compute);
+        let transfer_total = measure(&transfer);
+        let overlap_ns = intersection_measure(&compute, &transfer);
+        let active_ns = compute_total + transfer_total - overlap_ns;
+        let breakdown = Breakdown {
+            compute_only_ns: compute_total - overlap_ns,
+            transfer_only_ns: transfer_total - overlap_ns,
+            overlapped_ns: overlap_ns,
+            idle_ns: (makespan - active_ns).max(0.0),
+        };
+
+        Analysis {
+            makespan_ns: makespan,
+            resources,
+            critical_path_ns,
+            overlap_ns,
+            overlap_fraction: if active_ns > 0.0 {
+                overlap_ns / active_ns
+            } else {
+                0.0
+            },
+            breakdown,
+        }
+    }
+
+    /// Resources of one class, in track order.
+    pub fn class(&self, class: &str) -> Vec<&ResourceUtil> {
+        self.resources.iter().filter(|r| r.class == class).collect()
+    }
+
+    /// Mean utilization over the resources of one class (0 if absent).
+    pub fn mean_utilization(&self, class: &str) -> f64 {
+        let rows = self.class(class);
+        if rows.is_empty() {
+            return 0.0;
+        }
+        rows.iter().map(|r| r.utilization).sum::<f64>() / rows.len() as f64
+    }
+}
+
+impl fmt::Display for Analysis {
+    /// The text utilization report: breakdown percentages, per-class
+    /// summaries, and the busiest individual tracks.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "makespan      {:>14.1} ns", self.makespan_ns)?;
+        writeln!(
+            f,
+            "critical path {:>14.1} ns ({:.1}% of makespan)",
+            self.critical_path_ns,
+            pct(self.critical_path_ns, self.makespan_ns)
+        )?;
+        writeln!(
+            f,
+            "overlap       {:>14.1} ns (fraction {:.3})",
+            self.overlap_ns, self.overlap_fraction
+        )?;
+        let b = &self.breakdown;
+        writeln!(
+            f,
+            "breakdown     compute-only {:.1}% | transfer-only {:.1}% | overlapped {:.1}% | idle {:.1}%",
+            pct(b.compute_only_ns, self.makespan_ns),
+            pct(b.transfer_only_ns, self.makespan_ns),
+            pct(b.overlapped_ns, self.makespan_ns),
+            pct(b.idle_ns, self.makespan_ns)
+        )?;
+        for class in ["subarray", "lane", "decoder", "phase", "worker"] {
+            let rows = self.class(class);
+            if rows.is_empty() {
+                continue;
+            }
+            writeln!(
+                f,
+                "{:<10} x{:<4} mean utilization {:>5.1}%",
+                class,
+                rows.len(),
+                self.mean_utilization(class) * 100.0
+            )?;
+        }
+        let mut busiest: Vec<&ResourceUtil> = self.resources.iter().collect();
+        busiest.sort_by(|a, b| b.busy_ns.total_cmp(&a.busy_ns));
+        for r in busiest.iter().take(5) {
+            writeln!(
+                f,
+                "  {:<18} busy {:>12.1} ns ({:>5.1}%) over {} spans",
+                r.track,
+                r.busy_ns,
+                r.utilization * 100.0,
+                r.spans
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn pct(part: f64, whole: f64) -> f64 {
+    if whole > 0.0 {
+        part / whole * 100.0
+    } else {
+        0.0
+    }
+}
+
+/// Sorts and merges intervals in place, returning the merged set.
+fn union_intervals(intervals: &mut [(f64, f64)]) -> Vec<(f64, f64)> {
+    intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut merged: Vec<(f64, f64)> = Vec::with_capacity(intervals.len());
+    for &(start, end) in intervals.iter() {
+        match merged.last_mut() {
+            Some(last) if start <= last.1 => last.1 = last.1.max(end),
+            _ => merged.push((start, end)),
+        }
+    }
+    merged
+}
+
+/// Total measure of a *merged* interval set.
+fn measure(merged: &[(f64, f64)]) -> f64 {
+    merged.iter().map(|(s, e)| e - s).sum()
+}
+
+/// Measure of the union of (possibly overlapping) intervals.
+fn union_measure(intervals: &mut [(f64, f64)]) -> f64 {
+    measure(&union_intervals(intervals))
+}
+
+/// Measure of the intersection of two *merged* interval sets.
+fn intersection_measure(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
+    let (mut i, mut j, mut total) = (0usize, 0usize, 0.0f64);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if hi > lo {
+            total += hi - lo;
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Span, Track};
+
+    #[test]
+    fn empty_analysis_is_zero() {
+        let a = Analysis::of(&[]);
+        assert_eq!(a.makespan_ns, 0.0);
+        assert_eq!(a.overlap_fraction, 0.0);
+        assert!(a.resources.is_empty());
+    }
+
+    #[test]
+    fn serial_spans_have_zero_overlap() {
+        let spans = vec![
+            Span::sim("c", "compute", Track::Subarray(0), 0.0, 10.0),
+            Span::sim("t", "transfer", Track::TransferLane(0), 10.0, 10.0),
+        ];
+        let a = Analysis::of(&spans);
+        assert_eq!(a.makespan_ns, 20.0);
+        assert_eq!(a.overlap_ns, 0.0);
+        assert_eq!(a.breakdown.compute_only_ns, 10.0);
+        assert_eq!(a.breakdown.transfer_only_ns, 10.0);
+        assert_eq!(a.breakdown.idle_ns, 0.0);
+    }
+
+    #[test]
+    fn overlapped_spans_are_measured() {
+        let spans = vec![
+            Span::sim("c", "compute", Track::Subarray(0), 0.0, 10.0),
+            Span::sim("t", "transfer", Track::TransferLane(0), 5.0, 10.0),
+        ];
+        let a = Analysis::of(&spans);
+        assert_eq!(a.makespan_ns, 15.0);
+        assert_eq!(a.overlap_ns, 5.0);
+        // Active 15, overlap 5 -> fraction 1/3.
+        assert!((a.overlap_fraction - 5.0 / 15.0).abs() < 1e-12);
+        assert_eq!(a.breakdown.overlapped_ns, 5.0);
+        assert_eq!(a.breakdown.idle_ns, 0.0);
+    }
+
+    #[test]
+    fn per_track_union_does_not_double_count() {
+        // Two overlapping spans on the same track: busy = union, not sum.
+        let spans = vec![
+            Span::sim("a", "compute", Track::Subarray(1), 0.0, 10.0),
+            Span::sim("b", "compute", Track::Subarray(1), 5.0, 10.0),
+            Span::sim("idle-tail", "transfer", Track::TransferLane(0), 15.0, 5.0),
+        ];
+        let a = Analysis::of(&spans);
+        let sub = &a.class("subarray")[0];
+        assert_eq!(sub.busy_ns, 15.0);
+        assert_eq!(sub.spans, 2);
+        assert_eq!(a.critical_path_ns, 15.0);
+        assert!((sub.utilization - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_time_is_the_remainder() {
+        let spans = vec![
+            Span::sim("c", "compute", Track::Subarray(0), 0.0, 5.0),
+            Span::sim("t", "transfer", Track::TransferLane(0), 10.0, 5.0),
+        ];
+        let a = Analysis::of(&spans);
+        assert_eq!(a.makespan_ns, 15.0);
+        assert_eq!(a.breakdown.idle_ns, 5.0);
+    }
+
+    #[test]
+    fn display_report_mentions_key_lines() {
+        let spans = vec![
+            Span::sim("c", "compute", Track::Subarray(0), 0.0, 10.0),
+            Span::sim("t", "transfer", Track::TransferLane(0), 5.0, 10.0),
+        ];
+        let text = Analysis::of(&spans).to_string();
+        assert!(text.contains("makespan"));
+        assert!(text.contains("critical path"));
+        assert!(text.contains("overlapped"));
+        assert!(text.contains("subarray"));
+    }
+
+    #[test]
+    fn nonzero_origin_is_normalized() {
+        // Host spans start at an arbitrary wall-clock offset.
+        let spans = vec![
+            Span::host("j0", "job", Track::Worker(0), 1000.0, 10.0),
+            Span::host("j1", "job", Track::Worker(1), 1005.0, 10.0),
+        ];
+        let a = Analysis::of(&spans);
+        assert_eq!(a.makespan_ns, 15.0);
+        let w0 = &a.class("worker")[0];
+        assert!((w0.utilization - 10.0 / 15.0).abs() < 1e-12);
+    }
+}

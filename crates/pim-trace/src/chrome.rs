@@ -1,0 +1,228 @@
+//! Chrome trace-event export (the JSON object format Perfetto loads).
+//!
+//! Spans become complete events (`ph: "X"`) and instants become instant
+//! events (`ph: "i"`). Timestamps and durations are microseconds (the
+//! format's unit); fractional values preserve nanosecond resolution.
+//! Clock domains map to processes ([`ClockDomain::pid`]) and tracks to
+//! threads ([`Track::tid`]); `process_name`/`thread_name` metadata events
+//! label both, so Perfetto renders "subarray 17", "transfer lane 3",
+//! "worker 0" rows under two process groups.
+//!
+//! Load a written file at <https://ui.perfetto.dev> ("Open trace file") or
+//! `chrome://tracing`.
+
+use crate::span::{ClockDomain, Event, Span, Track};
+use serde::Value;
+use std::collections::BTreeSet;
+
+/// Renders spans + instants as a Chrome trace-event JSON object
+/// (`{"traceEvents": [...], "displayTimeUnit": "ns"}`).
+pub fn to_chrome_json(spans: &[Span], events: &[Event]) -> String {
+    let mut trace_events: Vec<Value> = Vec::with_capacity(spans.len() + events.len() + 16);
+
+    // Metadata: name every process and thread that appears.
+    let mut pids: BTreeSet<u64> = BTreeSet::new();
+    let mut tracks: BTreeSet<(u64, u64)> = BTreeSet::new();
+    let mut track_meta: Vec<(u64, Track)> = Vec::new();
+    for (domain, track) in spans
+        .iter()
+        .map(|s| (s.domain, s.track))
+        .chain(events.iter().map(|e| (e.domain, e.track)))
+    {
+        pids.insert(domain.pid());
+        if tracks.insert((domain.pid(), track.tid())) {
+            track_meta.push((domain.pid(), track));
+        }
+    }
+    for pid in &pids {
+        let name = [ClockDomain::Sim, ClockDomain::Host]
+            .into_iter()
+            .find(|d| d.pid() == *pid)
+            .map(ClockDomain::process_name)
+            .unwrap_or("unknown");
+        trace_events.push(metadata_event("process_name", *pid, None, name));
+    }
+    for (pid, track) in &track_meta {
+        trace_events.push(metadata_event(
+            "thread_name",
+            *pid,
+            Some(track.tid()),
+            &track.to_string(),
+        ));
+    }
+
+    for span in spans {
+        let mut fields = vec![
+            ("name".to_string(), Value::Str(span.name.clone())),
+            ("cat".to_string(), Value::Str(span.cat.to_string())),
+            ("ph".to_string(), Value::Str("X".to_string())),
+            ("ts".to_string(), Value::Float(span.start_ns / 1e3)),
+            ("dur".to_string(), Value::Float(span.dur_ns / 1e3)),
+            ("pid".to_string(), Value::UInt(span.domain.pid())),
+            ("tid".to_string(), Value::UInt(span.track.tid())),
+        ];
+        if !span.args.is_empty() {
+            fields.push(("args".to_string(), args_value(&span.args)));
+        }
+        trace_events.push(Value::Map(fields));
+    }
+
+    for event in events {
+        let mut fields = vec![
+            ("name".to_string(), Value::Str(event.name.clone())),
+            ("cat".to_string(), Value::Str(event.cat.to_string())),
+            ("ph".to_string(), Value::Str("i".to_string())),
+            ("ts".to_string(), Value::Float(event.ts_ns / 1e3)),
+            ("pid".to_string(), Value::UInt(event.domain.pid())),
+            ("tid".to_string(), Value::UInt(event.track.tid())),
+            // Thread-scoped instant: renders as a tick on its track.
+            ("s".to_string(), Value::Str("t".to_string())),
+        ];
+        if !event.args.is_empty() {
+            fields.push(("args".to_string(), args_value(&event.args)));
+        }
+        trace_events.push(Value::Map(fields));
+    }
+
+    let root = Value::Map(vec![
+        ("traceEvents".to_string(), Value::Seq(trace_events)),
+        ("displayTimeUnit".to_string(), Value::Str("ns".to_string())),
+    ]);
+    serde_json::to_string(&root).expect("trace serialization is infallible")
+}
+
+fn metadata_event(kind: &str, pid: u64, tid: Option<u64>, name: &str) -> Value {
+    let mut fields = vec![
+        ("name".to_string(), Value::Str(kind.to_string())),
+        ("ph".to_string(), Value::Str("M".to_string())),
+        ("pid".to_string(), Value::UInt(pid)),
+    ];
+    if let Some(tid) = tid {
+        fields.push(("tid".to_string(), Value::UInt(tid)));
+    }
+    fields.push((
+        "args".to_string(),
+        Value::Map(vec![("name".to_string(), Value::Str(name.to_string()))]),
+    ));
+    Value::Map(fields)
+}
+
+fn args_value(args: &[(&'static str, crate::span::ArgValue)]) -> Value {
+    use crate::span::ArgValue;
+    Value::Map(
+        args.iter()
+            .map(|(k, v)| {
+                let value = match v {
+                    ArgValue::U64(u) => Value::UInt(*u),
+                    ArgValue::F64(f) => Value::Float(*f),
+                    ArgValue::Str(s) => Value::Str(s.clone()),
+                    ArgValue::Bool(b) => Value::Bool(*b),
+                };
+                (k.to_string(), value)
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Phase, Track};
+
+    fn sample_spans() -> Vec<Span> {
+        vec![
+            Span::sim("MUL v[100]", "compute", Track::Subarray(7), 0.0, 120.5)
+                .arg("elements", 100u64)
+                .arg("kind", "MUL"),
+            Span::sim("TRAN", "transfer", Track::TransferLane(2), 50.0, 30.0),
+            Span::sim("decode", "decode", Track::Decoder, 0.0, 5.0),
+            Span::sim(
+                "round 0",
+                "compute",
+                Track::Phase(Phase::Compute),
+                0.0,
+                120.5,
+            ),
+            Span::host("gemm@0.02", "job", Track::Worker(0), 1000.0, 2000.0).arg("cache_hit", true),
+        ]
+    }
+
+    #[test]
+    fn export_parses_back_and_has_required_fields() {
+        let events = vec![Event::host("probe", "cache", Track::Cache, 990.0).arg("hit", false)];
+        let json = to_chrome_json(&sample_spans(), &events);
+        let root: Value = serde_json::from_str(&json).unwrap();
+        let Value::Seq(items) = root.field("traceEvents").unwrap() else {
+            panic!("traceEvents must be an array");
+        };
+        let mut complete = 0;
+        let mut instants = 0;
+        for item in items {
+            let ph = match item.field("ph").unwrap() {
+                Value::Str(s) => s.clone(),
+                other => panic!("ph must be a string, got {other:?}"),
+            };
+            assert!(item.field("pid").is_ok());
+            match ph.as_str() {
+                "X" => {
+                    complete += 1;
+                    assert!(item.field("ts").is_ok());
+                    assert!(item.field("dur").is_ok());
+                    assert!(item.field("tid").is_ok());
+                }
+                "i" => {
+                    instants += 1;
+                    assert!(item.field("ts").is_ok());
+                }
+                "M" => {}
+                other => panic!("unexpected phase {other}"),
+            }
+        }
+        assert_eq!(complete, 5);
+        assert_eq!(instants, 1);
+    }
+
+    #[test]
+    fn timestamps_are_microseconds() {
+        let spans = vec![Span::sim("x", "compute", Track::Subarray(0), 2000.0, 500.0)];
+        let json = to_chrome_json(&spans, &[]);
+        // 2000 ns = 2 us, 500 ns = 0.5 us.
+        assert!(json.contains("\"ts\":2.0"), "{json}");
+        assert!(json.contains("\"dur\":0.5"), "{json}");
+    }
+
+    #[test]
+    fn processes_and_threads_are_named() {
+        let json = to_chrome_json(&sample_spans(), &[]);
+        assert!(json.contains("process_name"));
+        assert!(json.contains("thread_name"));
+        assert!(json.contains("subarray 7"));
+        assert!(json.contains("transfer lane 2"));
+        assert!(json.contains("worker 0"));
+        assert!(json.contains("StreamPIM device (simulated ns)"));
+        assert!(json.contains("pim-runtime host (wall-clock ns)"));
+    }
+
+    #[test]
+    fn workload_names_with_special_characters_survive() {
+        let spans = vec![Span::host(
+            "gemm \"große\" α→β\n😀",
+            "job",
+            Track::Worker(0),
+            0.0,
+            1.0,
+        )];
+        let json = to_chrome_json(&spans, &[]);
+        let root: Value = serde_json::from_str(&json).unwrap();
+        let Value::Seq(items) = root.field("traceEvents").unwrap() else {
+            panic!("traceEvents must be an array");
+        };
+        let name = items
+            .iter()
+            .filter(|i| matches!(i.field("ph"), Ok(Value::Str(p)) if p == "X"))
+            .map(|i| i.field("name").unwrap().clone())
+            .next()
+            .unwrap();
+        assert_eq!(name, Value::Str("gemm \"große\" α→β\n😀".to_string()));
+    }
+}

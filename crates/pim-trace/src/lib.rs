@@ -1,0 +1,47 @@
+//! Cross-layer structured tracing for the StreamPIM stack.
+//!
+//! The rest of the workspace reports *aggregates* — `ExecReport`
+//! totals, operation counters, runtime job metrics. This crate adds the
+//! *timeline* view the paper's key claims are actually about: the overlap of
+//! computation and transfer (§IV-C `unblock`), subarray blocking under the
+//! shift-vs-read/write rule, and memory-vs-compute breakdowns (Fig. 3).
+//!
+//! Three layers:
+//!
+//! * [`span`] — the record types: a [`Span`] is one interval on one
+//!   resource [`Track`] in one [`ClockDomain`] (simulated device time vs
+//!   host wall-clock); an [`Event`] is an instantaneous marker.
+//! * [`sink`] — the [`TraceSink`] trait instrumented code records into,
+//!   with three implementations: [`Collector`] (in-memory), the Chrome
+//!   trace-event writer in [`chrome`] (fed from a collector), and
+//!   [`NullSink`] whose `enabled()` gate lets every instrumentation site
+//!   compile down to a predictable branch when tracing is off.
+//! * [`analyze`] — utilization analytics over collected spans: per-resource
+//!   busy fractions, critical path, compute∩transfer overlap, and a
+//!   Fig. 3-style time-breakdown table.
+//!
+//! Determinism contract: simulated-domain spans are a pure function of the
+//! schedule and configuration; host-domain spans carry wall-clock
+//! observations and vary run to run. The two domains are kept in separate
+//! Perfetto process groups (see [`ClockDomain::pid`]) so one trace file can
+//! hold both without conflating clocks.
+//!
+//! ```
+//! use pim_trace::{analyze::Analysis, chrome, Collector, Span, Track, TraceSink};
+//!
+//! let sink = Collector::new();
+//! sink.record_span(Span::sim("MUL", "compute", Track::Subarray(3), 0.0, 50.0));
+//! sink.record_span(Span::sim("TRAN", "transfer", Track::TransferLane(0), 10.0, 30.0));
+//! let analysis = Analysis::of(&sink.spans());
+//! assert!(analysis.overlap_fraction > 0.0);
+//! let json = chrome::to_chrome_json(&sink.spans(), &sink.events());
+//! assert!(json.contains("\"traceEvents\""));
+//! ```
+
+pub mod analyze;
+pub mod chrome;
+pub mod sink;
+pub mod span;
+
+pub use sink::{Collector, NullSink, TraceSink};
+pub use span::{ArgValue, ClockDomain, Event, Phase, Span, Track};

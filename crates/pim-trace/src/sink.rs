@@ -1,0 +1,162 @@
+//! Trace sinks: where instrumented code records spans and events.
+
+use crate::span::{Event, Span};
+use std::sync::Mutex;
+
+/// The recording interface every instrumentation site writes to.
+///
+/// Implementations must be thread-safe: the batch runtime records from
+/// worker threads concurrently. Instrumentation sites are expected to gate
+/// any span *construction* work behind [`TraceSink::enabled`], so a
+/// disabled sink costs one predictable branch per site:
+///
+/// ```
+/// # use pim_trace::{NullSink, Span, Track, TraceSink};
+/// # let sink = NullSink;
+/// if sink.enabled() {
+///     sink.record_span(Span::sim("MUL", "compute", Track::Subarray(0), 0.0, 1.0));
+/// }
+/// ```
+pub trait TraceSink: Send + Sync + std::fmt::Debug {
+    /// Whether this sink wants records at all. Sites skip argument
+    /// construction when `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one completed span.
+    fn record_span(&self, span: Span);
+
+    /// Records one instantaneous event.
+    fn record_instant(&self, event: Event);
+}
+
+/// The disabled sink: `enabled()` is `false` and both record methods are
+/// empty, so instrumentation compiles down to a branch and a no-op call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record_span(&self, _span: Span) {}
+
+    fn record_instant(&self, _event: Event) {}
+}
+
+/// In-memory collector: accumulates records for analysis and export.
+#[derive(Debug, Default)]
+pub struct Collector {
+    spans: Mutex<Vec<Span>>,
+    events: Mutex<Vec<Event>>,
+}
+
+impl Collector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Collector::default()
+    }
+
+    /// A copy of the collected spans, ordered by (track id, start time) so
+    /// the export is deterministic even when workers recorded concurrently.
+    pub fn spans(&self) -> Vec<Span> {
+        let mut spans = self.spans.lock().expect("span lock").clone();
+        spans.sort_by(|a, b| {
+            (a.domain.pid(), a.track.tid())
+                .cmp(&(b.domain.pid(), b.track.tid()))
+                .then(a.start_ns.total_cmp(&b.start_ns))
+        });
+        spans
+    }
+
+    /// A copy of the collected instant events, deterministically ordered.
+    pub fn events(&self) -> Vec<Event> {
+        let mut events = self.events.lock().expect("event lock").clone();
+        events.sort_by(|a, b| {
+            (a.domain.pid(), a.track.tid())
+                .cmp(&(b.domain.pid(), b.track.tid()))
+                .then(a.ts_ns.total_cmp(&b.ts_ns))
+        });
+        events
+    }
+
+    /// Number of collected spans.
+    pub fn span_count(&self) -> usize {
+        self.spans.lock().expect("span lock").len()
+    }
+
+    /// Number of collected instant events.
+    pub fn event_count(&self) -> usize {
+        self.events.lock().expect("event lock").len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.span_count() == 0 && self.event_count() == 0
+    }
+}
+
+impl TraceSink for Collector {
+    fn record_span(&self, span: Span) {
+        self.spans.lock().expect("span lock").push(span);
+    }
+
+    fn record_instant(&self, event: Event) {
+        self.events.lock().expect("event lock").push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Track;
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let sink = NullSink;
+        assert!(!sink.enabled());
+        sink.record_span(Span::sim("x", "compute", Track::Decoder, 0.0, 1.0));
+        sink.record_instant(Event::host("y", "job", Track::Cache, 0.0));
+    }
+
+    #[test]
+    fn collector_accumulates_and_orders() {
+        let c = Collector::new();
+        assert!(c.is_empty());
+        c.record_span(Span::sim("b", "compute", Track::Subarray(1), 5.0, 1.0));
+        c.record_span(Span::sim("a", "compute", Track::Subarray(1), 1.0, 1.0));
+        c.record_span(Span::host("j", "job", Track::Worker(0), 0.0, 1.0));
+        c.record_instant(Event::host("hit", "cache", Track::Cache, 2.0));
+        assert_eq!(c.span_count(), 3);
+        assert_eq!(c.event_count(), 1);
+        let spans = c.spans();
+        // Host pid sorts after sim pid; within a track, by start time.
+        assert_eq!(spans[0].name, "a");
+        assert_eq!(spans[1].name, "b");
+        assert_eq!(spans[2].name, "j");
+    }
+
+    #[test]
+    fn collector_is_shareable_across_threads() {
+        let c = std::sync::Arc::new(Collector::new());
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..100 {
+                        c.record_span(Span::host(
+                            format!("job{i}"),
+                            "job",
+                            Track::Worker(t),
+                            i as f64,
+                            1.0,
+                        ));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.span_count(), 400);
+    }
+}

@@ -1,0 +1,344 @@
+//! Trace record types: spans, instant events, tracks, clock domains.
+//!
+//! ## Track naming scheme
+//!
+//! Every record lands on one **track** — a monotonic per-resource timeline
+//! that maps 1:1 onto a Perfetto thread row. Tracks mirror the device
+//! model's resources: one per PIM subarray (the shift-vs-read/write rule
+//! means a subarray does one thing at a time at VPC granularity), one per
+//! transfer lane (one lane per PIM bank), one for the bank command decoder,
+//! one per analytic engine phase, plus host-side worker/cache tracks.
+//!
+//! ## Clock domains
+//!
+//! Simulated device time and host wall-clock are *different clocks* and
+//! must never share an axis. Each [`Span`]/[`Event`] therefore carries a
+//! [`ClockDomain`]; the Chrome exporter maps the domain to a Perfetto
+//! process (`pid`), so both timelines land in one trace file as separate
+//! process groups with a shared zero.
+
+use std::fmt;
+
+/// Which clock a record's timestamps are measured on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClockDomain {
+    /// Simulated device time: nanoseconds since schedule start, produced by
+    /// the pricing engines. Deterministic per (config, schedule).
+    Sim,
+    /// Host wall-clock: nanoseconds since runtime construction, observed
+    /// with `Instant`. Varies run to run.
+    Host,
+}
+
+impl ClockDomain {
+    /// Perfetto process id for this domain's process group.
+    pub fn pid(self) -> u64 {
+        match self {
+            ClockDomain::Sim => 1,
+            ClockDomain::Host => 2,
+        }
+    }
+
+    /// Human-readable process-group name (Perfetto `process_name`).
+    pub fn process_name(self) -> &'static str {
+        match self {
+            ClockDomain::Sim => "StreamPIM device (simulated ns)",
+            ClockDomain::Host => "pim-runtime host (wall-clock ns)",
+        }
+    }
+}
+
+/// Analytic-engine phase timelines (the closed-form engine has no
+/// per-resource schedule, only per-round phase composition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Operand broadcasts of a round (TRAN fan-out).
+    Broadcast,
+    /// The round's compute makespan across subarrays.
+    Compute,
+    /// Result collections of a round (TRAN fan-in).
+    Collect,
+}
+
+impl Phase {
+    fn name(self) -> &'static str {
+        match self {
+            Phase::Broadcast => "phase:broadcast",
+            Phase::Compute => "phase:compute",
+            Phase::Collect => "phase:collect",
+        }
+    }
+}
+
+/// A per-resource timeline (maps to a Perfetto thread row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Track {
+    /// One PIM subarray's occupancy (compute commands execute here).
+    Subarray(u32),
+    /// One inter-subarray transfer lane (one per PIM bank).
+    TransferLane(u32),
+    /// The bank command decoder (one decode slot per VPC).
+    Decoder,
+    /// An analytic-engine phase timeline (see [`Phase`]).
+    Phase(Phase),
+    /// One host worker thread of the batch runtime.
+    Worker(u32),
+    /// The runtime's schedule cache (probe hit/miss instants).
+    Cache,
+}
+
+impl Track {
+    /// Stable Perfetto thread id. Ranges are disjoint per track family so
+    /// ids never collide: workers 1.., cache 900, subarrays 10000..,
+    /// lanes 20000.., decoder 30000, phases 40000...
+    pub fn tid(self) -> u64 {
+        match self {
+            Track::Worker(w) => 1 + w as u64,
+            Track::Cache => 900,
+            Track::Subarray(s) => 10_000 + s as u64,
+            Track::TransferLane(l) => 20_000 + l as u64,
+            Track::Decoder => 30_000,
+            Track::Phase(Phase::Broadcast) => 40_000,
+            Track::Phase(Phase::Compute) => 40_001,
+            Track::Phase(Phase::Collect) => 40_002,
+        }
+    }
+
+    /// The resource class this track belongs to (used by trace validation:
+    /// a healthy end-to-end trace has ≥1 span per class).
+    pub fn class(self) -> &'static str {
+        match self {
+            Track::Subarray(_) => "subarray",
+            Track::TransferLane(_) => "lane",
+            Track::Decoder => "decoder",
+            Track::Phase(_) => "phase",
+            Track::Worker(_) => "worker",
+            Track::Cache => "cache",
+        }
+    }
+}
+
+impl fmt::Display for Track {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Track::Subarray(s) => write!(f, "subarray {s}"),
+            Track::TransferLane(l) => write!(f, "transfer lane {l}"),
+            Track::Decoder => f.write_str("decoder"),
+            Track::Phase(p) => f.write_str(p.name()),
+            Track::Worker(w) => write!(f, "worker {w}"),
+            Track::Cache => f.write_str("schedule cache"),
+        }
+    }
+}
+
+/// A typed span/event argument value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Float.
+    F64(f64),
+    /// String (workload names, platform names — may carry any UTF-8).
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> Self {
+        ArgValue::Bool(v)
+    }
+}
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+/// One interval on one resource timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Display name (VPC mnemonic, phase, job name).
+    pub name: String,
+    /// Category: `"compute"`, `"transfer"`, `"decode"`, `"job"`,
+    /// `"lowering"` — the analyzer classifies overlap by category.
+    pub cat: &'static str,
+    /// The clock the timestamps are measured on.
+    pub domain: ClockDomain,
+    /// The resource timeline this span occupies.
+    pub track: Track,
+    /// Start, nanoseconds on `domain`'s clock.
+    pub start_ns: f64,
+    /// Duration, nanoseconds.
+    pub dur_ns: f64,
+    /// Typed key/value annotations (op-counter deltas, VPC kind, ...).
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl Span {
+    /// A simulated-domain span with no arguments.
+    pub fn sim(
+        name: impl Into<String>,
+        cat: &'static str,
+        track: Track,
+        start_ns: f64,
+        dur_ns: f64,
+    ) -> Self {
+        Span {
+            name: name.into(),
+            cat,
+            domain: ClockDomain::Sim,
+            track,
+            start_ns,
+            dur_ns,
+            args: Vec::new(),
+        }
+    }
+
+    /// A host-domain span with no arguments.
+    pub fn host(
+        name: impl Into<String>,
+        cat: &'static str,
+        track: Track,
+        start_ns: f64,
+        dur_ns: f64,
+    ) -> Self {
+        Span {
+            name: name.into(),
+            cat,
+            domain: ClockDomain::Host,
+            track,
+            start_ns,
+            dur_ns,
+            args: Vec::new(),
+        }
+    }
+
+    /// Adds an argument (builder style).
+    pub fn arg(mut self, key: &'static str, value: impl Into<ArgValue>) -> Self {
+        self.args.push((key, value.into()));
+        self
+    }
+
+    /// End time, nanoseconds.
+    pub fn end_ns(&self) -> f64 {
+        self.start_ns + self.dur_ns
+    }
+}
+
+/// An instantaneous marker on a resource timeline (cache probe, steal).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Display name.
+    pub name: String,
+    /// Category (same taxonomy as [`Span::cat`]).
+    pub cat: &'static str,
+    /// The clock the timestamp is measured on.
+    pub domain: ClockDomain,
+    /// The resource timeline the marker lands on.
+    pub track: Track,
+    /// Timestamp, nanoseconds on `domain`'s clock.
+    pub ts_ns: f64,
+    /// Typed key/value annotations.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl Event {
+    /// A host-domain instant event with no arguments.
+    pub fn host(name: impl Into<String>, cat: &'static str, track: Track, ts_ns: f64) -> Self {
+        Event {
+            name: name.into(),
+            cat,
+            domain: ClockDomain::Host,
+            track,
+            ts_ns,
+            args: Vec::new(),
+        }
+    }
+
+    /// Adds an argument (builder style).
+    pub fn arg(mut self, key: &'static str, value: impl Into<ArgValue>) -> Self {
+        self.args.push((key, value.into()));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn track_ids_are_disjoint() {
+        let tracks = [
+            Track::Worker(0),
+            Track::Worker(7),
+            Track::Cache,
+            Track::Subarray(0),
+            Track::Subarray(511),
+            Track::TransferLane(0),
+            Track::TransferLane(15),
+            Track::Decoder,
+            Track::Phase(Phase::Broadcast),
+            Track::Phase(Phase::Compute),
+            Track::Phase(Phase::Collect),
+        ];
+        let mut ids: Vec<u64> = tracks.iter().map(|t| t.tid()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), tracks.len(), "tids collide");
+    }
+
+    #[test]
+    fn domains_have_distinct_pids() {
+        assert_ne!(ClockDomain::Sim.pid(), ClockDomain::Host.pid());
+        assert_ne!(
+            ClockDomain::Sim.process_name(),
+            ClockDomain::Host.process_name()
+        );
+    }
+
+    #[test]
+    fn span_builder() {
+        let s = Span::sim("MUL", "compute", Track::Subarray(3), 10.0, 5.0)
+            .arg("elements", 100u64)
+            .arg("kind", "MUL");
+        assert_eq!(s.end_ns(), 15.0);
+        assert_eq!(s.args.len(), 2);
+        assert_eq!(s.track.class(), "subarray");
+        assert_eq!(s.track.to_string(), "subarray 3");
+    }
+
+    #[test]
+    fn classes_cover_families() {
+        assert_eq!(Track::TransferLane(2).class(), "lane");
+        assert_eq!(Track::Decoder.class(), "decoder");
+        assert_eq!(Track::Phase(Phase::Compute).class(), "phase");
+        assert_eq!(Track::Worker(1).class(), "worker");
+        assert_eq!(Track::Cache.class(), "cache");
+    }
+}

@@ -241,6 +241,22 @@ impl Parser<'_> {
         }
     }
 
+    /// Reads the four hex digits of a `\u` escape (the `\u` itself already
+    /// consumed) and returns the raw UTF-16 code unit.
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error("truncated \\u escape".into()))?;
+        let code = u32::from_str_radix(
+            std::str::from_utf8(hex).map_err(|e| Error(format!("bad \\u escape: {e}")))?,
+            16,
+        )
+        .map_err(|e| Error(format!("bad \\u escape: {e}")))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
     fn parse_string(&mut self) -> Result<String, Error> {
         self.expect(b'"')?;
         let mut out = String::new();
@@ -277,17 +293,28 @@ impl Parser<'_> {
                         b'b' => out.push('\u{8}'),
                         b'f' => out.push('\u{c}'),
                         b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex)
-                                    .map_err(|e| Error(format!("bad \\u escape: {e}")))?,
-                                16,
-                            )
-                            .map_err(|e| Error(format!("bad \\u escape: {e}")))?;
-                            self.pos += 4;
+                            let code = self.parse_hex4()?;
+                            // Code points above the BMP arrive as a UTF-16
+                            // surrogate pair: a high surrogate followed by
+                            // a `\u`-escaped low surrogate.
+                            let code = if (0xD800..=0xDBFF).contains(&code) {
+                                if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u".as_slice())
+                                {
+                                    return Err(Error("unpaired high surrogate".into()));
+                                }
+                                self.pos += 2;
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err(Error(format!(
+                                        "expected low surrogate, got {low:#06x}"
+                                    )));
+                                }
+                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                            } else if (0xDC00..=0xDFFF).contains(&code) {
+                                return Err(Error("unpaired low surrogate".into()));
+                            } else {
+                                code
+                            };
                             out.push(
                                 char::from_u32(code)
                                     .ok_or_else(|| Error(format!("bad code point {code}")))?,
@@ -384,6 +411,40 @@ mod tests {
         let s = to_string_pretty(&v).unwrap();
         assert!(s.contains('\n'));
         assert_eq!(from_str::<Vec<Vec<u64>>>(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn strings_round_trip_control_and_non_ascii() {
+        for s in [
+            "plain",
+            "ctl \u{1}\u{8}\u{c}\u{1f} end",
+            "tabs\tand\nnewlines\r",
+            "héllo → 世界",
+            "astral 😀 𝄞 mix",
+        ] {
+            let json = to_string(&s.to_string()).unwrap();
+            assert_eq!(from_str::<String>(&json).unwrap(), s, "via {json}");
+        }
+        // Control characters must be \u-escaped, never emitted raw.
+        let json = to_string(&"\u{1}".to_string()).unwrap();
+        assert_eq!(json, "\"\\u0001\"");
+    }
+
+    #[test]
+    fn surrogate_pairs_parse_to_astral_chars() {
+        assert_eq!(from_str::<String>(r#""\ud83d\ude00""#).unwrap(), "😀");
+        assert_eq!(from_str::<String>(r#""\uD834\uDD1E""#).unwrap(), "𝄞");
+        // BMP escapes still work, as does a pair inside other text.
+        assert_eq!(from_str::<String>(r#""\u4e16\u754c""#).unwrap(), "世界");
+        assert_eq!(from_str::<String>(r#""a\ud83d\ude00b""#).unwrap(), "a😀b");
+    }
+
+    #[test]
+    fn lone_surrogates_are_rejected() {
+        assert!(from_str::<String>(r#""\ud83d""#).is_err());
+        assert!(from_str::<String>(r#""\ud83d x""#).is_err());
+        assert!(from_str::<String>(r#""\ude00""#).is_err());
+        assert!(from_str::<String>(r#""\ud83d\u0041""#).is_err());
     }
 
     #[test]

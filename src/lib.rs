@@ -21,6 +21,8 @@
 //! * [`pim_runtime`] — concurrent batch-simulation runtime: work-stealing
 //!   job execution over pooled platforms, a content-addressed schedule
 //!   cache, and a JSON-exportable metrics registry.
+//! * [`pim_trace`] — cross-layer structured tracing: spans on per-resource
+//!   timelines, Chrome/Perfetto JSON export, and utilization analytics.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +49,7 @@ pub use dw_logic;
 pub use pim_baselines;
 pub use pim_device;
 pub use pim_runtime;
+pub use pim_trace;
 pub use pim_workloads;
 pub use rm_bus;
 pub use rm_core;
