@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt lint build test bench-build experiments
+.PHONY: verify fmt lint build test bench-build bench-device experiments
 
-verify: fmt lint build test bench-build
+verify: fmt lint build test bench-build bench-device
 	@echo "verify: all gates passed"
 
 fmt:
@@ -24,6 +24,12 @@ test:
 bench-build:
 	$(CARGO) bench --workspace --no-run
 	$(CARGO) build --release --examples
+
+# Device-kernel smoke bench (scratch output; the committed BENCH_device.json
+# is regenerated in full mode: `cargo run --release -p pim-bench --bin bench_device`).
+bench-device:
+	$(CARGO) run --release -p pim-bench --bin bench_device -- --smoke --out target/BENCH_device_smoke.json
+	test -s target/BENCH_device_smoke.json
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

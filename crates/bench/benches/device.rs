@@ -1,0 +1,123 @@
+//! Device-model micro-benchmarks: word-packed bit-plane kernels vs the
+//! retained scalar reference (`rm_core::reference`).
+//!
+//! The `device` group measures the four hot paths the packed layout
+//! accelerates — nanowire shifts, 64-track mat row reads and writes, and a
+//! GEMV-shaped dot product through the processor datapath — each in a
+//! `packed` and a `scalar` variant. The `bench_device` binary reports the
+//! same comparisons as machine-readable medians (`BENCH_device.json`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rm_core::reference::{ScalarMat, ScalarNanowire};
+use rm_core::{Mat, Nanowire, ShiftDir};
+use rm_proc::RmProcessor;
+use std::hint::black_box;
+
+/// 64 save tracks, 32 transfer tracks, 64 rows, 4 ports per track.
+fn packed_mat() -> Mat {
+    Mat::new(64, 32, 64, 4)
+}
+
+fn scalar_mat() -> ScalarMat {
+    ScalarMat::new(64, 32, 64, 4)
+}
+
+fn gemv_operands() -> (Vec<u64>, Vec<u64>) {
+    let a: Vec<u64> = (0..256).map(|i| (i * 37 + 11) % 256).collect();
+    let b: Vec<u64> = (0..256).map(|i| (i * 91 + 13) % 256).collect();
+    (a, b)
+}
+
+fn bench_shift(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device/shift");
+    group.bench_function("packed", |bch| {
+        let mut wire = Nanowire::with_even_ports(512, 8);
+        bch.iter(|| {
+            wire.shift(ShiftDir::Right, black_box(1)).unwrap();
+            wire.shift(ShiftDir::Left, black_box(1)).unwrap();
+        })
+    });
+    group.bench_function("scalar", |bch| {
+        let mut wire = ScalarNanowire::with_even_ports(512, 8);
+        bch.iter(|| {
+            wire.shift(ShiftDir::Right, black_box(1)).unwrap();
+            wire.shift(ShiftDir::Left, black_box(1)).unwrap();
+        })
+    });
+    group.finish();
+}
+
+fn bench_read_row(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device/read_row");
+    let data = [0xA5u8; 8];
+    group.bench_function("packed", |bch| {
+        let mut mat = packed_mat();
+        let mut buf = [0u8; 8];
+        for r in 0..64 {
+            mat.write_row(r, &data).unwrap();
+        }
+        let mut r = 0;
+        bch.iter(|| {
+            mat.read_row_into(black_box(r), &mut buf).unwrap();
+            r = (r + 17) % 64;
+        })
+    });
+    group.bench_function("scalar", |bch| {
+        let mut mat = scalar_mat();
+        for r in 0..64 {
+            mat.write_row(r, &data).unwrap();
+        }
+        let mut r = 0;
+        bch.iter(|| {
+            black_box(mat.read_row(black_box(r)).unwrap());
+            r = (r + 17) % 64;
+        })
+    });
+    group.finish();
+}
+
+fn bench_write_row(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device/write_row");
+    let data = [0x3Cu8; 8];
+    group.bench_function("packed", |bch| {
+        let mut mat = packed_mat();
+        let mut r = 0;
+        bch.iter(|| {
+            mat.write_row(black_box(r), &data).unwrap();
+            r = (r + 17) % 64;
+        })
+    });
+    group.bench_function("scalar", |bch| {
+        let mut mat = scalar_mat();
+        let mut r = 0;
+        bch.iter(|| {
+            mat.write_row(black_box(r), &data).unwrap();
+            r = (r + 17) % 64;
+        })
+    });
+    group.finish();
+}
+
+fn bench_gemv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device/gemv");
+    group.sample_size(10);
+    let (a, b) = gemv_operands();
+    group.bench_function("packed", |bch| {
+        let mut proc = RmProcessor::new(8, 2);
+        bch.iter(|| black_box(proc.dot(black_box(&a), black_box(&b))))
+    });
+    group.bench_function("scalar", |bch| {
+        let mut proc = RmProcessor::new(8, 2);
+        bch.iter(|| black_box(proc.dot_scalar(black_box(&a), black_box(&b))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    device,
+    bench_shift,
+    bench_read_row,
+    bench_write_row,
+    bench_gemv
+);
+criterion_main!(device);

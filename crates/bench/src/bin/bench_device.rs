@@ -1,0 +1,170 @@
+//! Machine-readable device-kernel benchmark: packed vs scalar medians.
+//!
+//! Runs the same four comparisons as the criterion `device` group —
+//! nanowire shift, 64-track mat row read/write, and a GEMV-shaped dot
+//! product — and writes median ns/op per variant plus the speedup to a JSON
+//! report (default `BENCH_device.json`).
+//!
+//! Usage: `bench_device [--smoke] [--out PATH]`. `--smoke` shrinks the
+//! sample counts so CI can validate the pipeline in well under a second.
+
+use rm_core::reference::{ScalarMat, ScalarNanowire};
+use rm_core::{Mat, Nanowire, ShiftDir};
+use rm_proc::RmProcessor;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median ns/op comparison of one kernel.
+#[derive(Debug, Serialize)]
+struct KernelResult {
+    name: String,
+    scalar_ns: f64,
+    packed_ns: f64,
+    speedup: f64,
+}
+
+/// The whole report (`BENCH_device.json`).
+#[derive(Debug, Serialize)]
+struct Report {
+    bench: String,
+    mode: String,
+    iters_per_sample: u64,
+    samples: usize,
+    results: Vec<KernelResult>,
+}
+
+/// Median of `samples` timings of `iters` calls to `op`, in ns per call.
+fn median_ns<F: FnMut()>(iters: u64, samples: usize, mut op: F) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                op();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[samples / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_device.json".to_string());
+
+    let (iters, samples, gemv_iters) = if smoke { (200, 3, 2) } else { (20_000, 9, 30) };
+
+    let mut results = Vec::new();
+
+    // Kernel 1: single-domain shift (offset bookkeeping on both sides).
+    {
+        let mut packed = Nanowire::with_even_ports(512, 8);
+        let packed_ns = median_ns(iters, samples, || {
+            packed.shift(ShiftDir::Right, 1).unwrap();
+            packed.shift(ShiftDir::Left, 1).unwrap();
+        });
+        let mut scalar = ScalarNanowire::with_even_ports(512, 8);
+        let scalar_ns = median_ns(iters, samples, || {
+            scalar.shift(ShiftDir::Right, 1).unwrap();
+            scalar.shift(ShiftDir::Left, 1).unwrap();
+        });
+        results.push(KernelResult {
+            name: "shift".into(),
+            scalar_ns,
+            packed_ns,
+            speedup: scalar_ns / packed_ns,
+        });
+    }
+
+    // Kernels 2-3: 64-track mat row read and write.
+    {
+        let data = [0xA5u8; 8];
+        let mut packed = Mat::new(64, 32, 64, 4);
+        let mut scalar = ScalarMat::new(64, 32, 64, 4);
+        for r in 0..64 {
+            packed.write_row(r, &data).unwrap();
+            scalar.write_row(r, &data).unwrap();
+        }
+
+        let mut buf = [0u8; 8];
+        let mut r = 0;
+        let packed_ns = median_ns(iters, samples, || {
+            packed.read_row_into(black_box(r), &mut buf).unwrap();
+            r = (r + 17) % 64;
+        });
+        let mut r = 0;
+        let scalar_ns = median_ns(iters, samples, || {
+            black_box(scalar.read_row(black_box(r)).unwrap());
+            r = (r + 17) % 64;
+        });
+        results.push(KernelResult {
+            name: "read_row".into(),
+            scalar_ns,
+            packed_ns,
+            speedup: scalar_ns / packed_ns,
+        });
+
+        let mut r = 0;
+        let packed_ns = median_ns(iters, samples, || {
+            packed.write_row(black_box(r), &data).unwrap();
+            r = (r + 17) % 64;
+        });
+        let mut r = 0;
+        let scalar_ns = median_ns(iters, samples, || {
+            scalar.write_row(black_box(r), &data).unwrap();
+            r = (r + 17) % 64;
+        });
+        results.push(KernelResult {
+            name: "write_row".into(),
+            scalar_ns,
+            packed_ns,
+            speedup: scalar_ns / packed_ns,
+        });
+    }
+
+    // Kernel 4: GEMV-shaped 256-element dot product through the datapath.
+    {
+        let a: Vec<u64> = (0..256).map(|i| (i * 37 + 11) % 256).collect();
+        let b: Vec<u64> = (0..256).map(|i| (i * 91 + 13) % 256).collect();
+        let mut packed = RmProcessor::new(8, 2);
+        let packed_ns = median_ns(gemv_iters, samples, || {
+            black_box(packed.dot(black_box(&a), black_box(&b)));
+        });
+        let mut scalar = RmProcessor::new(8, 2);
+        let scalar_ns = median_ns(gemv_iters, samples, || {
+            black_box(scalar.dot_scalar(black_box(&a), black_box(&b)));
+        });
+        results.push(KernelResult {
+            name: "gemv".into(),
+            scalar_ns,
+            packed_ns,
+            speedup: scalar_ns / packed_ns,
+        });
+    }
+
+    let report = Report {
+        bench: "device".into(),
+        mode: if smoke { "smoke" } else { "full" }.into(),
+        iters_per_sample: iters,
+        samples,
+        results,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, &json).expect("report written");
+
+    println!("device kernels ({} mode):", report.mode);
+    for k in &report.results {
+        println!(
+            "  {:<10} scalar {:>10.1} ns/op   packed {:>10.1} ns/op   {:>6.1}x",
+            k.name, k.scalar_ns, k.packed_ns, k.speedup
+        );
+    }
+    println!("wrote {out_path}");
+}

@@ -1,7 +1,7 @@
 //! Full adder and ripple-carry word adder (paper Figure 6).
 
 use crate::cost::GateTally;
-use crate::gate::nand;
+use crate::gate::{nand, nand_words};
 use serde::{Deserialize, Serialize};
 
 /// The 1-bit full adder built from nine domain-wall NAND gates, exactly as
@@ -34,6 +34,29 @@ impl FullAdder {
         let t7 = nand(cin, t5, tally);
         let sum = nand(t6, t7, tally); // a XOR b XOR cin
         let carry = nand(t1, t5, tally); // ab + cin(a XOR b)
+        (sum, carry)
+    }
+
+    /// `lanes` full adders evaluated at once: bit `l` of each operand word
+    /// belongs to lane `l`. Same nine-NAND structure, tallied per lane, so
+    /// the gate accounting equals `lanes` scalar [`Self::add`] calls.
+    pub fn add_words(
+        self,
+        a: u64,
+        b: u64,
+        cin: u64,
+        lanes: u32,
+        tally: &mut GateTally,
+    ) -> (u64, u64) {
+        let t1 = nand_words(a, b, lanes, tally);
+        let t2 = nand_words(a, t1, lanes, tally);
+        let t3 = nand_words(b, t1, lanes, tally);
+        let axb = nand_words(t2, t3, lanes, tally); // a XOR b
+        let t5 = nand_words(axb, cin, lanes, tally);
+        let t6 = nand_words(axb, t5, lanes, tally);
+        let t7 = nand_words(cin, t5, lanes, tally);
+        let sum = nand_words(t6, t7, lanes, tally); // a XOR b XOR cin
+        let carry = nand_words(t1, t5, lanes, tally); // ab + cin(a XOR b)
         (sum, carry)
     }
 }
@@ -84,6 +107,35 @@ impl RippleCarryAdder {
             if s {
                 sum |= 1 << i;
             }
+            carry = c;
+        }
+        (sum, carry)
+    }
+
+    /// Bit-sliced word addition over `lanes` independent lane pairs:
+    /// `a[i]`/`b[i]` hold bit `i` of every lane (one plane per bit of the
+    /// word). Returns the sum planes and the carry-out word. The carry still
+    /// ripples plane-to-plane, but each plane step adds all lanes at once;
+    /// gate tallies equal `lanes` scalar [`Self::add`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` does not have exactly `width` planes.
+    pub fn add_planes(
+        &self,
+        a: &[u64],
+        b: &[u64],
+        cin: u64,
+        lanes: u32,
+        tally: &mut GateTally,
+    ) -> (Vec<u64>, u64) {
+        assert_eq!(a.len(), self.width as usize, "operand a plane count");
+        assert_eq!(b.len(), self.width as usize, "operand b plane count");
+        let mut carry = cin;
+        let mut sum = Vec::with_capacity(self.width as usize);
+        for i in 0..self.width as usize {
+            let (s, c) = FullAdder.add_words(a[i], b[i], carry, lanes, tally);
+            sum.push(s);
             carry = c;
         }
         (sum, carry)
@@ -162,5 +214,56 @@ mod tests {
     #[should_panic(expected = "width must be in 1..=63")]
     fn rejects_zero_width() {
         let _ = RippleCarryAdder::new(0);
+    }
+
+    #[test]
+    fn word_full_adder_matches_scalar_per_lane() {
+        let a: u64 = 0b1100_1010;
+        let b: u64 = 0b1010_0110;
+        let cin: u64 = 0b0110_0011;
+        let mut tw = GateTally::new();
+        let (sw, cw) = FullAdder.add_words(a, b, cin, 8, &mut tw);
+        let mut ts = GateTally::new();
+        for i in 0..8 {
+            let (s, c) = FullAdder.add(
+                (a >> i) & 1 == 1,
+                (b >> i) & 1 == 1,
+                (cin >> i) & 1 == 1,
+                &mut ts,
+            );
+            assert_eq!((sw >> i) & 1 == 1, s, "sum lane {i}");
+            assert_eq!((cw >> i) & 1 == 1, c, "carry lane {i}");
+        }
+        assert_eq!(tw, ts);
+    }
+
+    #[test]
+    fn add_planes_matches_scalar_add_across_lanes() {
+        let adder = RippleCarryAdder::new(8);
+        let lanes: Vec<(u64, u64)> = (0..16).map(|i| (i * 17 % 256, i * 31 % 256)).collect();
+        // Transpose operands into bit planes.
+        let mut a_planes = vec![0u64; 8];
+        let mut b_planes = vec![0u64; 8];
+        for (l, &(a, b)) in lanes.iter().enumerate() {
+            for (i, plane) in a_planes.iter_mut().enumerate() {
+                *plane |= ((a >> i) & 1) << l;
+            }
+            for (i, plane) in b_planes.iter_mut().enumerate() {
+                *plane |= ((b >> i) & 1) << l;
+            }
+        }
+        let mut tw = GateTally::new();
+        let (sum_planes, carry) = adder.add_planes(&a_planes, &b_planes, 0, 16, &mut tw);
+        let mut ts = GateTally::new();
+        for (l, &(a, b)) in lanes.iter().enumerate() {
+            let (s, c) = adder.add(a, b, false, &mut ts);
+            let mut got = 0u64;
+            for (i, plane) in sum_planes.iter().enumerate() {
+                got |= ((plane >> l) & 1) << i;
+            }
+            assert_eq!(got, s, "lane {l}");
+            assert_eq!((carry >> l) & 1 == 1, c, "carry lane {l}");
+        }
+        assert_eq!(tw, ts);
     }
 }

@@ -80,6 +80,41 @@ impl AdderTree {
         }
         level.first().copied().unwrap_or(0)
     }
+
+    /// Bit-sliced sibling of [`Self::sum`] over `lanes` independent lane
+    /// sets: each operand is a vector of `width` planes (`operand[i]` holds
+    /// bit `i` of every lane). The pairwise reduction and therefore the gate
+    /// tallies are identical to running [`Self::sum`] once per lane.
+    ///
+    /// Returns `width` zero planes for an empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand does not have exactly `width` planes.
+    pub fn sum_planes(&self, operands: &[Vec<u64>], lanes: u32, tally: &mut GateTally) -> Vec<u64> {
+        let width = self.width as usize;
+        for op in operands {
+            assert_eq!(op.len(), width, "operand plane count");
+        }
+        let adder = RippleCarryAdder::new(self.width);
+        let mut level: Vec<Vec<u64>> = operands.to_vec();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                if let [a, b] = pair {
+                    let (s, _carry) = adder.add_planes(a, b, 0, lanes, tally);
+                    next.push(s);
+                } else {
+                    next.push(pair[0].clone());
+                }
+            }
+            level = next;
+        }
+        level
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| vec![0u64; width])
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +163,49 @@ mod tests {
         let mut t = GateTally::new();
         let _ = tree.sum(&[1; 8], &mut t);
         assert_eq!(t.nand, 7 * 16 * 9);
+    }
+
+    #[test]
+    fn sum_planes_matches_scalar_sum_per_lane() {
+        let tree = AdderTree::new(16);
+        // 5 operands, 3 lanes.
+        let lanes: [[u64; 5]; 3] = [
+            [1, 2, 3, 4, 5],
+            [100, 200, 300, 400, 500],
+            [65535, 1, 0, 9999, 123],
+        ];
+        let width = 16usize;
+        let operands: Vec<Vec<u64>> = (0..5)
+            .map(|op| {
+                let mut planes = vec![0u64; width];
+                for (l, lane) in lanes.iter().enumerate() {
+                    for (i, plane) in planes.iter_mut().enumerate() {
+                        *plane |= ((lane[op] >> i) & 1) << l;
+                    }
+                }
+                planes
+            })
+            .collect();
+        let mut tw = GateTally::new();
+        let sum_planes = tree.sum_planes(&operands, 3, &mut tw);
+        let mut ts = GateTally::new();
+        for (l, lane) in lanes.iter().enumerate() {
+            let expect = tree.sum(lane, &mut ts);
+            let mut got = 0u64;
+            for (i, plane) in sum_planes.iter().enumerate() {
+                got |= ((plane >> l) & 1) << i;
+            }
+            assert_eq!(got, expect, "lane {l}");
+        }
+        assert_eq!(tw, ts);
+    }
+
+    #[test]
+    fn sum_planes_empty_is_zero() {
+        let tree = AdderTree::new(8);
+        let mut t = GateTally::new();
+        assert_eq!(tree.sum_planes(&[], 4, &mut t), vec![0u64; 8]);
+        assert_eq!(t.total(), 0);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! same hardware doubles as a plain scalar adder by *not* recirculating the
 //! result (the multiplexing noted in §III-C).
 
-use crate::adder::RippleCarryAdder;
+use crate::adder::{FullAdder, RippleCarryAdder};
 use crate::cost::GateTally;
 use crate::diode::DomainWallDiode;
 use rm_core::ShiftDir;
@@ -104,11 +104,62 @@ impl CircleAdder {
         sum
     }
 
+    /// Accumulates a whole stream with bulk accounting: accumulator value,
+    /// overflow and iteration counters, diode crossings, and gate tallies
+    /// all end up exactly as if [`Self::accumulate`] had been called once
+    /// per element. Returns the final accumulated value.
+    pub fn accumulate_many(&mut self, xs: &[u64], tally: &mut GateTally) -> u64 {
+        let w = self.width() as u64;
+        let mask = if w == 63 {
+            (1u64 << 63) - 1
+        } else {
+            (1u64 << w) - 1
+        };
+        for &x in xs {
+            let sum = self.acc + (x & mask);
+            if (sum >> w) & 1 == 1 {
+                self.overflows += 1;
+            }
+            self.acc = sum & mask;
+        }
+        let n = xs.len() as u64;
+        tally.nand += n * w * FullAdder::NAND_COUNT;
+        tally.diode += n * w;
+        self.diode.cross_many(ShiftDir::Right, n * w);
+        self.iterations += n;
+        self.acc
+    }
+
     /// One-shot scalar addition through the same full adder, bypassing the
     /// recirculation (the multiplexed ADD mode). Does not touch the
     /// accumulator.
     pub fn scalar_add(&self, a: u64, b: u64, tally: &mut GateTally) -> (u64, bool) {
         self.adder.add(a, b, false, tally)
+    }
+
+    /// Bulk sibling of [`Self::scalar_add`]: adds `a[i] + b[i]` pairwise with
+    /// one bulk tally update (`len * width` full adders). Does not touch the
+    /// accumulator or the diode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` differ in length.
+    pub fn scalar_add_many(&self, a: &[u64], b: &[u64], tally: &mut GateTally) -> Vec<(u64, bool)> {
+        assert_eq!(a.len(), b.len(), "operand vectors must pair up");
+        let w = self.width() as u64;
+        let mask = if w == 63 {
+            (1u64 << 63) - 1
+        } else {
+            (1u64 << w) - 1
+        };
+        tally.nand += a.len() as u64 * w * FullAdder::NAND_COUNT;
+        a.iter()
+            .zip(b)
+            .map(|(&a, &b)| {
+                let sum = (a & mask) + (b & mask);
+                (sum & mask, (sum >> w) & 1 == 1)
+            })
+            .collect()
     }
 
     /// Takes the accumulated result and resets the accumulator.
@@ -197,6 +248,48 @@ mod tests {
         assert_eq!(acc.accumulate_cycles(0), 0);
         assert_eq!(acc.accumulate_cycles(1), 4);
         assert_eq!(acc.accumulate_cycles(10), 13);
+    }
+
+    #[test]
+    fn accumulate_many_matches_serial_accumulate() {
+        for width in [8u32, 32, 63] {
+            let mut bulk = CircleAdder::new(width);
+            let mut serial = CircleAdder::new(width);
+            let mut tb = GateTally::new();
+            let mut ts = GateTally::new();
+            let xs: Vec<u64> = (0..50).map(|i| i * 0x0123_4567_89AB + 0xFF).collect();
+            let final_bulk = bulk.accumulate_many(&xs, &mut tb);
+            let mut final_serial = 0;
+            for &x in &xs {
+                final_serial = serial.accumulate(x, &mut ts);
+            }
+            assert_eq!(final_bulk, final_serial, "width {width}");
+            assert_eq!(bulk, serial, "width {width}");
+            assert_eq!(tb, ts, "width {width}");
+        }
+    }
+
+    #[test]
+    fn accumulate_many_empty_is_noop() {
+        let mut acc = CircleAdder::new(16);
+        let mut t = GateTally::new();
+        assert_eq!(acc.accumulate_many(&[], &mut t), 0);
+        assert_eq!(acc.iterations(), 0);
+        assert_eq!(t.total(), 0);
+    }
+
+    #[test]
+    fn scalar_add_many_matches_serial_scalar_add() {
+        let acc = CircleAdder::new(8);
+        let a: Vec<u64> = (0..40).map(|i| i * 13 % 256).collect();
+        let b: Vec<u64> = (0..40).map(|i| i * 29 + 200).collect();
+        let mut tb = GateTally::new();
+        let results = acc.scalar_add_many(&a, &b, &mut tb);
+        let mut ts = GateTally::new();
+        for i in 0..a.len() {
+            assert_eq!(results[i], acc.scalar_add(a[i], b[i], &mut ts), "pair {i}");
+        }
+        assert_eq!(tb, ts);
     }
 
     #[test]

@@ -78,6 +78,19 @@ impl DomainWallDiode {
         }
     }
 
+    /// Attempts to move `n` domains through the diode in `dir` in one bulk
+    /// accounting step — state effects identical to `n` calls of
+    /// [`Self::try_cross`]. Returns `true` if the domains passed.
+    pub fn cross_many(&mut self, dir: ShiftDir, n: u64) -> bool {
+        if self.passes(dir) {
+            self.crossings += n;
+            true
+        } else {
+            self.blocked += n;
+            false
+        }
+    }
+
     /// Number of successful crossings so far.
     #[inline]
     pub fn crossings(&self) -> u64 {
@@ -113,6 +126,21 @@ mod tests {
         assert!(!d.try_cross(ShiftDir::Right));
         d.enable();
         assert!(d.try_cross(ShiftDir::Left));
+    }
+
+    #[test]
+    fn cross_many_matches_repeated_try_cross() {
+        let mut bulk = DomainWallDiode::new(ShiftDir::Right);
+        let mut serial = DomainWallDiode::new(ShiftDir::Right);
+        assert!(bulk.cross_many(ShiftDir::Right, 5));
+        assert!(!bulk.cross_many(ShiftDir::Left, 3));
+        for _ in 0..5 {
+            serial.try_cross(ShiftDir::Right);
+        }
+        for _ in 0..3 {
+            serial.try_cross(ShiftDir::Left);
+        }
+        assert_eq!(bulk, serial);
     }
 
     #[test]

@@ -156,6 +156,27 @@ impl Duplicator {
         (original, replica)
     }
 
+    /// Accounts `count` complete duplications in one bulk step: fan-out and
+    /// diode tallies, diode crossings and the duplication counter advance
+    /// exactly as for `count` sequential [`Self::duplicate`] calls. Used by
+    /// the word-parallel processor path, where the replica values themselves
+    /// are implicit (every replica equals the operand).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a duplication is already in flight.
+    pub fn duplicate_bulk(&mut self, count: u64, tally: &mut GateTally) {
+        assert_eq!(self.phase, DupPhase::Ready, "duplicator is busy");
+        if count == 0 {
+            return;
+        }
+        let bits = count * self.width as u64;
+        tally.fanout += bits;
+        tally.diode += bits;
+        self.diode.cross_many(ShiftDir::Left, bits);
+        self.duplications += count;
+    }
+
     fn mask(&self) -> u64 {
         if self.width == 64 {
             u64::MAX
@@ -218,6 +239,26 @@ impl DuplicatorBank {
         } else {
             DUPLICATION_STEPS + (n as u64).div_ceil(self.units.len() as u64) - 1
         }
+    }
+
+    /// Accounts `calls` sequential [`Self::replicate`] invocations of `n`
+    /// replicas each without materializing the replica vectors (the
+    /// word-parallel path knows every replica equals the operand). Unit
+    /// state, tallies, and diode counters advance exactly as for the
+    /// sequential calls; returns the per-call cycle cost.
+    pub fn replicate_bulk(&mut self, n: usize, calls: u64, tally: &mut GateTally) -> u64 {
+        let d = self.units.len();
+        for (i, unit) in self.units.iter_mut().enumerate() {
+            // Round-robin from unit 0: unit i serves replica indices
+            // i, i+d, i+2d, ... of each call.
+            let per_call = if n == 0 {
+                0
+            } else {
+                (n / d + usize::from(i < n % d)) as u64
+            };
+            unit.duplicate_bulk(per_call * calls, tally);
+        }
+        self.replicate_cycles(n)
     }
 }
 
@@ -293,6 +334,43 @@ mod tests {
         assert!(replicas.iter().all(|&r| r == 0x5A));
         // 4 fill + ceil(8/2) - 1 = 7 cycles.
         assert_eq!(cycles, 7);
+    }
+
+    #[test]
+    fn duplicate_bulk_matches_serial_duplicates() {
+        let mut bulk = Duplicator::new(8);
+        let mut serial = Duplicator::new(8);
+        let mut tb = GateTally::new();
+        let mut ts = GateTally::new();
+        bulk.duplicate_bulk(5, &mut tb);
+        for _ in 0..5 {
+            let _ = serial.duplicate(0xA5, &mut ts);
+        }
+        assert_eq!(bulk, serial);
+        assert_eq!(tb, ts);
+        // Zero-count bulk is a no-op.
+        bulk.duplicate_bulk(0, &mut tb);
+        assert_eq!(bulk, serial);
+        assert_eq!(tb, ts);
+    }
+
+    #[test]
+    fn replicate_bulk_matches_serial_replicate() {
+        for n in [0usize, 1, 2, 5, 8, 13] {
+            let mut bulk = DuplicatorBank::new(3, 8);
+            let mut serial = DuplicatorBank::new(3, 8);
+            let mut tb = GateTally::new();
+            let mut ts = GateTally::new();
+            let cycles = bulk.replicate_bulk(n, 4, &mut tb);
+            let mut serial_cycles = 0;
+            for _ in 0..4 {
+                let (_replicas, c) = serial.replicate(0x3C, n, &mut ts);
+                serial_cycles = c;
+            }
+            assert_eq!(bulk, serial, "n = {n}");
+            assert_eq!(tb, ts, "n = {n}");
+            assert_eq!(cycles, serial_cycles, "n = {n}");
+        }
     }
 
     #[test]

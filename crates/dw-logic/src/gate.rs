@@ -58,6 +58,26 @@ impl DwGate {
             Bias::Nor => nor(a, b, tally),
         }
     }
+
+    /// Evaluates `lanes` independent copies of the gate at once, one lane
+    /// per bit of the operands (word-parallel sibling of [`Self::eval`]).
+    pub fn eval_words(&self, a: u64, b: u64, lanes: u32, tally: &mut GateTally) -> u64 {
+        match self.bias {
+            Bias::Nand => nand_words(a, b, lanes, tally),
+            Bias::Nor => nor_words(a, b, lanes, tally),
+        }
+    }
+}
+
+/// Mask selecting the low `lanes` bits of a word (`lanes <= 64`).
+#[inline]
+pub fn lane_mask(lanes: u32) -> u64 {
+    debug_assert!(lanes <= 64);
+    if lanes == 64 {
+        u64::MAX
+    } else {
+        (1u64 << lanes) - 1
+    }
 }
 
 /// Domain-wall inverter: the domain is flipped as it crosses the coupling.
@@ -102,6 +122,56 @@ pub fn xor(a: bool, b: bool, tally: &mut GateTally) -> bool {
     let t2 = nand(a, t1, tally);
     let t3 = nand(b, t1, tally);
     nand(t2, t3, tally)
+}
+
+// Word-parallel gate lanes. A DW gate array evaluates one gate per lane in a
+// single traversal; the tally therefore advances by `lanes` per call —
+// exactly what `lanes` scalar calls would record, so timing/energy reports
+// derived from the tally are unchanged. Operand bits at or above `lanes` are
+// ignored; result bits there are zero.
+
+/// `lanes` domain-wall inverters evaluated in one word op.
+#[inline]
+pub fn not_words(a: u64, lanes: u32, tally: &mut GateTally) -> u64 {
+    tally.not += lanes as u64;
+    !a & lane_mask(lanes)
+}
+
+/// `lanes` NAND gates evaluated in one word op.
+#[inline]
+pub fn nand_words(a: u64, b: u64, lanes: u32, tally: &mut GateTally) -> u64 {
+    tally.nand += lanes as u64;
+    !(a & b) & lane_mask(lanes)
+}
+
+/// `lanes` NOR gates evaluated in one word op.
+#[inline]
+pub fn nor_words(a: u64, b: u64, lanes: u32, tally: &mut GateTally) -> u64 {
+    tally.nor += lanes as u64;
+    !(a | b) & lane_mask(lanes)
+}
+
+/// `lanes` ANDs, structurally NAND + inverter per lane.
+#[inline]
+pub fn and_words(a: u64, b: u64, lanes: u32, tally: &mut GateTally) -> u64 {
+    let n = nand_words(a, b, lanes, tally);
+    not_words(n, lanes, tally)
+}
+
+/// `lanes` ORs, structurally NOR + inverter per lane.
+#[inline]
+pub fn or_words(a: u64, b: u64, lanes: u32, tally: &mut GateTally) -> u64 {
+    let n = nor_words(a, b, lanes, tally);
+    not_words(n, lanes, tally)
+}
+
+/// `lanes` XORs, structurally four NANDs per lane.
+#[inline]
+pub fn xor_words(a: u64, b: u64, lanes: u32, tally: &mut GateTally) -> u64 {
+    let t1 = nand_words(a, b, lanes, tally);
+    let t2 = nand_words(a, t1, lanes, tally);
+    let t3 = nand_words(b, t1, lanes, tally);
+    nand_words(t2, t3, lanes, tally)
 }
 
 #[cfg(test)]
@@ -162,6 +232,53 @@ mod tests {
             assert_eq!(DwGate::new(Bias::Nor).eval(a, b, &mut t), !(a || b));
         }
         assert_eq!(DwGate::new(Bias::Nand).bias(), Bias::Nand);
+    }
+
+    #[test]
+    fn word_gates_match_scalar_gates_lane_by_lane() {
+        let a: u64 = 0xDEAD_BEEF_CAFE_F00D;
+        let b: u64 = 0x0123_4567_89AB_CDEF;
+        for lanes in [1u32, 7, 63, 64] {
+            let mut tw = GateTally::new();
+            let nw = nand_words(a, b, lanes, &mut tw);
+            let rw = nor_words(a, b, lanes, &mut tw);
+            let iw = not_words(a, lanes, &mut tw);
+            let aw = and_words(a, b, lanes, &mut tw);
+            let ow = or_words(a, b, lanes, &mut tw);
+            let xw = xor_words(a, b, lanes, &mut tw);
+            let mut ts = GateTally::new();
+            for i in 0..lanes {
+                let ab = (a >> i) & 1 == 1;
+                let bb = (b >> i) & 1 == 1;
+                assert_eq!((nw >> i) & 1 == 1, nand(ab, bb, &mut ts), "nand lane {i}");
+                assert_eq!((rw >> i) & 1 == 1, nor(ab, bb, &mut ts), "nor lane {i}");
+                assert_eq!((iw >> i) & 1 == 1, not(ab, &mut ts), "not lane {i}");
+                assert_eq!((aw >> i) & 1 == 1, and(ab, bb, &mut ts), "and lane {i}");
+                assert_eq!((ow >> i) & 1 == 1, or(ab, bb, &mut ts), "or lane {i}");
+                assert_eq!((xw >> i) & 1 == 1, xor(ab, bb, &mut ts), "xor lane {i}");
+            }
+            // Word tallies equal the sum of the per-lane scalar tallies.
+            assert_eq!(tw, ts, "tally for {lanes} lanes");
+            // Dead lanes are zeroed.
+            if lanes < 64 {
+                assert_eq!(nw & !lane_mask(lanes), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn biased_gate_word_eval_matches_scalar() {
+        let mut tw = GateTally::new();
+        let mut ts = GateTally::new();
+        for bias in [Bias::Nand, Bias::Nor] {
+            let g = DwGate::new(bias);
+            let w = g.eval_words(0b1100, 0b1010, 4, &mut tw);
+            for i in 0..4 {
+                let expect = g.eval((0b1100 >> i) & 1 == 1, (0b1010 >> i) & 1 == 1, &mut ts);
+                assert_eq!((w >> i) & 1 == 1, expect);
+            }
+        }
+        assert_eq!(tw, ts);
     }
 
     #[test]

@@ -9,8 +9,35 @@
 
 use crate::adder_tree::AdderTree;
 use crate::cost::GateTally;
-use crate::gate::and;
+use crate::gate::{and, and_words};
 use serde::{Deserialize, Serialize};
+
+/// Transposes up to 64 lane values into `width` bit planes: plane `i`, bit
+/// `l` = bit `i` of `values[l]`. Values are masked to `width` bits.
+pub fn transpose_to_planes(values: &[u64], width: u32) -> Vec<u64> {
+    assert!(values.len() <= 64, "at most 64 lanes per plane word");
+    let mut planes = vec![0u64; width as usize];
+    for (l, &v) in values.iter().enumerate() {
+        for (i, plane) in planes.iter_mut().enumerate() {
+            *plane |= ((v >> i) & 1) << l;
+        }
+    }
+    planes
+}
+
+/// Inverse of [`transpose_to_planes`]: gathers `lanes` values back out of
+/// bit planes.
+pub fn planes_to_values(planes: &[u64], lanes: usize) -> Vec<u64> {
+    assert!(lanes <= 64, "at most 64 lanes per plane word");
+    (0..lanes)
+        .map(|l| {
+            planes
+                .iter()
+                .enumerate()
+                .fold(0u64, |v, (i, &plane)| v | (((plane >> l) & 1) << i))
+        })
+        .collect()
+}
 
 /// A multiplier for `width`-bit operands producing `2*width`-bit products.
 ///
@@ -103,6 +130,42 @@ impl Multiplier {
     pub fn latency_cycles(&self) -> u64 {
         1 + self.tree.latency_cycles(self.width as usize)
     }
+
+    /// Multiplies many independent `a[i] * b[i]` pairs with word-parallel
+    /// gate lanes: operands are transposed to bit planes, the `width²` AND
+    /// partial-product gates and the adder tree evaluate 64 lanes per word
+    /// op, and the products are transposed back. Results and gate tallies
+    /// are identical to calling [`Self::multiply`] once per pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` differ in length.
+    pub fn multiply_many(&self, a: &[u64], b: &[u64], tally: &mut GateTally) -> Vec<u64> {
+        assert_eq!(a.len(), b.len(), "operand vectors must pair up");
+        let w = self.width as usize;
+        let pw = 2 * w;
+        let mut out = Vec::with_capacity(a.len());
+        for (ca, cb) in a.chunks(64).zip(b.chunks(64)) {
+            let lanes = ca.len() as u32;
+            let a_planes = transpose_to_planes(ca, self.width);
+            let b_planes = transpose_to_planes(cb, self.width);
+            // Partial product i = (a AND b_i) << i, expressed directly in
+            // plane form: its plane i+j is the AND of a's plane j with bit i
+            // of b across all lanes.
+            let pps: Vec<Vec<u64>> = (0..w)
+                .map(|i| {
+                    let mut planes = vec![0u64; pw];
+                    for j in 0..w {
+                        planes[i + j] = and_words(a_planes[j], b_planes[i], lanes, tally);
+                    }
+                    planes
+                })
+                .collect();
+            let product_planes = self.tree.sum_planes(&pps, lanes, tally);
+            out.extend(planes_to_values(&product_planes, ca.len()));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +232,41 @@ mod tests {
     fn count_tree_nands(width: u64) -> u64 {
         // The tree performs (width - 1) adds of 2*width bits, 9 NANDs per bit.
         (width - 1) * 2 * width * 9
+    }
+
+    #[test]
+    fn multiply_many_matches_scalar_multiply_and_tally() {
+        let m = Multiplier::new(8);
+        // More than one 64-lane chunk to exercise the chunking.
+        let a: Vec<u64> = (0..100).map(|i| (i * 37) % 256).collect();
+        let b: Vec<u64> = (0..100).map(|i| (i * 91 + 13) % 256).collect();
+        let mut tw = GateTally::new();
+        let products = m.multiply_many(&a, &b, &mut tw);
+        let mut ts = GateTally::new();
+        for i in 0..a.len() {
+            assert_eq!(products[i], m.multiply(a[i], b[i], &mut ts), "pair {i}");
+            assert_eq!(products[i], a[i] * b[i], "pair {i} exact");
+        }
+        assert_eq!(tw, ts);
+    }
+
+    #[test]
+    fn multiply_many_empty_is_empty() {
+        let m = Multiplier::new(8);
+        let mut t = GateTally::new();
+        assert!(m.multiply_many(&[], &[], &mut t).is_empty());
+        assert_eq!(t.total(), 0);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let values: Vec<u64> = (0..64).map(|i| i * 3 % 256).collect();
+        let planes = transpose_to_planes(&values, 8);
+        assert_eq!(planes.len(), 8);
+        assert_eq!(planes_to_values(&planes, 64), values);
+        // Masking to width applies on the way in.
+        let planes = transpose_to_planes(&[0x1FF], 8);
+        assert_eq!(planes_to_values(&planes, 1), vec![0xFF]);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use dw_logic::extension::{Divider, SqrtExtractor};
 use dw_logic::{
+    and, and_words, nand, nand_words, nor, nor_words, not, not_words, or, or_words, xor, xor_words,
     AdderTree, CircleAdder, Duplicator, DuplicatorBank, GateTally, Multiplier, RippleCarryAdder,
 };
 use proptest::prelude::*;
@@ -136,6 +137,105 @@ proptest! {
         let root = sqrt.isqrt(x, &mut t);
         prop_assert!(root * root <= x);
         prop_assert!((root + 1) * (root + 1) > x);
+    }
+
+    /// Differential: every word-parallel gate matches its scalar sibling on
+    /// all lanes and produces the identical `GateTally`, for any lane count.
+    #[test]
+    fn word_gates_match_scalar_lane_by_lane(
+        a in any::<u64>(),
+        b in any::<u64>(),
+        lanes in 1u32..=64,
+    ) {
+        let mut tw = GateTally::new();
+        let rn = nand_words(a, b, lanes, &mut tw);
+        let rr = nor_words(a, b, lanes, &mut tw);
+        let ri = not_words(a, lanes, &mut tw);
+        let ra = and_words(a, b, lanes, &mut tw);
+        let ro = or_words(a, b, lanes, &mut tw);
+        let rx = xor_words(a, b, lanes, &mut tw);
+        let mut ts = GateTally::new();
+        for l in 0..lanes {
+            let (x, y) = ((a >> l) & 1 == 1, (b >> l) & 1 == 1);
+            prop_assert_eq!((rn >> l) & 1 == 1, nand(x, y, &mut ts), "nand lane {}", l);
+            prop_assert_eq!((rr >> l) & 1 == 1, nor(x, y, &mut ts), "nor lane {}", l);
+            prop_assert_eq!((ri >> l) & 1 == 1, not(x, &mut ts), "not lane {}", l);
+            prop_assert_eq!((ra >> l) & 1 == 1, and(x, y, &mut ts), "and lane {}", l);
+            prop_assert_eq!((ro >> l) & 1 == 1, or(x, y, &mut ts), "or lane {}", l);
+            prop_assert_eq!((rx >> l) & 1 == 1, xor(x, y, &mut ts), "xor lane {}", l);
+        }
+        prop_assert_eq!(tw, ts);
+        // Dead lanes above `lanes` are forced to zero.
+        for r in [rn, rr, ri, ra, ro, rx] {
+            if lanes < 64 {
+                prop_assert_eq!(r >> lanes, 0, "dead lanes zeroed");
+            }
+        }
+    }
+
+    /// Differential: `multiply_many` equals per-pair `multiply` in results
+    /// and gate tally for arbitrary operand streams (crossing word chunks).
+    #[test]
+    fn multiply_many_matches_scalar_stream(
+        pairs in proptest::collection::vec((0u64..4096, 0u64..4096), 0..100),
+    ) {
+        let m = Multiplier::new(12);
+        let a: Vec<u64> = pairs.iter().map(|&(x, _)| x).collect();
+        let b: Vec<u64> = pairs.iter().map(|&(_, y)| y).collect();
+        let mut tw = GateTally::new();
+        let products = m.multiply_many(&a, &b, &mut tw);
+        let mut ts = GateTally::new();
+        for (i, &(x, y)) in pairs.iter().enumerate() {
+            prop_assert_eq!(products[i], m.multiply(x, y, &mut ts));
+        }
+        prop_assert_eq!(tw, ts);
+    }
+
+    /// Differential: bulk circle accumulation equals serial accumulation in
+    /// final value, unit state, and tally for any width and stream.
+    #[test]
+    fn accumulate_many_matches_serial_stream(
+        xs in proptest::collection::vec(any::<u64>(), 0..60),
+        width in 1u32..=63,
+    ) {
+        let mut bulk = CircleAdder::new(width);
+        let mut serial = CircleAdder::new(width);
+        let mut tb = GateTally::new();
+        let mut ts = GateTally::new();
+        let rb = bulk.accumulate_many(&xs, &mut tb);
+        let mut rs = 0;
+        for &x in &xs {
+            rs = serial.accumulate(x, &mut ts);
+        }
+        if !xs.is_empty() {
+            prop_assert_eq!(rb, rs);
+        }
+        prop_assert_eq!(bulk, serial);
+        prop_assert_eq!(tb, ts);
+    }
+
+    /// Differential: bulk bank replication equals serial replication in unit
+    /// state, tally, and cycle cost.
+    #[test]
+    fn replicate_bulk_matches_serial_calls(
+        n in 0usize..20,
+        calls in 0u64..5,
+        d in 1u32..5,
+        word in 0u64..256,
+    ) {
+        let mut bulk = DuplicatorBank::new(d, 8);
+        let mut serial = DuplicatorBank::new(d, 8);
+        let mut tb = GateTally::new();
+        let mut ts = GateTally::new();
+        let cycles_bulk = bulk.replicate_bulk(n, calls, &mut tb);
+        let mut cycles_serial = serial.replicate_cycles(n);
+        for _ in 0..calls {
+            let (_, c) = serial.replicate(word, n, &mut ts);
+            cycles_serial = c;
+        }
+        prop_assert_eq!(bulk, serial);
+        prop_assert_eq!(tb, ts);
+        prop_assert_eq!(cycles_bulk, cycles_serial);
     }
 
     /// Multiply-then-divide round-trips through the structural units.

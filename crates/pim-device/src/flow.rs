@@ -105,9 +105,10 @@ impl SubarrayFlow {
     pub fn read_vector(&mut self, row: usize, len: usize) -> Result<Vec<u8>> {
         let epr = self.elements_per_row();
         let mut out = Vec::with_capacity(len);
+        let mut row_data = vec![0u8; epr];
         for i in 0..len.div_ceil(epr) {
-            let data = self.subarray.read_row(row + i)?;
-            out.extend_from_slice(&data);
+            self.subarray.read_row_into(row + i, &mut row_data)?;
+            out.extend_from_slice(&row_data);
         }
         out.truncate(len);
         Ok(out)
@@ -123,9 +124,11 @@ impl SubarrayFlow {
             let (mat, local) = self.subarray.locate_row(row + i)?;
             let mat_ref = self.subarray.mat_mut(mat)?;
             // Non-destructive read: fan-out copy, then shift the replica out.
+            // The packed row's first backing word IS the bus word (LSB-first
+            // lanes match `pack`'s little-endian byte layout).
             mat_ref.copy_row_to_transfer(local)?;
-            let bytes = mat_ref.shift_out_transfer_row(local)?;
-            pending.push_back(pack(&bytes));
+            let packed = mat_ref.shift_out_transfer_row_packed(local)?;
+            pending.push_back(packed.words().first().copied().unwrap_or(0));
         }
         // Pipelined injection: one data segment per couple, empty gaps kept.
         let epr = self.elements_per_row();
@@ -171,8 +174,11 @@ impl SubarrayFlow {
             }
             for delivery in self.from_proc.cycle() {
                 let data = unpack(delivery.packet.data, epr);
+                let packed = rm_core::PackedBits::from_bytes_lsb(&data, epr * 8);
                 let (mat, local) = self.subarray.locate_row(dst_row + arrived)?;
-                self.subarray.mat_mut(mat)?.shift_in_row(local, &data)?;
+                self.subarray
+                    .mat_mut(mat)?
+                    .shift_in_row_packed(local, &packed)?;
                 arrived += 1;
             }
             guard += 1;

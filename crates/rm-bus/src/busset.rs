@@ -8,6 +8,7 @@
 //! engine's `operand_buses` parameter.
 
 use crate::segmented::{Delivery, SegmentedBus};
+use rm_core::PackedBits;
 use serde::{Deserialize, Serialize};
 
 /// `k` parallel segmented buses with round-robin injection.
@@ -105,6 +106,46 @@ impl BusSet {
     pub fn segment_shifts(&self) -> u64 {
         self.buses.iter().map(SegmentedBus::segment_shifts).sum()
     }
+
+    /// Streams `words` to tap `dst`, spreading packets round-robin over the
+    /// buses and cycling until every word is delivered. Returns the
+    /// deliveries tagged with the bus index that carried them.
+    pub fn stream_words(&mut self, words: &[u64], dst: usize) -> Vec<(usize, Delivery)> {
+        if words.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(words.len());
+        let mut pending = words.iter();
+        let mut next = pending.next();
+        let guard =
+            (self.buses[0].len() as u64 + 2 * words.len() as u64 / self.buses.len() as u64 + 16)
+                * 4;
+        for _ in 0..guard {
+            // Inject as many words as the set accepts this cycle (at most
+            // one entry slot per bus frees up per cycle).
+            while let Some(&word) = next {
+                if self.inject(word, dst).is_none() {
+                    break;
+                }
+                next = pending.next();
+            }
+            out.extend(self.cycle());
+            if next.is_none() && self.is_empty() {
+                break;
+            }
+        }
+        assert!(
+            out.len() >= words.len(),
+            "bus-set stream failed to drain within the cycle guard"
+        );
+        out
+    }
+
+    /// Streams a packed row as its `u64` backing words over the set (see
+    /// [`Self::stream_words`]).
+    pub fn stream_row(&mut self, row: &PackedBits, dst: usize) -> Vec<(usize, Delivery)> {
+        self.stream_words(row.words(), dst)
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +211,34 @@ mod tests {
         assert_eq!(set.delivered(), 3);
         assert!(set.segment_shifts() >= 3 * 7);
         assert!(set.is_empty());
+    }
+
+    #[test]
+    fn stream_words_spreads_over_buses_and_delivers_all() {
+        let mut set = BusSet::new(4, 16);
+        let words: Vec<u64> = (0..64).collect();
+        let deliveries = set.stream_words(&words, 15);
+        let mut datas: Vec<u64> = deliveries.iter().map(|(_, d)| d.packet.data).collect();
+        datas.sort_unstable();
+        assert_eq!(datas, words);
+        let per_bus = set.delivered_per_bus();
+        assert_eq!(per_bus, vec![16, 16, 16, 16], "round-robin balance");
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn stream_row_matches_packed_words() {
+        let mut set = BusSet::new(2, 8);
+        let mut row = rm_core::PackedBits::new(100);
+        for i in (0..100).step_by(7) {
+            row.set(i, true);
+        }
+        let deliveries = set.stream_row(&row, 7);
+        let mut datas: Vec<u64> = deliveries.iter().map(|(_, d)| d.packet.data).collect();
+        datas.sort_unstable();
+        let mut expect = row.words().to_vec();
+        expect.sort_unstable();
+        assert_eq!(datas, expect);
     }
 
     #[test]

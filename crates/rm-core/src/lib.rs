@@ -35,6 +35,7 @@
 
 pub mod address;
 pub mod bank;
+pub mod bits;
 pub mod config;
 pub mod device;
 pub mod energy;
@@ -44,12 +45,14 @@ pub mod guard;
 pub mod magnet;
 pub mod mat;
 pub mod nanowire;
+pub mod reference;
 pub mod stats;
 pub mod subarray;
 pub mod timing;
 
 pub use address::{Addr, BankId, MatId, RowAddr, SubarrayId};
 pub use bank::Bank;
+pub use bits::PackedBits;
 pub use config::{DeviceConfig, Geometry};
 pub use device::RmDevice;
 pub use energy::{EnergyBreakdown, EnergyParams};

@@ -9,15 +9,73 @@
 //! track keeps its data while the replica leaves the mat as pure magnetic
 //! signal (no electromagnetic conversion).
 //!
+//! Internally the mat stores each row as one [`PackedBits`] *bit plane*
+//! (lane `t` = save track `t`, LSB-first), so `read_row`/`write_row`/
+//! `shift_out_*` move whole rows as words instead of looping per track. The
+//! tracks still shift in lockstep, so a single shared `offset`/`overhead`
+//! per track group replaces the per-wire bookkeeping — observable behaviour,
+//! errors, and [`OpCounters`] are identical to the scalar model retained in
+//! [`crate::reference::ScalarMat`], which the differential proptests verify.
+//!
 //! Accounting granularity: one `read`/`write` counter tick corresponds to one
 //! *row* access, and one `shift` tick to a one-domain lockstep shift of the
 //! whole mat. All platforms in this reproduction use the same granularity, so
 //! relative comparisons are unaffected by the choice.
 
+use crate::bits::PackedBits;
 use crate::error::RmError;
-use crate::nanowire::{Nanowire, ShiftDir};
+use crate::nanowire::ShiftDir;
 use crate::stats::OpCounters;
 use crate::Result;
+
+/// A set of identical racetracks stored as per-row bit planes and shifted in
+/// lockstep: plane `r` holds the domains at along-track position `r`, one
+/// lane per track. Because every track shares the same port layout and shift
+/// history, one `offset`/`overhead` pair serves the whole group.
+#[derive(Debug, Clone)]
+struct TrackGroup {
+    /// `planes[row]` = the bits of all tracks at along-track position `row`.
+    planes: Vec<PackedBits>,
+    /// Number of tracks (lanes per plane).
+    tracks: usize,
+    /// Cumulative lockstep shift (positive = shifted right).
+    offset: isize,
+    /// Reserved overhead domains per side; |offset| may never exceed this.
+    overhead: usize,
+}
+
+impl TrackGroup {
+    fn new(tracks: usize, rows: usize, overhead: usize) -> Self {
+        TrackGroup {
+            planes: (0..rows).map(|_| PackedBits::new(tracks)).collect(),
+            tracks,
+            offset: 0,
+            overhead,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.tracks == 0
+    }
+
+    /// Lockstep shift with the same range check and error as
+    /// [`crate::Nanowire::shift`].
+    fn shift(&mut self, dir: ShiftDir, distance: usize) -> Result<()> {
+        let new_offset = self.offset + dir.sign() * distance as isize;
+        if new_offset.unsigned_abs() > self.overhead {
+            let available = match dir {
+                ShiftDir::Right => (self.overhead as isize - self.offset).max(0) as usize,
+                ShiftDir::Left => (self.overhead as isize + self.offset).max(0) as usize,
+            };
+            return Err(RmError::ShiftOutOfRange {
+                requested: distance,
+                available,
+            });
+        }
+        self.offset = new_offset;
+        Ok(())
+    }
+}
 
 /// A group of domain-wall nanowires shifted in lockstep.
 ///
@@ -30,8 +88,8 @@ use crate::Result;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Mat {
-    save: Vec<Nanowire>,
-    transfer: Vec<Nanowire>,
+    save: TrackGroup,
+    transfer: TrackGroup,
     domains_per_track: usize,
     ports: Vec<usize>,
     counters: OpCounters,
@@ -60,17 +118,13 @@ impl Mat {
         assert!(ports_per_track > 0, "tracks need at least one port");
         let stride = domains_per_track / ports_per_track;
         let ports: Vec<usize> = (0..ports_per_track).map(|i| i * stride).collect();
-        let save = (0..save_tracks)
-            .map(|_| Nanowire::new(domains_per_track, &ports))
-            .collect();
-        // Transfer tracks have no access ports of their own; model them with
-        // a single virtual port at 0 used only by the functional copy.
-        let transfer = (0..transfer_tracks)
-            .map(|_| Nanowire::new(domains_per_track, &[0]))
-            .collect();
+        // Overhead regions match the per-wire sizing of `Nanowire::new`: the
+        // save tracks carry `ports_per_track` ports, the transfer tracks a
+        // single virtual port at 0 used only by the functional copy.
+        let save_overhead = (domains_per_track / ports_per_track).max(1);
         Mat {
-            save,
-            transfer,
+            save: TrackGroup::new(save_tracks, domains_per_track, save_overhead),
+            transfer: TrackGroup::new(transfer_tracks, domains_per_track, domains_per_track),
             domains_per_track,
             ports,
             counters: OpCounters::default(),
@@ -80,13 +134,13 @@ impl Mat {
     /// Number of save tracks.
     #[inline]
     pub fn save_tracks(&self) -> usize {
-        self.save.len()
+        self.save.tracks
     }
 
     /// Number of transfer tracks.
     #[inline]
     pub fn transfer_tracks(&self) -> usize {
-        self.transfer.len()
+        self.transfer.tracks
     }
 
     /// Whether this mat can serve non-destructive reads towards the bus.
@@ -104,7 +158,7 @@ impl Mat {
     /// Bytes per row.
     #[inline]
     pub fn row_bytes(&self) -> usize {
-        self.save.len() / 8
+        self.save.tracks / 8
     }
 
     /// Operation counters accumulated by this mat.
@@ -130,8 +184,8 @@ impl Mat {
         // Choose, among ports whose alignment offset stays inside the
         // reserved overhead region, the one minimizing the shift distance
         // from the current offset.
-        let offset = self.save[0].offset();
-        let overhead = self.save[0].overhead() as isize;
+        let offset = self.save.offset;
+        let overhead = self.save.overhead as isize;
         let (best_port, dist) = self
             .ports
             .iter()
@@ -152,8 +206,9 @@ impl Mat {
             } else {
                 ShiftDir::Left
             };
-            for wire in self.save.iter_mut().chain(self.transfer.iter_mut()) {
-                wire.shift(dir, dist)?;
+            self.save.shift(dir, dist)?;
+            if !self.transfer.is_empty() {
+                self.transfer.shift(dir, dist)?;
             }
             self.counters.shifts += dist as u64;
             self.counters.shift_distance += dist as u64;
@@ -170,16 +225,41 @@ impl Mat {
     ///
     /// See [`Self::align_row`].
     pub fn read_row(&mut self, row: usize) -> Result<Vec<u8>> {
+        let mut out = vec![0u8; self.row_bytes()];
+        self.read_row_into(row, &mut out)?;
+        Ok(out)
+    }
+
+    /// Reads `row` into a caller-provided buffer, avoiding the per-call
+    /// allocation of [`Self::read_row`] — use this from inner loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmError::LengthMismatch`] if `buf` is not exactly
+    /// [`Self::row_bytes`] long, plus the errors of [`Self::align_row`].
+    pub fn read_row_into(&mut self, row: usize, buf: &mut [u8]) -> Result<()> {
+        if buf.len() != self.row_bytes() {
+            return Err(RmError::LengthMismatch {
+                expected: self.row_bytes(),
+                actual: buf.len(),
+            });
+        }
         self.align_row(row)?;
         self.counters.reads += 1;
-        let mut out = vec![0u8; self.row_bytes()];
-        for (t, wire) in self.save.iter().enumerate() {
-            let idx = row_index_under_any_port(wire, row)?;
-            if wire.peek(idx)? {
-                out[t / 8] |= 1 << (t % 8);
-            }
-        }
-        Ok(out)
+        self.save.planes[row].write_bytes_lsb(buf);
+        Ok(())
+    }
+
+    /// Reads `row` as a packed bit plane (lane `t` = save track `t`); the
+    /// word-level sibling of [`Self::read_row`] with identical accounting.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::align_row`].
+    pub fn read_row_packed(&mut self, row: usize) -> Result<PackedBits> {
+        self.align_row(row)?;
+        self.counters.reads += 1;
+        Ok(self.save.planes[row].clone())
     }
 
     /// Writes `row` through the access ports.
@@ -197,11 +277,27 @@ impl Mat {
         }
         self.align_row(row)?;
         self.counters.writes += 1;
-        for (t, wire) in self.save.iter_mut().enumerate() {
-            let bit = data[t / 8] & (1 << (t % 8)) != 0;
-            let idx = row_index_under_any_port(wire, row)?;
-            wire.poke(idx, bit)?;
+        self.save.planes[row] = PackedBits::from_bytes_lsb(data, self.save.tracks);
+        Ok(())
+    }
+
+    /// Writes `row` from a packed bit plane; the word-level sibling of
+    /// [`Self::write_row`] with identical accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmError::LengthMismatch`] if `data` does not have exactly
+    /// one lane per save track, plus the errors of [`Self::align_row`].
+    pub fn write_row_packed(&mut self, row: usize, data: &PackedBits) -> Result<()> {
+        if data.len() != self.save.tracks {
+            return Err(RmError::LengthMismatch {
+                expected: self.save.tracks,
+                actual: data.len(),
+            });
         }
+        self.align_row(row)?;
+        self.counters.writes += 1;
+        self.save.planes[row] = data.clone();
         Ok(())
     }
 
@@ -223,22 +319,21 @@ impl Mat {
         self.check_row(row)?;
         self.counters.shifts += 1;
         self.counters.shift_distance += 1;
-        // Each transfer track mirrors the corresponding save track (modulo
-        // count if fewer transfer tracks exist: row is copied in chunks).
-        for t in 0..self.save.len().min(self.transfer.len()) {
-            let bit = self.save[t].peek(row)?;
-            self.transfer[t].poke(row, bit)?;
-        }
+        // Each transfer track mirrors the corresponding save track; the
+        // common prefix moves as whole words.
+        let direct = self.save.tracks.min(self.transfer.tracks);
+        let src = &self.save.planes[row];
+        self.transfer.planes[row].copy_range_from(0, src, 0, direct);
         // If there are fewer transfer tracks than save tracks, remaining bits
         // are copied on subsequent chunk positions of the same tracks.
-        if self.transfer.len() < self.save.len() {
-            for t in self.transfer.len()..self.save.len() {
-                let bit = self.save[t].peek(row)?;
-                let dst_track = t % self.transfer.len();
+        if self.transfer.tracks < self.save.tracks {
+            for t in self.transfer.tracks..self.save.tracks {
+                let bit = self.save.planes[row].get(t);
+                let dst_track = t % self.transfer.tracks;
                 // Place the overflow chunk at the same row; transfer tracks
                 // stream chunks out sequentially so only data order matters.
-                let dst_row = (row + t / self.transfer.len()) % self.domains_per_track;
-                self.transfer[dst_track].poke(dst_row, bit)?;
+                let dst_row = (row + t / self.transfer.tracks) % self.domains_per_track;
+                self.transfer.planes[dst_row].set(dst_track, bit);
             }
         }
         Ok(())
@@ -253,29 +348,48 @@ impl Mat {
     /// Returns [`RmError::TrackIndex`] if the mat has no transfer tracks, or
     /// [`RmError::RowIndex`] for a bad row.
     pub fn shift_out_transfer_row(&mut self, row: usize) -> Result<Vec<u8>> {
+        Ok(self.shift_out_transfer_row_packed(row)?.to_bytes_lsb())
+    }
+
+    /// Word-level sibling of [`Self::shift_out_transfer_row`]: the replica
+    /// leaves as a packed bit plane (lane `t` = save track `t`).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::shift_out_transfer_row`].
+    pub fn shift_out_transfer_row_packed(&mut self, row: usize) -> Result<PackedBits> {
         if self.transfer.is_empty() {
             return Err(RmError::TrackIndex { index: 0, count: 0 });
         }
         self.check_row(row)?;
         self.counters.shifts += 1;
         self.counters.shift_distance += 1;
-        let mut out = vec![0u8; self.row_bytes()];
-        for t in 0..self.save.len() {
-            let (src_track, src_row) = if t < self.transfer.len() {
-                (t, row)
-            } else {
-                (
-                    t % self.transfer.len(),
-                    (row + t / self.transfer.len()) % self.domains_per_track,
-                )
-            };
-            if self.transfer[src_track].peek(src_row)? {
-                out[t / 8] |= 1 << (t % 8);
+        let tracks = self.save.tracks;
+        if self.transfer.tracks >= tracks {
+            // The whole row lives on plane `row` of the transfer tracks:
+            // extract and clear it word-by-word.
+            let mut out = PackedBits::new(tracks);
+            out.copy_range_from(0, &self.transfer.planes[row], 0, tracks);
+            self.transfer.planes[row].fill_range(0, tracks, false);
+            Ok(out)
+        } else {
+            // Overflow chunks were laid out across rows; gather bit-by-bit.
+            let mut out = PackedBits::new(tracks);
+            for t in 0..tracks {
+                let (src_track, src_row) = if t < self.transfer.tracks {
+                    (t, row)
+                } else {
+                    (
+                        t % self.transfer.tracks,
+                        (row + t / self.transfer.tracks) % self.domains_per_track,
+                    )
+                };
+                out.set(t, self.transfer.planes[src_row].get(src_track));
+                // Domains physically leave the wire.
+                self.transfer.planes[src_row].set(src_track, false);
             }
-            // Domains physically leave the wire.
-            self.transfer[src_track].poke(src_row, false)?;
+            Ok(out)
         }
-        Ok(out)
     }
 
     /// Destructively shifts `row` straight off the save tracks (used when
@@ -285,17 +399,20 @@ impl Mat {
     ///
     /// Returns [`RmError::RowIndex`] for a bad row.
     pub fn shift_out_save_row(&mut self, row: usize) -> Result<Vec<u8>> {
+        Ok(self.shift_out_save_row_packed(row)?.to_bytes_lsb())
+    }
+
+    /// Word-level sibling of [`Self::shift_out_save_row`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmError::RowIndex`] for a bad row.
+    pub fn shift_out_save_row_packed(&mut self, row: usize) -> Result<PackedBits> {
         self.check_row(row)?;
         self.counters.shifts += 1;
         self.counters.shift_distance += 1;
-        let mut out = vec![0u8; self.row_bytes()];
-        for (t, wire) in self.save.iter_mut().enumerate() {
-            if wire.peek(row)? {
-                out[t / 8] |= 1 << (t % 8);
-            }
-            wire.poke(row, false)?;
-        }
-        Ok(out)
+        let empty = PackedBits::new(self.save.tracks);
+        Ok(std::mem::replace(&mut self.save.planes[row], empty))
     }
 
     /// Receives a row arriving from the RM bus by shift (no electromagnetic
@@ -314,10 +431,27 @@ impl Mat {
         self.check_row(row)?;
         self.counters.shifts += 1;
         self.counters.shift_distance += 1;
-        for (t, wire) in self.save.iter_mut().enumerate() {
-            let bit = data[t / 8] & (1 << (t % 8)) != 0;
-            wire.poke(row, bit)?;
+        self.save.planes[row] = PackedBits::from_bytes_lsb(data, self.save.tracks);
+        Ok(())
+    }
+
+    /// Word-level sibling of [`Self::shift_in_row`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmError::LengthMismatch`] if `data` does not have exactly
+    /// one lane per save track, or [`RmError::RowIndex`].
+    pub fn shift_in_row_packed(&mut self, row: usize, data: &PackedBits) -> Result<()> {
+        if data.len() != self.save.tracks {
+            return Err(RmError::LengthMismatch {
+                expected: self.save.tracks,
+                actual: data.len(),
+            });
         }
+        self.check_row(row)?;
+        self.counters.shifts += 1;
+        self.counters.shift_distance += 1;
+        self.save.planes[row] = data.clone();
         Ok(())
     }
 
@@ -330,21 +464,6 @@ impl Mat {
         }
         Ok(())
     }
-}
-
-/// After `align_row`, the logical index under the aligned port is simply the
-/// row itself expressed in the wire's (offset-adjusted) coordinates; this
-/// helper finds it robustly regardless of which port won the alignment.
-fn row_index_under_any_port(wire: &Nanowire, row: usize) -> Result<usize> {
-    // Alignment guarantees some port sits over `row`; data never moves
-    // between logical indices (only the frame shifts), so index == row.
-    if row >= wire.len() {
-        return Err(RmError::DomainIndex {
-            index: row,
-            len: wire.len(),
-        });
-    }
-    Ok(row)
 }
 
 #[cfg(test)]
@@ -457,5 +576,31 @@ mod tests {
         assert!(!m.has_transfer_tracks());
         assert!(m.copy_row_to_transfer(0).is_err());
         assert!(m.shift_out_transfer_row(0).is_err());
+    }
+
+    #[test]
+    fn read_row_into_matches_read_row() {
+        let mut m = mat();
+        m.write_row(20, &[0x5A, 0xC3]).unwrap();
+        let mut buf = [0u8; 2];
+        m.read_row_into(20, &mut buf).unwrap();
+        assert_eq!(buf.to_vec(), m.read_row(20).unwrap());
+        let mut bad = [0u8; 3];
+        assert!(m.read_row_into(20, &mut bad).is_err());
+    }
+
+    #[test]
+    fn packed_row_api_round_trips_with_byte_api() {
+        let mut m = mat();
+        let plane = PackedBits::from_bytes_lsb(&[0x3C, 0x81], 16);
+        m.write_row_packed(8, &plane).unwrap();
+        assert_eq!(m.read_row(8).unwrap(), vec![0x3C, 0x81]);
+        assert_eq!(m.read_row_packed(8).unwrap(), plane);
+        m.copy_row_to_transfer(8).unwrap();
+        assert_eq!(m.shift_out_transfer_row_packed(8).unwrap(), plane);
+        m.shift_in_row_packed(9, &plane).unwrap();
+        assert_eq!(m.shift_out_save_row_packed(9).unwrap(), plane);
+        assert!(m.write_row_packed(0, &PackedBits::new(8)).is_err());
+        assert!(m.shift_in_row_packed(0, &PackedBits::new(8)).is_err());
     }
 }

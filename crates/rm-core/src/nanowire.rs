@@ -5,10 +5,16 @@
 //! (paper §II-A). Access ports sit at fixed physical positions; the wire
 //! tracks its cumulative shift `offset`, and a port is aligned with logical
 //! domain `port_pos - offset`.
+//!
+//! Domains are stored word-packed ([`PackedBits`], 64 domains per `u64`,
+//! LSB-first) so bulk operations — transverse reads, span reads/writes,
+//! whole-wire loads — run as word ops. Shifts remain O(1) `offset`
+//! bookkeeping, exactly as in the scalar model retained in
+//! [`crate::reference`]; timing/energy/counter accounting is unchanged.
 
+use crate::bits::PackedBits;
 use crate::error::RmError;
 use crate::fault::{FaultOutcome, ShiftFaultModel};
-use crate::magnet::Magnetization;
 use crate::stats::OpCounters;
 use crate::Result;
 use serde::{Deserialize, Serialize};
@@ -60,9 +66,10 @@ impl ShiftDir {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Nanowire {
-    /// Logical data domains, index 0..data_len. Shifts are modelled by the
-    /// `offset` bookkeeping rather than physically rotating this vector.
-    data: Vec<Magnetization>,
+    /// Logical data domains, packed 64 per word (`Up` = 1). Shifts are
+    /// modelled by the `offset` bookkeeping rather than physically rotating
+    /// the storage.
+    data: PackedBits,
     /// Cumulative shift in domain positions (positive = shifted right).
     offset: isize,
     /// Reserved overhead domains per side; |offset| may never exceed this.
@@ -81,21 +88,26 @@ impl Nanowire {
     ///
     /// # Panics
     ///
-    /// Panics if `data_len == 0`, `ports` is empty, or any port position is
-    /// out of range. (Construction is programmer-controlled; operational
-    /// errors are returned as `Result`.)
+    /// Panics if `data_len == 0`, `ports` is empty, any port position is
+    /// out of range, or two ports share a position — every access port is a
+    /// distinct physical structure on the wire. (Construction is
+    /// programmer-controlled; operational errors are returned as `Result`.)
     pub fn new(data_len: usize, ports: &[usize]) -> Self {
         assert!(data_len > 0, "a nanowire needs at least one domain");
         assert!(
             !ports.is_empty(),
             "a nanowire needs at least one access port"
         );
-        for &p in ports {
+        for (i, &p) in ports.iter().enumerate() {
             assert!(p < data_len, "port position {p} out of range 0..{data_len}");
+            assert!(
+                !ports[..i].contains(&p),
+                "duplicate port position {p}: each access port needs a distinct physical site"
+            );
         }
         let overhead = (data_len / ports.len()).max(1);
         Nanowire {
-            data: vec![Magnetization::Down; data_len],
+            data: PackedBits::new(data_len),
             offset: 0,
             overhead,
             ports: ports.to_vec(),
@@ -104,8 +116,19 @@ impl Nanowire {
     }
 
     /// Creates a wire with `n` evenly spaced ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > data_len` — with more ports than domains
+    /// the stride would round to zero and every port would collapse onto
+    /// position 0.
     pub fn with_even_ports(data_len: usize, n: usize) -> Self {
         assert!(n > 0, "need at least one port");
+        assert!(
+            n <= data_len,
+            "cannot place {n} evenly spaced ports on {data_len} domains: \
+             the port stride would be zero and all ports would collapse to position 0"
+        );
         let stride = data_len / n;
         let ports: Vec<usize> = (0..n).map(|i| i * stride).collect();
         Nanowire::new(data_len, &ports)
@@ -294,7 +317,7 @@ impl Nanowire {
     pub fn read_port(&mut self, port: usize) -> Result<bool> {
         let idx = self.aligned_index(port)?;
         self.counters.reads += 1;
-        Ok(self.data[idx].as_bit())
+        Ok(self.data.get(idx))
     }
 
     /// Writes `bit` to the domain under `port`.
@@ -305,13 +328,14 @@ impl Nanowire {
     pub fn write_port(&mut self, port: usize, bit: bool) -> Result<()> {
         let idx = self.aligned_index(port)?;
         self.counters.writes += 1;
-        self.data[idx] = Magnetization::from_bit(bit);
+        self.data.set(idx, bit);
         Ok(())
     }
 
     /// Transverse read: senses `len` consecutive domains starting at the
     /// domain under `port` in a single access, returning the number of `1`s
-    /// (the primitive CORUSCANT builds its adders from).
+    /// (the primitive CORUSCANT builds its adders from). Runs as a word
+    /// popcount over the packed storage.
     ///
     /// # Errors
     ///
@@ -325,7 +349,7 @@ impl Nanowire {
             return Err(RmError::InvalidSpan { start, end });
         }
         self.counters.transverse_reads += 1;
-        Ok(self.data[start..end].iter().filter(|m| m.as_bit()).count() as u32)
+        Ok(self.data.count_ones_range(start, len) as u32)
     }
 
     /// Transverse write: writes `bits` to the consecutive domains starting
@@ -338,6 +362,17 @@ impl Nanowire {
     /// Returns [`RmError::InvalidSpan`] for an empty span or one past the
     /// data region, plus the errors of [`Self::aligned_index`].
     pub fn transverse_write(&mut self, port: usize, bits: &[bool]) -> Result<()> {
+        self.transverse_write_packed(port, &PackedBits::from_bools(bits))
+    }
+
+    /// Word-level transverse write: identical device semantics and
+    /// accounting to [`Self::transverse_write`], but takes the span already
+    /// packed so the store is a handful of word ops.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::transverse_write`].
+    pub fn transverse_write_packed(&mut self, port: usize, bits: &PackedBits) -> Result<()> {
         let start = self.aligned_index(port)?;
         let end = start + bits.len();
         if bits.is_empty() || end > self.data.len() {
@@ -346,9 +381,7 @@ impl Nanowire {
         self.counters.writes += 1;
         self.counters.shifts += 1;
         self.counters.shift_distance += bits.len() as u64;
-        for (i, &bit) in bits.iter().enumerate() {
-            self.data[start + i] = Magnetization::from_bit(bit);
-        }
+        self.data.copy_range_from(start, bits, 0, bits.len());
         Ok(())
     }
 
@@ -359,13 +392,30 @@ impl Nanowire {
     ///
     /// Returns [`RmError::DomainIndex`] if out of range.
     pub fn peek(&self, index: usize) -> Result<bool> {
-        self.data
-            .get(index)
-            .map(|m| m.as_bit())
-            .ok_or(RmError::DomainIndex {
+        if index >= self.data.len() {
+            return Err(RmError::DomainIndex {
                 index,
                 len: self.data.len(),
-            })
+            });
+        }
+        Ok(self.data.get(index))
+    }
+
+    /// Direct inspection of a span of logical domains as packed words (no
+    /// cost; the bulk counterpart of [`Self::peek`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmError::InvalidSpan`] for an empty span or one past the
+    /// data region.
+    pub fn peek_many(&self, start: usize, len: usize) -> Result<PackedBits> {
+        let end = start + len;
+        if len == 0 || end > self.data.len() {
+            return Err(RmError::InvalidSpan { start, end });
+        }
+        let mut out = PackedBits::new(len);
+        out.copy_range_from(0, &self.data, start, len);
+        Ok(out)
     }
 
     /// Direct mutation of a logical domain (no cost; for initialization in
@@ -375,19 +425,42 @@ impl Nanowire {
     ///
     /// Returns [`RmError::DomainIndex`] if out of range.
     pub fn poke(&mut self, index: usize, bit: bool) -> Result<()> {
-        let len = self.data.len();
-        match self.data.get_mut(index) {
-            Some(m) => {
-                *m = Magnetization::from_bit(bit);
-                Ok(())
-            }
-            None => Err(RmError::DomainIndex { index, len }),
+        if index >= self.data.len() {
+            return Err(RmError::DomainIndex {
+                index,
+                len: self.data.len(),
+            });
         }
+        self.data.set(index, bit);
+        Ok(())
+    }
+
+    /// Direct mutation of a span of logical domains from packed words (no
+    /// cost; the bulk counterpart of [`Self::poke`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmError::InvalidSpan`] for an empty span or one past the
+    /// data region.
+    pub fn poke_many(&mut self, start: usize, bits: &PackedBits) -> Result<()> {
+        let end = start + bits.len();
+        if bits.is_empty() || end > self.data.len() {
+            return Err(RmError::InvalidSpan { start, end });
+        }
+        self.data.copy_range_from(start, bits, 0, bits.len());
+        Ok(())
     }
 
     /// Copies all logical domains into a `Vec<bool>` (inspection only).
     pub fn to_bits(&self) -> Vec<bool> {
-        self.data.iter().map(|m| m.as_bit()).collect()
+        self.data.to_bools()
+    }
+
+    /// The packed domain image (inspection only; lane `i` = logical domain
+    /// `i`).
+    #[inline]
+    pub fn as_packed(&self) -> &PackedBits {
+        &self.data
     }
 
     /// Overwrites all logical domains from a bit slice (initialization only).
@@ -402,9 +475,24 @@ impl Nanowire {
                 actual: bits.len(),
             });
         }
-        for (d, &b) in self.data.iter_mut().zip(bits) {
-            *d = Magnetization::from_bit(b);
+        self.data = PackedBits::from_bools(bits);
+        Ok(())
+    }
+
+    /// Overwrites all logical domains from a packed image (initialization
+    /// only; the bulk counterpart of [`Self::load_bits`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmError::LengthMismatch`] if `bits.len() != self.len()`.
+    pub fn load_packed(&mut self, bits: &PackedBits) -> Result<()> {
+        if bits.len() != self.data.len() {
+            return Err(RmError::LengthMismatch {
+                expected: self.data.len(),
+                actual: bits.len(),
+            });
         }
+        self.data = bits.clone();
         Ok(())
     }
 
@@ -441,12 +529,31 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "duplicate port position")]
+    fn new_rejects_duplicate_ports() {
+        let _ = Nanowire::new(8, &[0, 4, 0]);
+    }
+
+    #[test]
     fn even_ports_are_spread() {
         let w = Nanowire::with_even_ports(64, 4);
         assert_eq!(w.port_count(), 4);
         // Port 0 at 0, port 1 at 16, etc.
         assert_eq!(w.aligned_index(1).unwrap(), 16);
         assert_eq!(w.aligned_index(3).unwrap(), 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "collapse to position 0")]
+    fn even_ports_reject_more_ports_than_domains() {
+        let _ = Nanowire::with_even_ports(4, 5);
+    }
+
+    #[test]
+    fn even_ports_at_capacity_is_one_port_per_domain() {
+        let w = Nanowire::with_even_ports(4, 4);
+        assert_eq!(w.port_count(), 4);
+        assert_eq!(w.aligned_index(3).unwrap(), 3);
     }
 
     #[test]
@@ -571,6 +678,39 @@ mod tests {
         w.load_bits(&bits).unwrap();
         assert_eq!(w.to_bits(), bits);
         assert!(w.load_bits(&[true]).is_err());
+    }
+
+    #[test]
+    fn packed_bulk_ops_match_scalar_ops() {
+        let mut w = Nanowire::new(100, &[0]);
+        let image: Vec<bool> = (0..100).map(|i| i % 3 == 1).collect();
+        w.load_packed(&PackedBits::from_bools(&image)).unwrap();
+        assert_eq!(w.to_bits(), image);
+        assert_eq!(w.as_packed().count_ones(), 33);
+
+        let span = w.peek_many(10, 70).unwrap();
+        assert_eq!(span.to_bools(), &image[10..80]);
+        assert!(w.peek_many(50, 51).is_err());
+        assert!(w.peek_many(0, 0).is_err());
+
+        let patch = PackedBits::splat(7, true);
+        w.poke_many(90, &patch).unwrap();
+        assert_eq!(w.peek_many(90, 7).unwrap(), patch);
+        assert!(w.poke_many(95, &patch).is_err());
+
+        // Bulk initialization ops cost nothing.
+        assert_eq!(w.counters(), OpCounters::default());
+    }
+
+    #[test]
+    fn transverse_write_packed_matches_bool_version() {
+        let mut a = Nanowire::new(32, &[0]);
+        let mut b = Nanowire::new(32, &[0]);
+        let bits: Vec<bool> = (0..20).map(|i| i % 2 == 0).collect();
+        a.transverse_write(0, &bits).unwrap();
+        b.transverse_write_packed(0, &PackedBits::from_bools(&bits))
+            .unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,576 @@
+//! Scalar reference implementations retained as differential-test oracles.
+//!
+//! [`ScalarNanowire`] and [`ScalarMat`] are the original bit-at-a-time
+//! implementations of [`crate::Nanowire`] and [`crate::Mat`], kept verbatim
+//! (one `Magnetization` enum per domain, per-track peek loops) after the hot
+//! path moved to the word-packed bit-plane representation in
+//! [`crate::bits`]. They exist so proptests can drive identical random
+//! operation/fault sequences through both paths and assert bit-identical
+//! state, identical errors, and identical [`OpCounters`] — proving the
+//! packing is a simulator speedup, not a device-model change.
+//!
+//! Do not use these types outside tests and benches: they are deliberately
+//! slow.
+
+use crate::error::RmError;
+use crate::fault::{FaultOutcome, ShiftFaultModel};
+use crate::magnet::Magnetization;
+use crate::nanowire::ShiftDir;
+use crate::stats::OpCounters;
+use crate::Result;
+
+/// The original scalar (one enum per domain) nanowire model.
+///
+/// API, counter ticks, and error behaviour mirror [`crate::Nanowire`]
+/// exactly; the differential proptests in `rm-core/tests` enforce this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScalarNanowire {
+    data: Vec<Magnetization>,
+    offset: isize,
+    overhead: usize,
+    ports: Vec<usize>,
+    counters: OpCounters,
+}
+
+impl ScalarNanowire {
+    /// See [`crate::Nanowire::new`].
+    pub fn new(data_len: usize, ports: &[usize]) -> Self {
+        assert!(data_len > 0, "a nanowire needs at least one domain");
+        assert!(
+            !ports.is_empty(),
+            "a nanowire needs at least one access port"
+        );
+        for (i, &p) in ports.iter().enumerate() {
+            assert!(p < data_len, "port position {p} out of range 0..{data_len}");
+            assert!(
+                !ports[..i].contains(&p),
+                "duplicate port position {p}: each access port needs a distinct physical site"
+            );
+        }
+        let overhead = (data_len / ports.len()).max(1);
+        ScalarNanowire {
+            data: vec![Magnetization::Down; data_len],
+            offset: 0,
+            overhead,
+            ports: ports.to_vec(),
+            counters: OpCounters::default(),
+        }
+    }
+
+    /// See [`crate::Nanowire::with_even_ports`].
+    pub fn with_even_ports(data_len: usize, n: usize) -> Self {
+        assert!(n > 0, "need at least one port");
+        assert!(
+            n <= data_len,
+            "cannot place {n} evenly spaced ports on {data_len} domains: \
+             the port stride would be zero and all ports would collapse to position 0"
+        );
+        let stride = data_len / n;
+        let ports: Vec<usize> = (0..n).map(|i| i * stride).collect();
+        ScalarNanowire::new(data_len, &ports)
+    }
+
+    /// Number of logical data domains.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the wire has no data domains (never, by invariant).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of access ports.
+    #[inline]
+    pub fn port_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Current cumulative shift offset (positive = shifted right).
+    #[inline]
+    pub fn offset(&self) -> isize {
+        self.offset
+    }
+
+    /// Reserved overhead domains per side.
+    #[inline]
+    pub fn overhead(&self) -> usize {
+        self.overhead
+    }
+
+    /// Per-wire operation counters accumulated so far.
+    #[inline]
+    pub fn counters(&self) -> OpCounters {
+        self.counters
+    }
+
+    /// Resets the operation counters.
+    pub fn reset_counters(&mut self) {
+        self.counters = OpCounters::default();
+    }
+
+    /// See [`crate::Nanowire::shift`].
+    pub fn shift(&mut self, dir: ShiftDir, distance: usize) -> Result<()> {
+        let new_offset = self.offset + dir.sign() * distance as isize;
+        if new_offset.unsigned_abs() > self.overhead {
+            let available = match dir {
+                ShiftDir::Right => (self.overhead as isize - self.offset).max(0) as usize,
+                ShiftDir::Left => (self.overhead as isize + self.offset).max(0) as usize,
+            };
+            return Err(RmError::ShiftOutOfRange {
+                requested: distance,
+                available,
+            });
+        }
+        self.offset = new_offset;
+        self.counters.shifts += 1;
+        self.counters.shift_distance += distance as u64;
+        Ok(())
+    }
+
+    /// See [`crate::Nanowire::shift_with_faults`].
+    pub fn shift_with_faults(
+        &mut self,
+        dir: ShiftDir,
+        distance: usize,
+        faults: &mut ShiftFaultModel,
+    ) -> Result<FaultOutcome> {
+        let outcome = faults.sample(distance);
+        let realized = outcome.realized_distance(distance);
+        self.shift(dir, realized)?;
+        Ok(outcome)
+    }
+
+    /// See [`crate::Nanowire::align`].
+    pub fn align(&mut self, port: usize, index: usize) -> Result<usize> {
+        let base = self.port_logical_pos(port)? as isize;
+        if index >= self.data.len() {
+            return Err(RmError::DomainIndex {
+                index,
+                len: self.data.len(),
+            });
+        }
+        let target_offset = base - index as isize;
+        let delta = target_offset - self.offset;
+        let (dir, dist) = if delta >= 0 {
+            (ShiftDir::Right, delta as usize)
+        } else {
+            (ShiftDir::Left, (-delta) as usize)
+        };
+        if dist > 0 {
+            self.shift(dir, dist)?;
+        }
+        Ok(dist)
+    }
+
+    /// See [`crate::Nanowire::align_nearest`].
+    pub fn align_nearest(&mut self, index: usize) -> Result<(usize, usize)> {
+        if index >= self.data.len() {
+            return Err(RmError::DomainIndex {
+                index,
+                len: self.data.len(),
+            });
+        }
+        let overhead = self.overhead as isize;
+        let best = self
+            .ports
+            .iter()
+            .enumerate()
+            .filter_map(|(p, &pos)| {
+                let target = pos as isize - index as isize;
+                (target.abs() <= overhead).then_some((p, (target - self.offset).unsigned_abs()))
+            })
+            .min_by_key(|&(_, d)| d);
+        match best {
+            Some((port, _)) => {
+                let dist = self.align(port, index)?;
+                Ok((port, dist))
+            }
+            None => Err(RmError::ShiftOutOfRange {
+                requested: index,
+                available: self.overhead,
+            }),
+        }
+    }
+
+    /// See [`crate::Nanowire::aligned_index`].
+    pub fn aligned_index(&self, port: usize) -> Result<usize> {
+        let base = self.port_logical_pos(port)?;
+        let idx = base as isize - self.offset;
+        if idx < 0 || idx as usize >= self.data.len() {
+            return Err(RmError::DomainIndex {
+                index: idx.max(0) as usize,
+                len: self.data.len(),
+            });
+        }
+        Ok(idx as usize)
+    }
+
+    /// See [`crate::Nanowire::read_port`].
+    pub fn read_port(&mut self, port: usize) -> Result<bool> {
+        let idx = self.aligned_index(port)?;
+        self.counters.reads += 1;
+        Ok(self.data[idx].as_bit())
+    }
+
+    /// See [`crate::Nanowire::write_port`].
+    pub fn write_port(&mut self, port: usize, bit: bool) -> Result<()> {
+        let idx = self.aligned_index(port)?;
+        self.counters.writes += 1;
+        self.data[idx] = Magnetization::from_bit(bit);
+        Ok(())
+    }
+
+    /// See [`crate::Nanowire::transverse_read`].
+    pub fn transverse_read(&mut self, port: usize, len: usize) -> Result<u32> {
+        let start = self.aligned_index(port)?;
+        let end = start + len;
+        if len == 0 || end > self.data.len() {
+            return Err(RmError::InvalidSpan { start, end });
+        }
+        self.counters.transverse_reads += 1;
+        Ok(self.data[start..end].iter().filter(|m| m.as_bit()).count() as u32)
+    }
+
+    /// See [`crate::Nanowire::transverse_write`].
+    pub fn transverse_write(&mut self, port: usize, bits: &[bool]) -> Result<()> {
+        let start = self.aligned_index(port)?;
+        let end = start + bits.len();
+        if bits.is_empty() || end > self.data.len() {
+            return Err(RmError::InvalidSpan { start, end });
+        }
+        self.counters.writes += 1;
+        self.counters.shifts += 1;
+        self.counters.shift_distance += bits.len() as u64;
+        for (i, &bit) in bits.iter().enumerate() {
+            self.data[start + i] = Magnetization::from_bit(bit);
+        }
+        Ok(())
+    }
+
+    /// See [`crate::Nanowire::peek`].
+    pub fn peek(&self, index: usize) -> Result<bool> {
+        self.data
+            .get(index)
+            .map(|m| m.as_bit())
+            .ok_or(RmError::DomainIndex {
+                index,
+                len: self.data.len(),
+            })
+    }
+
+    /// See [`crate::Nanowire::poke`].
+    pub fn poke(&mut self, index: usize, bit: bool) -> Result<()> {
+        let len = self.data.len();
+        match self.data.get_mut(index) {
+            Some(m) => {
+                *m = Magnetization::from_bit(bit);
+                Ok(())
+            }
+            None => Err(RmError::DomainIndex { index, len }),
+        }
+    }
+
+    /// See [`crate::Nanowire::to_bits`].
+    pub fn to_bits(&self) -> Vec<bool> {
+        self.data.iter().map(|m| m.as_bit()).collect()
+    }
+
+    /// See [`crate::Nanowire::load_bits`].
+    pub fn load_bits(&mut self, bits: &[bool]) -> Result<()> {
+        if bits.len() != self.data.len() {
+            return Err(RmError::LengthMismatch {
+                expected: self.data.len(),
+                actual: bits.len(),
+            });
+        }
+        for (d, &b) in self.data.iter_mut().zip(bits) {
+            *d = Magnetization::from_bit(b);
+        }
+        Ok(())
+    }
+
+    fn port_logical_pos(&self, port: usize) -> Result<usize> {
+        self.ports.get(port).copied().ok_or(RmError::PortIndex {
+            index: port,
+            count: self.ports.len(),
+        })
+    }
+}
+
+/// The original scalar mat model: one [`ScalarNanowire`] per track, rows
+/// gathered/scattered with per-track `peek`/`poke` loops.
+#[derive(Debug, Clone)]
+pub struct ScalarMat {
+    save: Vec<ScalarNanowire>,
+    transfer: Vec<ScalarNanowire>,
+    domains_per_track: usize,
+    ports: Vec<usize>,
+    counters: OpCounters,
+}
+
+impl ScalarMat {
+    /// See [`crate::Mat::new`].
+    pub fn new(
+        save_tracks: usize,
+        transfer_tracks: usize,
+        domains_per_track: usize,
+        ports_per_track: usize,
+    ) -> Self {
+        assert!(
+            save_tracks > 0 && save_tracks.is_multiple_of(8),
+            "save tracks must be a positive multiple of 8"
+        );
+        assert!(domains_per_track > 0, "tracks need at least one domain");
+        assert!(ports_per_track > 0, "tracks need at least one port");
+        let stride = domains_per_track / ports_per_track;
+        let ports: Vec<usize> = (0..ports_per_track).map(|i| i * stride).collect();
+        let save = (0..save_tracks)
+            .map(|_| ScalarNanowire::new(domains_per_track, &ports))
+            .collect();
+        let transfer = (0..transfer_tracks)
+            .map(|_| ScalarNanowire::new(domains_per_track, &[0]))
+            .collect();
+        ScalarMat {
+            save,
+            transfer,
+            domains_per_track,
+            ports,
+            counters: OpCounters::default(),
+        }
+    }
+
+    /// Number of save tracks.
+    #[inline]
+    pub fn save_tracks(&self) -> usize {
+        self.save.len()
+    }
+
+    /// Number of transfer tracks.
+    #[inline]
+    pub fn transfer_tracks(&self) -> usize {
+        self.transfer.len()
+    }
+
+    /// Whether this mat can serve non-destructive reads towards the bus.
+    #[inline]
+    pub fn has_transfer_tracks(&self) -> bool {
+        !self.transfer.is_empty()
+    }
+
+    /// Rows stored by this mat.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.domains_per_track
+    }
+
+    /// Bytes per row.
+    #[inline]
+    pub fn row_bytes(&self) -> usize {
+        self.save.len() / 8
+    }
+
+    /// Operation counters accumulated by this mat.
+    #[inline]
+    pub fn counters(&self) -> OpCounters {
+        self.counters
+    }
+
+    /// Resets the counters.
+    pub fn reset_counters(&mut self) {
+        self.counters = OpCounters::default();
+    }
+
+    /// See [`crate::Mat::align_row`].
+    pub fn align_row(&mut self, row: usize) -> Result<usize> {
+        self.check_row(row)?;
+        let offset = self.save[0].offset();
+        let overhead = self.save[0].overhead() as isize;
+        let (best_port, dist) = self
+            .ports
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &p)| {
+                let target = p as isize - row as isize;
+                (target.abs() <= overhead).then_some((i, (target - offset).unsigned_abs()))
+            })
+            .min_by_key(|&(_, d)| d)
+            .ok_or(RmError::ShiftOutOfRange {
+                requested: row,
+                available: overhead as usize,
+            })?;
+        if dist > 0 {
+            let target = self.ports[best_port] as isize - row as isize;
+            let dir = if target > offset {
+                ShiftDir::Right
+            } else {
+                ShiftDir::Left
+            };
+            for wire in self.save.iter_mut().chain(self.transfer.iter_mut()) {
+                wire.shift(dir, dist)?;
+            }
+            self.counters.shifts += dist as u64;
+            self.counters.shift_distance += dist as u64;
+        }
+        Ok(dist)
+    }
+
+    /// See [`crate::Mat::read_row`].
+    pub fn read_row(&mut self, row: usize) -> Result<Vec<u8>> {
+        self.align_row(row)?;
+        self.counters.reads += 1;
+        let mut out = vec![0u8; self.row_bytes()];
+        for (t, wire) in self.save.iter().enumerate() {
+            let idx = row_index_under_any_port(wire, row)?;
+            if wire.peek(idx)? {
+                out[t / 8] |= 1 << (t % 8);
+            }
+        }
+        Ok(out)
+    }
+
+    /// See [`crate::Mat::write_row`].
+    pub fn write_row(&mut self, row: usize, data: &[u8]) -> Result<()> {
+        if data.len() != self.row_bytes() {
+            return Err(RmError::LengthMismatch {
+                expected: self.row_bytes(),
+                actual: data.len(),
+            });
+        }
+        self.align_row(row)?;
+        self.counters.writes += 1;
+        for (t, wire) in self.save.iter_mut().enumerate() {
+            let bit = data[t / 8] & (1 << (t % 8)) != 0;
+            let idx = row_index_under_any_port(wire, row)?;
+            wire.poke(idx, bit)?;
+        }
+        Ok(())
+    }
+
+    /// See [`crate::Mat::copy_row_to_transfer`].
+    pub fn copy_row_to_transfer(&mut self, row: usize) -> Result<()> {
+        if self.transfer.is_empty() {
+            return Err(RmError::TrackIndex { index: 0, count: 0 });
+        }
+        self.check_row(row)?;
+        self.counters.shifts += 1;
+        self.counters.shift_distance += 1;
+        for t in 0..self.save.len().min(self.transfer.len()) {
+            let bit = self.save[t].peek(row)?;
+            self.transfer[t].poke(row, bit)?;
+        }
+        if self.transfer.len() < self.save.len() {
+            for t in self.transfer.len()..self.save.len() {
+                let bit = self.save[t].peek(row)?;
+                let dst_track = t % self.transfer.len();
+                let dst_row = (row + t / self.transfer.len()) % self.domains_per_track;
+                self.transfer[dst_track].poke(dst_row, bit)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// See [`crate::Mat::shift_out_transfer_row`].
+    pub fn shift_out_transfer_row(&mut self, row: usize) -> Result<Vec<u8>> {
+        if self.transfer.is_empty() {
+            return Err(RmError::TrackIndex { index: 0, count: 0 });
+        }
+        self.check_row(row)?;
+        self.counters.shifts += 1;
+        self.counters.shift_distance += 1;
+        let mut out = vec![0u8; self.row_bytes()];
+        for t in 0..self.save.len() {
+            let (src_track, src_row) = if t < self.transfer.len() {
+                (t, row)
+            } else {
+                (
+                    t % self.transfer.len(),
+                    (row + t / self.transfer.len()) % self.domains_per_track,
+                )
+            };
+            if self.transfer[src_track].peek(src_row)? {
+                out[t / 8] |= 1 << (t % 8);
+            }
+            self.transfer[src_track].poke(src_row, false)?;
+        }
+        Ok(out)
+    }
+
+    /// See [`crate::Mat::shift_out_save_row`].
+    pub fn shift_out_save_row(&mut self, row: usize) -> Result<Vec<u8>> {
+        self.check_row(row)?;
+        self.counters.shifts += 1;
+        self.counters.shift_distance += 1;
+        let mut out = vec![0u8; self.row_bytes()];
+        for (t, wire) in self.save.iter_mut().enumerate() {
+            if wire.peek(row)? {
+                out[t / 8] |= 1 << (t % 8);
+            }
+            wire.poke(row, false)?;
+        }
+        Ok(out)
+    }
+
+    /// See [`crate::Mat::shift_in_row`].
+    pub fn shift_in_row(&mut self, row: usize, data: &[u8]) -> Result<()> {
+        if data.len() != self.row_bytes() {
+            return Err(RmError::LengthMismatch {
+                expected: self.row_bytes(),
+                actual: data.len(),
+            });
+        }
+        self.check_row(row)?;
+        self.counters.shifts += 1;
+        self.counters.shift_distance += 1;
+        for (t, wire) in self.save.iter_mut().enumerate() {
+            let bit = data[t / 8] & (1 << (t % 8)) != 0;
+            wire.poke(row, bit)?;
+        }
+        Ok(())
+    }
+
+    fn check_row(&self, row: usize) -> Result<()> {
+        if row >= self.domains_per_track {
+            return Err(RmError::RowIndex {
+                row: row as u64,
+                rows: self.domains_per_track as u64,
+            });
+        }
+        Ok(())
+    }
+}
+
+fn row_index_under_any_port(wire: &ScalarNanowire, row: usize) -> Result<usize> {
+    if row >= wire.len() {
+        return Err(RmError::DomainIndex {
+            index: row,
+            len: wire.len(),
+        });
+    }
+    Ok(row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_wire_basics_still_work() {
+        let mut w = ScalarNanowire::new(16, &[4, 8]);
+        w.poke(2, true).unwrap();
+        w.shift(ShiftDir::Right, 2).unwrap();
+        assert!(w.read_port(0).unwrap());
+        assert_eq!(w.counters().shifts, 1);
+    }
+
+    #[test]
+    fn scalar_mat_round_trips() {
+        let mut m = ScalarMat::new(16, 16, 64, 4);
+        m.write_row(7, &[0xAB, 0xCD]).unwrap();
+        assert_eq!(m.read_row(7).unwrap(), vec![0xAB, 0xCD]);
+        m.copy_row_to_transfer(7).unwrap();
+        assert_eq!(m.shift_out_transfer_row(7).unwrap(), vec![0xAB, 0xCD]);
+    }
+}

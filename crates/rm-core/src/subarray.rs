@@ -145,17 +145,46 @@ impl Subarray {
     ///
     /// Returns [`RmError::RowIndex`] if out of range.
     pub fn read_row(&mut self, row: usize) -> Result<Vec<u8>> {
+        let mut data = vec![0u8; self.row_bytes];
+        self.read_row_into(row, &mut data)?;
+        Ok(data)
+    }
+
+    /// Reads a subarray-global row into a caller-provided buffer (through
+    /// the local row buffer), avoiding the per-call allocation of
+    /// [`Self::read_row`] — use this from inner loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmError::LengthMismatch`] if `buf` is not exactly
+    /// [`Self::row_bytes`] long, or [`RmError::RowIndex`] if out of range.
+    pub fn read_row_into(&mut self, row: usize, buf: &mut [u8]) -> Result<()> {
+        if buf.len() != self.row_bytes {
+            return Err(RmError::LengthMismatch {
+                expected: self.row_bytes,
+                actual: buf.len(),
+            });
+        }
         let (mat, local) = self.locate_row(row)?;
         if let Some((bm, br, data)) = &self.row_buffer {
             if *bm == mat && *br == local {
                 self.buffer_hits += 1;
-                return Ok(data.clone());
+                buf.copy_from_slice(data);
+                return Ok(());
             }
         }
         self.buffer_misses += 1;
-        let data = self.mats[mat].read_row(local)?;
-        self.row_buffer = Some((mat, local, data.clone()));
-        Ok(data)
+        self.mats[mat].read_row_into(local, buf)?;
+        // Refill the row buffer in place where possible.
+        match &mut self.row_buffer {
+            Some((bm, br, data)) if data.len() == buf.len() => {
+                *bm = mat;
+                *br = local;
+                data.copy_from_slice(buf);
+            }
+            slot => *slot = Some((mat, local, buf.to_vec())),
+        }
+        Ok(())
     }
 
     /// Writes a subarray-global row (write-through: the row buffer is
@@ -179,13 +208,14 @@ impl Subarray {
     /// Returns [`RmError::AddressOutOfRange`] if the span exceeds capacity.
     pub fn read_bytes(&mut self, offset: usize, buf: &mut [u8]) -> Result<()> {
         self.check_span(offset, buf.len())?;
+        let mut row_data = vec![0u8; self.row_bytes];
         let mut pos = 0;
         while pos < buf.len() {
             let byte_addr = offset + pos;
             let row = byte_addr / self.row_bytes;
             let within = byte_addr % self.row_bytes;
             let take = (self.row_bytes - within).min(buf.len() - pos);
-            let row_data = self.read_row(row)?;
+            self.read_row_into(row, &mut row_data)?;
             buf[pos..pos + take].copy_from_slice(&row_data[within..within + take]);
             pos += take;
         }
@@ -294,6 +324,19 @@ mod tests {
         assert_eq!(misses, 0);
         let _ = s.read_row(6).unwrap();
         assert_eq!(s.row_buffer_stats().1, 1);
+    }
+
+    #[test]
+    fn read_row_into_matches_read_row_and_checks_length() {
+        let mut s = subarray();
+        s.write_row(7, &[1, 2]).unwrap();
+        let mut buf = [0u8; 2];
+        s.read_row_into(7, &mut buf).unwrap();
+        assert_eq!(buf.to_vec(), s.read_row(7).unwrap());
+        // Both reads hit the row buffer populated by the write.
+        assert_eq!(s.row_buffer_stats(), (2, 0));
+        let mut bad = [0u8; 3];
+        assert!(s.read_row_into(7, &mut bad).is_err());
     }
 
     #[test]

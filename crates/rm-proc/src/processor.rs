@@ -26,7 +26,7 @@ use dw_logic::multiplier::Multiplier;
 /// assert_eq!(result, 32);
 /// assert!(tally.total() > 0);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RmProcessor {
     width: u32,
     duplicators: DuplicatorBank,
@@ -85,12 +85,42 @@ impl RmProcessor {
 
     /// Dot product of two element slices (values masked to `width` bits).
     ///
+    /// Runs the word-parallel datapath: the duplicator bank accounts all
+    /// replications in bulk, the multiplier evaluates 64 scalar products per
+    /// plane-word gate op, and the circle adder accumulates the product
+    /// stream in one pass. Results, gate tallies, and unit state are
+    /// identical to [`Self::dot_scalar`].
+    ///
     /// Returns the result and the accumulated gate tally.
     ///
     /// # Panics
     ///
     /// Panics if the slices have different lengths.
     pub fn dot(&mut self, a: &[u64], b: &[u64]) -> (u64, GateTally) {
+        assert_eq!(a.len(), b.len(), "dot product needs equal-length vectors");
+        let mut tally = GateTally::new();
+        self.circle.reset();
+        // Stage 2a: one replicate call per element, accounted in bulk.
+        self.duplicators
+            .replicate_bulk(self.width as usize, a.len() as u64, &mut tally);
+        // Stages 2b-3: plane-form partial products and adder tree, 64
+        // elements per gate word. Operands are masked inside the transpose.
+        let products = self.multiplier.multiply_many(a, b, &mut tally);
+        // Stage 4: the circle adder accumulates the product stream.
+        self.circle.accumulate_many(&products, &mut tally);
+        self.ops_executed += 1;
+        (self.circle.take_result(), tally)
+    }
+
+    /// Serial reference datapath for [`Self::dot`]: one element at a time
+    /// through duplicators → multiplier → tree → circle adder. Retained for
+    /// differential tests; the word path must match it bit-for-bit in
+    /// result, tally, and unit state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn dot_scalar(&mut self, a: &[u64], b: &[u64]) -> (u64, GateTally) {
         assert_eq!(a.len(), b.len(), "dot product needs equal-length vectors");
         let mut tally = GateTally::new();
         self.circle.reset();
@@ -117,6 +147,30 @@ impl RmProcessor {
             "vector addition needs equal-length vectors"
         );
         let mut tally = GateTally::new();
+        let av: Vec<u64> = a.iter().map(|&x| x & self.mask()).collect();
+        let bv: Vec<u64> = b.iter().map(|&y| y & self.mask()).collect();
+        let out = self
+            .circle
+            .scalar_add_many(&av, &bv, &mut tally)
+            .into_iter()
+            .map(|(sum, carry)| sum | ((carry as u64) << self.width))
+            .collect();
+        self.ops_executed += 1;
+        (out, tally)
+    }
+
+    /// Serial reference for [`Self::vadd`], retained for differential tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn vadd_scalar(&mut self, a: &[u64], b: &[u64]) -> (Vec<u64>, GateTally) {
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "vector addition needs equal-length vectors"
+        );
+        let mut tally = GateTally::new();
         let out = a
             .iter()
             .zip(b)
@@ -132,8 +186,20 @@ impl RmProcessor {
     }
 
     /// Scalar-vector multiplication: duplicates `s` repeatedly and pipelines
-    /// scalar multiplications (circle adder bypassed).
+    /// scalar multiplications (circle adder bypassed). Word-parallel like
+    /// [`Self::dot`]; [`Self::svmul_scalar`] is the serial reference.
     pub fn svmul(&mut self, s: u64, v: &[u64]) -> (Vec<u64>, GateTally) {
+        let mut tally = GateTally::new();
+        self.duplicators
+            .replicate_bulk(self.width as usize, v.len() as u64, &mut tally);
+        let sv = vec![s; v.len()];
+        let out = self.multiplier.multiply_many(&sv, v, &mut tally);
+        self.ops_executed += 1;
+        (out, tally)
+    }
+
+    /// Serial reference for [`Self::svmul`], retained for differential tests.
+    pub fn svmul_scalar(&mut self, s: u64, v: &[u64]) -> (Vec<u64>, GateTally) {
         let mut tally = GateTally::new();
         let out = v
             .iter()
@@ -241,6 +307,44 @@ mod tests {
         let mut circle = CircleAdder::new(63);
         circle.accumulate(product, &mut t_parts);
         assert_eq!(t_dot, t_parts);
+    }
+
+    #[test]
+    fn word_dot_matches_scalar_dot_state_and_tally() {
+        let a: Vec<u64> = (0..150).map(|i| i * 37 % 256).collect();
+        let b: Vec<u64> = (0..150).map(|i| i * 91 + 13).collect();
+        let mut pw = RmProcessor::new(8, 2);
+        let mut ps = RmProcessor::new(8, 2);
+        let (rw, tw) = pw.dot(&a, &b);
+        let (rs, ts) = ps.dot_scalar(&a, &b);
+        assert_eq!(rw, rs);
+        assert_eq!(tw, ts);
+        assert_eq!(pw, ps, "all duplicator/circle/diode state must match");
+    }
+
+    #[test]
+    fn word_vadd_matches_scalar_vadd_state_and_tally() {
+        let a: Vec<u64> = (0..100).map(|i| i * 3).collect();
+        let b: Vec<u64> = (0..100).map(|i| 255 - i).collect();
+        let mut pw = RmProcessor::new(8, 2);
+        let mut ps = RmProcessor::new(8, 2);
+        let (rw, tw) = pw.vadd(&a, &b);
+        let (rs, ts) = ps.vadd_scalar(&a, &b);
+        assert_eq!(rw, rs);
+        assert_eq!(tw, ts);
+        assert_eq!(pw, ps);
+    }
+
+    #[test]
+    fn word_svmul_matches_scalar_svmul_state_and_tally() {
+        let v: Vec<u64> = (0..100).map(|i| i * 7 % 256).collect();
+        let mut pw = RmProcessor::new(8, 2);
+        let mut ps = RmProcessor::new(8, 2);
+        let (rw, tw) = pw.svmul(0xAB, &v);
+        let (rs, ts) = ps.svmul_scalar(0xAB, &v);
+        assert_eq!(rw, rs);
+        assert_eq!(tw, ts);
+        assert_eq!(pw, ps);
     }
 
     #[test]

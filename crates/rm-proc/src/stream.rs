@@ -111,12 +111,9 @@ impl PipelineSim {
                 if remaining > 1 {
                     s2 = Some((beat, remaining - 1));
                 } else if s3.is_none() {
-                    let products: Vec<u64> = beat
-                        .a
-                        .iter()
-                        .zip(&beat.b)
-                        .map(|(&x, &y)| self.multiplier.multiply(x, y, &mut tally))
-                        .collect();
+                    // One beat is at most 64 lanes: a single plane-word
+                    // multiply covers it (tally-identical to per-lane calls).
+                    let products = self.multiplier.multiply_many(&beat.a, &beat.b, &mut tally);
                     s3 = Some(products);
                 } else {
                     s2 = Some((beat, 1)); // structural stall: S3 occupied

@@ -76,6 +76,48 @@ proptest! {
         }
     }
 
+    /// Differential: the word-parallel dot equals the retained serial
+    /// datapath in result, gate tally, and full processor state (duplicator
+    /// phases, diode counters, circle accumulator) for arbitrary vectors.
+    #[test]
+    fn word_dot_matches_scalar_datapath(
+        pairs in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..150),
+        d in 1u32..4,
+    ) {
+        let a: Vec<u64> = pairs.iter().map(|&(x, _)| x).collect();
+        let b: Vec<u64> = pairs.iter().map(|&(_, y)| y).collect();
+        let mut pw = RmProcessor::new(8, d);
+        let mut ps = RmProcessor::new(8, d);
+        let (rw, tw) = pw.dot(&a, &b);
+        let (rs, ts) = ps.dot_scalar(&a, &b);
+        prop_assert_eq!(rw, rs);
+        prop_assert_eq!(tw, ts);
+        prop_assert_eq!(pw, ps);
+    }
+
+    /// Differential: word-parallel vadd and svmul equal their serial
+    /// references in results, tallies, and state.
+    #[test]
+    fn word_vadd_svmul_match_scalar_datapath(
+        pairs in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..100),
+        s in any::<u64>(),
+    ) {
+        let a: Vec<u64> = pairs.iter().map(|&(x, _)| x).collect();
+        let b: Vec<u64> = pairs.iter().map(|&(_, y)| y).collect();
+        let mut pw = RmProcessor::new(8, 2);
+        let mut ps = RmProcessor::new(8, 2);
+        let (ow, tw) = pw.vadd(&a, &b);
+        let (os, ts) = ps.vadd_scalar(&a, &b);
+        prop_assert_eq!(ow, os);
+        prop_assert_eq!(tw, ts);
+        prop_assert_eq!(&pw, &ps);
+        let (ow, tw) = pw.svmul(s, &a);
+        let (os, ts) = ps.svmul_scalar(s, &a);
+        prop_assert_eq!(ow, os);
+        prop_assert_eq!(tw, ts);
+        prop_assert_eq!(pw, ps);
+    }
+
     /// Gate tallies grow linearly with vector length (streaming, no
     /// super-linear blowup).
     #[test]

@@ -75,6 +75,86 @@ pub trait Strategy {
     type Value;
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps sampled values through `f` (proptest's combinator of the same
+    /// name).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy always yielding a clone of one value (proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy mapping another strategy's values (see [`Strategy::prop_map`]).
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// One boxed sampling arm of a [`Union`] (built by [`prop_oneof!`]).
+pub type OneofArm<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+/// Strategy choosing uniformly among boxed arms (built by [`prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<OneofArm<V>>,
+}
+
+impl<V> Union<V> {
+    /// Union over the given sampling arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<OneofArm<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let idx = (rng.next_u64() % self.arms.len() as u64) as usize;
+        (self.arms[idx])(rng)
+    }
+}
+
+/// Boxes one [`prop_oneof!`] arm (implementation detail of the macro).
+#[doc(hidden)]
+pub fn __oneof_arm<S>(s: S) -> OneofArm<S::Value>
+where
+    S: Strategy + 'static,
+{
+    Box::new(move |rng| s.sample(rng))
+}
+
+/// Uniform choice among strategies of a common value type (unweighted subset
+/// of proptest's macro).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::__oneof_arm($arm)),+])
+    };
 }
 
 macro_rules! impl_int_range {
@@ -233,8 +313,8 @@ pub mod collection {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any, Arbitrary,
-        ProptestConfig, Strategy, TestRng,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Any,
+        Arbitrary, Just, ProptestConfig, Strategy, TestRng,
     };
 }
 
@@ -328,6 +408,21 @@ mod tests {
             for (v, _b) in &pairs {
                 prop_assert!(*v < 256);
             }
+        }
+
+        /// `prop_oneof` draws from every arm; `prop_map`/`Just` compose.
+        fn oneof_and_map(xs in collection::vec(
+            prop_oneof![
+                Just(0u64),
+                (10u64..20).prop_map(|v| v * 2),
+            ],
+            32,
+        )) {
+            for &x in &xs {
+                prop_assert!(x == 0 || (20..40).contains(&x));
+            }
+            prop_assert!(xs.contains(&0));
+            prop_assert!(xs.iter().any(|&x| x != 0));
         }
     }
 
