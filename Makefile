@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt lint build test bench-build bench-device experiments
+.PHONY: verify fmt lint build test bench-build bench-device fidelity experiments
 
-verify: fmt lint build test bench-build bench-device
+verify: fmt lint build test bench-build bench-device fidelity
 	@echo "verify: all gates passed"
 
 fmt:
@@ -25,11 +25,17 @@ bench-build:
 	$(CARGO) bench --workspace --no-run
 	$(CARGO) build --release --examples
 
-# Device-kernel smoke bench (scratch output; the committed BENCH_device.json
-# is regenerated in full mode: `cargo run --release -p pim-bench --bin bench_device`).
+# Device-kernel smoke bench, gated on speedup drift against the committed
+# baseline (regenerate the baseline in full mode:
+# `cargo run --release -p pim-bench --bin bench_device`).
 bench-device:
-	$(CARGO) run --release -p pim-bench --bin bench_device -- --smoke --out target/BENCH_device_smoke.json
+	$(CARGO) run --release -p pim-bench --bin bench_device -- --smoke --out target/BENCH_device_smoke.json --compare BENCH_device.json
 	test -s target/BENCH_device_smoke.json
+
+# Paper-fidelity regression gate: reruns the scaled evaluation and checks
+# every figure against the frozen expectations in fidelity.toml.
+fidelity:
+	$(CARGO) run --release -p pim-bench --bin fidelity_gate
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

@@ -5,18 +5,26 @@
 //! product — and writes median ns/op per variant plus the speedup to a JSON
 //! report (default `BENCH_device.json`).
 //!
-//! Usage: `bench_device [--smoke] [--out PATH]`. `--smoke` shrinks the
-//! sample counts so CI can validate the pipeline in well under a second.
+//! Usage: `bench_device [--smoke] [--out PATH] [--compare PATH [--tolerance PCT]]`.
+//! `--smoke` shrinks the sample counts so CI can validate the pipeline in
+//! well under a second. `--compare` checks this run's speedups against a
+//! previously written report (e.g. the committed `BENCH_device.json`) and
+//! exits non-zero when any kernel's speedup moved by more than the
+//! tolerance — speedups are same-machine ratios, so they transfer across
+//! machines where absolute ns/op do not. The default tolerance (60%) is
+//! deliberately loose: it rides through sampling noise and CI-runner
+//! variation but still catches a packed kernel collapsing to scalar speed.
 
 use rm_core::reference::{ScalarMat, ScalarNanowire};
 use rm_core::{Mat, Nanowire, ShiftDir};
 use rm_proc::RmProcessor;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::hint::black_box;
+use std::process::ExitCode;
 use std::time::Instant;
 
 /// Median ns/op comparison of one kernel.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct KernelResult {
     name: String,
     scalar_ns: f64,
@@ -25,7 +33,7 @@ struct KernelResult {
 }
 
 /// The whole report (`BENCH_device.json`).
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct Report {
     bench: String,
     mode: String,
@@ -49,7 +57,7 @@ fn median_ns<F: FnMut()>(iters: u64, samples: usize, mut op: F) -> f64 {
     times[samples / 2]
 }
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let out_path = args
@@ -58,6 +66,17 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_device.json".to_string());
+    let compare_path = args
+        .iter()
+        .position(|a| a == "--compare")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let tolerance_pct = args
+        .iter()
+        .position(|a| a == "--tolerance")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(60.0);
 
     let (iters, samples, gemv_iters) = if smoke { (200, 3, 2) } else { (20_000, 9, 30) };
 
@@ -167,4 +186,56 @@ fn main() {
         );
     }
     println!("wrote {out_path}");
+
+    if let Some(base_path) = compare_path {
+        return compare(&report, &base_path, tolerance_pct);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Gates this run's speedups against a baseline report's.
+fn compare(report: &Report, base_path: &str, tolerance_pct: f64) -> ExitCode {
+    let baseline: Report = match std::fs::read_to_string(base_path)
+        .map_err(|e| e.to_string())
+        .and_then(|t| serde_json::from_str(&t).map_err(|e| format!("{e:?}")))
+    {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("loading baseline {base_path} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("\ncomparing speedups against {base_path} (tolerance {tolerance_pct}%):");
+    let mut failed = false;
+    for k in &report.results {
+        let Some(base) = baseline.results.iter().find(|b| b.name == k.name) else {
+            eprintln!("  {:<10} MISSING from baseline", k.name);
+            failed = true;
+            continue;
+        };
+        let drift_pct = (k.speedup / base.speedup - 1.0) * 100.0;
+        let ok = drift_pct.abs() <= tolerance_pct;
+        failed |= !ok;
+        println!(
+            "  {:<10} baseline {:>6.2}x   now {:>6.2}x   {:>+7.1}%  {}",
+            k.name,
+            base.speedup,
+            k.speedup,
+            drift_pct,
+            if ok { "ok" } else { "FAIL" }
+        );
+    }
+    for b in &baseline.results {
+        if !report.results.iter().any(|k| k.name == b.name) {
+            eprintln!("  {:<10} in baseline but not measured", b.name);
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("bench_device: speedup drift beyond {tolerance_pct}% of {base_path}");
+        ExitCode::FAILURE
+    } else {
+        println!("bench_device: all speedups within {tolerance_pct}% of {base_path}");
+        ExitCode::SUCCESS
+    }
 }

@@ -1,0 +1,142 @@
+//! The paper-fidelity regression gate (CI entry point).
+//!
+//! ```text
+//! fidelity_gate [--spec fidelity.toml] [--perturb FIELD=VALUE]... [--write-expect]
+//! ```
+//!
+//! Reruns the scaled experiment suite against the frozen baselines in
+//! `fidelity.toml` and exits non-zero naming every drifted check.
+//! `--perturb` deliberately alters a StreamPIM engine parameter before the
+//! rerun — the gate must then fail, which is how its failure path is
+//! exercised in tests and how "would this model change move a paper
+//! result?" is answered locally. `--write-expect` freezes the current
+//! (unperturbed) values back into the spec file.
+
+use pim_bench::fidelity::{evaluate, perturb_engine, FidelitySpec};
+use pim_device::engine::EngineParams;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut spec_path = "fidelity.toml".to_string();
+    let mut engine: Option<EngineParams> = None;
+    let mut write_expect = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--spec" => match it.next() {
+                Some(p) => spec_path = p,
+                None => {
+                    eprintln!("--spec needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--perturb" => {
+                let Some(p) = it.next() else {
+                    eprintln!("--perturb needs FIELD=VALUE");
+                    return ExitCode::FAILURE;
+                };
+                let base = engine.unwrap_or_default();
+                match perturb_engine(base, &p) {
+                    Ok(e) => engine = Some(e),
+                    Err(e) => {
+                        eprintln!("bad perturbation: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--write-expect" => write_expect = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: fidelity_gate [--spec fidelity.toml] [--perturb FIELD=VALUE]... \
+                     [--write-expect]\n\
+                     Reruns the scaled experiment suite against the frozen baselines and \
+                     exits non-zero on drift. --perturb alters an engine parameter \
+                     (fields of pim-device EngineParams) to prove the gate trips; \
+                     --write-expect refreezes the current values."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (see --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if write_expect && engine.is_some() {
+        eprintln!("refusing to freeze perturbed values (--write-expect with --perturb)");
+        return ExitCode::FAILURE;
+    }
+
+    let text = match std::fs::read_to_string(&spec_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("reading {spec_path} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut spec = match FidelitySpec::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{spec_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "# Fidelity gate — {} checks at scale {}{}\n",
+        spec.checks.len(),
+        spec.scale,
+        if engine.is_some() { " (perturbed)" } else { "" }
+    );
+    let outcome = match evaluate(&spec, engine) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("gate evaluation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", outcome.render());
+
+    if write_expect {
+        for (check, result) in spec.checks.iter_mut().zip(&outcome.results) {
+            check.expect = result.actual;
+        }
+        if let Err(e) = std::fs::write(&spec_path, spec.to_toml()) {
+            eprintln!("writing {spec_path} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "\nfroze {} expect values into {spec_path}",
+            spec.checks.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if outcome.passed() {
+        println!(
+            "\nfidelity gate: all {} checks within tolerance",
+            spec.checks.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        let failures = outcome.failures();
+        eprintln!(
+            "\nfidelity gate FAILED — {} drifted check(s):",
+            failures.len()
+        );
+        for f in failures {
+            eprintln!(
+                "  {} ({} {}): expected {:.4} ±{:.4}, got {:.4} ({:+.2}%)",
+                f.check.id,
+                f.check.figure,
+                f.check.metric,
+                f.check.expect,
+                f.check.allowed(),
+                f.actual,
+                f.drift_pct(),
+            );
+        }
+        ExitCode::FAILURE
+    }
+}

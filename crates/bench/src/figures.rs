@@ -4,6 +4,7 @@ use pim_baselines::cpu::CpuModel;
 use pim_baselines::gpu::GpuModel;
 use pim_baselines::platform::{dnn_end_to_end, Platform, PlatformKind, Workload};
 use pim_device::area::AreaModel;
+use pim_device::engine::EngineParams;
 use pim_device::report::ExecReport;
 use pim_device::{OptLevel, PimError, StreamPim, StreamPimConfig};
 use pim_workloads::dnn::DnnModel;
@@ -29,7 +30,8 @@ impl Scale {
         Scale(0.1)
     }
 
-    fn instance(&self, kernel: Kernel) -> KernelInstance {
+    /// The kernel instance at this scale (paper-size at exactly 1.0).
+    pub fn instance(&self, kernel: Kernel) -> KernelInstance {
         if (self.0 - 1.0).abs() < 1e-12 {
             kernel.paper_instance()
         } else {
@@ -172,10 +174,30 @@ impl MetricTable {
 /// Per-kernel reports for every Figure 17/18 platform.
 type PlatformRuns = Vec<(String, Vec<(PlatformKind, ExecReport)>)>;
 
-fn run_all_platforms(scale: Scale) -> Result<PlatformRuns, PimError> {
+/// Builds `kind`, optionally overriding the StreamPIM engine parameters
+/// (fidelity-gate perturbations; `None` is the paper default).
+fn build_platform(kind: PlatformKind, engine: Option<&EngineParams>) -> Result<Platform, PimError> {
+    match engine {
+        Some(e) => Platform::with_engine_params(kind, e),
+        None => Platform::new(kind),
+    }
+}
+
+/// Applies an optional engine override to a StreamPIM sweep configuration.
+fn apply_engine(cfg: StreamPimConfig, engine: Option<&EngineParams>) -> StreamPimConfig {
+    match engine {
+        Some(e) => cfg.with_engine(*e),
+        None => cfg,
+    }
+}
+
+fn run_all_platforms(
+    scale: Scale,
+    engine: Option<&EngineParams>,
+) -> Result<PlatformRuns, PimError> {
     let platforms: Vec<Platform> = PlatformKind::FIGURE_17
         .iter()
-        .map(|&k| Platform::new(k))
+        .map(|&k| build_platform(k, engine))
         .collect::<Result<_, _>>()?;
     let mut out = Vec::new();
     for kernel in Kernel::ALL {
@@ -195,7 +217,16 @@ fn run_all_platforms(scale: Scale) -> Result<PlatformRuns, PimError> {
 ///
 /// Propagates platform configuration/pricing errors.
 pub fn fig17(scale: Scale) -> Result<MetricTable, PimError> {
-    let all = run_all_platforms(scale)?;
+    fig17_with(scale, None)
+}
+
+/// [`fig17`] with an optional StreamPIM engine-parameter override.
+///
+/// # Errors
+///
+/// Propagates platform configuration/pricing errors.
+pub fn fig17_with(scale: Scale, engine: Option<&EngineParams>) -> Result<MetricTable, PimError> {
+    let all = run_all_platforms(scale, engine)?;
     metric_table(&all, |reports| {
         let base = reports
             .iter()
@@ -214,7 +245,16 @@ pub fn fig17(scale: Scale) -> Result<MetricTable, PimError> {
 ///
 /// Propagates platform configuration/pricing errors.
 pub fn fig18(scale: Scale) -> Result<MetricTable, PimError> {
-    let all = run_all_platforms(scale)?;
+    fig18_with(scale, None)
+}
+
+/// [`fig18`] with an optional StreamPIM engine-parameter override.
+///
+/// # Errors
+///
+/// Propagates platform configuration/pricing errors.
+pub fn fig18_with(scale: Scale, engine: Option<&EngineParams>) -> Result<MetricTable, PimError> {
+    let all = run_all_platforms(scale, engine)?;
     metric_table(&all, |reports| {
         let stpim = reports
             .iter()
@@ -321,6 +361,18 @@ fn breakdown(
 ///
 /// Propagates platform configuration/pricing errors.
 pub fn fig21(scale: Scale) -> Result<Vec<(u32, f64)>, PimError> {
+    fig21_with(scale, None)
+}
+
+/// [`fig21`] with an optional StreamPIM engine-parameter override.
+///
+/// # Errors
+///
+/// Propagates platform configuration/pricing errors.
+pub fn fig21_with(
+    scale: Scale,
+    engine: Option<&EngineParams>,
+) -> Result<Vec<(u32, f64)>, PimError> {
     let counts = [128u32, 256, 512, 1024];
     // Per-kernel times per count.
     let mut totals: Vec<Vec<f64>> = vec![Vec::new(); counts.len()];
@@ -328,7 +380,7 @@ pub fn fig21(scale: Scale) -> Result<Vec<(u32, f64)>, PimError> {
         let workload = Workload::from_kernel(&scale.instance(kernel));
         for (i, &count) in counts.iter().enumerate() {
             let cfg = StreamPimConfig::paper_default().with_pim_subarrays(count);
-            let p = Platform::stream_pim(cfg)?;
+            let p = Platform::stream_pim(apply_engine(cfg, engine))?;
             totals[i].push(p.run(&workload)?.total_ns());
         }
     }
@@ -351,6 +403,18 @@ pub fn fig21(scale: Scale) -> Result<Vec<(u32, f64)>, PimError> {
 ///
 /// Propagates platform configuration/pricing errors.
 pub fn fig22(scale: Scale) -> Result<Vec<(&'static str, f64)>, PimError> {
+    fig22_with(scale, None)
+}
+
+/// [`fig22`] with an optional StreamPIM engine-parameter override.
+///
+/// # Errors
+///
+/// Propagates platform configuration/pricing errors.
+pub fn fig22_with(
+    scale: Scale,
+    engine: Option<&EngineParams>,
+) -> Result<Vec<(&'static str, f64)>, PimError> {
     let levels = [
         ("base", OptLevel::Base),
         ("distribute", OptLevel::Distribute),
@@ -361,7 +425,7 @@ pub fn fig22(scale: Scale) -> Result<Vec<(&'static str, f64)>, PimError> {
         let workload = Workload::from_kernel(&scale.instance(kernel));
         for (i, &(_, opt)) in levels.iter().enumerate() {
             let cfg = StreamPimConfig::paper_default().with_opt(opt);
-            let p = Platform::stream_pim(cfg)?;
+            let p = Platform::stream_pim(apply_engine(cfg, engine))?;
             totals[i].push(p.run(&workload)?.total_ns());
         }
     }
@@ -393,6 +457,15 @@ pub struct Fig23Row {
 ///
 /// Propagates platform configuration/pricing errors.
 pub fn fig23() -> Result<Vec<Fig23Row>, PimError> {
+    fig23_with(None)
+}
+
+/// [`fig23`] with an optional StreamPIM engine-parameter override.
+///
+/// # Errors
+///
+/// Propagates platform configuration/pricing errors.
+pub fn fig23_with(engine: Option<&EngineParams>) -> Result<Vec<Fig23Row>, PimError> {
     let platforms = [
         PlatformKind::CpuDram,
         PlatformKind::Coruscant,
@@ -403,7 +476,7 @@ pub fn fig23() -> Result<Vec<Fig23Row>, PimError> {
         let cpu = Platform::new(PlatformKind::CpuDram)?;
         let base = dnn_end_to_end(&cpu, &model)?.total_ns();
         for kind in platforms {
-            let p = Platform::new(kind)?;
+            let p = build_platform(kind, engine)?;
             let t = dnn_end_to_end(&p, &model)?.total_ns();
             rows.push(Fig23Row {
                 model: model.name.clone(),
@@ -437,6 +510,18 @@ pub struct Table5Row {
 ///
 /// Propagates platform configuration/pricing errors.
 pub fn table5(scale: Scale) -> Result<Vec<Table5Row>, PimError> {
+    table5_with(scale, None)
+}
+
+/// [`table5`] with an optional StreamPIM engine-parameter override.
+///
+/// # Errors
+///
+/// Propagates platform configuration/pricing errors.
+pub fn table5_with(
+    scale: Scale,
+    engine: Option<&EngineParams>,
+) -> Result<Vec<Table5Row>, PimError> {
     let segments = [64u32, 256, 512, 1024];
     let mut time: Vec<Vec<f64>> = vec![Vec::new(); segments.len()];
     let mut energy: Vec<Vec<f64>> = vec![Vec::new(); segments.len()];
@@ -444,7 +529,7 @@ pub fn table5(scale: Scale) -> Result<Vec<Table5Row>, PimError> {
         let workload = Workload::from_kernel(&scale.instance(kernel));
         for (i, &seg) in segments.iter().enumerate() {
             let cfg = StreamPimConfig::paper_default().with_segment_domains(seg);
-            let r = Platform::stream_pim(cfg)?.run(&workload)?;
+            let r = Platform::stream_pim(apply_engine(cfg, engine))?.run(&workload)?;
             time[i].push(r.total_ns());
             energy[i].push(r.total_pj());
         }

@@ -6,6 +6,7 @@
 //! them as markdown tables. `EXPERIMENTS.md` records paper-vs-measured for
 //! every experiment.
 
+pub mod fidelity;
 pub mod figures;
 pub mod render;
 pub mod trace;

@@ -165,6 +165,26 @@ impl Platform {
         })
     }
 
+    /// Builds a platform like [`Platform::new`], overriding the StreamPIM
+    /// scheduling-model parameters where the platform embeds a StreamPIM
+    /// device (StPIM / StPIM-e); every other platform is unaffected. The
+    /// fidelity gate uses this to deliberately perturb the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::Config`] for invalid engine parameters.
+    pub fn with_engine_params(
+        kind: PlatformKind,
+        engine: &pim_device::engine::EngineParams,
+    ) -> Result<Platform, PimError> {
+        let mut p = Platform::new(kind)?;
+        if let Inner::StreamPim(device) = &p.inner {
+            let cfg = device.config().clone().with_engine(*engine);
+            p.inner = Inner::StreamPim(StreamPim::new(cfg)?);
+        }
+        Ok(p)
+    }
+
     /// The platform kind.
     pub fn kind(&self) -> PlatformKind {
         self.kind
@@ -235,15 +255,56 @@ impl Platform {
         schedule: Option<&Schedule>,
         sink: &dyn TraceSink,
     ) -> Result<ExecReport, PimError> {
+        self.run_instrumented(workload, schedule, sink, &rm_core::NullProbe)
+    }
+
+    /// Like [`Platform::run_with_schedule`], but records per-component
+    /// attribution on `probe`. StreamPIM platforms emit the engine's
+    /// component paths (`bus/lane[k]`, `device/subarray[s]`,
+    /// `device/controller`); the closed-form hosts record one sample at
+    /// `host/cpu` / `host/gpu`; the idealized PIM baselines split theirs
+    /// across `device/<platform>` (compute), `bus/internal` (operand and
+    /// result placement traffic) and `device/peripherals` (static power).
+    /// Recorded energy and counters sum exactly to the returned report's
+    /// totals; the report itself is identical to the unprofiled path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Platform::run_with_schedule`].
+    pub fn run_with_schedule_profiled(
+        &self,
+        workload: &Workload,
+        schedule: Option<&Schedule>,
+        probe: &dyn rm_core::Probe,
+    ) -> Result<ExecReport, PimError> {
+        self.run_instrumented(workload, schedule, &NullSink, probe)
+    }
+
+    /// Tracing and profiling in one pass (see
+    /// [`Platform::run_with_schedule_traced`] and
+    /// [`Platform::run_with_schedule_profiled`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Platform::run_with_schedule`].
+    pub fn run_instrumented(
+        &self,
+        workload: &Workload,
+        schedule: Option<&Schedule>,
+        sink: &dyn TraceSink,
+        probe: &dyn rm_core::Probe,
+    ) -> Result<ExecReport, PimError> {
         let mut report = match &self.inner {
             Inner::Cpu(m) => {
                 let r = m.run_profile(&workload.profile);
                 emit_platform_span(sink, self.name(), workload, &r);
+                record_report_sample(probe, "host/cpu", &r);
                 return Ok(r);
             }
             Inner::Gpu(m) => {
                 let r = m.run_profile(&workload.profile);
                 emit_platform_span(sink, self.name(), workload, &r);
+                record_report_sample(probe, "host/gpu", &r);
                 return Ok(r);
             }
             Inner::StreamPim(device) => {
@@ -258,7 +319,7 @@ impl Platform {
                         &lowered
                     }
                 };
-                device.execute_traced(s, sink)
+                device.execute_instrumented(s, sink, probe)
             }
             Inner::Coruscant(m) => {
                 let lowered;
@@ -270,7 +331,8 @@ impl Platform {
                     }
                 };
                 let mut r = m.run_schedule(s);
-                add_baseline_movement(&mut r, s);
+                record_report_sample(probe, "device/coruscant", &r);
+                add_baseline_movement(&mut r, s, probe);
                 r
             }
             Inner::BitSerial(m) => {
@@ -283,18 +345,47 @@ impl Platform {
                     }
                 };
                 let mut r = m.run_schedule(s);
-                add_baseline_movement(&mut r, s);
+                let path = match self.kind {
+                    PlatformKind::Felix => "device/felix",
+                    _ => "device/elp2im",
+                };
+                record_report_sample(probe, path, &r);
+                add_baseline_movement(&mut r, s, probe);
                 r
             }
         };
         // Peripheral/controller static power of the PIM device over the
         // execution (the CPU/GPU models fold theirs into per-op energies).
-        report.energy.other_pj += report.time.total_ns() * PIM_STATIC_W * 1000.0;
+        let static_pj = report.time.total_ns() * PIM_STATIC_W * 1000.0;
+        report.energy.other_pj += static_pj;
+        if probe.enabled() {
+            probe.record(
+                "device/peripherals",
+                rm_core::ProbeSample::energy(rm_core::EnergyBreakdown {
+                    other_pj: static_pj,
+                    ..rm_core::EnergyBreakdown::default()
+                }),
+            );
+        }
         if !matches!(&self.inner, Inner::StreamPim(_)) {
             // The idealized PIM baselines are closed-form too: one span.
             emit_platform_span(sink, self.name(), workload, &report);
         }
         Ok(report)
+    }
+}
+
+/// One whole-report attribution sample for closed-form models.
+fn record_report_sample(probe: &dyn rm_core::Probe, path: &str, r: &ExecReport) {
+    if probe.enabled() {
+        probe.record(
+            path,
+            rm_core::ProbeSample {
+                ops: r.counters,
+                energy: r.energy,
+                busy_ns: r.total_ns(),
+            },
+        );
     }
 }
 
@@ -324,7 +415,9 @@ const PIM_STATIC_W: f64 = 0.08;
 /// co-design, so operand distribution and result collection serialize over
 /// the single shared internal bus — one 64-word row per read+write
 /// transaction (the paper's §V-B explanation of why they trail StreamPIM).
-fn add_baseline_movement(report: &mut ExecReport, schedule: &Schedule) {
+/// An enabled `probe` receives the exact charged quantities at
+/// `bus/internal`.
+fn add_baseline_movement(report: &mut ExecReport, schedule: &Schedule, probe: &dyn rm_core::Probe) {
     let timing = rm_core::TimingParams::paper_default();
     let energy = rm_core::EnergyParams::paper_default();
     let rows = schedule.work_counts().elements_moved.div_ceil(64) as f64;
@@ -339,6 +432,24 @@ fn add_baseline_movement(report: &mut ExecReport, schedule: &Schedule) {
     report.energy.write_pj += rows * energy.write_pj;
     report.counters.reads += rows as u64;
     report.counters.writes += rows as u64;
+    if probe.enabled() {
+        probe.record(
+            "bus/internal",
+            rm_core::ProbeSample {
+                ops: rm_core::OpCounters {
+                    reads: rows as u64,
+                    writes: rows as u64,
+                    ..rm_core::OpCounters::default()
+                },
+                energy: rm_core::EnergyBreakdown {
+                    read_pj: rows * energy.read_pj,
+                    write_pj: rows * energy.write_pj,
+                    ..rm_core::EnergyBreakdown::default()
+                },
+                busy_ns: stream_ns,
+            },
+        );
+    }
 }
 
 /// The reference device used to derive word-level work counts for the
@@ -437,6 +548,41 @@ mod tests {
             let plain = p.run(&w).unwrap();
             assert_eq!(traced, plain, "{kind}: tracing must not change pricing");
             assert!(sink.span_count() > 0, "{kind}: no spans recorded");
+        }
+    }
+
+    #[test]
+    fn profiled_run_conserves_report_totals_on_every_platform() {
+        use std::sync::Mutex;
+
+        /// Sums every sample it sees, ignoring paths.
+        #[derive(Debug, Default)]
+        struct SumProbe(Mutex<(rm_core::OpCounters, rm_core::EnergyBreakdown)>);
+        impl rm_core::Probe for SumProbe {
+            fn enabled(&self) -> bool {
+                true
+            }
+            fn record(&self, _path: &str, sample: rm_core::ProbeSample) {
+                let mut tot = self.0.lock().unwrap();
+                tot.0 += sample.ops;
+                tot.1 += sample.energy;
+            }
+        }
+
+        let w = Workload::from_kernel(&Kernel::Gemm.scaled(0.02));
+        for kind in PlatformKind::FIGURE_17 {
+            let p = Platform::new(kind).unwrap();
+            let probe = SumProbe::default();
+            let profiled = p.run_with_schedule_profiled(&w, None, &probe).unwrap();
+            let plain = p.run(&w).unwrap();
+            assert_eq!(profiled, plain, "{kind}: profiling must not change pricing");
+            let (ops, energy) = *probe.0.lock().unwrap();
+            assert_eq!(ops, profiled.counters, "{kind}: counter conservation");
+            assert_eq!(
+                energy.total_pj(),
+                profiled.energy.total_pj(),
+                "{kind}: energy conservation"
+            );
         }
     }
 

@@ -91,6 +91,13 @@ impl StreamPimConfig {
         self.device.segment_domains = segment_domains;
         self
     }
+
+    /// Variant with different scheduling-model parameters (used by the
+    /// fidelity gate to deliberately perturb the engine).
+    pub fn with_engine(mut self, engine: EngineParams) -> Self {
+        self.engine = engine;
+        self
+    }
 }
 
 impl Default for StreamPimConfig {
@@ -148,6 +155,25 @@ impl StreamPim {
         sink: &dyn pim_trace::TraceSink,
     ) -> ExecReport {
         Engine::new(&self.config).run_traced(schedule, sink)
+    }
+
+    /// Like [`StreamPim::execute`], but records component attribution on
+    /// `probe` (see [`Engine::run_profiled`] for the paths and the
+    /// conservation contract). With a disabled probe (e.g.
+    /// [`rm_core::NullProbe`]) this is identical to `execute`.
+    pub fn execute_profiled(&self, schedule: &Schedule, probe: &dyn rm_core::Probe) -> ExecReport {
+        Engine::new(&self.config).run_profiled(schedule, probe)
+    }
+
+    /// Tracing and profiling in one pass (see [`StreamPim::execute_traced`]
+    /// and [`StreamPim::execute_profiled`]).
+    pub fn execute_instrumented(
+        &self,
+        schedule: &Schedule,
+        sink: &dyn pim_trace::TraceSink,
+        probe: &dyn rm_core::Probe,
+    ) -> ExecReport {
+        Engine::new(&self.config).run_instrumented(schedule, sink, probe)
     }
 }
 

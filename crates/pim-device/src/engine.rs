@@ -37,7 +37,7 @@ use crate::vpc::Vpc;
 use pim_trace::{NullSink, Phase, Span, TraceSink, Track};
 use rm_bus::{BusModel, ElectricalBusModel};
 use rm_core::config::BusKind;
-use rm_core::{EnergyBreakdown, OpCounters};
+use rm_core::{EnergyBreakdown, NullProbe, OpCounters, Probe, ProbeSample};
 use rm_proc::{PipelineModel, ProcOp};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -185,7 +185,22 @@ impl Engine {
 
     /// Prices a schedule.
     pub fn run(&self, schedule: &Schedule) -> ExecReport {
-        self.run_traced(schedule, &NullSink)
+        self.run_instrumented(schedule, &NullSink, &NullProbe)
+    }
+
+    /// Prices a schedule with component attribution: per-VPC costs are
+    /// recorded on `probe` under `bus/lane[k]` (transfers, keyed by their
+    /// transfer lane), `device/subarray[s]` (computes, keyed by their home
+    /// subarray) and `device/controller` (decode energy and occupancy).
+    ///
+    /// Conservation contract: each emission records exactly the value the
+    /// engine adds to the report's global accumulators, in the same order,
+    /// so an attribution tree's total is bit-identical to the report's
+    /// `counters`/`energy`. Busy time is *occupancy* — per-component busy
+    /// sums intentionally exceed the composed wall-clock time, which is
+    /// derived after the fact (see the breakdown scaling in the source).
+    pub fn run_profiled(&self, schedule: &Schedule, probe: &dyn Probe) -> ExecReport {
+        self.run_instrumented(schedule, &NullSink, probe)
     }
 
     /// Prices a schedule, emitting one phase span per round into `sink`
@@ -199,6 +214,19 @@ impl Engine {
     /// exactly the overlap structure the closed form assumes. The priced
     /// [`ExecReport`] is identical to [`Engine::run`] for every sink.
     pub fn run_traced(&self, schedule: &Schedule, sink: &dyn TraceSink) -> ExecReport {
+        self.run_instrumented(schedule, sink, &NullProbe)
+    }
+
+    /// The fully instrumented pricing loop behind [`Engine::run`],
+    /// [`Engine::run_traced`] and [`Engine::run_profiled`]: emits phase
+    /// spans into `sink` and attribution samples into `probe`. The priced
+    /// report is identical for every sink/probe combination.
+    pub fn run_instrumented(
+        &self,
+        schedule: &Schedule,
+        sink: &dyn TraceSink,
+        probe: &dyn Probe,
+    ) -> ExecReport {
         let mut report = ExecReport::new();
         // Accumulated compute-phase volumes (for breakdown attribution).
         let mut vol_proc = 0.0f64;
@@ -235,6 +263,18 @@ impl Engine {
                         report.energy += cost.energy * repeat;
                         scale_counters(&mut report.counters, cost.counters, round.repeat);
                         vpc_count += round.repeat;
+                        if probe.enabled() {
+                            let mut ops = OpCounters::default();
+                            scale_counters(&mut ops, cost.counters, round.repeat);
+                            probe.record(
+                                &format!("bus/lane[{lane}]"),
+                                ProbeSample {
+                                    ops,
+                                    energy: cost.energy * repeat,
+                                    busy_ns: cost.busy_ns * repeat,
+                                },
+                            );
+                        }
                     }
                 }
             }
@@ -252,8 +292,9 @@ impl Engine {
             let mut round_busy_sum = 0.0;
             for c in &round.computes {
                 let cost = self.compute_cost(c);
+                let home = c.home_subarray().unwrap_or(0);
                 round_busy_sum += cost.busy_ns;
-                *sub_load.entry(c.home_subarray().unwrap_or(0)).or_default() += cost.busy_ns;
+                *sub_load.entry(home).or_default() += cost.busy_ns;
                 vol_proc += cost.proc_ns * repeat;
                 vol_overlap += cost.overlapped_ns * repeat;
                 if cost.transfer_is_conversion {
@@ -264,6 +305,18 @@ impl Engine {
                 report.energy += cost.energy * repeat;
                 scale_counters(&mut report.counters, cost.counters, round.repeat);
                 vpc_count += round.repeat;
+                if probe.enabled() {
+                    let mut ops = OpCounters::default();
+                    scale_counters(&mut ops, cost.counters, round.repeat);
+                    probe.record(
+                        &format!("device/subarray[{home}]"),
+                        ProbeSample {
+                            ops,
+                            energy: cost.energy * repeat,
+                            busy_ns: cost.busy_ns * repeat,
+                        },
+                    );
+                }
             }
             let max_sub = sub_load.values().copied().fold(0.0f64, f64::max);
             let used = sub_load.len().max(1) as f64;
@@ -404,6 +457,19 @@ impl Engine {
         let controller_ns =
             vpc_count as f64 * self.params.controller_ns_per_vpc / self.tran_lanes as f64;
         report.energy.other_pj += vpc_count as f64 * 1.0; // 1 pJ decode per VPC
+        if probe.enabled() {
+            probe.record(
+                "device/controller",
+                ProbeSample {
+                    ops: OpCounters::default(),
+                    energy: EnergyBreakdown {
+                        other_pj: vpc_count as f64 * 1.0,
+                        ..EnergyBreakdown::default()
+                    },
+                    busy_ns: controller_ns,
+                },
+            );
+        }
 
         // --- Total and breakdown ------------------------------------------
         let tran_critical = tran_lane_ns.iter().copied().fold(0.0f64, f64::max);

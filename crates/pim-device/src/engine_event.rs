@@ -139,6 +139,49 @@ impl EventEngine {
         (makespan, intervals)
     }
 
+    /// Runs `schedule` like [`EventEngine::run`], additionally recording
+    /// per-component attribution on `probe`: each transfer's interval and
+    /// counters land on `bus/lane[k]`, each compute's on
+    /// `device/subarray[s]`, and every command's decode slot on
+    /// `device/controller` — the same component paths the analytic
+    /// [`crate::engine::Engine::run_profiled`] uses, so profiles from both
+    /// engines diff against each other. The event engine prices no energy,
+    /// so samples carry counters and busy time only.
+    pub fn run_profiled(
+        &self,
+        schedule: &Schedule,
+        probe: &dyn rm_core::Probe,
+    ) -> (f64, Vec<ScheduledVpc>) {
+        let (makespan, intervals) = self.run(schedule);
+        if probe.enabled() {
+            let decode_slot = self.controller_ns_per_vpc / self.tran_lanes as f64;
+            for sv in &intervals {
+                let ops = self.analytic.vpc_counters(&sv.vpc);
+                let busy = sv.end_ns - sv.start_ns;
+                let path = match sv.vpc {
+                    Vpc::Tran { dst, .. } => {
+                        format!("bus/lane[{}]", dst as usize % self.tran_lanes)
+                    }
+                    compute => {
+                        format!("device/subarray[{}]", compute.home_subarray().unwrap_or(0))
+                    }
+                };
+                probe.record(
+                    &path,
+                    rm_core::ProbeSample {
+                        ops,
+                        energy: rm_core::EnergyBreakdown::default(),
+                        busy_ns: busy,
+                    },
+                );
+                if decode_slot > 0.0 {
+                    probe.record("device/controller", rm_core::ProbeSample::busy(decode_slot));
+                }
+            }
+        }
+        (makespan, intervals)
+    }
+
     /// `Base`: one global timeline, natural command order.
     fn run_serial(&self, schedule: &Schedule) -> (f64, Vec<ScheduledVpc>) {
         let mut clock = 0.0f64;
@@ -422,6 +465,52 @@ mod tests {
                 (t, c) => panic!("unexpected track {t:?} for cat {c}"),
             }
         }
+    }
+
+    #[test]
+    fn profiled_run_attributes_every_command() {
+        use std::collections::BTreeMap;
+        use std::sync::Mutex;
+
+        #[derive(Debug, Default)]
+        struct MapProbe(Mutex<BTreeMap<String, (u64, f64)>>);
+        impl rm_core::Probe for MapProbe {
+            fn enabled(&self) -> bool {
+                true
+            }
+            fn record(&self, path: &str, sample: rm_core::ProbeSample) {
+                let mut map = self.0.lock().unwrap();
+                let entry = map.entry(path.to_string()).or_insert((0, 0.0));
+                entry.0 += 1;
+                entry.1 += sample.busy_ns;
+            }
+        }
+
+        let cfg = StreamPimConfig::paper_default();
+        let s = schedule(3, 16, 500);
+        let probe = MapProbe::default();
+        let (profiled_ns, intervals) = EventEngine::new(&cfg).run_profiled(&s, &probe);
+        let (plain_ns, _) = EventEngine::new(&cfg).run(&s);
+        assert_eq!(profiled_ns, plain_ns, "probe must not perturb the makespan");
+        let map = probe.0.lock().unwrap();
+        // One sample per command on its component, one decode per command.
+        let command_samples: u64 = map
+            .iter()
+            .filter(|(k, _)| k.as_str() != "device/controller")
+            .map(|(_, (n, _))| n)
+            .sum();
+        assert_eq!(command_samples as usize, intervals.len());
+        assert_eq!(map["device/controller"].0 as usize, intervals.len());
+        assert!(map.keys().any(|k| k.starts_with("bus/lane[")));
+        assert!(map.keys().any(|k| k.starts_with("device/subarray[")));
+        // Component busy time sums to the per-command interval durations.
+        let busy: f64 = map
+            .iter()
+            .filter(|(k, _)| k.as_str() != "device/controller")
+            .map(|(_, (_, b))| b)
+            .sum();
+        let expect: f64 = intervals.iter().map(|sv| sv.end_ns - sv.start_ns).sum();
+        assert!((busy - expect).abs() < 1e-6);
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! Profile diffing: per-node percent change with a drift threshold.
+
+use crate::export::Profile;
+
+/// Percent change of one component between two profiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Component path (present in at least one side).
+    pub path: String,
+    /// Busy time in the baseline, nanoseconds (0 if absent).
+    pub a_busy_ns: f64,
+    /// Busy time in the candidate, nanoseconds (0 if absent).
+    pub b_busy_ns: f64,
+    /// Busy-time change, percent of the baseline.
+    pub busy_pct: f64,
+    /// Energy in the baseline, picojoules (0 if absent).
+    pub a_pj: f64,
+    /// Energy in the candidate, picojoules (0 if absent).
+    pub b_pj: f64,
+    /// Energy change, percent of the baseline.
+    pub energy_pct: f64,
+    /// Whether the operation counters match exactly.
+    pub ops_equal: bool,
+}
+
+impl DiffRow {
+    /// Largest absolute percent change across the row's metrics.
+    pub fn max_abs_pct(&self) -> f64 {
+        self.busy_pct.abs().max(self.energy_pct.abs())
+    }
+}
+
+/// The comparison of two profiles, one row per component path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileDiff {
+    /// Per-component rows, sorted by path.
+    pub rows: Vec<DiffRow>,
+    /// Grand-total comparison.
+    pub total: DiffRow,
+}
+
+impl ProfileDiff {
+    /// Largest absolute percent change across every row and the total.
+    pub fn max_abs_pct(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(DiffRow::max_abs_pct)
+            .fold(self.total.max_abs_pct(), f64::max)
+    }
+
+    /// Whether any metric drifts past `tol_pct` percent, or any counter
+    /// changed at all.
+    pub fn exceeds(&self, tol_pct: f64) -> bool {
+        self.max_abs_pct() > tol_pct
+            || !self.total.ops_equal
+            || self.rows.iter().any(|r| !r.ops_equal)
+    }
+
+    /// Rows with any drift (non-zero percent change or counter mismatch).
+    pub fn drifted(&self) -> Vec<&DiffRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.max_abs_pct() > 0.0 || !r.ops_equal)
+            .collect()
+    }
+
+    /// Renders an aligned drift table (all rows; a trailing total line).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<40} {:>12} {:>12} {:>8} {:>12} {:>12} {:>8} {:>5}\n",
+            "component", "a_busy_ns", "b_busy_ns", "busy%", "a_pj", "b_pj", "pj%", "ops"
+        ));
+        for r in self.rows.iter().chain(std::iter::once(&self.total)) {
+            out.push_str(&format!(
+                "{:<40} {:>12.1} {:>12.1} {:>+7.2}% {:>12.2} {:>12.2} {:>+7.2}% {:>5}\n",
+                r.path,
+                r.a_busy_ns,
+                r.b_busy_ns,
+                r.busy_pct,
+                r.a_pj,
+                r.b_pj,
+                r.energy_pct,
+                if r.ops_equal { "ok" } else { "DRIFT" }
+            ));
+        }
+        out
+    }
+}
+
+/// Percent change from `a` to `b`; appearance out of (or collapse to)
+/// nothing counts as 100%.
+fn pct_change(a: f64, b: f64) -> f64 {
+    if a == b {
+        0.0
+    } else if a == 0.0 {
+        100.0 * b.signum()
+    } else {
+        (b - a) / a.abs() * 100.0
+    }
+}
+
+/// Compares candidate `b` against baseline `a`, matching components by path.
+pub fn diff(a: &Profile, b: &Profile) -> ProfileDiff {
+    let mut paths: Vec<&str> = a
+        .nodes
+        .iter()
+        .chain(&b.nodes)
+        .map(|n| n.path.as_str())
+        .collect();
+    paths.sort_unstable();
+    paths.dedup();
+
+    let row_for = |path: &str| -> DiffRow {
+        let na = a.nodes.iter().find(|n| n.path == path);
+        let nb = b.nodes.iter().find(|n| n.path == path);
+        make_row(
+            path,
+            na.map(|n| (n.busy_ns, n.total_pj, n.ops)),
+            nb.map(|n| (n.busy_ns, n.total_pj, n.ops)),
+        )
+    };
+
+    ProfileDiff {
+        rows: paths.into_iter().map(row_for).collect(),
+        total: make_row(
+            "total",
+            Some((a.total.busy_ns, a.total.total_pj, a.total.ops)),
+            Some((b.total.busy_ns, b.total.total_pj, b.total.ops)),
+        ),
+    }
+}
+
+type Side = Option<(f64, f64, rm_core::OpCounters)>;
+
+fn make_row(path: &str, a: Side, b: Side) -> DiffRow {
+    let (a_busy, a_pj, a_ops) = a.unwrap_or_default();
+    let (b_busy, b_pj, b_ops) = b.unwrap_or_default();
+    DiffRow {
+        path: path.to_string(),
+        a_busy_ns: a_busy,
+        b_busy_ns: b_busy,
+        busy_pct: pct_change(a_busy, b_busy),
+        a_pj,
+        b_pj,
+        energy_pct: pct_change(a_pj, b_pj),
+        ops_equal: a_ops == b_ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::AttributionTree;
+    use rm_core::{OpCounters, ProbeSample};
+
+    fn profile(pairs: &[(&str, f64)]) -> Profile {
+        let mut t = AttributionTree::new();
+        for (path, busy) in pairs {
+            t.record(path, &ProbeSample::busy(*busy));
+        }
+        Profile::from_tree("t", &t)
+    }
+
+    #[test]
+    fn identical_profiles_have_zero_drift() {
+        let a = profile(&[("device/subarray[0]", 10.0), ("bus/lane[0]", 5.0)]);
+        let d = diff(&a, &a.clone());
+        assert_eq!(d.max_abs_pct(), 0.0);
+        assert!(!d.exceeds(0.0));
+        assert!(d.drifted().is_empty());
+    }
+
+    #[test]
+    fn busy_change_is_reported_in_percent() {
+        let a = profile(&[("device/subarray[0]", 100.0)]);
+        let b = profile(&[("device/subarray[0]", 110.0)]);
+        let d = diff(&a, &b);
+        assert!((d.rows[0].busy_pct - 10.0).abs() < 1e-9);
+        assert!(d.exceeds(5.0));
+        assert!(!d.exceeds(15.0));
+    }
+
+    #[test]
+    fn appearing_and_vanishing_nodes_count_as_full_drift() {
+        let a = profile(&[("device/subarray[0]", 10.0)]);
+        let b = profile(&[("device/subarray[1]", 10.0)]);
+        let d = diff(&a, &b);
+        assert_eq!(d.rows.len(), 2);
+        assert_eq!(d.rows[0].busy_pct, -100.0);
+        assert_eq!(d.rows[1].busy_pct, 100.0);
+    }
+
+    #[test]
+    fn counter_mismatch_trips_the_gate_even_at_zero_percent_tolerance_margin() {
+        let mut ta = AttributionTree::new();
+        ta.record(
+            "proc/multiplier",
+            &ProbeSample::ops(OpCounters {
+                gate_ops: 5,
+                ..Default::default()
+            }),
+        );
+        let mut tb = AttributionTree::new();
+        tb.record(
+            "proc/multiplier",
+            &ProbeSample::ops(OpCounters {
+                gate_ops: 6,
+                ..Default::default()
+            }),
+        );
+        let a = Profile::from_tree("a", &ta);
+        let b = Profile::from_tree("b", &tb);
+        let d = diff(&a, &b);
+        assert!(d.exceeds(1e9), "counter drift must trip any tolerance");
+        assert_eq!(d.drifted().len(), 1);
+        assert!(d.render().contains("DRIFT"));
+    }
+}

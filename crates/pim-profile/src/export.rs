@@ -1,0 +1,205 @@
+//! Serializable profiles: JSON export, hotspot tables, folded stacks.
+
+use crate::tree::{AttributionTree, NodeStats};
+use rm_core::{EnergyBreakdown, OpCounters};
+use serde::{Deserialize, Serialize};
+
+/// One component's accumulated attribution in a serialized profile.
+///
+/// Values are *exclusive* — charged to exactly this path, not to its
+/// subtree (roll subtrees up with [`AttributionTree::inclusive`] before
+/// exporting if inclusive numbers are wanted).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileNode {
+    /// Full `/`-separated component path.
+    pub path: String,
+    /// Busy time, nanoseconds.
+    pub busy_ns: f64,
+    /// Total attributed energy, picojoules.
+    pub total_pj: f64,
+    /// Samples merged into this node.
+    pub records: u64,
+    /// Operation counters.
+    pub ops: OpCounters,
+    /// Energy breakdown (sums to `total_pj`).
+    pub energy: EnergyBreakdown,
+}
+
+impl ProfileNode {
+    fn from_stats(path: &str, s: &NodeStats) -> Self {
+        ProfileNode {
+            path: path.to_string(),
+            busy_ns: s.busy_ns,
+            total_pj: s.energy.total_pj(),
+            records: s.records,
+            ops: s.ops,
+            energy: s.energy,
+        }
+    }
+}
+
+/// A complete serialized profile: the grand total plus every component.
+///
+/// Nodes are sorted by path, so two profiles of the same spec are
+/// byte-identical and `profile diff` can match nodes positionally or by
+/// path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    /// Free-form run label (workload, platform, scale, ...).
+    pub label: String,
+    /// Arrival-ordered grand total (bit-identical to the run's global
+    /// accumulators when the emission sites hold their contract).
+    pub total: ProfileNode,
+    /// Per-component exclusive attribution, sorted by path.
+    pub nodes: Vec<ProfileNode>,
+}
+
+impl Profile {
+    /// Exports `tree` under `label`.
+    pub fn from_tree(label: &str, tree: &AttributionTree) -> Self {
+        Profile {
+            label: label.to_string(),
+            total: ProfileNode::from_stats("total", tree.total()),
+            nodes: tree
+                .iter()
+                .map(|(path, stats)| ProfileNode::from_stats(path, stats))
+                .collect(),
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails (cannot happen for this type).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("profile serializes")
+    }
+
+    /// Parses a profile previously written by [`Profile::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for malformed JSON.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+
+    /// The top-`n` components by busy time, rendered as an aligned table
+    /// with share-of-total columns.
+    pub fn hotspots(&self, n: usize) -> String {
+        let mut by_busy: Vec<&ProfileNode> = self.nodes.iter().collect();
+        by_busy.sort_by(|a, b| {
+            b.busy_ns
+                .total_cmp(&a.busy_ns)
+                .then_with(|| b.total_pj.total_cmp(&a.total_pj))
+                .then_with(|| a.path.cmp(&b.path))
+        });
+        let busy_total = self.total.busy_ns;
+        let pj_total = self.total.total_pj;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<40} {:>14} {:>7} {:>14} {:>7}\n",
+            "component", "busy_ns", "busy%", "energy_pj", "pj%"
+        ));
+        for node in by_busy.iter().take(n) {
+            out.push_str(&format!(
+                "{:<40} {:>14.1} {:>6.1}% {:>14.2} {:>6.1}%\n",
+                node.path,
+                node.busy_ns,
+                share(node.busy_ns, busy_total),
+                node.total_pj,
+                share(node.total_pj, pj_total),
+            ));
+        }
+        out
+    }
+
+    /// Inferno-compatible folded-stack text: one line per component,
+    /// `seg1;seg2;... <busy_ns>` with the value rounded to whole
+    /// nanoseconds. Lines come out sorted by path; zero-busy components are
+    /// skipped (folded counts must be positive). Path segments have `;` and
+    /// spaces — which are structural in the folded format — replaced by `,`
+    /// and `_`.
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        for node in &self.nodes {
+            let value = node.busy_ns.round();
+            if value < 1.0 {
+                continue;
+            }
+            let stack: Vec<String> = node.path.split('/').map(escape_segment).collect();
+            out.push_str(&stack.join(";"));
+            out.push(' ');
+            out.push_str(&format!("{value:.0}\n"));
+        }
+        out
+    }
+}
+
+fn share(part: f64, whole: f64) -> f64 {
+    if whole == 0.0 {
+        0.0
+    } else {
+        part / whole * 100.0
+    }
+}
+
+fn escape_segment(seg: &str) -> String {
+    seg.replace(';', ",").replace(' ', "_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rm_core::ProbeSample;
+
+    fn sample_tree() -> AttributionTree {
+        let mut t = AttributionTree::new();
+        t.record(
+            "device/subarray[0]",
+            &ProbeSample {
+                busy_ns: 100.0,
+                energy: EnergyBreakdown {
+                    compute_pj: 7.0,
+                    ..Default::default()
+                },
+                ops: OpCounters {
+                    pim_adds: 3,
+                    ..Default::default()
+                },
+            },
+        );
+        t.record("bus/lane[0]", &ProbeSample::busy(50.0));
+        t.record("device/controller", &ProbeSample::busy(0.2));
+        t
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let p = Profile::from_tree("unit", &sample_tree());
+        let back = Profile::from_json(&p.to_json()).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn hotspots_ranks_by_busy_time() {
+        let p = Profile::from_tree("unit", &sample_tree());
+        let table = p.hotspots(2);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 rows");
+        assert!(lines[1].starts_with("device/subarray[0]"));
+        assert!(lines[2].starts_with("bus/lane[0]"));
+    }
+
+    #[test]
+    fn folded_sorts_skips_zeros_and_escapes() {
+        let mut t = sample_tree();
+        t.record("host/weird name;x", &ProbeSample::busy(3.0));
+        let folded = Profile::from_tree("unit", &t).folded();
+        assert_eq!(
+            folded,
+            "bus;lane[0] 50\ndevice;subarray[0] 100\nhost;weird_name,x 3\n"
+        );
+    }
+}

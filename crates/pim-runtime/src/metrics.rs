@@ -61,8 +61,8 @@ pub struct MetricsSnapshot {
     pub steals: u64,
     /// Sum of all per-job host latencies, nanoseconds.
     pub total_latency_ns: u64,
-    /// Median host latency, nanoseconds (histogram upper-bound estimate;
-    /// 0 when no jobs ran).
+    /// Median host latency, nanoseconds (histogram bucket-midpoint
+    /// estimate; 0 when no jobs ran).
     pub latency_p50_ns: u64,
     /// 95th-percentile host latency, nanoseconds.
     pub latency_p95_ns: u64,
@@ -89,20 +89,31 @@ fn latency_bucket(latency_ns: u64) -> usize {
     (u64::BITS - latency_ns.leading_zeros()) as usize
 }
 
-/// The inclusive upper bound of bucket `b`, used as the percentile
-/// estimate (a conservative, never-underestimating bound).
-fn bucket_upper_bound(b: usize) -> u64 {
+/// The inclusive `[lo, hi]` latency range covered by bucket `b`.
+fn bucket_bounds(b: usize) -> (u64, u64) {
     if b == 0 {
-        0
+        (0, 0)
     } else if b >= 64 {
-        u64::MAX
+        (1u64 << 63, u64::MAX)
     } else {
-        (1u64 << b) - 1
+        (1u64 << (b - 1), (1u64 << b) - 1)
     }
 }
 
-/// The smallest latency bound `v` such that at least `q` of the recorded
-/// observations are ≤ `v`.
+/// The latency estimate reported for bucket `b`: the midpoint of its
+/// range. Reporting the inclusive upper bound instead — the previous
+/// convention — systematically over-reported by up to 2x (a single
+/// 600 ns sample yielded p50 = 1023 ns). The midpoint is unbiased for
+/// latencies uniform within a bucket and halves the worst-case error;
+/// estimates are exact to within half a power-of-two bucket.
+fn bucket_midpoint(b: usize) -> u64 {
+    let (lo, hi) = bucket_bounds(b);
+    lo + (hi - lo) / 2
+}
+
+/// The midpoint of the bucket holding the rank-`q` observation: the
+/// smallest bucket `b` such that at least `q` of the recorded
+/// observations land in buckets ≤ `b`.
 fn percentile(hist: &[u64], q: f64) -> u64 {
     let total: u64 = hist.iter().sum();
     if total == 0 {
@@ -113,10 +124,10 @@ fn percentile(hist: &[u64], q: f64) -> u64 {
     for (b, &count) in hist.iter().enumerate() {
         seen += count;
         if seen >= rank {
-            return bucket_upper_bound(b);
+            return bucket_midpoint(b);
         }
     }
-    bucket_upper_bound(hist.len() - 1)
+    bucket_midpoint(hist.len() - 1)
 }
 
 /// Thread-safe collector the runtime records into.
@@ -246,16 +257,18 @@ mod tests {
         }
         let snap = registry.snapshot();
         assert_eq!(snap.latency_histogram.iter().sum::<u64>(), 100);
-        // 1_000 has 10 significant bits: bucket 10, upper bound 1023.
-        assert_eq!(snap.latency_p50_ns, 1023);
-        assert_eq!(snap.latency_p95_ns, 1023);
-        // 1_000_000 has 20 significant bits: bucket 20, bound 2^20 - 1.
-        assert_eq!(snap.latency_p99_ns, (1 << 20) - 1);
-        // Percentiles are monotone and bound the true values from above.
+        // 1_000 has 10 significant bits: bucket 10 spans [512, 1023],
+        // midpoint 767.
+        assert_eq!(snap.latency_p50_ns, 767);
+        assert_eq!(snap.latency_p95_ns, 767);
+        // 1_000_000 has 20 significant bits: bucket 20 spans
+        // [2^19, 2^20 - 1], midpoint 786_431.
+        assert_eq!(snap.latency_p99_ns, 786_431);
+        // Percentiles are monotone and land within the right bucket.
         assert!(snap.latency_p50_ns <= snap.latency_p95_ns);
         assert!(snap.latency_p95_ns <= snap.latency_p99_ns);
-        assert!(snap.latency_p50_ns >= 1_000);
-        assert!(snap.latency_p99_ns >= 1_000_000);
+        assert!((512..1024).contains(&snap.latency_p50_ns));
+        assert!((1 << 19..1 << 20).contains(&snap.latency_p99_ns));
     }
 
     #[test]
@@ -276,10 +289,19 @@ mod tests {
         let snap = registry.snapshot();
         assert_eq!(snap.latency_p99_ns, 0);
         assert_eq!(snap.latency_histogram[0], 1);
-        // Extreme latency saturates instead of overflowing.
+        // A single sample: every percentile is that bucket's midpoint,
+        // never the inclusive upper bound (the old biased convention).
+        let registry = MetricsRegistry::new();
+        registry.record_job(metrics(0, 600, 0), Some(&ExecReport::new()));
+        let snap = registry.snapshot();
+        assert_eq!(snap.latency_p50_ns, 767, "midpoint of [512, 1023]");
+        assert_eq!(snap.latency_p50_ns, snap.latency_p99_ns);
+        // Extreme latency saturates into the last bucket without
+        // overflowing; its midpoint sits in the top half of u64 range.
         let registry = MetricsRegistry::new();
         registry.record_job(metrics(0, u64::MAX, 0), Some(&ExecReport::new()));
-        assert_eq!(registry.snapshot().latency_p50_ns, u64::MAX);
+        let p50 = registry.snapshot().latency_p50_ns;
+        assert!((1u64 << 63..u64::MAX).contains(&p50));
     }
 
     #[test]

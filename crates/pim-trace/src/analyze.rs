@@ -64,6 +64,11 @@ pub struct Analysis {
     pub overlap_fraction: f64,
     /// The Fig. 3-style window decomposition.
     pub breakdown: Breakdown,
+    /// Records the collector refused because it was at capacity (see
+    /// [`crate::Collector::with_capacity`]); attach via
+    /// [`Analysis::with_dropped`]. When nonzero, every quantity above is
+    /// a lower bound over a truncated trace, and the report says so.
+    pub dropped_records: u64,
 }
 
 impl Analysis {
@@ -77,6 +82,7 @@ impl Analysis {
                 overlap_ns: 0.0,
                 overlap_fraction: 0.0,
                 breakdown: Breakdown::default(),
+                dropped_records: 0,
             };
         }
         let origin = spans
@@ -149,7 +155,23 @@ impl Analysis {
                 0.0
             },
             breakdown,
+            dropped_records: 0,
         }
+    }
+
+    /// Tags this analysis with the collector's dropped-record count, so
+    /// reports over a capacity-truncated trace flag themselves:
+    ///
+    /// ```
+    /// # use pim_trace::{analyze::Analysis, Collector, TraceSink};
+    /// let sink = Collector::with_capacity(100_000);
+    /// // ... traced run records into `sink` ...
+    /// let analysis = Analysis::of(&sink.spans()).with_dropped(sink.dropped_records());
+    /// ```
+    #[must_use]
+    pub fn with_dropped(mut self, dropped_records: u64) -> Analysis {
+        self.dropped_records = dropped_records;
+        self
     }
 
     /// Resources of one class, in track order.
@@ -171,6 +193,14 @@ impl fmt::Display for Analysis {
     /// The text utilization report: breakdown percentages, per-class
     /// summaries, and the busiest individual tracks.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.dropped_records > 0 {
+            writeln!(
+                f,
+                "WARNING: {} records dropped (collector at capacity); \
+                 all figures are lower bounds over a truncated trace",
+                self.dropped_records
+            )?;
+        }
         writeln!(f, "makespan      {:>14.1} ns", self.makespan_ns)?;
         writeln!(
             f,
@@ -350,6 +380,29 @@ mod tests {
         assert!(text.contains("critical path"));
         assert!(text.contains("overlapped"));
         assert!(text.contains("subarray"));
+    }
+
+    #[test]
+    fn dropped_records_are_surfaced_in_the_report() {
+        use crate::sink::{Collector, TraceSink};
+        let sink = Collector::with_capacity(1);
+        sink.record_span(Span::sim("kept", "compute", Track::Subarray(0), 0.0, 10.0));
+        sink.record_span(Span::sim(
+            "lost",
+            "transfer",
+            Track::TransferLane(0),
+            5.0,
+            10.0,
+        ));
+        let a = Analysis::of(&sink.spans()).with_dropped(sink.dropped_records());
+        assert_eq!(a.dropped_records, 1);
+        // Only the retained span contributes to the figures.
+        assert_eq!(a.makespan_ns, 10.0);
+        let text = a.to_string();
+        assert!(text.contains("1 records dropped"));
+        assert!(text.contains("lower bounds"));
+        // A complete trace carries no warning.
+        assert!(!Analysis::of(&[]).to_string().contains("dropped"));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Trace sinks: where instrumented code records spans and events.
 
 use crate::span::{Event, Span};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// The recording interface every instrumentation site writes to.
@@ -47,16 +48,69 @@ impl TraceSink for NullSink {
 }
 
 /// In-memory collector: accumulates records for analysis and export.
+///
+/// By default the collector is unbounded — every record is retained. For
+/// long traced runs, [`Collector::with_capacity`] caps the total retained
+/// records (spans + events combined); once full, further records are
+/// *counted* but not stored, so memory stays bounded while
+/// [`Collector::dropped_records`] reports exactly how much of the run the
+/// trace is missing. Feed that count to [`crate::analyze::Analysis`] via
+/// `with_dropped` so downstream reports flag the truncation.
 #[derive(Debug, Default)]
 pub struct Collector {
     spans: Mutex<Vec<Span>>,
     events: Mutex<Vec<Event>>,
+    /// Maximum retained records (spans + events); `None` = unbounded.
+    capacity: Option<usize>,
+    /// Records retained so far (only tracked when bounded).
+    retained: AtomicUsize,
+    /// Records refused because the collector was full.
+    dropped: AtomicU64,
 }
 
 impl Collector {
-    /// An empty collector.
+    /// An empty, unbounded collector.
     pub fn new() -> Self {
         Collector::default()
+    }
+
+    /// An empty collector retaining at most `capacity` records (spans and
+    /// instant events combined). Records past the cap are dropped and
+    /// counted, not stored.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Collector {
+            capacity: Some(capacity),
+            ..Collector::default()
+        }
+    }
+
+    /// The retention cap, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Number of records refused because the collector was at capacity.
+    /// Zero for unbounded collectors.
+    pub fn dropped_records(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Atomically claims one retention slot; `false` means the record
+    /// must be dropped (and has been counted as such).
+    fn try_reserve(&self) -> bool {
+        let Some(cap) = self.capacity else {
+            return true;
+        };
+        let reserved = self
+            .retained
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                (n < cap).then_some(n + 1)
+            })
+            .is_ok();
+        if !reserved {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        reserved
     }
 
     /// A copy of the collected spans, ordered by (track id, start time) so
@@ -100,11 +154,15 @@ impl Collector {
 
 impl TraceSink for Collector {
     fn record_span(&self, span: Span) {
-        self.spans.lock().expect("span lock").push(span);
+        if self.try_reserve() {
+            self.spans.lock().expect("span lock").push(span);
+        }
     }
 
     fn record_instant(&self, event: Event) {
-        self.events.lock().expect("event lock").push(event);
+        if self.try_reserve() {
+            self.events.lock().expect("event lock").push(event);
+        }
     }
 }
 
@@ -136,6 +194,57 @@ mod tests {
         assert_eq!(spans[0].name, "a");
         assert_eq!(spans[1].name, "b");
         assert_eq!(spans[2].name, "j");
+    }
+
+    #[test]
+    fn bounded_collector_drops_and_counts_past_capacity() {
+        let c = Collector::with_capacity(3);
+        assert_eq!(c.capacity(), Some(3));
+        for i in 0..5 {
+            c.record_span(Span::sim(
+                format!("s{i}"),
+                "compute",
+                Track::Subarray(0),
+                i as f64,
+                1.0,
+            ));
+        }
+        c.record_instant(Event::host("late", "cache", Track::Cache, 9.0));
+        // First three records retained; the rest counted, not stored.
+        assert_eq!(c.span_count(), 3);
+        assert_eq!(c.event_count(), 0);
+        assert_eq!(c.dropped_records(), 3);
+        // The retained prefix is intact and ordered.
+        assert_eq!(c.spans()[0].name, "s0");
+        assert_eq!(c.spans()[2].name, "s2");
+        // Unbounded collectors never drop.
+        let unbounded = Collector::new();
+        assert_eq!(unbounded.capacity(), None);
+        unbounded.record_span(Span::sim("x", "compute", Track::Decoder, 0.0, 1.0));
+        assert_eq!(unbounded.dropped_records(), 0);
+    }
+
+    #[test]
+    fn bounded_collector_counts_drops_under_contention() {
+        let c = std::sync::Arc::new(Collector::with_capacity(50));
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..100 {
+                        c.record_span(Span::host(
+                            format!("job{i}"),
+                            "job",
+                            Track::Worker(t),
+                            i as f64,
+                            1.0,
+                        ));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.span_count(), 50);
+        assert_eq!(c.dropped_records(), 350);
     }
 
     #[test]

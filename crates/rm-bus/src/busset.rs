@@ -146,6 +146,45 @@ impl BusSet {
     pub fn stream_row(&mut self, row: &PackedBits, dst: usize) -> Vec<(usize, Delivery)> {
         self.stream_words(row.words(), dst)
     }
+
+    /// [`Self::stream_words`] with attribution: each bus's segment-shift
+    /// delta is recorded against `{prefix}/bus[i]` on `probe` (as `shifts` /
+    /// `shift_distance` ticks). Behaviour and statistics are otherwise
+    /// identical to the unprobed call.
+    ///
+    /// # Panics
+    ///
+    /// See [`Self::stream_words`].
+    pub fn stream_words_probed(
+        &mut self,
+        words: &[u64],
+        dst: usize,
+        probe: &dyn rm_core::Probe,
+        prefix: &str,
+    ) -> Vec<(usize, Delivery)> {
+        let before: Vec<u64> = self
+            .buses
+            .iter()
+            .map(SegmentedBus::segment_shifts)
+            .collect();
+        let out = self.stream_words(words, dst);
+        if probe.enabled() {
+            for (i, bus) in self.buses.iter().enumerate() {
+                let delta = bus.segment_shifts() - before[i];
+                if delta > 0 {
+                    probe.record(
+                        &format!("{prefix}/bus[{i}]"),
+                        rm_core::ProbeSample::ops(rm_core::OpCounters {
+                            shifts: delta,
+                            shift_distance: delta,
+                            ..rm_core::OpCounters::default()
+                        }),
+                    );
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -239,6 +278,34 @@ mod tests {
         let mut expect = row.words().to_vec();
         expect.sort_unstable();
         assert_eq!(datas, expect);
+    }
+
+    #[test]
+    fn probed_stream_attributes_per_bus_shift_deltas() {
+        use rm_core::{Probe, ProbeSample};
+        use std::collections::BTreeMap;
+        use std::sync::Mutex;
+
+        #[derive(Debug, Default)]
+        struct MapProbe(Mutex<BTreeMap<String, u64>>);
+        impl Probe for MapProbe {
+            fn enabled(&self) -> bool {
+                true
+            }
+            fn record(&self, path: &str, sample: ProbeSample) {
+                *self.0.lock().unwrap().entry(path.to_string()).or_default() += sample.ops.shifts;
+            }
+        }
+
+        let mut set = BusSet::new(3, 8);
+        let probe = MapProbe::default();
+        let words: Vec<u64> = (0..12).collect();
+        set.stream_words_probed(&words, 7, &probe, "subarray[2]");
+        let map = probe.0.lock().unwrap();
+        assert_eq!(map.len(), 3, "every bus carried traffic: {map:?}");
+        let total: u64 = map.values().sum();
+        assert_eq!(total, set.segment_shifts());
+        assert!(map.keys().all(|k| k.starts_with("subarray[2]/bus[")));
     }
 
     #[test]

@@ -122,6 +122,14 @@ impl Bank {
         self.subarrays.iter().map(|s| s.counters()).sum()
     }
 
+    /// Attaches an attribution probe to every subarray (and its mats), under
+    /// `{prefix}/subarray[i]/mat[j]` paths.
+    pub fn attach_probe(&mut self, probe: &std::sync::Arc<dyn crate::probe::Probe>, prefix: &str) {
+        for (i, s) in self.subarrays.iter_mut().enumerate() {
+            s.attach_probe(probe, &format!("{prefix}/subarray[{i}]"));
+        }
+    }
+
     /// Resets counters on every subarray.
     pub fn reset_counters(&mut self) {
         for s in &mut self.subarrays {

@@ -150,6 +150,14 @@ impl RmDevice {
         self.banks.iter().map(|b| b.counters()).sum()
     }
 
+    /// Attaches an attribution probe to the whole functional hierarchy,
+    /// under `device/bank[b]/subarray[s]/mat[m]` paths.
+    pub fn attach_probe(&mut self, probe: &std::sync::Arc<dyn crate::probe::Probe>) {
+        for (i, b) in self.banks.iter_mut().enumerate() {
+            b.attach_probe(probe, &format!("device/bank[{i}]"));
+        }
+    }
+
     /// Resets all counters.
     pub fn reset_counters(&mut self) {
         for b in &mut self.banks {

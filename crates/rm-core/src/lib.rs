@@ -45,6 +45,7 @@ pub mod guard;
 pub mod magnet;
 pub mod mat;
 pub mod nanowire;
+pub mod probe;
 pub mod reference;
 pub mod stats;
 pub mod subarray;
@@ -62,6 +63,7 @@ pub use guard::GuardedShifter;
 pub use magnet::Magnetization;
 pub use mat::Mat;
 pub use nanowire::{Nanowire, ShiftDir};
+pub use probe::{NullProbe, Probe, ProbeAttachment, ProbeSample};
 pub use stats::{OpCounters, TimeBreakdown};
 pub use subarray::Subarray;
 pub use timing::TimingParams;

@@ -1,0 +1,204 @@
+//! Component-level attribution probes.
+//!
+//! A [`Probe`] is the write side of a profiler: simulation components call
+//! [`Probe::record`] with a component *path* (a `/`-separated hierarchy such
+//! as `device/subarray[3]/mat[0]` or `proc/multiplier`) and a
+//! [`ProbeSample`] carrying the operation counters, energy, and busy time
+//! attributable to that component. The read side — the attribution tree,
+//! exports, and diffing — lives in the `pim-profile` crate; this module only
+//! defines the interface so every layer of the stack (`rm-core`, `rm-bus`,
+//! `rm-proc`, `pim-device`, `pim-baselines`) can emit samples without
+//! depending on the profiler.
+//!
+//! Mirrors the `pim-trace::TraceSink` pattern: [`NullProbe`] reports
+//! `enabled() == false` and every emission site is gated on `enabled()`, so
+//! a disabled probe costs one virtual call (or nothing at all on the hot
+//! paths that hold an `Option<ProbeAttachment>`).
+
+use crate::energy::EnergyBreakdown;
+use crate::stats::OpCounters;
+use std::fmt::Debug;
+use std::sync::Arc;
+
+/// One attribution sample: the deltas a component wants charged to itself.
+///
+/// Samples are *deltas*, not totals — a profiler accumulates them. Any
+/// subset of the fields may be zero; e.g. the functional bus records only
+/// counters (it has no energy model of its own), while the analytic engine
+/// records counters, energy, and busy time together.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ProbeSample {
+    /// Low-level operation counts attributed to the component.
+    pub ops: OpCounters,
+    /// Energy attributed to the component, picojoules.
+    pub energy: EnergyBreakdown,
+    /// Time the component was busy, nanoseconds (occupancy, so samples on
+    /// concurrent components may sum past the wall clock).
+    pub busy_ns: f64,
+}
+
+impl ProbeSample {
+    /// A sample carrying only operation counters.
+    pub fn ops(ops: OpCounters) -> Self {
+        ProbeSample {
+            ops,
+            ..ProbeSample::default()
+        }
+    }
+
+    /// A sample carrying only energy.
+    pub fn energy(energy: EnergyBreakdown) -> Self {
+        ProbeSample {
+            energy,
+            ..ProbeSample::default()
+        }
+    }
+
+    /// A sample carrying only busy time.
+    pub fn busy(busy_ns: f64) -> Self {
+        ProbeSample {
+            busy_ns,
+            ..ProbeSample::default()
+        }
+    }
+}
+
+/// The write side of a component-level profiler.
+///
+/// Implementations must be cheap to call and thread-safe: the runtime may
+/// drive several platforms against one probe concurrently.
+pub trait Probe: Debug + Send + Sync {
+    /// Whether samples are being kept. Emission sites gate on this so a
+    /// disabled probe never pays for sample construction (the zero-cost-
+    /// when-disabled contract).
+    fn enabled(&self) -> bool;
+
+    /// Records `sample` against the component at `path`.
+    ///
+    /// `path` segments are separated by `/`; repeated records against the
+    /// same path accumulate.
+    fn record(&self, path: &str, sample: ProbeSample);
+}
+
+/// The default probe: keeps nothing, reports disabled.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _path: &str, _sample: ProbeSample) {}
+}
+
+/// A probe handle plus the component path it reports under.
+///
+/// Functional-model components that own their counters (e.g. [`crate::Mat`])
+/// hold an `Option<ProbeAttachment>` so the unattached hot path stays a
+/// single `None` check.
+#[derive(Debug, Clone)]
+pub struct ProbeAttachment {
+    probe: Arc<dyn Probe>,
+    path: String,
+}
+
+impl ProbeAttachment {
+    /// Attaches `probe` under `path`.
+    pub fn new(probe: Arc<dyn Probe>, path: impl Into<String>) -> Self {
+        ProbeAttachment {
+            probe,
+            path: path.into(),
+        }
+    }
+
+    /// The component path this attachment reports under.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Whether the underlying probe keeps samples.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.probe.enabled()
+    }
+
+    /// Records `sample` under this attachment's path (if enabled).
+    #[inline]
+    pub fn record(&self, sample: ProbeSample) {
+        if self.probe.enabled() {
+            self.probe.record(&self.path, sample);
+        }
+    }
+
+    /// An attachment for the child component `segment` (path-joined).
+    pub fn child(&self, segment: &str) -> ProbeAttachment {
+        ProbeAttachment {
+            probe: Arc::clone(&self.probe),
+            path: format!("{}/{}", self.path, segment),
+        }
+    }
+
+    /// The shared probe handle.
+    pub fn probe(&self) -> &Arc<dyn Probe> {
+        &self.probe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[derive(Debug, Default)]
+    struct VecProbe {
+        records: Mutex<Vec<(String, ProbeSample)>>,
+    }
+
+    impl Probe for VecProbe {
+        fn enabled(&self) -> bool {
+            true
+        }
+
+        fn record(&self, path: &str, sample: ProbeSample) {
+            self.records.lock().unwrap().push((path.into(), sample));
+        }
+    }
+
+    #[test]
+    fn null_probe_is_disabled() {
+        let p = NullProbe;
+        assert!(!p.enabled());
+        p.record("device", ProbeSample::busy(1.0));
+    }
+
+    #[test]
+    fn attachment_records_under_its_path() {
+        let probe = Arc::new(VecProbe::default());
+        let att = ProbeAttachment::new(probe.clone() as Arc<dyn Probe>, "device/subarray[0]");
+        att.record(ProbeSample::busy(2.5));
+        let child = att.child("mat[3]");
+        assert_eq!(child.path(), "device/subarray[0]/mat[3]");
+        child.record(ProbeSample::ops(OpCounters {
+            reads: 1,
+            ..Default::default()
+        }));
+        let recs = probe.records.lock().unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].0, "device/subarray[0]");
+        assert_eq!(recs[0].1.busy_ns, 2.5);
+        assert_eq!(recs[1].0, "device/subarray[0]/mat[3]");
+        assert_eq!(recs[1].1.ops.reads, 1);
+    }
+
+    #[test]
+    fn sample_constructors() {
+        let s = ProbeSample::energy(EnergyBreakdown {
+            read_pj: 3.0,
+            ..Default::default()
+        });
+        assert_eq!(s.energy.read_pj, 3.0);
+        assert_eq!(s.busy_ns, 0.0);
+        assert_eq!(s.ops, OpCounters::default());
+    }
+}
