@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt lint build test bench-build bench-device fidelity experiments
+.PHONY: verify fmt lint build test determinism bench-build bench-device fidelity experiments
 
-verify: fmt lint build test bench-build bench-device fidelity
+verify: fmt lint build test determinism bench-build bench-device fidelity
 	@echo "verify: all gates passed"
 
 fmt:
@@ -19,6 +19,13 @@ build:
 
 test:
 	$(CARGO) test -q --workspace
+
+# Intra-run parallelism determinism suite at several worker shapes: the
+# default counts (1,2,7,16), then deliberately awkward odd counts. Reports
+# must be byte-identical to serial in every shape.
+determinism:
+	$(CARGO) test -q --test parallel_determinism
+	STREAMPIM_TEST_WORKERS=1,3,5,13 $(CARGO) test -q --test parallel_determinism
 
 # Benches and examples must stay compilable even when not run.
 bench-build:

@@ -52,6 +52,7 @@ fn bench_worker_scaling(c: &mut Criterion) {
                 let runtime = Runtime::new(RuntimeConfig {
                     workers: w,
                     cache_enabled: true,
+                    ..RuntimeConfig::default()
                 });
                 black_box(runtime.run_batch(black_box(&jobs)))
             })
@@ -70,6 +71,7 @@ fn bench_cache_warmth(c: &mut Criterion) {
             let runtime = Runtime::new(RuntimeConfig {
                 workers: 4,
                 cache_enabled: true,
+                ..RuntimeConfig::default()
             });
             black_box(runtime.run_batch(black_box(&jobs)))
         })
@@ -79,6 +81,7 @@ fn bench_cache_warmth(c: &mut Criterion) {
         let runtime = Runtime::new(RuntimeConfig {
             workers: 4,
             cache_enabled: true,
+            ..RuntimeConfig::default()
         });
         runtime.run_batch(&jobs); // prime the cache
         assert!(runtime.cache().misses() > 0);
@@ -90,6 +93,7 @@ fn bench_cache_warmth(c: &mut Criterion) {
         let runtime = Runtime::new(RuntimeConfig {
             workers: 4,
             cache_enabled: false,
+            ..RuntimeConfig::default()
         });
         b.iter(|| black_box(runtime.run_batch(black_box(&jobs))));
     });
@@ -107,6 +111,7 @@ fn bench_tracing_overhead(c: &mut Criterion) {
     let cfg = RuntimeConfig {
         workers: 4,
         cache_enabled: true,
+        ..RuntimeConfig::default()
     };
 
     group.bench_function("untraced", |b| {

@@ -1,9 +1,13 @@
 //! Machine-readable device-kernel benchmark: packed vs scalar medians.
 //!
 //! Runs the same four comparisons as the criterion `device` group —
-//! nanowire shift, 64-track mat row read/write, and a GEMV-shaped dot
-//! product — and writes median ns/op per variant plus the speedup to a JSON
-//! report (default `BENCH_device.json`).
+//! bulk faulted nanowire shift, 64-track mat row read/write, and a
+//! GEMV-shaped dot product — and writes median ns/op per variant plus the
+//! speedup to a JSON report (default `BENCH_device.json`). A second,
+//! informational `parallel` group times the functional [`DeviceFlow`]
+//! gemv/gemm at several intra-run worker counts, recording the machine's
+//! `available_parallelism` alongside — thread speedups are meaningless
+//! without knowing how many cores the run actually had.
 //!
 //! Usage: `bench_device [--smoke] [--out PATH] [--compare PATH [--tolerance PCT]]`.
 //! `--smoke` shrinks the sample counts so CI can validate the pipeline in
@@ -14,9 +18,13 @@
 //! machines where absolute ns/op do not. The default tolerance (60%) is
 //! deliberately loose: it rides through sampling noise and CI-runner
 //! variation but still catches a packed kernel collapsing to scalar speed.
+//! The `parallel` group is never gated: its speedups depend on the core
+//! count of the machine at hand.
 
+use pim_device::flow::DeviceFlow;
+use pim_device::Parallelism;
 use rm_core::reference::{ScalarMat, ScalarNanowire};
-use rm_core::{Mat, Nanowire, ShiftDir};
+use rm_core::{Mat, Nanowire, ShiftDir, ShiftFaultModel};
 use rm_proc::RmProcessor;
 use serde::{Deserialize, Serialize};
 use std::hint::black_box;
@@ -32,6 +40,19 @@ struct KernelResult {
     speedup: f64,
 }
 
+/// One intra-run parallelism measurement: the same `DeviceFlow` workload
+/// under `threads` workers vs serial, on a machine that reported
+/// `available_parallelism` hardware threads.
+#[derive(Debug, Serialize, Deserialize)]
+struct ParallelResult {
+    name: String,
+    threads: usize,
+    available_parallelism: usize,
+    serial_ns: f64,
+    parallel_ns: f64,
+    speedup: f64,
+}
+
 /// The whole report (`BENCH_device.json`).
 #[derive(Debug, Serialize, Deserialize)]
 struct Report {
@@ -40,6 +61,7 @@ struct Report {
     iters_per_sample: u64,
     samples: usize,
     results: Vec<KernelResult>,
+    parallel: Vec<ParallelResult>,
 }
 
 /// Median of `samples` timings of `iters` calls to `op`, in ns per call.
@@ -82,17 +104,56 @@ fn main() -> ExitCode {
 
     let mut results = Vec::new();
 
-    // Kernel 1: single-domain shift (offset bookkeeping on both sides).
+    // Kernel 1: bulk faulted shift — STEPS faulty single-domain steps
+    // right, STEPS back, then a fault-free correction re-centring the
+    // drift the injected over/under-shifts left behind (identical on both
+    // sides, so the comparison stays apples-to-apples). The packed side
+    // amortizes range checks and offset bookkeeping across the whole bulk
+    // via `shift_bulk_with_faults`; the scalar reference pays them per
+    // step, which is exactly how the pre-bulk engine behaved.
     {
+        const STEPS: u64 = 32;
         let mut packed = Nanowire::with_even_ports(512, 8);
+        let mut packed_faults = ShiftFaultModel::new(0.01, 0.01, 0xB13);
         let packed_ns = median_ns(iters, samples, || {
-            packed.shift(ShiftDir::Right, 1).unwrap();
-            packed.shift(ShiftDir::Left, 1).unwrap();
+            packed
+                .shift_bulk_with_faults(ShiftDir::Right, 1, STEPS, &mut packed_faults)
+                .unwrap();
+            packed
+                .shift_bulk_with_faults(ShiftDir::Left, 1, STEPS, &mut packed_faults)
+                .unwrap();
+            let drift = packed.offset();
+            if drift != 0 {
+                let dir = if drift > 0 {
+                    ShiftDir::Left
+                } else {
+                    ShiftDir::Right
+                };
+                packed.shift(dir, drift.unsigned_abs()).unwrap();
+            }
         });
         let mut scalar = ScalarNanowire::with_even_ports(512, 8);
+        let mut scalar_faults = ShiftFaultModel::new(0.01, 0.01, 0xB13);
         let scalar_ns = median_ns(iters, samples, || {
-            scalar.shift(ShiftDir::Right, 1).unwrap();
-            scalar.shift(ShiftDir::Left, 1).unwrap();
+            for _ in 0..STEPS {
+                scalar
+                    .shift_with_faults(ShiftDir::Right, 1, &mut scalar_faults)
+                    .unwrap();
+            }
+            for _ in 0..STEPS {
+                scalar
+                    .shift_with_faults(ShiftDir::Left, 1, &mut scalar_faults)
+                    .unwrap();
+            }
+            let drift = scalar.offset();
+            if drift != 0 {
+                let dir = if drift > 0 {
+                    ShiftDir::Left
+                } else {
+                    ShiftDir::Right
+                };
+                scalar.shift(dir, drift.unsigned_abs()).unwrap();
+            }
         });
         results.push(KernelResult {
             name: "shift".into(),
@@ -168,12 +229,61 @@ fn main() -> ExitCode {
         });
     }
 
+    // Parallel group: functional DeviceFlow gemv/gemm sharded across
+    // intra-run worker threads. Informational, never gated by --compare:
+    // the speedup is a property of the machine's core count, which is why
+    // each entry records `available_parallelism` next to `threads`.
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (par_iters, par_samples) = if smoke { (1, 3) } else { (4, 7) };
+    let mut parallel = Vec::new();
+    {
+        let (m, k, n) = (16usize, 32usize, 4usize);
+        let a: Vec<u8> = (0..(m * k) as u32).map(|i| (i * 37 % 251) as u8).collect();
+        let b: Vec<u8> = (0..(k * n) as u32).map(|i| (i * 91 % 247) as u8).collect();
+        let x: Vec<u8> = (0..k as u32).map(|i| (i * 13 + 1) as u8).collect();
+        type FlowRun<'a> = Box<dyn FnMut(&mut DeviceFlow, Parallelism) + 'a>;
+        let workloads: [(&str, FlowRun); 2] = [
+            (
+                "flow_gemv",
+                Box::new(|flow, par| {
+                    black_box(flow.gemv(&a, &x, m, k, par).unwrap());
+                }),
+            ),
+            (
+                "flow_gemm",
+                Box::new(|flow, par| {
+                    black_box(flow.gemm(&a, &b, m, k, n, par).unwrap());
+                }),
+            ),
+        ];
+        for (name, mut run) in workloads {
+            let mut flow = DeviceFlow::new(8).expect("flow builds");
+            let serial_ns = median_ns(par_iters, par_samples, || {
+                run(&mut flow, Parallelism::Serial);
+            });
+            for threads in [2usize, 4, 8] {
+                let parallel_ns = median_ns(par_iters, par_samples, || {
+                    run(&mut flow, Parallelism::Threads(threads));
+                });
+                parallel.push(ParallelResult {
+                    name: name.into(),
+                    threads,
+                    available_parallelism: available,
+                    serial_ns,
+                    parallel_ns,
+                    speedup: serial_ns / parallel_ns,
+                });
+            }
+        }
+    }
+
     let report = Report {
         bench: "device".into(),
         mode: if smoke { "smoke" } else { "full" }.into(),
         iters_per_sample: iters,
         samples,
         results,
+        parallel,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, &json).expect("report written");
@@ -183,6 +293,13 @@ fn main() -> ExitCode {
         println!(
             "  {:<10} scalar {:>10.1} ns/op   packed {:>10.1} ns/op   {:>6.1}x",
             k.name, k.scalar_ns, k.packed_ns, k.speedup
+        );
+    }
+    println!("intra-run parallel flow (machine has {available} hardware threads):");
+    for p in &report.parallel {
+        println!(
+            "  {:<10} x{:<2} serial {:>10.1} ns/op   parallel {:>10.1} ns/op   {:>5.2}x",
+            p.name, p.threads, p.serial_ns, p.parallel_ns, p.speedup
         );
     }
     println!("wrote {out_path}");

@@ -141,10 +141,30 @@ impl Multiplier {
     ///
     /// Panics if `a` and `b` differ in length.
     pub fn multiply_many(&self, a: &[u64], b: &[u64], tally: &mut GateTally) -> Vec<u64> {
+        let mut out = Vec::with_capacity(a.len());
+        self.multiply_many_into(a, b, tally, &mut out);
+        out
+    }
+
+    /// [`Self::multiply_many`] into a caller-provided buffer: products are
+    /// appended to `out` (callers clear and reuse it across rows so the hot
+    /// loop skips the per-call output allocation). Results and tallies are
+    /// identical to [`Self::multiply_many`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` differ in length.
+    pub fn multiply_many_into(
+        &self,
+        a: &[u64],
+        b: &[u64],
+        tally: &mut GateTally,
+        out: &mut Vec<u64>,
+    ) {
         assert_eq!(a.len(), b.len(), "operand vectors must pair up");
         let w = self.width as usize;
         let pw = 2 * w;
-        let mut out = Vec::with_capacity(a.len());
+        out.reserve(a.len());
         for (ca, cb) in a.chunks(64).zip(b.chunks(64)) {
             let lanes = ca.len() as u32;
             let a_planes = transpose_to_planes(ca, self.width);
@@ -164,7 +184,6 @@ impl Multiplier {
             let product_planes = self.tree.sum_planes(&pps, lanes, tally);
             out.extend(planes_to_values(&product_planes, ca.len()));
         }
-        out
     }
 }
 

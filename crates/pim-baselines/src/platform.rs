@@ -8,7 +8,7 @@ use crate::gpu::GpuModel;
 use pim_device::report::ExecReport;
 use pim_device::schedule::Schedule;
 use pim_device::task::PimTask;
-use pim_device::{PimError, StreamPim, StreamPimConfig};
+use pim_device::{Parallelism, PimError, StreamPim, StreamPimConfig};
 use pim_trace::{NullSink, Phase, Span, TraceSink, Track};
 use pim_workloads::dnn::DnnModel;
 use pim_workloads::polybench::KernelInstance;
@@ -183,6 +183,26 @@ impl Platform {
             p.inner = Inner::StreamPim(StreamPim::new(cfg)?);
         }
         Ok(p)
+    }
+
+    /// Variant with a different intra-run [`Parallelism`] level on the
+    /// embedded StreamPIM device; a no-op for every other platform (their
+    /// models are closed-form). Simulated results are byte-identical at
+    /// every level — only the simulation's wall-clock changes.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        if let Inner::StreamPim(device) = &mut self.inner {
+            *device = device.clone().with_parallelism(parallelism);
+        }
+        self
+    }
+
+    /// The intra-run parallelism of the embedded StreamPIM device, or
+    /// `None` for platforms without one.
+    pub fn parallelism(&self) -> Option<Parallelism> {
+        match &self.inner {
+            Inner::StreamPim(device) => Some(device.parallelism()),
+            _ => None,
+        }
     }
 
     /// The platform kind.

@@ -40,8 +40,51 @@ impl OptLevel {
     }
 }
 
+/// How many OS threads a single simulated run may use internally.
+///
+/// This is a *simulator* knob, not a device-model parameter: it never
+/// changes any simulated result (the sharded paths reduce deterministically
+/// and are byte-identical to serial), only the wall-clock time of the
+/// simulation itself. It therefore lives on [`StreamPim`] rather than in
+/// [`StreamPimConfig`], keeping config fingerprints, cache keys, and the
+/// fidelity gate oblivious to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Parallelism {
+    /// Single-threaded (the default).
+    #[default]
+    Serial,
+    /// Exactly this many worker threads (clamped to at least 1).
+    Threads(usize),
+    /// One thread per available CPU — or, under the pim-runtime thread
+    /// budget, the batch's fair share of the machine.
+    Auto,
+}
+
+impl Parallelism {
+    /// Worker count this level resolves to on a machine with `total`
+    /// hardware threads.
+    pub fn resolve(self, total: usize) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => total.max(1),
+        }
+    }
+
+    /// [`Parallelism::resolve`] against the machine's available parallelism.
+    pub fn resolve_here(self) -> usize {
+        let total = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.resolve(total)
+    }
+}
+
 /// Full configuration of a simulated StreamPIM platform.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Hash` is structural (see [`rm_core::FnvHasher`]); cache keys and
+/// fingerprints are derived from it without a `Debug` rendering.
+#[derive(Debug, Clone, PartialEq, Hash, Serialize, Deserialize)]
 pub struct StreamPimConfig {
     /// Device geometry, timing, energy and PIM knobs (Table III defaults).
     pub device: DeviceConfig,
@@ -118,6 +161,7 @@ impl Default for StreamPimConfig {
 #[derive(Debug, Clone)]
 pub struct StreamPim {
     config: StreamPimConfig,
+    parallelism: Parallelism,
 }
 
 impl StreamPim {
@@ -132,7 +176,10 @@ impl StreamPim {
             .validate()
             .map_err(|e| crate::PimError::Config(e.to_string()))?;
         config.engine.validate().map_err(crate::PimError::Config)?;
-        Ok(StreamPim { config })
+        Ok(StreamPim {
+            config,
+            parallelism: Parallelism::Serial,
+        })
     }
 
     /// The device configuration.
@@ -141,9 +188,32 @@ impl StreamPim {
         &self.config
     }
 
+    /// Variant with a different intra-run parallelism level. Results are
+    /// byte-identical at every level; only simulation wall-clock changes.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The intra-run parallelism level of this device instance.
+    #[inline]
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Worker threads a run of this device will use.
+    fn workers(&self) -> usize {
+        self.parallelism.resolve_here()
+    }
+
     /// Prices a schedule on this device: the core simulation entry point.
     pub fn execute(&self, schedule: &Schedule) -> ExecReport {
-        Engine::new(&self.config).run(schedule)
+        Engine::new(&self.config).run_instrumented_with_workers(
+            schedule,
+            &pim_trace::NullSink,
+            &rm_core::NullProbe,
+            self.workers(),
+        )
     }
 
     /// Like [`StreamPim::execute`], but emits phase spans describing the
@@ -154,7 +224,12 @@ impl StreamPim {
         schedule: &Schedule,
         sink: &dyn pim_trace::TraceSink,
     ) -> ExecReport {
-        Engine::new(&self.config).run_traced(schedule, sink)
+        Engine::new(&self.config).run_instrumented_with_workers(
+            schedule,
+            sink,
+            &rm_core::NullProbe,
+            self.workers(),
+        )
     }
 
     /// Like [`StreamPim::execute`], but records component attribution on
@@ -162,7 +237,12 @@ impl StreamPim {
     /// conservation contract). With a disabled probe (e.g.
     /// [`rm_core::NullProbe`]) this is identical to `execute`.
     pub fn execute_profiled(&self, schedule: &Schedule, probe: &dyn rm_core::Probe) -> ExecReport {
-        Engine::new(&self.config).run_profiled(schedule, probe)
+        Engine::new(&self.config).run_instrumented_with_workers(
+            schedule,
+            &pim_trace::NullSink,
+            probe,
+            self.workers(),
+        )
     }
 
     /// Tracing and profiling in one pass (see [`StreamPim::execute_traced`]
@@ -173,7 +253,12 @@ impl StreamPim {
         sink: &dyn pim_trace::TraceSink,
         probe: &dyn rm_core::Probe,
     ) -> ExecReport {
-        Engine::new(&self.config).run_instrumented(schedule, sink, probe)
+        Engine::new(&self.config).run_instrumented_with_workers(
+            schedule,
+            sink,
+            probe,
+            self.workers(),
+        )
     }
 }
 
@@ -218,6 +303,30 @@ mod tests {
             assert_eq!(cfg.device.segment_domains, seg);
             StreamPim::new(cfg).unwrap();
         }
+    }
+
+    #[test]
+    fn parallelism_resolves_and_never_changes_results() {
+        assert_eq!(Parallelism::Serial.resolve(8), 1);
+        assert_eq!(Parallelism::Threads(0).resolve(8), 1);
+        assert_eq!(Parallelism::Threads(7).resolve(8), 7);
+        assert_eq!(Parallelism::Auto.resolve(8), 8);
+        assert_eq!(Parallelism::Auto.resolve(0), 1);
+        assert_eq!(Parallelism::default(), Parallelism::Serial);
+
+        let serial = StreamPim::new(StreamPimConfig::paper_default()).unwrap();
+        let threaded = serial.clone().with_parallelism(Parallelism::Threads(4));
+        assert_eq!(threaded.parallelism(), Parallelism::Threads(4));
+        let mut s = Schedule::new();
+        let mut round = crate::schedule::Round::new();
+        for i in 0..64u32 {
+            round.computes.push(crate::vpc::Vpc::Mul {
+                src1: crate::vpc::VecRef::new(i % 16, 500),
+                src2: crate::vpc::VecRef::new(i % 16, 500),
+            });
+        }
+        s.push(round);
+        assert_eq!(serial.execute(&s), threaded.execute(&s));
     }
 
     #[test]

@@ -109,6 +109,34 @@ impl Default for EngineParams {
     }
 }
 
+// Structural hashing for fingerprints/cache keys: f64 fields are folded in
+// as their IEEE-754 bit patterns.
+impl std::hash::Hash for EngineParams {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.dist_serialization.to_bits().hash(state);
+        self.electrical_beats_per_row.hash(state);
+        self.mat_shifts_per_row.hash(state);
+        self.controller_ns_per_vpc.to_bits().hash(state);
+        self.operand_buses.hash(state);
+        self.bus_fill_exposure.to_bits().hash(state);
+    }
+}
+
+/// One pricing request of the composition loop, in serial traversal order.
+///
+/// The composition loop consumes exactly one [`VpcCost`] per request; the
+/// request stream is a pure function of the schedule (per round: broadcast
+/// TRANs, collect TRANs, computes), which is what lets the parallel path
+/// price the whole stream up front with [`rm_core::map_sharded`] and replay
+/// it through an unchanged serial composition.
+#[derive(Debug, Clone, Copy)]
+enum PriceReq {
+    /// `tran_cost(elements)` for a TRAN of that element count.
+    Tran(u64),
+    /// `compute_cost(vpc)` for a compute VPC.
+    Compute(Vpc),
+}
+
 /// Per-VPC cost record produced by the substrate models.
 #[derive(Debug, Clone, Copy, Default)]
 struct VpcCost {
@@ -227,6 +255,80 @@ impl Engine {
         sink: &dyn TraceSink,
         probe: &dyn Probe,
     ) -> ExecReport {
+        self.run_instrumented_with_workers(schedule, sink, probe, 1)
+    }
+
+    /// [`Engine::run_instrumented`] with intra-run parallelism: per-VPC cost
+    /// pricing — the hot part of an analytic run — is sharded across up to
+    /// `workers` scoped OS threads.
+    ///
+    /// Determinism contract ("price, then compose"): pricing every VPC is a
+    /// pure function of the engine configuration, so the parallel path first
+    /// materializes the cost of each pricing request in exact serial
+    /// traversal order (per round: broadcast TRANs, collect TRANs, computes)
+    /// via [`rm_core::map_sharded`], then replays the *unchanged* serial
+    /// composition loop over that table. Every floating-point addition, every
+    /// probe sample, and every trace span therefore happens in the same
+    /// order with the same operands as a serial run — the returned
+    /// [`ExecReport`], attribution tree, and trace are byte-identical at any
+    /// worker count.
+    pub fn run_instrumented_with_workers(
+        &self,
+        schedule: &Schedule,
+        sink: &dyn TraceSink,
+        probe: &dyn Probe,
+        workers: usize,
+    ) -> ExecReport {
+        if workers <= 1 {
+            return self.compose(schedule, sink, probe, &mut |req| self.price(req));
+        }
+        let reqs = self.price_requests(schedule);
+        let costs = rm_core::map_sharded(&reqs, workers, |_, req| self.price(*req));
+        let mut cursor = 0usize;
+        self.compose(schedule, sink, probe, &mut |_req| {
+            let c = costs[cursor];
+            cursor += 1;
+            c
+        })
+    }
+
+    /// Prices one request (pure in `&self`).
+    fn price(&self, req: PriceReq) -> VpcCost {
+        match req {
+            PriceReq::Tran(elements) => self.tran_cost(elements),
+            PriceReq::Compute(vpc) => self.compute_cost(&vpc),
+        }
+    }
+
+    /// The pricing-request stream of `schedule` in serial traversal order.
+    fn price_requests(&self, schedule: &Schedule) -> Vec<PriceReq> {
+        let mut reqs = Vec::new();
+        for round in &schedule.rounds {
+            for trans in [&round.broadcasts, &round.collects] {
+                for t in trans {
+                    if let Vpc::Tran { len, .. } = *t {
+                        reqs.push(PriceReq::Tran(len as u64));
+                    }
+                }
+            }
+            for c in &round.computes {
+                reqs.push(PriceReq::Compute(*c));
+            }
+        }
+        reqs
+    }
+
+    /// The serial composition loop: walks the schedule, obtains each VPC's
+    /// cost from `pricer` (inline computation on the serial path, a cursor
+    /// into the pre-priced table on the parallel path), and folds costs into
+    /// the report, probe, and trace in a single deterministic order.
+    fn compose(
+        &self,
+        schedule: &Schedule,
+        sink: &dyn TraceSink,
+        probe: &dyn Probe,
+        pricer: &mut dyn FnMut(PriceReq) -> VpcCost,
+    ) -> ExecReport {
         let mut report = ExecReport::new();
         // Accumulated compute-phase volumes (for breakdown attribution).
         let mut vol_proc = 0.0f64;
@@ -256,7 +358,7 @@ impl Engine {
             ] {
                 for t in trans {
                     if let Vpc::Tran { dst, len, .. } = *t {
-                        let cost = self.tran_cost(len as u64);
+                        let cost = pricer(PriceReq::Tran(len as u64));
                         let lane = (dst as u64 % self.tran_lanes) as usize;
                         lane_ns[lane] += cost.busy_ns;
                         *sum += cost.busy_ns;
@@ -291,7 +393,7 @@ impl Engine {
             let mut sub_load: HashMap<u32, f64> = HashMap::new();
             let mut round_busy_sum = 0.0;
             for c in &round.computes {
-                let cost = self.compute_cost(c);
+                let cost = pricer(PriceReq::Compute(*c));
                 let home = c.home_subarray().unwrap_or(0);
                 round_busy_sum += cost.busy_ns;
                 *sub_load.entry(home).or_default() += cost.busy_ns;
@@ -880,6 +982,25 @@ mod tests {
             unblock > base,
             "unblock must overlap transfers with compute: {unblock} vs {base}"
         );
+    }
+
+    #[test]
+    fn parallel_pricing_is_byte_identical_to_serial() {
+        let s = schedule(12, 96, 1500);
+        for opt in [OptLevel::Base, OptLevel::Distribute, OptLevel::Unblock] {
+            let cfg = StreamPimConfig::paper_default().with_opt(opt);
+            let engine = Engine::new(&cfg);
+            let serial = engine.run_instrumented(&s, &NullSink, &NullProbe);
+            for workers in [2usize, 3, 7, 16] {
+                let par = engine.run_instrumented_with_workers(&s, &NullSink, &NullProbe, workers);
+                assert_eq!(serial, par, "workers={workers} opt={opt:?}");
+                assert_eq!(
+                    serial.total_ns().to_bits(),
+                    par.total_ns().to_bits(),
+                    "bit-identical totals (workers={workers} opt={opt:?})"
+                );
+            }
+        }
     }
 
     #[test]

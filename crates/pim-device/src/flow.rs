@@ -17,14 +17,30 @@
 //! performs **zero RM read or write operations** after the initial host
 //! load (see the tests).
 
+use crate::device::Parallelism;
 use crate::error::PimError;
 use crate::Result;
-use rm_bus::SegmentedBus;
-use rm_core::Subarray;
-use rm_proc::RmProcessor;
+use rm_bus::{Delivery, SegmentedBus};
+use rm_core::{BufferProbe, Probe, ShiftFaultModel, Subarray};
+use rm_proc::{ProcScratch, RmProcessor};
+use std::collections::VecDeque;
 
 /// Bus segments in the functional in-subarray buses.
 const BUS_SEGMENTS: usize = 8;
+
+/// Reusable buffers for the hot streaming loops of [`SubarrayFlow`]. Owned
+/// by each flow instance so repeated dots — and the per-lane shards of
+/// [`DeviceFlow`] — allocate nothing per row.
+#[derive(Debug, Clone, Default)]
+struct FlowScratch {
+    proc: ProcScratch,
+    deliveries: Vec<Delivery>,
+    pending: VecDeque<u64>,
+    a_bytes: Vec<u8>,
+    b_bytes: Vec<u8>,
+    a_words: Vec<u64>,
+    b_words: Vec<u64>,
+}
 
 /// A functional PIM subarray: mats + buses + processor.
 ///
@@ -51,6 +67,7 @@ pub struct SubarrayFlow {
     /// Row reads/writes performed by the host load phase (excluded from the
     /// conversion-free guarantee).
     loads: u64,
+    scratch: FlowScratch,
 }
 
 impl SubarrayFlow {
@@ -67,6 +84,7 @@ impl SubarrayFlow {
             to_proc: SegmentedBus::new(BUS_SEGMENTS),
             from_proc: SegmentedBus::new(BUS_SEGMENTS),
             loads: 0,
+            scratch: FlowScratch::default(),
         })
     }
 
@@ -115,11 +133,18 @@ impl SubarrayFlow {
     }
 
     /// Streams `rows` rows starting at `row` onto the to-processor bus via
-    /// the non-destructive transfer-track path, collecting the delivered
-    /// words at the processor tap (Figure 13 steps ① and ②).
-    fn stream_to_processor(&mut self, row: usize, n_rows: usize) -> Result<Vec<u8>> {
-        let mut collected = Vec::new();
-        let mut pending: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+    /// the non-destructive transfer-track path, appending the delivered
+    /// words at the processor tap to `out` (Figure 13 steps ① and ②). The
+    /// `pending`/`deliveries` buffers are caller scratch, cleared here.
+    fn stream_to_processor_into(
+        &mut self,
+        row: usize,
+        n_rows: usize,
+        pending: &mut VecDeque<u64>,
+        deliveries: &mut Vec<Delivery>,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        pending.clear();
         for i in 0..n_rows {
             let (mat, local) = self.subarray.locate_row(row + i)?;
             let mat_ref = self.subarray.mat_mut(mat)?;
@@ -132,27 +157,36 @@ impl SubarrayFlow {
         }
         // Pipelined injection: one data segment per couple, empty gaps kept.
         let epr = self.elements_per_row();
+        let target = out.len() + n_rows * epr;
         let mut guard = 0;
-        while collected.len() < n_rows * epr {
+        while out.len() < target {
             if let Some(&word) = pending.front() {
                 if self.to_proc.try_inject(0, word, BUS_SEGMENTS - 1) {
                     pending.pop_front();
                 }
             }
-            for delivery in self.to_proc.cycle() {
-                collected.extend(unpack(delivery.packet.data, self.elements_per_row()));
+            deliveries.clear();
+            self.to_proc.cycle_into(deliveries);
+            for delivery in &*deliveries {
+                let data = delivery.packet.data;
+                out.extend((0..epr.min(8)).map(|i| (data >> (8 * i)) as u8));
             }
             guard += 1;
             if guard > 10_000 {
                 return Err(PimError::Config("bus failed to drain".into()));
             }
         }
-        Ok(collected)
+        Ok(())
     }
 
     /// Returns the result vector to `dst_row` over the return bus
     /// (Figure 13 steps ④ and ⑤): words shift in, no write operations.
-    fn stream_from_processor(&mut self, dst_row: usize, bytes: &[u8]) -> Result<()> {
+    fn stream_from_processor(
+        &mut self,
+        dst_row: usize,
+        bytes: &[u8],
+        deliveries: &mut Vec<Delivery>,
+    ) -> Result<()> {
         let epr = self.elements_per_row();
         let mut chunks: std::collections::VecDeque<(usize, u64)> = bytes
             .chunks(epr)
@@ -172,7 +206,9 @@ impl SubarrayFlow {
                     chunks.pop_front();
                 }
             }
-            for delivery in self.from_proc.cycle() {
+            deliveries.clear();
+            self.from_proc.cycle_into(deliveries);
+            for delivery in &*deliveries {
                 let data = unpack(delivery.packet.data, epr);
                 let packed = rm_core::PackedBits::from_bytes_lsb(&data, epr * 8);
                 let (mat, local) = self.subarray.locate_row(dst_row + arrived)?;
@@ -197,16 +233,63 @@ impl SubarrayFlow {
     ///
     /// Returns memory errors for bad spans.
     pub fn dot(&mut self, a_row: usize, b_row: usize, len: usize, dst_row: usize) -> Result<u64> {
+        self.dot_probed(a_row, b_row, len, dst_row, &rm_core::NullProbe, "proc")
+    }
+
+    /// [`SubarrayFlow::dot`] with per-stage attribution recorded on `probe`
+    /// under `{prefix}/duplicator`, `{prefix}/multiplier` and
+    /// `{prefix}/adder_tree` (see [`RmProcessor::dot_probed`]). Result and
+    /// hardware state are identical to the unprobed call. All intermediate
+    /// buffers come from the flow's own scratch, so repeated dots — and the
+    /// per-lane shards of [`DeviceFlow`] — allocate nothing per row.
+    ///
+    /// # Errors
+    ///
+    /// Returns memory errors for bad spans.
+    pub fn dot_probed(
+        &mut self,
+        a_row: usize,
+        b_row: usize,
+        len: usize,
+        dst_row: usize,
+        probe: &dyn Probe,
+        prefix: &str,
+    ) -> Result<u64> {
         let epr = self.elements_per_row();
         let n_rows = len.div_ceil(epr);
-        let a = self.stream_to_processor(a_row, n_rows)?;
-        let b = self.stream_to_processor(b_row, n_rows)?;
-        let a_words: Vec<u64> = a.iter().take(len).map(|&x| x as u64).collect();
-        let b_words: Vec<u64> = b.iter().take(len).map(|&x| x as u64).collect();
-        // Figure 13 step ③: the RM processor pipeline.
-        let (result, _tally) = self.processor.dot(&a_words, &b_words);
-        self.stream_from_processor(dst_row, &(result as u32).to_le_bytes())?;
-        Ok(result)
+        let mut s = std::mem::take(&mut self.scratch);
+        let result = (|| {
+            s.a_bytes.clear();
+            self.stream_to_processor_into(
+                a_row,
+                n_rows,
+                &mut s.pending,
+                &mut s.deliveries,
+                &mut s.a_bytes,
+            )?;
+            s.b_bytes.clear();
+            self.stream_to_processor_into(
+                b_row,
+                n_rows,
+                &mut s.pending,
+                &mut s.deliveries,
+                &mut s.b_bytes,
+            )?;
+            s.a_words.clear();
+            s.a_words
+                .extend(s.a_bytes.iter().take(len).map(|&x| x as u64));
+            s.b_words.clear();
+            s.b_words
+                .extend(s.b_bytes.iter().take(len).map(|&x| x as u64));
+            // Figure 13 step ③: the RM processor pipeline.
+            let (result, _tally) =
+                self.processor
+                    .dot_probed_with(&s.a_words, &s.b_words, probe, prefix, &mut s.proc);
+            self.stream_from_processor(dst_row, &(result as u32).to_le_bytes(), &mut s.deliveries)?;
+            Ok(result)
+        })();
+        self.scratch = s;
+        result
     }
 
     /// Row read/write operations performed *after* the host load — the
@@ -222,6 +305,297 @@ impl SubarrayFlow {
             + self.to_proc.segment_shifts()
             + self.from_proc.segment_shifts()
     }
+}
+
+/// Row layout used by [`DeviceFlow`] lanes: operand A, operand B, result.
+const LANE_A_ROW: usize = 0;
+const LANE_B_ROW: usize = 16;
+const LANE_DST_ROW: usize = 32;
+/// Rows available per operand region (`LANE_B_ROW - LANE_A_ROW`).
+const LANE_OPERAND_ROWS: usize = 16;
+
+/// One independent subarray lane of a [`DeviceFlow`]: its own functional
+/// hardware plus an optional per-lane shift-fault stream.
+#[derive(Debug, Clone)]
+struct Lane {
+    flow: SubarrayFlow,
+    faults: Option<ShiftFaultModel>,
+}
+
+impl Lane {
+    /// Computes every output row assigned to lane `lane_idx` (round-robin
+    /// stride `n_lanes`) of `y = A·x`, returning `(row, value)` pairs in row
+    /// order. With a fault model attached, each row's realized shift total
+    /// feeds one deterministic fault draw (an observational reliability
+    /// overlay: the per-lane streams are seeded, so tallies are identical at
+    /// any worker count).
+    #[allow(clippy::too_many_arguments)]
+    fn gemv_rows(
+        &mut self,
+        a: &[u8],
+        x: &[u8],
+        m: usize,
+        k: usize,
+        lane_idx: usize,
+        n_lanes: usize,
+        probe: &dyn Probe,
+        prefix: &str,
+    ) -> Result<Vec<(usize, u64)>> {
+        self.flow.load_vector(LANE_B_ROW, x)?;
+        let mut out = Vec::new();
+        let mut row = lane_idx;
+        while row < m {
+            self.flow
+                .load_vector(LANE_A_ROW, &a[row * k..(row + 1) * k])?;
+            let before = self.flow.shifts();
+            let value =
+                self.flow
+                    .dot_probed(LANE_A_ROW, LANE_B_ROW, k, LANE_DST_ROW, probe, prefix)?;
+            if let Some(fm) = &mut self.faults {
+                let _ = fm.sample((self.flow.shifts() - before) as usize);
+            }
+            out.push((row, value));
+            row += n_lanes;
+        }
+        Ok(out)
+    }
+
+    /// Computes every output row assigned to this lane of `C = A·B`
+    /// (`C[m,n]`, round-robin over output rows), returning
+    /// `(row, values[n])` pairs in row order.
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_rows(
+        &mut self,
+        a: &[u8],
+        b: &[u8],
+        m: usize,
+        k: usize,
+        n: usize,
+        lane_idx: usize,
+        n_lanes: usize,
+        probe: &dyn Probe,
+        prefix: &str,
+    ) -> Result<Vec<(usize, Vec<u64>)>> {
+        let mut out = Vec::new();
+        let mut col = vec![0u8; k];
+        let mut row = lane_idx;
+        while row < m {
+            self.flow
+                .load_vector(LANE_A_ROW, &a[row * k..(row + 1) * k])?;
+            let mut values = Vec::with_capacity(n);
+            for j in 0..n {
+                for (i, byte) in col.iter_mut().enumerate() {
+                    *byte = b[i * n + j];
+                }
+                self.flow.load_vector(LANE_B_ROW, &col)?;
+                let before = self.flow.shifts();
+                let value =
+                    self.flow
+                        .dot_probed(LANE_A_ROW, LANE_B_ROW, k, LANE_DST_ROW, probe, prefix)?;
+                if let Some(fm) = &mut self.faults {
+                    let _ = fm.sample((self.flow.shifts() - before) as usize);
+                }
+                values.push(value);
+            }
+            out.push((row, values));
+            row += n_lanes;
+        }
+        Ok(out)
+    }
+}
+
+/// Aggregate hardware/fault activity of a [`DeviceFlow`], merged over the
+/// lanes in lane order (so the totals are identical at any worker count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeviceFlowStats {
+    /// Shift operations across all lanes (mats + both buses).
+    pub shifts: u64,
+    /// Row reads/writes on the PIM path (zero by design).
+    pub pim_conversions: u64,
+    /// Shift-fault draws taken across all lane fault streams.
+    pub faults_sampled: u64,
+    /// Faults injected across all lane fault streams.
+    pub faults_injected: u64,
+}
+
+/// A functional multi-subarray device: independent [`SubarrayFlow`] lanes
+/// with output rows distributed round-robin, exactly the hardware
+/// independence boundary the analytic engine shards on. `gemv`/`gemm` run
+/// the lanes on scoped OS threads under a [`Parallelism`] level; each lane
+/// owns disjoint hardware and a seeded fault stream, and results, probe
+/// records and counters are reduced in lane order — so every output is
+/// byte-identical to the serial run at any worker count.
+#[derive(Debug, Clone)]
+pub struct DeviceFlow {
+    lanes: Vec<Lane>,
+}
+
+impl DeviceFlow {
+    /// Builds a device with `lanes` independent subarray lanes (at least 1).
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; `Result` for parity with [`SubarrayFlow::new`].
+    pub fn new(lanes: usize) -> Result<Self> {
+        let lanes = (0..lanes.max(1))
+            .map(|_| {
+                Ok(Lane {
+                    flow: SubarrayFlow::new()?,
+                    faults: None,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(DeviceFlow { lanes })
+    }
+
+    /// Attaches a per-lane shift-fault model: lane `s` draws from a stream
+    /// seeded `base_seed ^ s`, so fault tallies are a function of the work
+    /// assignment alone, never of the worker count.
+    pub fn with_fault_model(mut self, p_over: f64, p_under: f64, base_seed: u64) -> Self {
+        for (s, lane) in self.lanes.iter_mut().enumerate() {
+            lane.faults = Some(ShiftFaultModel::new(p_over, p_under, base_seed ^ s as u64));
+        }
+        self
+    }
+
+    /// Number of subarray lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Longest operand vector a lane can hold.
+    pub fn max_len(&self) -> usize {
+        self.lanes[0].flow.elements_per_row() * LANE_OPERAND_ROWS
+    }
+
+    /// Matrix–vector product `y = A·x` (`A` row-major `m×k` of bytes)
+    /// through the functional PIM path, output rows round-robin over the
+    /// lanes, lanes sharded across `parallelism` worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::ShapeMismatch`] for inconsistent dimensions or
+    /// operands longer than [`DeviceFlow::max_len`].
+    pub fn gemv(
+        &mut self,
+        a: &[u8],
+        x: &[u8],
+        m: usize,
+        k: usize,
+        parallelism: Parallelism,
+    ) -> Result<Vec<u64>> {
+        self.gemv_probed(a, x, m, k, parallelism, &rm_core::NullProbe)
+    }
+
+    /// [`DeviceFlow::gemv`] with per-lane pipeline attribution: lane `s`
+    /// records under `lane{s}/…`, buffered per shard and replayed onto
+    /// `probe` in lane order (identical record sequence at any worker
+    /// count).
+    ///
+    /// # Errors
+    ///
+    /// See [`DeviceFlow::gemv`].
+    pub fn gemv_probed(
+        &mut self,
+        a: &[u8],
+        x: &[u8],
+        m: usize,
+        k: usize,
+        parallelism: Parallelism,
+        probe: &dyn Probe,
+    ) -> Result<Vec<u64>> {
+        self.check_shape(a.len(), m, k, x.len(), k, 1)?;
+        let n_lanes = self.lanes.len();
+        let workers = parallelism.resolve_here().min(n_lanes);
+        let buffers: Vec<BufferProbe> = (0..n_lanes).map(|_| BufferProbe::new()).collect();
+        let shards = rm_core::run_sharded(&mut self.lanes, workers, |s, lane| {
+            lane.gemv_rows(a, x, m, k, s, n_lanes, &buffers[s], &lane_prefix(s))
+        });
+        let mut y = vec![0u64; m];
+        for (buffer, shard) in buffers.iter().zip(shards) {
+            for (row, value) in shard? {
+                y[row] = value;
+            }
+            buffer.replay(probe);
+        }
+        Ok(y)
+    }
+
+    /// Matrix–matrix product `C = A·B` (`A` `m×k`, `B` `k×n`, both
+    /// row-major bytes) through the functional PIM path, output rows
+    /// round-robin over the lanes, lanes sharded across `parallelism`
+    /// worker threads. Returns `C` row-major.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::ShapeMismatch`] for inconsistent dimensions or
+    /// operands longer than [`DeviceFlow::max_len`].
+    pub fn gemm(
+        &mut self,
+        a: &[u8],
+        b: &[u8],
+        m: usize,
+        k: usize,
+        n: usize,
+        parallelism: Parallelism,
+    ) -> Result<Vec<u64>> {
+        self.check_shape(a.len(), m, k, b.len(), k, n)?;
+        let n_lanes = self.lanes.len();
+        let workers = parallelism.resolve_here().min(n_lanes);
+        let shards = rm_core::run_sharded(&mut self.lanes, workers, |s, lane| {
+            lane.gemm_rows(a, b, m, k, n, s, n_lanes, &rm_core::NullProbe, "proc")
+        });
+        let mut c = vec![0u64; m * n];
+        for shard in shards {
+            for (row, values) in shard? {
+                c[row * n..(row + 1) * n].copy_from_slice(&values);
+            }
+        }
+        Ok(c)
+    }
+
+    /// Aggregate activity counters, merged in lane order.
+    pub fn stats(&self) -> DeviceFlowStats {
+        let mut stats = DeviceFlowStats::default();
+        for lane in &self.lanes {
+            stats.shifts += lane.flow.shifts();
+            stats.pim_conversions += lane.flow.pim_conversions();
+            if let Some(fm) = &lane.faults {
+                stats.faults_sampled += fm.shifts_sampled();
+                stats.faults_injected += fm.faults_injected();
+            }
+        }
+        stats
+    }
+
+    fn check_shape(
+        &self,
+        a_len: usize,
+        m: usize,
+        k: usize,
+        b_len: usize,
+        b_rows: usize,
+        b_cols: usize,
+    ) -> Result<()> {
+        if a_len != m * k || b_len != b_rows * b_cols || m == 0 || k == 0 || b_cols == 0 {
+            return Err(PimError::ShapeMismatch {
+                detail: format!(
+                    "gemv/gemm operands {a_len}x{b_len} do not match m={m} k={k} n={b_cols}"
+                ),
+            });
+        }
+        if k > self.max_len() {
+            return Err(PimError::ShapeMismatch {
+                detail: format!("k={k} exceeds lane capacity {}", self.max_len()),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Probe-path prefix for lane `s`.
+fn lane_prefix(s: usize) -> String {
+    format!("lane{s}")
 }
 
 /// Packs up to 8 row bytes into a bus word.
@@ -295,6 +669,84 @@ mod tests {
         for _ in 0..3 {
             assert_eq!(flow.dot(0, 16, 4, 40).unwrap(), 8);
         }
+    }
+
+    #[test]
+    fn device_flow_gemv_matches_host_math_at_any_worker_count() {
+        let (m, k) = (7usize, 6usize);
+        let a: Vec<u8> = (0..(m * k) as u32).map(|i| (i * 13 % 97) as u8).collect();
+        let x: Vec<u8> = (0..k as u32).map(|i| (i * 7 + 3) as u8).collect();
+        let expect: Vec<u64> = (0..m)
+            .map(|r| (0..k).map(|c| a[r * k + c] as u64 * x[c] as u64).sum())
+            .collect();
+        let mut serial = DeviceFlow::new(4).unwrap().with_fault_model(0.05, 0.02, 99);
+        let y0 = serial.gemv(&a, &x, m, k, Parallelism::Serial).unwrap();
+        assert_eq!(y0, expect, "functional path matches host math");
+        assert!(serial.stats().faults_sampled > 0, "fault overlay sampled");
+        assert_eq!(serial.stats().pim_conversions, 0, "conversion-free");
+        for workers in [1usize, 2, 3, 16] {
+            let mut df = DeviceFlow::new(4).unwrap().with_fault_model(0.05, 0.02, 99);
+            let y = df
+                .gemv(&a, &x, m, k, Parallelism::Threads(workers))
+                .unwrap();
+            assert_eq!(y, y0, "{workers} workers");
+            assert_eq!(df.stats(), serial.stats(), "{workers} workers, stats");
+        }
+    }
+
+    #[test]
+    fn device_flow_gemm_matches_host_math() {
+        let (m, k, n) = (3usize, 4usize, 2usize);
+        let a: Vec<u8> = (1..=(m * k) as u32).map(|i| i as u8).collect();
+        let b: Vec<u8> = (1..=(k * n) as u32).map(|i| (i * 3) as u8).collect();
+        let expect: Vec<u64> = (0..m)
+            .flat_map(|i| {
+                let a = &a;
+                let b = &b;
+                (0..n).map(move |j| {
+                    (0..k)
+                        .map(|l| a[i * k + l] as u64 * b[l * n + j] as u64)
+                        .sum()
+                })
+            })
+            .collect();
+        let mut serial = DeviceFlow::new(2).unwrap();
+        let c0 = serial.gemm(&a, &b, m, k, n, Parallelism::Serial).unwrap();
+        assert_eq!(c0, expect);
+        let mut threaded = DeviceFlow::new(2).unwrap();
+        let c = threaded
+            .gemm(&a, &b, m, k, n, Parallelism::Threads(2))
+            .unwrap();
+        assert_eq!(c, c0);
+        assert_eq!(threaded.stats(), serial.stats());
+    }
+
+    #[test]
+    fn device_flow_probe_replay_is_lane_ordered() {
+        let (m, k) = (5usize, 3usize);
+        let a = vec![2u8; m * k];
+        let x = vec![3u8; k];
+        let run = |par: Parallelism| {
+            let mut df = DeviceFlow::new(3).unwrap();
+            let target = rm_core::BufferProbe::new();
+            df.gemv_probed(&a, &x, m, k, par, &target).unwrap();
+            target.take()
+        };
+        let serial = run(Parallelism::Serial);
+        assert!(!serial.is_empty(), "probe records flow through");
+        assert!(serial[0].0.starts_with("lane0/"), "lane order");
+        assert_eq!(serial, run(Parallelism::Threads(2)), "2 workers");
+        assert_eq!(serial, run(Parallelism::Threads(16)), "16 workers");
+    }
+
+    #[test]
+    fn device_flow_rejects_bad_shapes() {
+        let mut df = DeviceFlow::new(2).unwrap();
+        assert!(df.gemv(&[1, 2], &[1], 2, 2, Parallelism::Serial).is_err());
+        let too_long = df.max_len() + 1;
+        let a = vec![1u8; too_long];
+        let x = vec![1u8; too_long];
+        assert!(df.gemv(&a, &x, 1, too_long, Parallelism::Serial).is_err());
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod schedule;
 pub mod task;
 pub mod vpc;
 
-pub use device::{OptLevel, StreamPim, StreamPimConfig};
+pub use device::{OptLevel, Parallelism, StreamPim, StreamPimConfig};
 pub use error::PimError;
 pub use report::ExecReport;
 pub use task::{MatrixOp, PimTask, TaskOutcome};

@@ -20,7 +20,7 @@ use crate::vpc::{Vpc, VpcTrace};
 use serde::{Deserialize, Serialize};
 
 /// One broadcast–compute–collect round.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Round {
     /// Operand broadcasts (TRAN commands) that must precede the computes.
     pub broadcasts: Vec<Vpc>,
@@ -100,7 +100,7 @@ pub struct WorkCounts {
 }
 
 /// A complete schedule: rounds in dependency order.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct Schedule {
     /// Rounds, executed in order (with cross-round overlap under `unblock`).
     pub rounds: Vec<Round>,
@@ -221,27 +221,18 @@ impl Schedule {
         }
     }
 
-    /// Content fingerprint of the schedule (FNV-1a over the canonical debug
-    /// rendering). Two schedules with identical rounds share a fingerprint;
-    /// lowering is deterministic, so equal `(config, task)` pairs always map
-    /// to the same fingerprint. Used by the runtime's schedule cache to
-    /// sanity-check cached entries cheaply (rounds stay repeat-compressed —
-    /// nothing is expanded).
+    /// Content fingerprint of the schedule: a structural FNV-1a digest of
+    /// the rounds (every field fed through [`std::hash::Hash`] — no `Debug`
+    /// rendering, no intermediate string allocation). The digest is seeded
+    /// with the `"schedule-v2"` version tag, so fingerprints from the
+    /// retired v1 (debug-string) scheme can never collide by construction.
+    /// Two schedules with identical rounds share a fingerprint; lowering is
+    /// deterministic, so equal `(config, task)` pairs always map to the same
+    /// fingerprint. Used by the runtime's schedule cache to sanity-check
+    /// cached entries cheaply (rounds stay repeat-compressed — nothing is
+    /// expanded).
     pub fn fingerprint(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut feed = |s: &str| {
-            for b in s.bytes() {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-        };
-        for round in &self.rounds {
-            feed(&format!(
-                "{:?}|{:?}|{:?}|{}",
-                round.broadcasts, round.computes, round.collects, round.repeat
-            ));
-        }
-        h
+        rm_core::fnv_digest("schedule-v2", &self.rounds)
     }
 
     /// VPC counts (identical for both orders), computed without expansion.
@@ -369,6 +360,52 @@ mod tests {
             0,
             "empty schedule has a stable nonzero seed hash"
         );
+    }
+
+    #[test]
+    fn fingerprint_is_structural_and_collision_resistant() {
+        // Stable across repeated evaluation of independently built values.
+        let base = sample();
+        assert_eq!(base.fingerprint(), sample().fingerprint());
+
+        // Every field perturbation moves the digest.
+        let mut seen = vec![base.fingerprint()];
+        let mut perturbed = Vec::new();
+        let mut p = sample();
+        p.rounds[0].broadcasts[0] = Vpc::Tran {
+            src: 600,
+            dst: 0,
+            len: 101,
+        };
+        perturbed.push(("broadcast len", p));
+        let mut p = sample();
+        p.rounds[0].computes[0] = Vpc::Smul {
+            src: VecRef::new(0, 100),
+        };
+        perturbed.push(("compute opcode", p));
+        let mut p = sample();
+        p.rounds[0].collects.pop();
+        perturbed.push(("collect count", p));
+        let mut p = sample();
+        p.rounds[0].repeat = 9;
+        perturbed.push(("repeat", p));
+        let mut p = sample();
+        let extra = p.rounds[0].clone();
+        p.push(extra);
+        perturbed.push(("round count", p));
+        for (what, s) in perturbed {
+            let fp = s.fingerprint();
+            assert!(!seen.contains(&fp), "{what} must change the fingerprint");
+            seen.push(fp);
+        }
+
+        // Moving a command across phase boundaries changes the digest even
+        // though a flat concatenation of the commands would be identical
+        // (std's length-prefixed Vec hashing keeps the phases framed).
+        let mut shifted = sample();
+        let cmd = shifted.rounds[0].broadcasts.pop().unwrap();
+        shifted.rounds[0].computes.insert(0, cmd);
+        assert_ne!(base.fingerprint(), shifted.fingerprint(), "phase framing");
     }
 
     #[test]

@@ -2,12 +2,12 @@
 //!
 //! Task lowering is deterministic: the schedule is a pure function of the
 //! lowering configuration and the workload spec. The cache therefore keys
-//! entries by an FNV-1a digest of the canonical debug rendering of that
-//! pair — no invalidation protocol is needed, entries are immutable, and a
-//! hit is guaranteed to be byte-identical to what a fresh lowering would
-//! produce (the determinism tests enforce this end to end).
+//! entries by a structural FNV-1a digest of that pair (every field fed
+//! through [`std::hash::Hash`], floats by their IEEE-754 bits) — no
+//! invalidation protocol is needed, entries are immutable, and a hit is
+//! guaranteed to be byte-identical to what a fresh lowering would produce
+//! (the determinism tests enforce this end to end).
 
-use crate::job::fnv;
 use pim_device::schedule::Schedule;
 use pim_device::{PimError, StreamPimConfig};
 use pim_workloads::WorkloadSpec;
@@ -29,14 +29,18 @@ impl ScheduleCache {
         ScheduleCache::default()
     }
 
-    /// The cache key for a `(lowering config, workload)` pair.
-    ///
-    /// `StreamPimConfig` contains floats, so it cannot derive `Hash`; the
-    /// debug rendering is canonical instead (Rust formats floats with the
-    /// shortest round-trip representation, so distinct configs render
-    /// distinctly and equal configs render equally).
+    /// The cache key for a `(lowering config, workload)` pair: a structural
+    /// FNV-1a digest (see [`rm_core::FnvHasher`]) of both values, with no
+    /// intermediate `format!` allocation. Floats hash by their IEEE-754
+    /// bits, so distinct configs digest distinctly and equal configs digest
+    /// equally. The digest is seeded with the `"cache-key-v2"` version tag,
+    /// which partitions it from the retired v1 (debug-string) key space.
     pub fn key(config: &StreamPimConfig, workload: &WorkloadSpec) -> u64 {
-        fnv(&format!("{config:?}|{workload:?}"))
+        use std::hash::{Hash, Hasher};
+        let mut h = rm_core::FnvHasher::with_tag("cache-key-v2");
+        config.hash(&mut h);
+        workload.hash(&mut h);
+        h.finish()
     }
 
     /// Returns the schedule for `key`, lowering it with `lower` on a miss.
@@ -145,6 +149,30 @@ mod tests {
             ScheduleCache::key(&StreamPimConfig::paper_default(), &a),
             "equal pairs share a key"
         );
+    }
+
+    #[test]
+    fn keys_are_stable_and_sensitive_to_float_fields() {
+        let cfg = StreamPimConfig::paper_default();
+        let spec = WorkloadSpec::polybench(Kernel::Atax, 0.02);
+        let k = ScheduleCache::key(&cfg, &spec);
+        // Stable across calls and across independently built equal values.
+        assert_eq!(k, ScheduleCache::key(&cfg, &spec));
+        assert_eq!(
+            k,
+            ScheduleCache::key(
+                &StreamPimConfig::paper_default(),
+                &WorkloadSpec::polybench(Kernel::Atax, 0.02)
+            )
+        );
+        // A float-only config perturbation must move the key (the structural
+        // hash feeds IEEE-754 bits, not a rendered string).
+        let mut nudged = StreamPimConfig::paper_default();
+        nudged.device.timing.shift_ns += 1e-9;
+        assert_ne!(k, ScheduleCache::key(&nudged, &spec), "float field");
+        // A workload scale perturbation likewise.
+        let denser = WorkloadSpec::polybench(Kernel::Atax, 0.021);
+        assert_ne!(k, ScheduleCache::key(&cfg, &denser), "workload scale");
     }
 
     #[test]

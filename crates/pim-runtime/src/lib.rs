@@ -45,4 +45,4 @@ pub mod runtime;
 pub use cache::ScheduleCache;
 pub use job::Job;
 pub use metrics::{JobMetrics, MetricsRegistry, MetricsSnapshot};
-pub use runtime::{BatchResult, JobOutcome, Runtime, RuntimeConfig};
+pub use runtime::{intra_worker_budget, BatchResult, JobOutcome, Runtime, RuntimeConfig};

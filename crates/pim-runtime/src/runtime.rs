@@ -6,7 +6,7 @@ use crate::job::Job;
 use crate::metrics::{JobMetrics, MetricsRegistry, MetricsSnapshot};
 use pim_baselines::{Platform, Workload};
 use pim_device::schedule::Schedule;
-use pim_device::{ExecReport, StreamPim};
+use pim_device::{ExecReport, Parallelism, StreamPim};
 use pim_trace::{Event, NullSink, Span, TraceSink, Track};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -20,6 +20,12 @@ pub struct RuntimeConfig {
     pub workers: usize,
     /// Whether lowered schedules are cached across jobs and batches.
     pub cache_enabled: bool,
+    /// Intra-run parallelism granted to each job's simulated device.
+    /// `Auto` resolves to the batch's fair share of the machine — see
+    /// [`intra_worker_budget`] — so batch workers × intra-run threads never
+    /// oversubscribe the host. Simulated results are byte-identical at
+    /// every level (the device engine's reduction is deterministic).
+    pub intra_parallelism: Parallelism,
 }
 
 impl Default for RuntimeConfig {
@@ -30,7 +36,28 @@ impl Default for RuntimeConfig {
                 .unwrap_or(1)
                 .min(8),
             cache_enabled: true,
+            intra_parallelism: Parallelism::Serial,
         }
+    }
+}
+
+/// Worker threads one job may use internally when the runtime grants it
+/// `intra` parallelism while running `batch_workers` jobs concurrently on a
+/// machine with `total_threads` hardware threads.
+///
+/// `Auto` yields the batch's fair share, `total_threads / batch_workers`
+/// (floor 1), so a saturated batch never oversubscribes:
+/// `batch_workers * budget <= max(total_threads, batch_workers)`. Explicit
+/// `Threads(n)` requests are honoured as-is — the caller asked for exactly
+/// `n` — and `Serial` is always 1.
+pub fn intra_worker_budget(
+    intra: Parallelism,
+    batch_workers: usize,
+    total_threads: usize,
+) -> usize {
+    match intra {
+        Parallelism::Auto => (total_threads / batch_workers.max(1)).max(1),
+        other => other.resolve(total_threads),
     }
 }
 
@@ -291,13 +318,29 @@ impl Runtime {
         )
     }
 
+    /// The concrete intra-run parallelism granted to each job's device:
+    /// [`RuntimeConfig::intra_parallelism`] resolved through
+    /// [`intra_worker_budget`] against this machine, so batch workers ×
+    /// intra-run threads never oversubscribe the host.
+    pub fn intra_budget(&self) -> Parallelism {
+        match self.config.intra_parallelism {
+            Parallelism::Serial => Parallelism::Serial,
+            requested => {
+                let total = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1);
+                Parallelism::Threads(intra_worker_budget(requested, self.config.workers, total))
+            }
+        }
+    }
+
     /// Fetches (or builds) the shared platform instance for `job`.
     fn pooled_platform(&self, job: &Job) -> Result<Arc<Platform>, pim_device::PimError> {
         let key = job.platform_key();
         if let Some(found) = self.platforms.lock().expect("platform pool lock").get(&key) {
             return Ok(Arc::clone(found));
         }
-        let built = Arc::new(job.build_platform()?);
+        let built = Arc::new(job.build_platform()?.with_parallelism(self.intra_budget()));
         let mut pool = self.platforms.lock().expect("platform pool lock");
         Ok(Arc::clone(pool.entry(key).or_insert(built)))
     }
@@ -341,6 +384,7 @@ mod tests {
         let runtime = Runtime::new(RuntimeConfig {
             workers: 2,
             cache_enabled: true,
+            ..RuntimeConfig::default()
         });
         let jobs = small_jobs();
         let batch = runtime.run_batch(&jobs);
@@ -359,6 +403,7 @@ mod tests {
         let runtime = Runtime::new(RuntimeConfig {
             workers: 1,
             cache_enabled: true,
+            ..RuntimeConfig::default()
         });
         runtime.run_batch(&small_jobs());
         // Jobs 0 and 1 share (config, workload); job 2 lowers its own; job
@@ -373,6 +418,7 @@ mod tests {
         let runtime = Runtime::new(RuntimeConfig {
             workers: 1,
             cache_enabled: false,
+            ..RuntimeConfig::default()
         });
         let batch = runtime.run_batch(&small_jobs());
         assert_eq!(batch.completed(), 4);
@@ -384,6 +430,7 @@ mod tests {
         let runtime = Runtime::new(RuntimeConfig {
             workers: 2,
             cache_enabled: true,
+            ..RuntimeConfig::default()
         });
         runtime.run_batch(&small_jobs());
         // StPim (x2 jobs) + Coruscant + CpuRm = 3 distinct platforms.
@@ -406,6 +453,7 @@ mod tests {
         let runtime = Runtime::new(RuntimeConfig {
             workers: 2,
             cache_enabled: true,
+            ..RuntimeConfig::default()
         });
         let batch = runtime.run_batch(&[bad, good]);
         assert_eq!(batch.outcomes.len(), 2);
@@ -422,6 +470,7 @@ mod tests {
         let runtime = Runtime::new(RuntimeConfig {
             workers: 2,
             cache_enabled: true,
+            ..RuntimeConfig::default()
         });
         let jobs = vec![
             Job::new(spec, PlatformKind::StPim),
@@ -448,12 +497,14 @@ mod tests {
             RuntimeConfig {
                 workers: 1,
                 cache_enabled: true,
+                ..RuntimeConfig::default()
             },
             Arc::clone(&sink) as Arc<dyn TraceSink>,
         );
         let plain = Runtime::new(RuntimeConfig {
             workers: 1,
             cache_enabled: true,
+            ..RuntimeConfig::default()
         });
         let jobs = small_jobs();
         let traced_batch = traced.run_batch(&jobs);
@@ -479,10 +530,71 @@ mod tests {
     }
 
     #[test]
+    fn intra_worker_budget_divides_the_machine() {
+        use pim_device::Parallelism::{Auto, Serial, Threads};
+        // Auto: fair share of the machine, floor 1, no oversubscription.
+        assert_eq!(intra_worker_budget(Auto, 4, 16), 4);
+        assert_eq!(intra_worker_budget(Auto, 3, 16), 5);
+        assert_eq!(intra_worker_budget(Auto, 4, 1), 1);
+        assert_eq!(intra_worker_budget(Auto, 0, 8), 8, "0 workers clamp to 1");
+        for total in [1usize, 2, 3, 7, 8, 16, 64] {
+            for workers in [1usize, 2, 4, 7, 9] {
+                let budget = intra_worker_budget(Auto, workers, total);
+                assert!(budget >= 1);
+                assert!(
+                    workers * budget <= total.max(workers),
+                    "{workers} workers x {budget} threads oversubscribes {total}"
+                );
+            }
+        }
+        // Explicit requests pass through; Serial is always 1.
+        assert_eq!(intra_worker_budget(Threads(3), 4, 16), 3);
+        assert_eq!(intra_worker_budget(Serial, 4, 16), 1);
+    }
+
+    #[test]
+    fn auto_batches_grant_each_job_its_fair_share() {
+        let runtime = Runtime::new(RuntimeConfig {
+            workers: 4,
+            cache_enabled: true,
+            intra_parallelism: Parallelism::Auto,
+        });
+        let total = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let expected = intra_worker_budget(Parallelism::Auto, 4, total);
+        assert_eq!(runtime.intra_budget(), Parallelism::Threads(expected));
+        assert!(
+            4 * expected <= total.max(4),
+            "a 4-job batch stays in budget"
+        );
+
+        // The granted level reaches the pooled StreamPIM devices (and only
+        // them), and outcomes are identical to an all-serial runtime.
+        let jobs = small_jobs();
+        let batch = runtime.run_batch(&jobs);
+        let pool = runtime.platforms.lock().expect("platform pool lock");
+        for platform in pool.values() {
+            // Host platforms report None: they have no simulated device.
+            if let Some(level) = platform.parallelism() {
+                assert_eq!(level, Parallelism::Threads(expected));
+            }
+        }
+        drop(pool);
+        let serial = Runtime::new(RuntimeConfig {
+            workers: 1,
+            cache_enabled: true,
+            ..RuntimeConfig::default()
+        });
+        assert_eq!(batch, serial.run_batch(&jobs), "results are level-blind");
+    }
+
+    #[test]
     fn metrics_reflect_the_batch() {
         let runtime = Runtime::new(RuntimeConfig {
             workers: 2,
             cache_enabled: true,
+            ..RuntimeConfig::default()
         });
         runtime.run_batch(&small_jobs());
         let snap = runtime.metrics();

@@ -87,6 +87,7 @@ fn reports_by_name(jobs: &[Job], workers: usize, cache: bool) -> HashMap<String,
     let runtime = Runtime::new(RuntimeConfig {
         workers,
         cache_enabled: cache,
+        ..RuntimeConfig::default()
     });
     let batch = runtime.run_batch(jobs);
     assert_eq!(batch.failed(), 0, "all mixed jobs succeed");
@@ -145,6 +146,7 @@ fn warm_cache_reproduces_cold_reports_with_hits() {
     let runtime = Runtime::new(RuntimeConfig {
         workers: 4,
         cache_enabled: true,
+        ..RuntimeConfig::default()
     });
     let cold = runtime.run_batch(&jobs);
     let hits_after_cold = runtime.cache().hits();

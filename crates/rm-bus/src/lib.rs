@@ -30,4 +30,4 @@ pub mod segmented;
 pub use busset::BusSet;
 pub use electrical::ElectricalBusModel;
 pub use model::{BusCost, BusModel};
-pub use segmented::{Packet, SegmentedBus, SegmentedBusModel};
+pub use segmented::{Delivery, Packet, SegmentedBus, SegmentedBusModel};

@@ -150,8 +150,16 @@ impl SegmentedBus {
     /// Advances every data segment by one position and returns the packets
     /// that reached their destination tap this cycle.
     pub fn cycle(&mut self) -> Vec<Delivery> {
-        self.cycles += 1;
         let mut out = Vec::new();
+        self.cycle_into(&mut out);
+        out
+    }
+
+    /// Allocation-free [`Self::cycle`]: appends this cycle's deliveries to
+    /// `out` (which the caller typically clears and reuses across rows, so
+    /// sharded hot loops allocate nothing per cycle).
+    pub fn cycle_into(&mut self, out: &mut Vec<Delivery>) {
+        self.cycles += 1;
         // Move from the head backwards so each packet steps into the empty
         // segment ahead of it.
         for i in (0..self.segments.len()).rev() {
@@ -175,7 +183,6 @@ impl SegmentedBus {
                 // injection invariant is respected, but kept for safety).
             }
         }
-        out
     }
 
     /// Runs the bus until empty, collecting deliveries (guard-limited).
@@ -487,6 +494,26 @@ mod tests {
         let shifts = bus.segment_shifts();
         bus.stream_words_probed(0, 10, &words, &rm_core::NullProbe, "bus/internal");
         assert!(bus.segment_shifts() > shifts);
+    }
+
+    #[test]
+    fn cycle_into_reuses_the_caller_buffer() {
+        let mut bus = SegmentedBus::new(8);
+        let mut via_cycle = SegmentedBus::new(8);
+        bus.try_inject(0, 77, 3);
+        via_cycle.try_inject(0, 77, 3);
+        let mut scratch = Vec::with_capacity(4);
+        let mut got = Vec::new();
+        for _ in 0..8 {
+            scratch.clear();
+            bus.cycle_into(&mut scratch);
+            got.extend(scratch.iter().map(|d| d.packet.data));
+            for d in via_cycle.cycle() {
+                assert_eq!(d.packet.data, 77);
+            }
+        }
+        assert_eq!(got, vec![77]);
+        assert_eq!(bus, via_cycle);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// The paper's default (Table III) is a `bank-subarray-mat` hierarchy of
 /// `32-64-16` with 256 KiB per mat and 512 save + 512 transfer tracks per
 /// mat, for 8 GiB of total save-track capacity.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Geometry {
     /// Number of banks in the device.
     pub banks: u32,
@@ -164,7 +164,11 @@ pub enum BusKind {
 }
 
 /// Complete device configuration: geometry, timing, energy and PIM knobs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Hash` is structural (f64 constants hash by bit pattern via the manual
+/// impls on [`TimingParams`]/[`EnergyParams`]) so cache keys can be derived
+/// without rendering the config through `Debug`.
+#[derive(Debug, Clone, PartialEq, Hash, Serialize, Deserialize)]
 pub struct DeviceConfig {
     /// Physical organization.
     pub geometry: Geometry,

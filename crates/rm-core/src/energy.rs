@@ -45,6 +45,19 @@ impl Default for EnergyParams {
     }
 }
 
+// Structural hashing for fingerprints/cache keys: f64 fields are folded in
+// as their IEEE-754 bit patterns.
+impl std::hash::Hash for EnergyParams {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.read_pj.to_bits().hash(state);
+        self.write_pj.to_bits().hash(state);
+        self.shift_pj.to_bits().hash(state);
+        self.transverse_read_pj.to_bits().hash(state);
+        self.pim_add_pj.to_bits().hash(state);
+        self.pim_mul_pj.to_bits().hash(state);
+    }
+}
+
 /// Energy consumed by a simulated execution, split by cause.
 ///
 /// The categories mirror the paper's Figures 18 & 20: `read`/`write` are

@@ -84,6 +84,13 @@ impl FaultOutcome {
 pub struct ShiftFaultModel {
     p_over: f64,
     p_under: f64,
+    /// Hoisted `p_over + p_under` (per-step fault probability).
+    p_step: f64,
+    /// Hoisted conditional probability that a fault is an over-shift.
+    over_share: f64,
+    /// Memoized `(distance, fault_probability(distance))` of the last
+    /// sample, so bulk shifts of a fixed stride skip the `powi` per step.
+    memo: Option<(usize, f64)>,
     rng: SplitMix64,
     injected: u64,
     sampled: u64,
@@ -103,9 +110,13 @@ impl ShiftFaultModel {
             p_over + p_under <= 1.0,
             "probabilities must sum to at most 1"
         );
+        let p_step = p_over + p_under;
         ShiftFaultModel {
             p_over,
             p_under,
+            p_step,
+            over_share: if p_step == 0.0 { 0.5 } else { p_over / p_step },
+            memo: None,
             rng: SplitMix64::new(seed),
             injected: 0,
             sampled: 0,
@@ -119,34 +130,51 @@ impl ShiftFaultModel {
 
     /// Per-operation fault probability for a shift of `distance` steps.
     pub fn fault_probability(&self, distance: usize) -> f64 {
-        let p_step = self.p_over + self.p_under;
-        1.0 - (1.0 - p_step).powi(distance as i32)
+        1.0 - (1.0 - self.p_step).powi(distance as i32)
     }
 
     /// Samples the outcome of one shift of `distance` steps.
+    ///
+    /// The RNG draw sequence is a function of the outcomes alone, so the
+    /// memoized probability lookup below never perturbs a seeded stream:
+    /// a bulk loop of `sample(d)` calls observes exactly the outcomes a
+    /// pre-memoization loop did.
     pub fn sample(&mut self, distance: usize) -> FaultOutcome {
         self.sampled += 1;
         if distance == 0 {
             return FaultOutcome::Correct;
         }
-        let p_fault = self.fault_probability(distance);
+        let p_fault = match self.memo {
+            Some((d, p)) if d == distance => p,
+            _ => {
+                let p = self.fault_probability(distance);
+                self.memo = Some((distance, p));
+                p
+            }
+        };
         let u: f64 = self.rng.next_f64();
         if u >= p_fault {
             return FaultOutcome::Correct;
         }
         self.injected += 1;
-        // Conditional split between over and under.
-        let p_step = self.p_over + self.p_under;
-        let over_share = if p_step == 0.0 {
-            0.5
-        } else {
-            self.p_over / p_step
-        };
-        if self.rng.next_f64() < over_share {
+        // Conditional split between over and under (hoisted at construction).
+        if self.rng.next_f64() < self.over_share {
             FaultOutcome::OverShift
         } else {
             FaultOutcome::UnderShift
         }
+    }
+
+    /// Per-step over-shift probability.
+    #[inline]
+    pub fn p_over(&self) -> f64 {
+        self.p_over
+    }
+
+    /// Per-step under-shift probability.
+    #[inline]
+    pub fn p_under(&self) -> f64 {
+        self.p_under
     }
 
     /// Number of faults injected so far.
@@ -210,6 +238,44 @@ mod tests {
         assert_eq!(FaultOutcome::UnderShift.realized_distance(0), 0);
         assert!(FaultOutcome::OverShift.is_fault());
         assert!(!FaultOutcome::Correct.is_fault());
+    }
+
+    #[test]
+    fn hoisted_probability_matches_the_closed_form() {
+        let fm = ShiftFaultModel::new(0.004, 0.006, 0);
+        for d in [1usize, 2, 7, 16, 255] {
+            let expect = 1.0 - (1.0 - (0.004_f64 + 0.006)).powi(d as i32);
+            assert_eq!(fm.fault_probability(d), expect);
+        }
+    }
+
+    #[test]
+    fn memoized_sampling_matches_per_distance_streams() {
+        // Alternating distances must invalidate the memo and still follow
+        // the exact same RNG stream as a model that never memoized (the
+        // draw sequence depends only on outcomes, not on how p was found).
+        let mut memoized = ShiftFaultModel::new(0.1, 0.05, 99);
+        let mut fresh = ShiftFaultModel::new(0.1, 0.05, 99);
+        for i in 0..200 {
+            let d = if i % 3 == 0 { 16 } else { 4 };
+            let a = memoized.sample(d);
+            // Recreate the un-memoized arithmetic explicitly.
+            let p = fresh.fault_probability(d);
+            fresh.sampled += 1;
+            let b = if fresh.rng.next_f64() >= p {
+                FaultOutcome::Correct
+            } else {
+                fresh.injected += 1;
+                if fresh.rng.next_f64() < 0.1 / (0.1 + 0.05) {
+                    FaultOutcome::OverShift
+                } else {
+                    FaultOutcome::UnderShift
+                }
+            };
+            assert_eq!(a, b, "step {i}");
+        }
+        assert_eq!(memoized.faults_injected(), fresh.faults_injected());
+        assert_eq!(memoized.shifts_sampled(), fresh.shifts_sampled());
     }
 
     #[test]

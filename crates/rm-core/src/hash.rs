@@ -1,0 +1,194 @@
+//! Structural FNV-1a hashing for fingerprints and cache keys.
+//!
+//! [`FnvHasher`] implements [`std::hash::Hasher`] over the same FNV-1a
+//! constants the runtime has always used for its content-addressed keys, so
+//! any type that implements [`std::hash::Hash`] can be folded into a 64-bit
+//! digest *structurally* — field by field — instead of by `format!`-ing the
+//! whole value through its `Debug` rendering and hashing the string. That
+//! removes a large allocation from every cache lookup and makes the digest
+//! independent of `Debug` formatting details.
+//!
+//! Two digests over different *kinds* of content (say, a schedule fingerprint
+//! and a runtime cache key) should never be comparable by accident, so every
+//! keyspace seeds its hasher with a human-readable version tag via
+//! [`FnvHasher::with_tag`]. Bumping the tag string ("schedule-v2" →
+//! "schedule-v3") invalidates every previously derived key, which is exactly
+//! the property a persisted or logged key wants when the hashed structure
+//! changes shape.
+//!
+//! Integers are folded in as little-endian bytes regardless of the host,
+//! so digests are platform-independent; `usize`/`isize` are widened to 64
+//! bits first for the same reason.
+
+use std::hash::Hasher;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A 64-bit FNV-1a [`Hasher`] with platform-independent integer encoding.
+#[derive(Debug, Clone)]
+pub struct FnvHasher {
+    state: u64,
+}
+
+impl FnvHasher {
+    /// A hasher starting from the standard FNV-1a offset basis.
+    pub fn new() -> Self {
+        FnvHasher { state: FNV_OFFSET }
+    }
+
+    /// A hasher seeded with a keyspace version tag.
+    ///
+    /// The tag bytes are folded in before any content, so digests from
+    /// different tags never collide by construction of identical content,
+    /// and changing the tag (a "v2" → "v3" bump) rolls every key over.
+    pub fn with_tag(tag: &str) -> Self {
+        let mut h = FnvHasher::new();
+        h.write(tag.as_bytes());
+        h
+    }
+}
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher::new()
+    }
+}
+
+impl Hasher for FnvHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut s = self.state;
+        for &b in bytes {
+            s ^= b as u64;
+            s = s.wrapping_mul(FNV_PRIME);
+        }
+        self.state = s;
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.write(&[i]);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.write(&i.to_le_bytes());
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.write(&i.to_le_bytes());
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.write(&i.to_le_bytes());
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.write(&i.to_le_bytes());
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+
+    #[inline]
+    fn write_i8(&mut self, i: i8) {
+        self.write_u8(i as u8);
+    }
+
+    #[inline]
+    fn write_i16(&mut self, i: i16) {
+        self.write_u16(i as u16);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, i: i32) {
+        self.write_u32(i as u32);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.write_u64(i as u64);
+    }
+
+    #[inline]
+    fn write_i128(&mut self, i: i128) {
+        self.write_u128(i as u128);
+    }
+
+    #[inline]
+    fn write_isize(&mut self, i: isize) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// Digests one `Hash` value under a keyspace tag in a single call.
+pub fn fnv_digest<T: std::hash::Hash + ?Sized>(tag: &str, value: &T) -> u64 {
+    let mut h = FnvHasher::with_tag(tag);
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    #[test]
+    fn matches_reference_fnv_over_bytes() {
+        // FNV-1a of "a": well-known reference digest.
+        let mut h = FnvHasher::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        // Empty input hashes to the offset basis.
+        assert_eq!(FnvHasher::new().finish(), FNV_OFFSET);
+    }
+
+    #[test]
+    fn integer_writes_are_little_endian_bytes() {
+        let mut a = FnvHasher::new();
+        a.write_u32(0x0403_0201);
+        let mut b = FnvHasher::new();
+        b.write(&[1, 2, 3, 4]);
+        assert_eq!(a.finish(), b.finish());
+
+        let mut c = FnvHasher::new();
+        c.write_usize(7);
+        let mut d = FnvHasher::new();
+        d.write_u64(7);
+        assert_eq!(c.finish(), d.finish());
+    }
+
+    #[test]
+    fn tags_partition_the_keyspace() {
+        let a = fnv_digest("keyspace-a", &42u64);
+        let b = fnv_digest("keyspace-b", &42u64);
+        assert_ne!(a, b);
+        // Same tag, same content: stable.
+        assert_eq!(a, fnv_digest("keyspace-a", &42u64));
+    }
+
+    #[test]
+    fn digest_is_structural_not_textual() {
+        #[derive(Hash)]
+        struct Pair(u32, u32);
+        let a = fnv_digest("t", &Pair(1, 2));
+        let b = fnv_digest("t", &Pair(2, 1));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn tagged_empty_digest_is_nonzero() {
+        assert_ne!(FnvHasher::with_tag("schedule-v2").finish(), 0);
+    }
+}

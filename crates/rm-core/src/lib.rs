@@ -42,11 +42,13 @@ pub mod energy;
 pub mod error;
 pub mod fault;
 pub mod guard;
+pub mod hash;
 pub mod magnet;
 pub mod mat;
 pub mod nanowire;
 pub mod probe;
 pub mod reference;
+pub mod shard;
 pub mod stats;
 pub mod subarray;
 pub mod timing;
@@ -60,10 +62,12 @@ pub use energy::{EnergyBreakdown, EnergyParams};
 pub use error::RmError;
 pub use fault::{FaultOutcome, ShiftFaultModel};
 pub use guard::GuardedShifter;
+pub use hash::{fnv_digest, FnvHasher};
 pub use magnet::Magnetization;
 pub use mat::Mat;
 pub use nanowire::{Nanowire, ShiftDir};
 pub use probe::{NullProbe, Probe, ProbeAttachment, ProbeSample};
+pub use shard::{map_sharded, run_sharded, BufferProbe};
 pub use stats::{OpCounters, TimeBreakdown};
 pub use subarray::Subarray;
 pub use timing::TimingParams;

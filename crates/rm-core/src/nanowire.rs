@@ -220,6 +220,90 @@ impl Nanowire {
         Ok(outcome)
     }
 
+    /// Shifts the wire by `distance` domains, `times` times, in one bulk
+    /// operation.
+    ///
+    /// Equivalent to calling [`Self::shift`] in a loop — same final offset
+    /// and same counter totals (`shifts += times`,
+    /// `shift_distance += distance * times`) — but with O(1) bookkeeping:
+    /// one displacement computation and one range check instead of one per
+    /// step. Because every step moves the same direction, the extreme
+    /// offset is the final offset, so the single check is exact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmError::ShiftOutOfRange`] if the *total* displacement
+    /// would push data past the reserved overhead domains; unlike the
+    /// per-step loop (which stops at the first failing step) the wire is
+    /// left completely unchanged.
+    pub fn shift_bulk(&mut self, dir: ShiftDir, distance: usize, times: u64) -> Result<()> {
+        let total = distance as u128 * times as u128;
+        let new_offset = self.offset as i128 + dir.sign() as i128 * total as i128;
+        if new_offset.unsigned_abs() > self.overhead as u128 {
+            let available = match dir {
+                ShiftDir::Right => (self.overhead as isize - self.offset).max(0) as usize,
+                ShiftDir::Left => (self.overhead as isize + self.offset).max(0) as usize,
+            };
+            return Err(RmError::ShiftOutOfRange {
+                requested: total as usize,
+                available,
+            });
+        }
+        self.offset = new_offset as isize;
+        self.counters.shifts += times;
+        self.counters.shift_distance += distance as u64 * times;
+        Ok(())
+    }
+
+    /// Bulk variant of [`Self::shift_with_faults`]: `times` faulty shifts of
+    /// `distance` domains each, amortizing the per-step bookkeeping.
+    ///
+    /// Draws from `faults` exactly as a loop of `shift_with_faults` calls
+    /// would — the RNG stream, sample count, and injected-fault tally are
+    /// identical — but realizes the displacement once at the end: every
+    /// step moves in the same direction (a faulty step realizes
+    /// `distance ± 1 ≥ 0` domains), so the extreme offset is the final one
+    /// and a single range check is exact. Returns the number of faults
+    /// injected during this bulk operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RmError::ShiftOutOfRange`] if the total *realized*
+    /// displacement leaves the overhead region. The wire is left unchanged
+    /// (all-or-nothing, unlike the per-step loop which stops at the first
+    /// failing step); the fault model still advances past all `times`
+    /// samples.
+    pub fn shift_bulk_with_faults(
+        &mut self,
+        dir: ShiftDir,
+        distance: usize,
+        times: u64,
+        faults: &mut ShiftFaultModel,
+    ) -> Result<u64> {
+        let mut realized_total: u128 = 0;
+        let mut injected: u64 = 0;
+        for _ in 0..times {
+            let outcome = faults.sample(distance);
+            realized_total += outcome.realized_distance(distance) as u128;
+            injected += outcome.is_fault() as u64;
+        }
+        let new_offset = self.offset as i128 + dir.sign() as i128 * realized_total as i128;
+        if new_offset.unsigned_abs() > self.overhead as u128 {
+            let available = match dir {
+                ShiftDir::Right => (self.overhead as isize - self.offset).max(0) as usize,
+                ShiftDir::Left => (self.overhead as isize + self.offset).max(0) as usize,
+            };
+            return Err(RmError::ShiftOutOfRange {
+                requested: realized_total as usize,
+                available,
+            });
+        }
+        self.offset = new_offset as isize;
+        self.counters.shifts += times;
+        self.counters.shift_distance += realized_total as u64;
+        Ok(injected)
+    }
+
     /// Aligns logical domain `index` with port `port` using the minimum
     /// number of single-domain shifts, returning the distance moved.
     ///
@@ -602,6 +686,58 @@ mod tests {
         assert_eq!(c.shift_distance, 6);
         w.reset_counters();
         assert_eq!(w.counters().shifts, 0);
+    }
+
+    #[test]
+    fn bulk_shift_matches_the_per_step_loop() {
+        let mut bulk = Nanowire::new(64, &[0, 16, 32, 48]);
+        let mut looped = bulk.clone();
+        bulk.shift_bulk(ShiftDir::Right, 2, 5).unwrap();
+        for _ in 0..5 {
+            looped.shift(ShiftDir::Right, 2).unwrap();
+        }
+        assert_eq!(bulk, looped);
+        assert_eq!(bulk.counters().shifts, 5);
+        assert_eq!(bulk.counters().shift_distance, 10);
+    }
+
+    #[test]
+    fn bulk_shift_out_of_range_is_all_or_nothing() {
+        let mut w = Nanowire::new(16, &[0]); // overhead = 16
+        let before = w.clone();
+        let err = w.shift_bulk(ShiftDir::Right, 3, 6).unwrap_err();
+        assert_eq!(
+            err,
+            RmError::ShiftOutOfRange {
+                requested: 18,
+                available: 16
+            }
+        );
+        assert_eq!(w, before);
+        w.shift_bulk(ShiftDir::Right, 4, 4).unwrap();
+        assert_eq!(w.offset(), 16);
+    }
+
+    #[test]
+    fn bulk_faulty_shift_matches_the_per_step_loop() {
+        let mut bulk = Nanowire::new(256, &[0, 64, 128, 192]);
+        let mut looped = bulk.clone();
+        let mut fm_bulk = ShiftFaultModel::new(0.2, 0.1, 2024);
+        let mut fm_loop = fm_bulk.clone();
+        let injected = bulk
+            .shift_bulk_with_faults(ShiftDir::Right, 1, 30, &mut fm_bulk)
+            .unwrap();
+        let mut loop_injected = 0;
+        for _ in 0..30 {
+            let o = looped
+                .shift_with_faults(ShiftDir::Right, 1, &mut fm_loop)
+                .unwrap();
+            loop_injected += o.is_fault() as u64;
+        }
+        assert_eq!(bulk, looped);
+        assert_eq!(injected, loop_injected);
+        assert_eq!(fm_bulk.faults_injected(), fm_loop.faults_injected());
+        assert_eq!(fm_bulk.shifts_sampled(), fm_loop.shifts_sampled());
     }
 
     #[test]

@@ -53,6 +53,18 @@ impl Default for TimingParams {
     }
 }
 
+// Structural hashing for fingerprints/cache keys: f64 fields are folded in
+// as their IEEE-754 bit patterns, so two configs hash equal iff their
+// constants are bit-identical.
+impl std::hash::Hash for TimingParams {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.read_ns.to_bits().hash(state);
+        self.write_ns.to_bits().hash(state);
+        self.shift_ns.to_bits().hash(state);
+        self.transverse_read_ns.to_bits().hash(state);
+    }
+}
+
 /// DRAM timing constants used by the CPU-DRAM baseline and ELP2IM.
 ///
 /// DDR4-2400: 2400 MT/s on a 64-bit channel. Row timings are representative

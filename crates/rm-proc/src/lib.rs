@@ -29,5 +29,5 @@ pub mod stream;
 
 pub use op::{ProcCost, ProcOp};
 pub use pipeline::PipelineModel;
-pub use processor::RmProcessor;
+pub use processor::{ProcScratch, RmProcessor};
 pub use stream::{PipelineSim, StreamRun};

@@ -13,6 +13,25 @@ use dw_logic::cost::GateTally;
 use dw_logic::duplicator::DuplicatorBank;
 use dw_logic::multiplier::Multiplier;
 
+/// Caller-provided scratch for the processor's vector hot paths.
+///
+/// Holds the intermediate product stream of [`RmProcessor::dot_with`] so a
+/// caller looping over many rows (or a shard of a parallel run) reuses one
+/// buffer instead of allocating per call. Scratch lives *outside* the
+/// processor on purpose: differential tests compare whole processors with
+/// `==`, and transient buffers must not participate in that state.
+#[derive(Debug, Clone, Default)]
+pub struct ProcScratch {
+    products: Vec<u64>,
+}
+
+impl ProcScratch {
+    /// An empty scratch buffer.
+    pub fn new() -> Self {
+        ProcScratch::default()
+    }
+}
+
 /// A functional RM processor for `width`-bit elements.
 ///
 /// The accumulator is 64-bit (wrapping), comfortably holding dot products of
@@ -117,6 +136,40 @@ impl RmProcessor {
         probe: &dyn rm_core::Probe,
         prefix: &str,
     ) -> (u64, GateTally) {
+        self.dot_probed_with(a, b, probe, prefix, &mut ProcScratch::new())
+    }
+
+    /// [`Self::dot`] with caller-provided scratch: the intermediate product
+    /// stream lands in `scratch` instead of a fresh allocation, so per-row
+    /// callers (and allocation-free shards) reuse one buffer. Result, tally,
+    /// and unit state are identical to [`Self::dot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn dot_with(
+        &mut self,
+        a: &[u64],
+        b: &[u64],
+        scratch: &mut ProcScratch,
+    ) -> (u64, GateTally) {
+        self.dot_probed_with(a, b, &rm_core::NullProbe, "proc", scratch)
+    }
+
+    /// [`Self::dot_probed`] with caller-provided scratch (see
+    /// [`Self::dot_with`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn dot_probed_with(
+        &mut self,
+        a: &[u64],
+        b: &[u64],
+        probe: &dyn rm_core::Probe,
+        prefix: &str,
+        scratch: &mut ProcScratch,
+    ) -> (u64, GateTally) {
         assert_eq!(a.len(), b.len(), "dot product needs equal-length vectors");
         let mut tally = GateTally::new();
         self.circle.reset();
@@ -126,10 +179,12 @@ impl RmProcessor {
         let after_dup = tally.total();
         // Stages 2b-3: plane-form partial products and adder tree, 64
         // elements per gate word. Operands are masked inside the transpose.
-        let products = self.multiplier.multiply_many(a, b, &mut tally);
+        scratch.products.clear();
+        self.multiplier
+            .multiply_many_into(a, b, &mut tally, &mut scratch.products);
         let after_mul = tally.total();
         // Stage 4: the circle adder accumulates the product stream.
-        self.circle.accumulate_many(&products, &mut tally);
+        self.circle.accumulate_many(&scratch.products, &mut tally);
         let after_acc = tally.total();
         self.ops_executed += 1;
         if probe.enabled() {
@@ -432,6 +487,21 @@ mod tests {
         let mut circle = CircleAdder::new(63);
         circle.accumulate(product, &mut t_parts);
         assert_eq!(t_dot, t_parts);
+    }
+
+    #[test]
+    fn dot_with_reuses_scratch_and_matches_dot() {
+        let a: Vec<u64> = (0..130).map(|i| i * 11 % 256).collect();
+        let b: Vec<u64> = (0..130).map(|i| i * 5 + 2).collect();
+        let mut with = RmProcessor::new(8, 2);
+        let mut plain = RmProcessor::new(8, 2);
+        let mut scratch = ProcScratch::new();
+        for _ in 0..3 {
+            let (rw, tw) = with.dot_with(&a, &b, &mut scratch);
+            let (rp, tp) = plain.dot(&a, &b);
+            assert_eq!((rw, tw), (rp, tp));
+        }
+        assert_eq!(with, plain, "scratch must stay out of processor state");
     }
 
     #[test]

@@ -44,6 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let runtime = Runtime::new(RuntimeConfig {
         workers,
         cache_enabled: true,
+        ..RuntimeConfig::default()
     });
 
     let t0 = Instant::now();

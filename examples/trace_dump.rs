@@ -91,6 +91,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         RuntimeConfig {
             workers: 2,
             cache_enabled: true,
+            ..RuntimeConfig::default()
         },
         Arc::clone(&shared) as Arc<dyn TraceSink>,
     );

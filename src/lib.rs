@@ -48,6 +48,7 @@
 pub use dw_logic;
 pub use pim_baselines;
 pub use pim_device;
+pub use pim_profile;
 pub use pim_runtime;
 pub use pim_trace;
 pub use pim_workloads;

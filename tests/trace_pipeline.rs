@@ -39,6 +39,7 @@ fn full_trace(kernel: Kernel, scale: f64) -> Collector {
         RuntimeConfig {
             workers: 2,
             cache_enabled: true,
+            ..RuntimeConfig::default()
         },
         Arc::clone(&host) as Arc<dyn TraceSink>,
     );
@@ -158,6 +159,7 @@ fn disabled_tracing_changes_no_report() {
     let cfg = RuntimeConfig {
         workers: 2,
         cache_enabled: true,
+        ..RuntimeConfig::default()
     };
     let plain = Runtime::new(cfg.clone()).run_batch(&jobs);
     let traced = Runtime::with_sink(cfg, Arc::new(Collector::new())).run_batch(&jobs);
