@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt lint build test determinism bench-build bench-device fidelity experiments
+.PHONY: verify fmt lint build test determinism bench-build bench-device fidelity serve-smoke experiments
 
-verify: fmt lint build test determinism bench-build bench-device fidelity
+verify: fmt lint build test determinism bench-build bench-device fidelity serve-smoke
 	@echo "verify: all gates passed"
 
 fmt:
@@ -43,6 +43,12 @@ bench-device:
 # every figure against the frozen expectations in fidelity.toml.
 fidelity:
 	$(CARGO) run --release -p pim-bench --bin fidelity_gate
+
+# Service-layer smoke: boots a pim-serve instance on a loopback port,
+# exercises submit/poll/result, forces explicit 429s under a concurrent
+# burst, drains, and reconciles the metering ledger.
+serve-smoke:
+	$(CARGO) run --release -p pim-serve --bin serve_smoke
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

@@ -16,6 +16,10 @@ use serde::{Deserialize, Serialize};
 pub struct Job {
     /// Display name (defaults to `<workload>/<platform>`).
     pub name: String,
+    /// Owning tenant, for per-tenant metrics and metering. The empty
+    /// string (the default) is the anonymous tenant; the runtime treats it
+    /// like any other.
+    pub tenant: String,
     /// What to price.
     pub workload: WorkloadSpec,
     /// Where to price it.
@@ -32,6 +36,7 @@ impl Job {
     pub fn new(workload: WorkloadSpec, platform: PlatformKind) -> Self {
         Job {
             name: format!("{}/{}", workload.name(), platform.name()),
+            tenant: String::new(),
             workload,
             platform,
             config: None,
@@ -42,6 +47,12 @@ impl Job {
     /// Replaces the display name (builder style).
     pub fn named(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
+        self
+    }
+
+    /// Assigns the job to a tenant (builder style).
+    pub fn for_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = tenant.into();
         self
     }
 

@@ -44,5 +44,5 @@ pub mod runtime;
 
 pub use cache::ScheduleCache;
 pub use job::Job;
-pub use metrics::{JobMetrics, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{JobMetrics, MetricsRegistry, MetricsSnapshot, TenantMetrics};
 pub use runtime::{intra_worker_budget, BatchResult, JobOutcome, Runtime, RuntimeConfig};

@@ -21,6 +21,8 @@ pub struct JobMetrics {
     pub index: usize,
     /// Job display name.
     pub name: String,
+    /// Owning tenant (empty for anonymous jobs).
+    pub tenant: String,
     /// Platform display name.
     pub platform: String,
     /// Host wall-clock latency from dispatch to completion, nanoseconds.
@@ -31,6 +33,11 @@ pub struct JobMetrics {
     pub worker: usize,
     /// Whether the schedule came from the cache.
     pub cache_hit: bool,
+    /// Whether the job probed the cache and missed (i.e. lowered its own
+    /// schedule). Host-platform jobs never probe: both flags stay false.
+    pub cache_miss: bool,
+    /// Whether the job was executed from a stolen deque.
+    pub stolen: bool,
     /// Whether the job completed without error.
     pub ok: bool,
     /// Simulated execution time, nanoseconds (0 for failed jobs).
@@ -77,8 +84,65 @@ pub struct MetricsSnapshot {
     pub latency_histogram: Vec<u64>,
     /// Simulated totals summed over all successful jobs.
     pub aggregate: ExecReport,
+    /// Per-tenant rollups, sorted by tenant name. Derived from the per-job
+    /// rows at snapshot time so consumers (the `/metrics` endpoint, the
+    /// metering reconciliation) never re-derive them.
+    pub tenants: Vec<TenantMetrics>,
     /// Per-job rows, ordered by batch submission index.
     pub jobs: Vec<JobMetrics>,
+}
+
+/// Rollup of every job one tenant submitted.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TenantMetrics {
+    /// Tenant name (empty for anonymous jobs).
+    pub tenant: String,
+    /// Jobs submitted by this tenant.
+    pub jobs_submitted: u64,
+    /// Jobs that completed successfully.
+    pub jobs_completed: u64,
+    /// Jobs that returned an error.
+    pub jobs_failed: u64,
+    /// Schedule-cache hits across this tenant's jobs.
+    pub cache_hits: u64,
+    /// Schedule-cache misses (lowerings performed) for this tenant.
+    pub cache_misses: u64,
+    /// Jobs executed from a stolen deque.
+    pub steals: u64,
+    /// Sum of host latencies, nanoseconds.
+    pub total_latency_ns: u64,
+    /// Simulated time summed over successful jobs, nanoseconds.
+    pub sim_time_ns: f64,
+    /// Simulated energy summed over successful jobs, picojoules.
+    pub sim_energy_pj: f64,
+}
+
+/// Folds per-job rows (already sorted by index) into per-tenant rollups,
+/// sorted by tenant name. Deterministic: both orders are total.
+fn tenant_rollup(jobs: &[JobMetrics]) -> Vec<TenantMetrics> {
+    let mut by_tenant: std::collections::BTreeMap<&str, TenantMetrics> =
+        std::collections::BTreeMap::new();
+    for job in jobs {
+        let entry = by_tenant
+            .entry(job.tenant.as_str())
+            .or_insert_with(|| TenantMetrics {
+                tenant: job.tenant.clone(),
+                ..TenantMetrics::default()
+            });
+        entry.jobs_submitted += 1;
+        if job.ok {
+            entry.jobs_completed += 1;
+        } else {
+            entry.jobs_failed += 1;
+        }
+        entry.cache_hits += u64::from(job.cache_hit);
+        entry.cache_misses += u64::from(job.cache_miss);
+        entry.steals += u64::from(job.stolen);
+        entry.total_latency_ns += job.latency_ns;
+        entry.sim_time_ns += job.sim_time_ns;
+        entry.sim_energy_pj += job.sim_energy_pj;
+    }
+    by_tenant.into_values().collect()
 }
 
 /// Number of histogram buckets: enough for any `u64` latency.
@@ -186,6 +250,7 @@ impl MetricsRegistry {
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut snap = self.inner.lock().expect("metrics lock").clone();
         snap.jobs.sort_by_key(|j| j.index);
+        snap.tenants = tenant_rollup(&snap.jobs);
         snap.latency_p50_ns = percentile(&snap.latency_histogram, 0.50);
         snap.latency_p95_ns = percentile(&snap.latency_histogram, 0.95);
         snap.latency_p99_ns = percentile(&snap.latency_histogram, 0.99);
@@ -206,15 +271,69 @@ mod tests {
         JobMetrics {
             index,
             name: format!("job-{index}"),
+            tenant: String::new(),
             platform: "StPIM".into(),
             latency_ns,
             queue_depth,
             worker: 0,
             cache_hit: false,
+            cache_miss: false,
+            stolen: false,
             ok: false,
             sim_time_ns: 0.0,
             sim_energy_pj: 0.0,
         }
+    }
+
+    #[test]
+    fn tenant_rollups_partition_the_jobs() {
+        let registry = MetricsRegistry::new();
+        let mut report = ExecReport::new();
+        report.time.process_ns = 10.0;
+        report.energy.compute_pj = 4.0;
+        let mut a0 = metrics(0, 100, 0);
+        a0.tenant = "alice".into();
+        a0.cache_hit = true;
+        let mut a1 = metrics(1, 50, 0);
+        a1.tenant = "alice".into();
+        a1.cache_miss = true;
+        a1.stolen = true;
+        let mut b0 = metrics(2, 30, 0);
+        b0.tenant = "bob".into();
+        registry.record_job(a0, Some(&report));
+        registry.record_job(a1, Some(&report));
+        registry.record_job(b0, None);
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.tenants.len(), 2);
+        let alice = &snap.tenants[0];
+        assert_eq!(alice.tenant, "alice");
+        assert_eq!(
+            (
+                alice.jobs_submitted,
+                alice.jobs_completed,
+                alice.jobs_failed
+            ),
+            (2, 2, 0)
+        );
+        assert_eq!(
+            (alice.cache_hits, alice.cache_misses, alice.steals),
+            (1, 1, 1)
+        );
+        assert_eq!(alice.total_latency_ns, 150);
+        assert_eq!(alice.sim_time_ns, 20.0);
+        assert_eq!(alice.sim_energy_pj, 8.0);
+        let bob = &snap.tenants[1];
+        assert_eq!(bob.tenant, "bob");
+        assert_eq!(
+            (bob.jobs_submitted, bob.jobs_completed, bob.jobs_failed),
+            (1, 0, 1)
+        );
+        // Rollups partition: tenant sums reproduce the global counts.
+        assert_eq!(
+            snap.tenants.iter().map(|t| t.jobs_submitted).sum::<u64>(),
+            snap.jobs_submitted
+        );
     }
 
     #[test]

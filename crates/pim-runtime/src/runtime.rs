@@ -10,7 +10,7 @@ use pim_device::{ExecReport, Parallelism, StreamPim};
 use pim_trace::{Event, NullSink, Span, TraceSink, Track};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// Runtime tuning knobs.
@@ -112,6 +112,19 @@ pub struct Runtime {
     /// Zero point of the host clock domain: all host-span timestamps are
     /// nanoseconds since runtime construction.
     origin: Instant,
+    /// Intake gate: [`Runtime::shutdown`] flips `draining` and waits for
+    /// `in_flight` batches to reach zero.
+    intake: Mutex<Intake>,
+    idle: Condvar,
+}
+
+/// Shared intake state guarded by [`Runtime::intake`].
+#[derive(Debug, Default)]
+struct Intake {
+    /// Once true, new batches are refused.
+    draining: bool,
+    /// Batches currently inside [`Runtime::run_batch`].
+    in_flight: usize,
 }
 
 impl Default for Runtime {
@@ -137,6 +150,8 @@ impl Runtime {
             platforms: Mutex::new(HashMap::new()),
             sink,
             origin: Instant::now(),
+            intake: Mutex::new(Intake::default()),
+            idle: Condvar::new(),
         }
     }
 
@@ -165,10 +180,64 @@ impl Runtime {
         self.metrics.to_json()
     }
 
+    /// Stops intake and drains: after this returns, every batch that was
+    /// in flight has finished, later [`Runtime::run_batch`] calls are
+    /// refused (their outcomes all carry an error and are not recorded in
+    /// the metrics), and the returned snapshot is final.
+    ///
+    /// Idempotent: concurrent or repeated calls all drain and return the
+    /// same final snapshot.
+    pub fn shutdown(&self) -> MetricsSnapshot {
+        let mut intake = self.intake.lock().expect("intake lock");
+        intake.draining = true;
+        while intake.in_flight > 0 {
+            intake = self.idle.wait(intake).expect("intake lock");
+        }
+        drop(intake);
+        self.metrics.snapshot()
+    }
+
+    /// Whether [`Runtime::shutdown`] has stopped intake.
+    pub fn is_draining(&self) -> bool {
+        self.intake.lock().expect("intake lock").draining
+    }
+
     /// Runs a batch of jobs on the work-stealing pool and returns outcomes
     /// in submission order. Individual job failures are reported in their
     /// outcome; they never abort the batch.
+    ///
+    /// After [`Runtime::shutdown`], batches are refused: every outcome
+    /// carries a "runtime is draining" error and nothing is recorded in
+    /// the metrics registry (the jobs were never admitted).
     pub fn run_batch(&self, jobs: &[Job]) -> BatchResult {
+        {
+            let mut intake = self.intake.lock().expect("intake lock");
+            if intake.draining {
+                return BatchResult {
+                    outcomes: jobs
+                        .iter()
+                        .enumerate()
+                        .map(|(index, job)| JobOutcome {
+                            index,
+                            name: job.name.clone(),
+                            report: Err("runtime is draining: batch refused".to_string()),
+                        })
+                        .collect(),
+                };
+            }
+            intake.in_flight += 1;
+        }
+        let result = self.run_batch_inner(jobs);
+        let mut intake = self.intake.lock().expect("intake lock");
+        intake.in_flight -= 1;
+        if intake.in_flight == 0 {
+            self.idle.notify_all();
+        }
+        result
+    }
+
+    /// The pre-drain body of [`Runtime::run_batch`].
+    fn run_batch_inner(&self, jobs: &[Job]) -> BatchResult {
         let n = jobs.len();
         let slots: Vec<Mutex<Option<JobOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let pending = AtomicUsize::new(n);
@@ -178,7 +247,7 @@ impl Runtime {
             let queue_depth = pending.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
             let started = Instant::now();
             let job = &jobs[index];
-            let (report, cache_hit) = self.run_one(job, worker);
+            let (report, cache_hit, cache_probed) = self.run_one(job, worker);
             let latency_ns = started.elapsed().as_nanos() as u64;
             if self.sink.enabled() {
                 let track = Track::Worker(worker as u32);
@@ -218,11 +287,14 @@ impl Runtime {
                 JobMetrics {
                     index,
                     name: job.name.clone(),
+                    tenant: job.tenant.clone(),
                     platform: job.platform.name().to_string(),
                     latency_ns,
                     queue_depth,
                     worker,
                     cache_hit,
+                    cache_miss: cache_probed && !cache_hit,
+                    stolen,
                     ok: false,          // set by record_job
                     sim_time_ns: 0.0,   // set by record_job
                     sim_energy_pj: 0.0, // set by record_job
@@ -254,21 +326,25 @@ impl Runtime {
 
     /// Prices one job, reusing pooled platforms and cached schedules.
     /// `worker` attributes host-side lowering spans to the executing
-    /// worker's track.
+    /// worker's track. The two trailing flags report whether the schedule
+    /// cache was hit and whether it was probed at all (host platforms and
+    /// cache-disabled runtimes never probe).
     fn run_one(
         &self,
         job: &Job,
         worker: usize,
-    ) -> (Result<ExecReport, pim_device::PimError>, bool) {
+    ) -> (Result<ExecReport, pim_device::PimError>, bool, bool) {
         let platform = match self.pooled_platform(job) {
             Ok(p) => p,
-            Err(e) => return (Err(e), false),
+            Err(e) => return (Err(e), false, false),
         };
         let workload = Workload::from_spec(&job.workload);
 
         let mut cache_hit = false;
+        let mut cache_probed = false;
         let schedule: Option<Arc<Schedule>> = match platform.lowering_config() {
             Some(cfg) if self.config.cache_enabled => {
+                cache_probed = true;
                 let key = ScheduleCache::key(&cfg, &job.workload);
                 let probe_start = Instant::now();
                 match self
@@ -306,7 +382,7 @@ impl Runtime {
                         cache_hit = hit;
                         Some(schedule)
                     }
-                    Err(e) => return (Err(e), false),
+                    Err(e) => return (Err(e), false, true),
                 }
             }
             _ => None,
@@ -315,6 +391,7 @@ impl Runtime {
         (
             platform.run_with_schedule(&workload, schedule.as_deref()),
             cache_hit,
+            cache_probed,
         )
     }
 
@@ -587,6 +664,89 @@ mod tests {
             ..RuntimeConfig::default()
         });
         assert_eq!(batch, serial.run_batch(&jobs), "results are level-blind");
+    }
+
+    #[test]
+    fn shutdown_drains_and_refuses_later_batches() {
+        let runtime = Runtime::new(RuntimeConfig {
+            workers: 2,
+            cache_enabled: true,
+            ..RuntimeConfig::default()
+        });
+        let jobs = small_jobs();
+        runtime.run_batch(&jobs);
+        assert!(!runtime.is_draining());
+
+        let final_snapshot = runtime.shutdown();
+        assert!(runtime.is_draining());
+        assert_eq!(final_snapshot.jobs_submitted, 4);
+        assert_eq!(final_snapshot.jobs_completed, 4);
+
+        // Refused batches report an explicit error and leave no trace in
+        // the metrics: they were never admitted.
+        let refused = runtime.run_batch(&jobs);
+        assert_eq!(refused.outcomes.len(), 4);
+        assert!(refused.outcomes.iter().all(|o| o
+            .report
+            .as_ref()
+            .err()
+            .map(|e| e.contains("draining"))
+            == Some(true)));
+        assert_eq!(runtime.metrics(), final_snapshot, "no post-drain records");
+
+        // Shutdown is idempotent.
+        assert_eq!(runtime.shutdown(), final_snapshot);
+    }
+
+    #[test]
+    fn shutdown_waits_for_in_flight_batches() {
+        let runtime = Runtime::new(RuntimeConfig {
+            workers: 2,
+            cache_enabled: true,
+            ..RuntimeConfig::default()
+        });
+        let jobs = small_jobs();
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| runtime.run_batch(&jobs));
+            // Whether or not the batch has started, shutdown must observe
+            // its completion before returning the final snapshot.
+            let snap = runtime.shutdown();
+            let batch = handle.join().expect("batch thread");
+            match batch.completed() {
+                // Admitted before the drain: all four jobs are in the
+                // final snapshot.
+                4 => assert_eq!(snap.jobs_submitted, 4),
+                // Refused: the intake gate won the race, nothing recorded.
+                0 => assert_eq!(snap.jobs_submitted, 0),
+                other => panic!("batch must be fully admitted or refused, got {other}"),
+            }
+        });
+    }
+
+    #[test]
+    fn job_rows_carry_tenant_steal_and_miss_flags() {
+        let runtime = Runtime::new(RuntimeConfig {
+            workers: 1,
+            cache_enabled: true,
+            ..RuntimeConfig::default()
+        });
+        let jobs: Vec<Job> = small_jobs()
+            .into_iter()
+            .enumerate()
+            .map(|(i, job)| job.for_tenant(if i < 2 { "alice" } else { "bob" }))
+            .collect();
+        runtime.run_batch(&jobs);
+        let snap = runtime.metrics();
+        // Jobs 0/1 (alice): one miss then one hit. Job 2 (bob, Coruscant)
+        // misses; job 3 (bob, CpuRm) is a host platform and never probes.
+        assert_eq!(snap.tenants.len(), 2);
+        let alice = &snap.tenants[0];
+        assert_eq!((alice.cache_hits, alice.cache_misses), (1, 1));
+        let bob = &snap.tenants[1];
+        assert_eq!((bob.cache_hits, bob.cache_misses), (0, 1));
+        let host_row = &snap.jobs[3];
+        assert!(!host_row.cache_hit && !host_row.cache_miss);
+        assert_eq!(host_row.tenant, "bob");
     }
 
     #[test]

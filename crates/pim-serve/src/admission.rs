@@ -1,0 +1,187 @@
+//! Admission control: per-tenant and global caps, load shedding, drain.
+//!
+//! The service moves through a simple lifecycle:
+//!
+//! ```text
+//!   Accepting ──(queue > shed high-water)──► Shedding
+//!       ▲  └────────────(drain)──────┐          │ (429 everything)
+//!       └──(queue < high-water)──────│──────────┘
+//!                                    ▼
+//!                                 Draining ──(queues idle)──► Stopped
+//!                              (503 submissions,
+//!                               in-flight finishes)
+//! ```
+//!
+//! `Shedding` is not a stored state — it is `Accepting` observed while the
+//! global queue is above the high-water mark, and it clears by itself as
+//! the dispatchers catch up. `Draining`/`Stopped` are explicit and one-way.
+//!
+//! Every rejection is *explicit*: a 429 (per-tenant or global overload,
+//! with a `Retry-After` hint derived from the backlog) or a 503 (drain).
+//! Nothing is silently dropped — an accepted submission always ends in a
+//! terminal job state.
+
+use serde::{Deserialize, Serialize};
+
+/// Admission caps and shedding thresholds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionConfig {
+    /// Maximum queued (not yet dispatched) jobs per tenant.
+    pub max_queued_per_tenant: usize,
+    /// Maximum concurrently executing jobs per tenant (enforced at
+    /// dispatch: a saturated tenant's queue waits, other tenants proceed).
+    pub max_inflight_per_tenant: usize,
+    /// Global queued-job high-water mark: above this the service sheds
+    /// *all* new load with 429s until the dispatchers catch up.
+    pub max_queued_global: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_queued_per_tenant: 64,
+            max_inflight_per_tenant: 4,
+            max_queued_global: 512,
+        }
+    }
+}
+
+/// Service lifecycle phase (see the module docs for the state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Accepting submissions (sheds with 429s above the high-water mark).
+    Accepting,
+    /// Drain requested: submissions get 503, admitted work finishes.
+    Draining,
+    /// Drained: queues idle, metering flushed, final metrics frozen.
+    Stopped,
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejection {
+    /// This tenant's queue is at its cap (429).
+    TenantQueueFull {
+        /// The tenant's queued-job count at refusal.
+        depth: usize,
+    },
+    /// The global queue is above the high-water mark (429).
+    GlobalOverload {
+        /// The global queued-job count at refusal.
+        depth: usize,
+    },
+    /// The service is draining or stopped (503).
+    Draining,
+}
+
+impl Rejection {
+    /// The HTTP status this rejection maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            Rejection::TenantQueueFull { .. } | Rejection::GlobalOverload { .. } => 429,
+            Rejection::Draining => 503,
+        }
+    }
+
+    /// Human-readable refusal reason (returned in the error body).
+    pub fn reason(&self) -> String {
+        match self {
+            Rejection::TenantQueueFull { depth } => {
+                format!("tenant queue full ({depth} jobs queued)")
+            }
+            Rejection::GlobalOverload { depth } => {
+                format!("service overloaded ({depth} jobs queued globally)")
+            }
+            Rejection::Draining => "service is draining".to_string(),
+        }
+    }
+}
+
+/// Decides whether a submission may enter the queues. Pure function of the
+/// observed state, so it is trivially testable and the server can hold its
+/// lock across the decision.
+pub fn admit(
+    config: &AdmissionConfig,
+    phase: Phase,
+    tenant_queued: usize,
+    global_queued: usize,
+) -> Result<(), Rejection> {
+    if phase != Phase::Accepting {
+        return Err(Rejection::Draining);
+    }
+    if global_queued >= config.max_queued_global {
+        return Err(Rejection::GlobalOverload {
+            depth: global_queued,
+        });
+    }
+    if tenant_queued >= config.max_queued_per_tenant {
+        return Err(Rejection::TenantQueueFull {
+            depth: tenant_queued,
+        });
+    }
+    Ok(())
+}
+
+/// The `Retry-After` hint for a rejected submission, in milliseconds:
+/// the backlog ahead of the client times the observed mean service time
+/// (falling back to 50 ms before any job has completed), clamped to
+/// [100 ms, 60 s]. Deterministic in its inputs — no randomness — so tests
+/// can assert on it; clients should still jitter on their side.
+pub fn retry_after_ms(backlog: usize, mean_service_ns: Option<u64>) -> u64 {
+    let per_job_ms = mean_service_ns.map_or(50, |ns| (ns / 1_000_000).max(1));
+    ((backlog as u64 + 1) * per_job_ms).clamp(100, 60_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> AdmissionConfig {
+        AdmissionConfig {
+            max_queued_per_tenant: 2,
+            max_inflight_per_tenant: 1,
+            max_queued_global: 4,
+        }
+    }
+
+    #[test]
+    fn accepts_under_caps() {
+        assert_eq!(admit(&config(), Phase::Accepting, 0, 0), Ok(()));
+        assert_eq!(admit(&config(), Phase::Accepting, 1, 3), Ok(()));
+    }
+
+    #[test]
+    fn rejects_with_the_right_status() {
+        let tenant_full = admit(&config(), Phase::Accepting, 2, 3).unwrap_err();
+        assert_eq!(tenant_full.status(), 429);
+        assert!(tenant_full.reason().contains("tenant queue full"));
+
+        let overload = admit(&config(), Phase::Accepting, 0, 4).unwrap_err();
+        assert_eq!(overload.status(), 429);
+        assert!(overload.reason().contains("overloaded"));
+
+        // The global check dominates: overload sheds everyone.
+        assert_eq!(
+            admit(&config(), Phase::Accepting, 2, 9),
+            Err(Rejection::GlobalOverload { depth: 9 })
+        );
+
+        for phase in [Phase::Draining, Phase::Stopped] {
+            let drained = admit(&config(), phase, 0, 0).unwrap_err();
+            assert_eq!(drained, Rejection::Draining);
+            assert_eq!(drained.status(), 503);
+        }
+    }
+
+    #[test]
+    fn retry_hint_scales_with_backlog() {
+        // No observations yet: 50 ms per queued job.
+        assert_eq!(retry_after_ms(0, None), 100, "floor");
+        assert_eq!(retry_after_ms(9, None), 500);
+        // Observed mean service time drives the estimate.
+        assert_eq!(retry_after_ms(4, Some(20_000_000)), 100);
+        assert_eq!(retry_after_ms(99, Some(8_000_000)), 800);
+        // Ceiling keeps hints sane under extreme backlog.
+        assert_eq!(retry_after_ms(1_000_000, Some(1_000_000_000)), 60_000);
+    }
+}

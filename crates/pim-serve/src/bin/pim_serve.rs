@@ -1,0 +1,106 @@
+//! The `pim_serve` binary: boot the service on a real port.
+//!
+//! ```text
+//! pim_serve [--addr HOST:PORT] [--http-workers N] [--dispatch-workers N]
+//!           [--max-queued-per-tenant N] [--max-inflight-per-tenant N]
+//!           [--max-queued-global N] [--weight TENANT=W]...
+//! ```
+//!
+//! Runs until killed or drained via `POST /v1/admin/drain` (after a drain
+//! the process stays up serving queries on the frozen state; stop it with
+//! SIGTERM/SIGINT).
+
+use pim_serve::{ServeConfig, Server};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pim_serve [--addr HOST:PORT] [--http-workers N] [--dispatch-workers N]\n\
+         \u{20}                [--max-queued-per-tenant N] [--max-inflight-per-tenant N]\n\
+         \u{20}                [--max-queued-global N] [--weight TENANT=W]..."
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:8080".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--http-workers" => {
+                config.http_workers = value("--http-workers").parse().unwrap_or_else(|_| usage())
+            }
+            "--dispatch-workers" => {
+                config.dispatch_workers = value("--dispatch-workers")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--max-queued-per-tenant" => {
+                config.admission.max_queued_per_tenant = value("--max-queued-per-tenant")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--max-inflight-per-tenant" => {
+                config.admission.max_inflight_per_tenant = value("--max-inflight-per-tenant")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--max-queued-global" => {
+                config.admission.max_queued_global = value("--max-queued-global")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--weight" => {
+                let spec = value("--weight");
+                let Some((tenant, weight)) = spec.split_once('=') else {
+                    eprintln!("--weight wants TENANT=W, got {spec:?}");
+                    usage()
+                };
+                let weight: u64 = weight.parse().unwrap_or_else(|_| usage());
+                config.tenant_weights.push((tenant.to_string(), weight));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(error) => {
+            eprintln!("pim_serve: bind failed: {error}");
+            std::process::exit(1);
+        }
+    };
+    let plan = server.plan();
+    println!("pim_serve listening on http://{}", server.addr());
+    println!(
+        "thread plan: {} machine threads = {} http + {} dispatchers x {} intra-run",
+        plan.machine, plan.http_workers, plan.dispatch_workers, plan.intra_per_job
+    );
+    println!(
+        "submit:  curl -s http://{}/v1/jobs -d @job.json",
+        server.addr()
+    );
+    println!(
+        "drain:   curl -s -X POST http://{}/v1/admin/drain",
+        server.addr()
+    );
+
+    // No signal handling in std: serve until the process is killed.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

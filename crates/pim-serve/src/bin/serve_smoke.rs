@@ -1,0 +1,180 @@
+//! End-to-end smoke test for the service, run by `make serve-smoke` in CI:
+//! boots an in-process server on an ephemeral port, submits a job over
+//! real HTTP, polls it to completion, checks the metered cost is nonzero,
+//! exercises one 429 under a deliberately tiny admission cap, drains
+//! gracefully, and verifies the metering conservation invariant.
+//!
+//! Exits 0 on success, 1 with a diagnostic on any failure.
+
+use pim_baselines::PlatformKind;
+use pim_runtime::Job;
+use pim_serve::api::{JobState, ResultResponse, StatusResponse, SubmitRequest, SubmitResponse};
+use pim_serve::{call, AdmissionConfig, Phase, ServeConfig, Server};
+use pim_workloads::WorkloadSpec;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+fn fail(what: &str) -> ! {
+    eprintln!("serve-smoke FAILED: {what}");
+    std::process::exit(1);
+}
+
+fn submit_body(tenant: &str, m: usize) -> String {
+    let request = SubmitRequest {
+        tenant: tenant.to_string(),
+        job: Job::new(WorkloadSpec::MatMul { m, k: m, n: m }, PlatformKind::StPim),
+    };
+    serde_json::to_string(&request).expect("request serializes")
+}
+
+fn poll_terminal(addr: &SocketAddr, id: u64) -> StatusResponse {
+    for _ in 0..2_000 {
+        let (status, _, body) = call(addr, "GET", &format!("/v1/jobs/{id}"), None)
+            .unwrap_or_else(|e| fail(&format!("poll: {e}")));
+        if status != 200 {
+            fail(&format!("poll status {status}: {body}"));
+        }
+        let parsed: StatusResponse =
+            serde_json::from_str(&body).unwrap_or_else(|e| fail(&format!("poll body: {e}")));
+        if parsed.state.is_terminal() {
+            return parsed;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    fail("job never reached a terminal state");
+}
+
+fn main() {
+    // Tiny caps so the overload path is easy to trip: one queued job per
+    // tenant, one in flight, and a single dispatcher.
+    let config = ServeConfig {
+        dispatch_workers: 1,
+        admission: AdmissionConfig {
+            max_queued_per_tenant: 1,
+            max_inflight_per_tenant: 1,
+            max_queued_global: 8,
+        },
+        ..ServeConfig::default()
+    };
+    let server = Server::start(config).unwrap_or_else(|e| fail(&format!("bind: {e}")));
+    let addr = server.addr();
+    println!("serve-smoke: server on {addr}");
+
+    // 1. Health check.
+    let (status, _, body) =
+        call(&addr, "GET", "/v1/healthz", None).unwrap_or_else(|e| fail(&format!("healthz: {e}")));
+    if status != 200 {
+        fail(&format!("healthz status {status}: {body}"));
+    }
+
+    // 2. Submit a job and poll it to completion.
+    let (status, _, body) = call(&addr, "POST", "/v1/jobs", Some(&submit_body("smoke", 16)))
+        .unwrap_or_else(|e| fail(&format!("submit: {e}")));
+    if status != 202 {
+        fail(&format!("submit status {status}: {body}"));
+    }
+    let submitted: SubmitResponse =
+        serde_json::from_str(&body).unwrap_or_else(|e| fail(&format!("submit body: {e}")));
+    println!(
+        "serve-smoke: job {} admitted, tier {} (estimate {} microcredits)",
+        submitted.id, submitted.meter.tier.name, submitted.meter.estimated_microcredits
+    );
+    let terminal = poll_terminal(&addr, submitted.id);
+    if terminal.state != JobState::Completed {
+        fail(&format!("job ended {:?}, wanted Completed", terminal.state));
+    }
+
+    // 3. The settled meter record must carry a nonzero bill.
+    let (status, _, body) = call(
+        &addr,
+        "GET",
+        &format!("/v1/jobs/{}/result", submitted.id),
+        None,
+    )
+    .unwrap_or_else(|e| fail(&format!("result: {e}")));
+    if status != 200 {
+        fail(&format!("result status {status}: {body}"));
+    }
+    let result: ResultResponse =
+        serde_json::from_str(&body).unwrap_or_else(|e| fail(&format!("result body: {e}")));
+    let meter = result
+        .meter
+        .unwrap_or_else(|| fail("result has no meter record"));
+    if meter.billed_microcredits == 0 {
+        fail(&format!("metered cost is zero: {body}"));
+    }
+    println!(
+        "serve-smoke: job {} completed with nonzero metered cost",
+        submitted.id
+    );
+
+    // 4. Exercise one 429: a concurrent burst against the 1-queued +
+    // 1-in-flight cap. Twelve clients fire at once (distinct matrix shapes,
+    // so the schedule cache cannot shortcut the work); at most two can be
+    // in the system, so the burst must shed — and every refusal must be an
+    // explicit 429 with a Retry-After hint, never a silent drop.
+    let burst: Vec<_> = (0..12)
+        .map(|i| {
+            std::thread::spawn(move || {
+                call(
+                    &addr,
+                    "POST",
+                    "/v1/jobs",
+                    Some(&submit_body("smoke", 320 + 16 * i)),
+                )
+            })
+        })
+        .collect();
+    let mut admitted = 0u32;
+    let mut rejected = 0u32;
+    for client in burst {
+        let (status, headers, body) = client
+            .join()
+            .expect("burst client")
+            .unwrap_or_else(|e| fail(&format!("burst submit: {e}")));
+        match status {
+            202 => admitted += 1,
+            429 => {
+                if !headers.contains_key("retry-after") {
+                    fail(&format!("429 without Retry-After: {body}"));
+                }
+                if !body.contains("retry_after_ms") {
+                    fail(&format!("429 body without hint: {body}"));
+                }
+                rejected += 1;
+            }
+            other => fail(&format!("burst submit status {other}: {body}")),
+        }
+    }
+    if rejected == 0 {
+        fail("concurrent burst of 12 never tripped the admission cap");
+    }
+    println!(
+        "serve-smoke: burst of 12 -> {admitted} admitted, {rejected} explicit 429s with Retry-After"
+    );
+
+    // 5. Graceful drain over the API; admitted burst jobs must all finish.
+    let (status, _, body) = call(&addr, "POST", "/v1/admin/drain", None)
+        .unwrap_or_else(|e| fail(&format!("drain: {e}")));
+    if status != 200 {
+        fail(&format!("drain status {status}: {body}"));
+    }
+    if !body.contains("\"Stopped\"") {
+        fail(&format!("drain did not stop the service: {body}"));
+    }
+
+    // 6. Conservation: per-tenant metered totals == global == runtime.
+    if let Err(violation) = server.check_conservation() {
+        fail(&format!("conservation violated: {violation}"));
+    }
+    println!("serve-smoke: metering conservation holds after drain");
+
+    let drained = server.shutdown();
+    if drained.phase != Phase::Stopped {
+        fail("shutdown did not reach Stopped");
+    }
+    println!(
+        "serve-smoke: OK ({} jobs completed, {} microcredits billed)",
+        drained.runtime.jobs_completed, drained.ledger.global.billed_microcredits
+    );
+}

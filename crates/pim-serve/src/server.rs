@@ -1,0 +1,952 @@
+//! The service itself: listener, HTTP worker pool, dispatchers, routing.
+//!
+//! ## Thread topology
+//!
+//! ```text
+//!   acceptor ──► bounded connection channel ──► HTTP workers (parse,
+//!      │         (try_send; full = shed 429)    route, respond)
+//!      │                                          │ submit/cancel/query
+//!      ▼                                          ▼
+//!   TcpListener                            Core state (one mutex):
+//!                                          phase, tenant queues, job table
+//!                                                 │ work condvar
+//!                                                 ▼
+//!                                          dispatchers ──► pim-runtime
+//!                                          (weighted fair pick, one job
+//!                                           per dispatch, settle meter)
+//! ```
+//!
+//! The thread budget is explicit: HTTP workers only parse and route (no
+//! simulation), dispatchers each run one job at a time, and every job's
+//! simulated device gets `intra_worker_budget(Auto, dispatchers, machine −
+//! HTTP workers)` threads — so service threads × dispatchers × intra-run
+//! threads never oversubscribe the host (see [`ServeConfig::plan`]).
+//!
+//! ## Determinism at the network edge
+//!
+//! The runtime's contract — an [`pim_device::ExecReport`] is a pure
+//! function of the job — survives the service unchanged: admission order,
+//! queueing, fair dispatch, and thread counts only decide *when* a job
+//! runs, never what it computes. The overload integration test asserts
+//! this byte-for-byte against direct `pim-runtime` runs.
+
+use crate::admission::{self, AdmissionConfig, Phase, Rejection};
+use crate::api::*;
+use crate::http::{client_request, read_request, ParseError, Request, Response};
+use crate::meter::{Ledger, MeterConfig};
+use crate::queue::TenantQueues;
+use pim_device::Parallelism;
+use pim_runtime::{intra_worker_budget, Job, Runtime, RuntimeConfig};
+use pim_trace::{NullSink, Span, TraceSink, Track};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// HTTP worker threads (parse + route only, no simulation).
+    pub http_workers: usize,
+    /// Dispatcher threads (each runs one job at a time in the runtime).
+    /// Zero pauses dispatch entirely — jobs queue but never run — which
+    /// exists for deterministic cancellation tests, not production use.
+    pub dispatch_workers: usize,
+    /// Bounded connection-queue depth between acceptor and HTTP workers;
+    /// beyond it, connections are shed at the door with a 429.
+    pub connection_backlog: usize,
+    /// Per-read timeout on client sockets, milliseconds.
+    pub read_timeout_ms: u64,
+    /// Admission caps.
+    pub admission: AdmissionConfig,
+    /// Metering rates.
+    pub meter: MeterConfig,
+    /// Initial per-tenant dispatch weights (tenants absent here get 1).
+    pub tenant_weights: Vec<(String, u64)>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let machine = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            http_workers: 2,
+            dispatch_workers: machine.saturating_sub(2).clamp(1, 4),
+            connection_backlog: 64,
+            read_timeout_ms: 2_000,
+            admission: AdmissionConfig::default(),
+            meter: MeterConfig::default(),
+            tenant_weights: Vec::new(),
+        }
+    }
+}
+
+/// The service's explicit thread budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPlan {
+    /// Hardware threads on this machine.
+    pub machine: usize,
+    /// HTTP worker threads.
+    pub http_workers: usize,
+    /// Dispatcher threads.
+    pub dispatch_workers: usize,
+    /// Intra-run simulation threads granted to each running job.
+    pub intra_per_job: usize,
+}
+
+impl ServeConfig {
+    /// Splits the machine between service threads and simulation:
+    /// dispatchers share what is left after the HTTP workers, and each
+    /// job's device gets the dispatchers' fair share of that remainder via
+    /// [`intra_worker_budget`] — so `dispatch_workers × intra_per_job`
+    /// never exceeds the compute budget.
+    pub fn plan(&self) -> ThreadPlan {
+        let machine = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let compute = machine.saturating_sub(self.http_workers).max(1);
+        let intra_per_job = intra_worker_budget(Parallelism::Auto, self.dispatch_workers, compute);
+        ThreadPlan {
+            machine,
+            http_workers: self.http_workers,
+            dispatch_workers: self.dispatch_workers,
+            intra_per_job,
+        }
+    }
+
+    /// The runtime configuration the plan implies. Each dispatcher submits
+    /// single-job batches, so the runtime's own batch pool stays at one
+    /// worker and all parallelism is explicit: dispatcher threads ×
+    /// `Threads(intra_per_job)` devices.
+    pub fn runtime_config(&self) -> RuntimeConfig {
+        let plan = self.plan();
+        RuntimeConfig {
+            workers: 1,
+            cache_enabled: true,
+            intra_parallelism: if plan.intra_per_job <= 1 {
+                Parallelism::Serial
+            } else {
+                Parallelism::Threads(plan.intra_per_job)
+            },
+        }
+    }
+}
+
+/// One job's full server-side record.
+#[derive(Debug, Clone)]
+struct JobRecord {
+    id: u64,
+    tenant: String,
+    name: String,
+    job: Job,
+    state: JobState,
+    submitted_ns: u64,
+    started_ns: Option<u64>,
+    finished_ns: Option<u64>,
+    /// Failure message for failed jobs.
+    error: Option<String>,
+    /// The completed report as JSON (pre-serialized once; responses and
+    /// the byte-identity tests read this exact string).
+    report_json: Option<String>,
+}
+
+/// Mutable state under the core mutex.
+#[derive(Debug)]
+struct CoreState {
+    phase: Phase,
+    queues: TenantQueues,
+    jobs: HashMap<u64, JobRecord>,
+    next_id: u64,
+}
+
+/// Monotone traffic counters (lock-free; read by `/v1/metrics`).
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: AtomicU64,
+    admitted: AtomicU64,
+    rejected_tenant: AtomicU64,
+    rejected_global: AtomicU64,
+    rejected_drain: AtomicU64,
+    shed_connections: AtomicU64,
+    cancelled: AtomicU64,
+    /// Completed-job service time, for `Retry-After` estimation.
+    service_ns_total: AtomicU64,
+    service_jobs: AtomicU64,
+}
+
+impl Counters {
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected_tenant: self.rejected_tenant.load(Ordering::Relaxed),
+            rejected_global: self.rejected_global.load(Ordering::Relaxed),
+            rejected_drain: self.rejected_drain.load(Ordering::Relaxed),
+            shed_connections: self.shed_connections.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Mean observed service time, if any job has completed.
+    fn mean_service_ns(&self) -> Option<u64> {
+        let jobs = self.service_jobs.load(Ordering::Relaxed);
+        (jobs > 0).then(|| self.service_ns_total.load(Ordering::Relaxed) / jobs)
+    }
+}
+
+/// Everything the service threads share.
+struct Core {
+    config: ServeConfig,
+    runtime: Runtime,
+    ledger: Ledger,
+    state: Mutex<CoreState>,
+    /// Signaled on submit and on freed in-flight slots; dispatchers wait.
+    work: Condvar,
+    /// Signaled when a job settles; drain waits.
+    done: Condvar,
+    counters: Counters,
+    /// Tells the acceptor to stop taking connections.
+    stop: AtomicBool,
+    /// Zero point of the service host clock.
+    origin: Instant,
+    sink: Arc<dyn TraceSink>,
+}
+
+impl std::fmt::Debug for Core {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Core")
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl Core {
+    fn new(config: ServeConfig, sink: Arc<dyn TraceSink>) -> Self {
+        let runtime = Runtime::with_sink(config.runtime_config(), Arc::clone(&sink));
+        let ledger = Ledger::new(config.meter.clone());
+        let mut queues = TenantQueues::new();
+        for (tenant, weight) in &config.tenant_weights {
+            queues.set_weight(tenant, *weight);
+        }
+        Core {
+            config,
+            runtime,
+            ledger,
+            state: Mutex::new(CoreState {
+                phase: Phase::Accepting,
+                queues,
+                jobs: HashMap::new(),
+                next_id: 1,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            counters: Counters::default(),
+            stop: AtomicBool::new(false),
+            origin: Instant::now(),
+            sink,
+        }
+    }
+
+    /// Nanoseconds since server start.
+    fn host_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    /// One dispatcher thread: fair-pick a job, run it through the runtime,
+    /// settle the meter, publish the outcome. Exits once the service has
+    /// left `Accepting` and the queues are empty.
+    fn dispatch_loop(&self) {
+        loop {
+            let (tenant, job_id, job) = {
+                let mut state = self.state.lock().expect("core lock");
+                loop {
+                    let cap = self.config.admission.max_inflight_per_tenant;
+                    if let Some((tenant, job_id)) = state.queues.dispatch(cap) {
+                        let record = state.jobs.get_mut(&job_id).expect("queued job recorded");
+                        record.state = JobState::Running;
+                        record.started_ns = Some(self.host_ns());
+                        let job = record.job.clone();
+                        break (tenant, job_id, job);
+                    }
+                    if state.phase != Phase::Accepting && state.queues.queued() == 0 {
+                        return;
+                    }
+                    state = self.work.wait(state).expect("core lock");
+                }
+            };
+
+            let started = Instant::now();
+            let batch = self.runtime.run_batch(std::slice::from_ref(&job));
+            let outcome = batch.outcomes.into_iter().next().expect("one outcome");
+            let elapsed_ns = started.elapsed().as_nanos() as u64;
+            self.counters
+                .service_ns_total
+                .fetch_add(elapsed_ns, Ordering::Relaxed);
+            self.counters.service_jobs.fetch_add(1, Ordering::Relaxed);
+
+            // Settle the meter before publishing the terminal state, so a
+            // client that polls "Completed" always sees a settled record.
+            self.ledger.settle(job_id, outcome.report.as_ref().ok());
+
+            let mut state = self.state.lock().expect("core lock");
+            state.queues.finish(&tenant);
+            let record = state.jobs.get_mut(&job_id).expect("running job recorded");
+            record.finished_ns = Some(self.host_ns());
+            match outcome.report {
+                Ok(report) => {
+                    record.state = JobState::Completed;
+                    record.report_json =
+                        Some(serde_json::to_string(&report).expect("report serializes"));
+                }
+                Err(message) => {
+                    record.state = JobState::Failed;
+                    record.error = Some(message);
+                }
+            }
+            drop(state);
+            // A tenant slot freed: other dispatchers may now be eligible.
+            self.work.notify_all();
+            self.done.notify_all();
+        }
+    }
+
+    /// `POST /v1/jobs`.
+    fn submit(&self, request: &Request) -> Response {
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        let parsed: SubmitRequest = match serde_json::from_str(request.body_str()) {
+            Ok(parsed) => parsed,
+            Err(error) => return Response::error(400, &format!("bad submit body: {error}")),
+        };
+        if parsed.tenant.is_empty() {
+            return Response::error(400, "tenant must be non-empty");
+        }
+        let tenant = parsed.tenant;
+        let job = parsed.job.for_tenant(tenant.clone());
+
+        let mut state = self.state.lock().expect("core lock");
+        let decision = admission::admit(
+            &self.config.admission,
+            state.phase,
+            state.queues.queued_for(&tenant),
+            state.queues.queued(),
+        );
+        if let Err(rejection) = decision {
+            let backlog = state.queues.queued() + state.queues.in_flight();
+            drop(state);
+            match &rejection {
+                Rejection::TenantQueueFull { .. } => &self.counters.rejected_tenant,
+                Rejection::GlobalOverload { .. } => &self.counters.rejected_global,
+                Rejection::Draining => &self.counters.rejected_drain,
+            }
+            .fetch_add(1, Ordering::Relaxed);
+            return self.reject(rejection, backlog);
+        }
+        let job_id = state.next_id;
+        state.next_id += 1;
+        // Ledger admission happens under the core lock, before the job is
+        // visible to dispatchers — a dispatcher can never settle a job the
+        // ledger has not admitted.
+        let meter = self.ledger.admit(job_id, &tenant, &job.workload);
+        state.jobs.insert(
+            job_id,
+            JobRecord {
+                id: job_id,
+                tenant: tenant.clone(),
+                name: job.name.clone(),
+                job,
+                state: JobState::Queued,
+                submitted_ns: self.host_ns(),
+                started_ns: None,
+                finished_ns: None,
+                error: None,
+                report_json: None,
+            },
+        );
+        state.queues.push(&tenant, job_id);
+        drop(state);
+        self.counters.admitted.fetch_add(1, Ordering::Relaxed);
+        self.work.notify_all();
+
+        let body = SubmitResponse {
+            id: job_id,
+            tenant,
+            state: JobState::Queued,
+            meter,
+        };
+        Response::json(
+            202,
+            serde_json::to_string(&body).expect("response serializes"),
+        )
+    }
+
+    /// Builds the 429/503 response for a refusal, with `Retry-After` both
+    /// as a header (whole seconds, per HTTP) and a millisecond hint in the
+    /// body.
+    fn reject(&self, rejection: Rejection, backlog: usize) -> Response {
+        let retry_ms = admission::retry_after_ms(backlog, self.counters.mean_service_ns());
+        let body = ErrorResponse {
+            error: rejection.reason(),
+            retry_after_ms: Some(retry_ms),
+        };
+        Response::json(
+            rejection.status(),
+            serde_json::to_string(&body).expect("response serializes"),
+        )
+        .header("Retry-After", retry_ms.div_ceil(1000).max(1))
+    }
+
+    /// `GET /v1/jobs/{id}`.
+    fn status(&self, job_id: u64) -> Response {
+        let state = self.state.lock().expect("core lock");
+        let Some(record) = state.jobs.get(&job_id) else {
+            return Response::error(404, &format!("no such job {job_id}"));
+        };
+        let body = StatusResponse {
+            id: record.id,
+            tenant: record.tenant.clone(),
+            name: record.name.clone(),
+            state: record.state,
+            submitted_ns: record.submitted_ns,
+            started_ns: record.started_ns,
+            finished_ns: record.finished_ns,
+        };
+        Response::json(
+            200,
+            serde_json::to_string(&body).expect("response serializes"),
+        )
+    }
+
+    /// `GET /v1/jobs/{id}/result`. The report JSON is spliced in verbatim
+    /// from the string serialized at completion, so what the client
+    /// receives is byte-identical to serializing the runtime's report
+    /// directly.
+    fn result(&self, job_id: u64) -> Response {
+        let state = self.state.lock().expect("core lock");
+        let Some(record) = state.jobs.get(&job_id) else {
+            return Response::error(404, &format!("no such job {job_id}"));
+        };
+        if !record.state.is_terminal() {
+            return Response::error(
+                409,
+                &format!("job {job_id} is {:?}; result not ready", record.state),
+            );
+        }
+        let meter = self
+            .ledger
+            .record(job_id)
+            .map(|r| serde_json::to_string(&r).expect("meter serializes"))
+            .unwrap_or_else(|| "null".to_string());
+        let report = record
+            .report_json
+            .clone()
+            .unwrap_or_else(|| "null".to_string());
+        let error = serde_json::to_string(&record.error).expect("error serializes");
+        let state_json = serde_json::to_string(&record.state).expect("state serializes");
+        // Hand-assembled so the `report` field is the exact bytes stored
+        // at completion (field order mirrors `api::ResultResponse`).
+        let body = format!(
+            "{{\"id\": {}, \"tenant\": {}, \"state\": {}, \"report\": {}, \"error\": {}, \"meter\": {}}}",
+            record.id,
+            serde_json::to_string(&record.tenant).expect("tenant serializes"),
+            state_json,
+            report,
+            error,
+            meter,
+        );
+        Response::json(200, body)
+    }
+
+    /// `DELETE /v1/jobs/{id}`.
+    fn cancel(&self, job_id: u64) -> Response {
+        let mut state = self.state.lock().expect("core lock");
+        let Some(record) = state.jobs.get(&job_id) else {
+            return Response::error(404, &format!("no such job {job_id}"));
+        };
+        let tenant = record.tenant.clone();
+        match record.state {
+            JobState::Queued => {
+                assert!(
+                    state.queues.remove(&tenant, job_id),
+                    "queued job is in its tenant queue"
+                );
+                let record = state.jobs.get_mut(&job_id).expect("record exists");
+                record.state = JobState::Cancelled;
+                record.finished_ns = Some(self.host_ns());
+                drop(state);
+                assert!(self.ledger.cancel(job_id), "queued job's meter is pending");
+                self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                // Cancellation can make the queues idle: wake a drain.
+                self.done.notify_all();
+                let body = StatusResponse {
+                    id: job_id,
+                    tenant,
+                    name: String::new(),
+                    state: JobState::Cancelled,
+                    submitted_ns: 0,
+                    started_ns: None,
+                    finished_ns: None,
+                };
+                Response::json(200, serde_json::to_string(&body).expect("serializes"))
+            }
+            JobState::Running => Response::error(
+                409,
+                "job is running; the simulator is not interruptible, it will complete and be metered",
+            ),
+            state => Response::error(409, &format!("job already {state:?}")),
+        }
+    }
+
+    /// `GET /v1/metrics`.
+    fn metrics(&self) -> Response {
+        let phase = self.state.lock().expect("core lock").phase;
+        let body = MetricsResponse {
+            phase,
+            server: self.counters.stats(),
+            runtime: self.runtime.metrics(),
+            ledger: self.ledger.summary(),
+        };
+        Response::json(200, serde_json::to_string(&body).expect("serializes"))
+    }
+
+    /// `GET /v1/tenants/{tenant}/usage`.
+    fn usage(&self, tenant: &str) -> Response {
+        match self.ledger.usage(tenant) {
+            Some(usage) => Response::json(200, serde_json::to_string(&usage).expect("serializes")),
+            None => Response::error(404, &format!("tenant {tenant:?} has no usage")),
+        }
+    }
+
+    /// `GET /v1/healthz`.
+    fn healthz(&self) -> Response {
+        let state = self.state.lock().expect("core lock");
+        let body = HealthResponse {
+            phase: state.phase,
+            queued: state.queues.queued(),
+            in_flight: state.queues.in_flight(),
+        };
+        Response::json(200, serde_json::to_string(&body).expect("serializes"))
+    }
+
+    /// Graceful drain: stop admitting, let every admitted job finish, then
+    /// freeze. Idempotent — concurrent calls all block until the drain
+    /// completes and return the same final state.
+    fn drain(&self) -> DrainResponse {
+        {
+            let mut state = self.state.lock().expect("core lock");
+            if state.phase == Phase::Accepting {
+                state.phase = Phase::Draining;
+            }
+            // Wake dispatchers blocked on an empty queue so they can exit.
+            self.work.notify_all();
+            while !state.queues.is_idle() {
+                state = self.done.wait(state).expect("core lock");
+            }
+            state.phase = Phase::Stopped;
+        }
+        // Queues are idle and intake is off: the runtime drains instantly
+        // and refuses any stray batch from here on.
+        let runtime = self.runtime.shutdown();
+        DrainResponse {
+            phase: Phase::Stopped,
+            runtime,
+            ledger: self.ledger.summary(),
+        }
+    }
+
+    /// Routes one parsed request.
+    fn route(&self, request: &Request) -> Response {
+        let segments = request.segments();
+        match (request.method.as_str(), segments.as_slice()) {
+            ("GET", ["v1", "healthz"]) => self.healthz(),
+            ("GET", ["v1", "metrics"]) => self.metrics(),
+            ("POST", ["v1", "jobs"]) => self.submit(request),
+            ("GET", ["v1", "jobs", id]) => match id.parse() {
+                Ok(id) => self.status(id),
+                Err(_) => Response::error(400, &format!("bad job id {id:?}")),
+            },
+            ("GET", ["v1", "jobs", id, "result"]) => match id.parse() {
+                Ok(id) => self.result(id),
+                Err(_) => Response::error(400, &format!("bad job id {id:?}")),
+            },
+            ("DELETE", ["v1", "jobs", id]) => match id.parse() {
+                Ok(id) => self.cancel(id),
+                Err(_) => Response::error(400, &format!("bad job id {id:?}")),
+            },
+            ("GET", ["v1", "tenants", tenant, "usage"]) => self.usage(tenant),
+            ("POST", ["v1", "admin", "drain"]) => {
+                let drained = self.drain();
+                Response::json(200, serde_json::to_string(&drained).expect("serializes"))
+            }
+            (_, ["v1", "jobs", ..]) | (_, ["v1", "healthz"]) | (_, ["v1", "metrics"]) => {
+                Response::error(405, &format!("{} not allowed here", request.method))
+            }
+            _ => Response::error(404, &format!("no route for {}", request.path)),
+        }
+    }
+
+    /// One HTTP worker: parse, route, respond, close.
+    fn handle_connection(&self, worker: usize, mut stream: TcpStream) {
+        let started_ns = self.host_ns();
+        let timeout = Duration::from_millis(self.config.read_timeout_ms);
+        let response = match read_request(&stream, timeout) {
+            Ok(request) => {
+                let response = self.route(&request);
+                if self.sink.enabled() {
+                    self.sink.record_span(
+                        Span::host(
+                            format!("{} {}", request.method, request.path),
+                            "service",
+                            Track::Service(worker as u32),
+                            started_ns as f64,
+                            (self.host_ns() - started_ns) as f64,
+                        )
+                        .arg("status", response.status as u64),
+                    );
+                }
+                response
+            }
+            Err(ParseError::Incomplete) => return, // client went away
+            Err(ParseError::Malformed(reason)) => {
+                Response::error(400, &format!("malformed request: {reason}"))
+            }
+            Err(ParseError::BodyTooLarge(size)) => {
+                Response::error(413, &format!("body of {size} bytes exceeds limit"))
+            }
+        };
+        let _ = response.write_to(&mut stream);
+    }
+
+    /// The acceptor: hand connections to the worker channel, shedding at
+    /// the door with a 429 when the channel is full.
+    fn accept_loop(&self, listener: TcpListener, tx: SyncSender<TcpStream>) {
+        while !self.stop.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(false);
+                    if let Err(TrySendError::Full(mut stream)) = tx.try_send(stream) {
+                        self.counters
+                            .shed_connections
+                            .fetch_add(1, Ordering::Relaxed);
+                        let backlog = {
+                            let state = self.state.lock().expect("core lock");
+                            state.queues.queued() + state.queues.in_flight()
+                        };
+                        let _ = self
+                            .reject(
+                                Rejection::GlobalOverload {
+                                    depth: self.config.connection_backlog,
+                                },
+                                backlog,
+                            )
+                            .write_to(&mut stream);
+                    }
+                }
+                Err(ref error) if error.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => break,
+            }
+        }
+        // Dropping `tx` closes the channel; workers exit once it drains.
+    }
+}
+
+/// A running service instance.
+///
+/// `start` spawns the acceptor, HTTP workers, and dispatchers and returns
+/// immediately; [`Server::shutdown`] (or `POST /v1/admin/drain` plus drop)
+/// drains gracefully. The in-process handle is what the tests and the
+/// smoke binary drive; `pim_serve` (the binary) wraps it behind a real
+/// port for external clients.
+#[derive(Debug)]
+pub struct Server {
+    core: Arc<Core>,
+    addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts the service with tracing disabled.
+    pub fn start(config: ServeConfig) -> io::Result<Server> {
+        Server::start_with_sink(config, Arc::new(NullSink))
+    }
+
+    /// Binds and starts the service, recording per-request host spans on
+    /// [`Track::Service`] lanes into `sink`.
+    pub fn start_with_sink(config: ServeConfig, sink: Arc<dyn TraceSink>) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let backlog = config.connection_backlog.max(1);
+        let http_workers = config.http_workers.max(1);
+        let plan = config.plan();
+        let core = Arc::new(Core::new(config, sink));
+
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(backlog);
+        let rx = Arc::new(Mutex::new(rx));
+        let mut threads = Vec::new();
+
+        {
+            let core = Arc::clone(&core);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-accept".to_string())
+                    .spawn(move || core.accept_loop(listener, tx))?,
+            );
+        }
+        for worker in 0..http_workers {
+            let core = Arc::clone(&core);
+            let rx = Arc::clone(&rx);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-http-{worker}"))
+                    .spawn(move || loop {
+                        let next = rx.lock().expect("connection channel").recv();
+                        match next {
+                            Ok(stream) => core.handle_connection(worker, stream),
+                            Err(_) => break, // acceptor gone, channel drained
+                        }
+                    })?,
+            );
+        }
+        for dispatcher in 0..plan.dispatch_workers {
+            let core = Arc::clone(&core);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-dispatch-{dispatcher}"))
+                    .spawn(move || core.dispatch_loop())?,
+            );
+        }
+
+        Ok(Server {
+            core,
+            addr,
+            threads,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The thread budget in force.
+    pub fn plan(&self) -> ThreadPlan {
+        self.core.config.plan()
+    }
+
+    /// Drains in place (same as `POST /v1/admin/drain`) without stopping
+    /// the HTTP front-end: admitted jobs finish, later submissions get 503,
+    /// queries keep working.
+    pub fn drain(&self) -> DrainResponse {
+        self.core.drain()
+    }
+
+    /// Runs the ledger's conservation check against the runtime's current
+    /// snapshot (see `Ledger::check_conservation`).
+    pub fn check_conservation(&self) -> Result<(), String> {
+        self.core
+            .ledger
+            .check_conservation(&self.core.runtime.metrics())
+    }
+
+    /// Graceful full stop: drain, stop the acceptor, join every thread.
+    /// Returns the final drained state.
+    pub fn shutdown(mut self) -> DrainResponse {
+        let drained = self.core.drain();
+        self.core.stop.store(true, Ordering::Relaxed);
+        // Nudge the accept loop in case it is between polls.
+        let _ = TcpStream::connect(self.addr);
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+        drained
+    }
+}
+
+/// A blocking JSON call against a running server — thin sugar over
+/// [`client_request`] shared by the smoke binary, the load generator, and
+/// the tests.
+pub fn call(
+    addr: &SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<(u16, HashMap<String, String>, String)> {
+    client_request(&addr.to_string(), method, path, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_baselines::PlatformKind;
+    use pim_workloads::WorkloadSpec;
+
+    fn tiny_submit(tenant: &str) -> String {
+        let request = SubmitRequest {
+            tenant: tenant.to_string(),
+            job: Job::new(
+                WorkloadSpec::MatMul { m: 6, k: 6, n: 6 },
+                PlatformKind::StPim,
+            ),
+        };
+        serde_json::to_string(&request).unwrap()
+    }
+
+    fn poll_terminal(addr: &SocketAddr, id: u64) -> StatusResponse {
+        for _ in 0..2_000 {
+            let (status, _, body) = call(addr, "GET", &format!("/v1/jobs/{id}"), None).unwrap();
+            assert_eq!(status, 200, "{body}");
+            let parsed: StatusResponse = serde_json::from_str(&body).unwrap();
+            if parsed.state.is_terminal() {
+                return parsed;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("job {id} never reached a terminal state");
+    }
+
+    #[test]
+    fn submit_poll_result_round_trip() {
+        let server = Server::start(ServeConfig::default()).unwrap();
+        let addr = server.addr();
+
+        let (status, _, body) =
+            call(&addr, "POST", "/v1/jobs", Some(&tiny_submit("alice"))).unwrap();
+        assert_eq!(status, 202, "{body}");
+        let submitted: SubmitResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(submitted.state, JobState::Queued);
+        assert_eq!(submitted.meter.tier.name, "probe");
+        assert!(submitted.meter.estimated_microcredits > 0);
+
+        let terminal = poll_terminal(&addr, submitted.id);
+        assert_eq!(terminal.state, JobState::Completed);
+        assert!(terminal.started_ns.is_some() && terminal.finished_ns.is_some());
+
+        let (status, _, body) = call(
+            &addr,
+            "GET",
+            &format!("/v1/jobs/{}/result", submitted.id),
+            None,
+        )
+        .unwrap();
+        assert_eq!(status, 200, "{body}");
+        let result: ResultResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(result.state, JobState::Completed);
+        let report = result.report.expect("completed job has a report");
+        assert!(report.total_ns() > 0.0);
+        let meter = result.meter.expect("settled meter");
+        assert!(meter.billed_microcredits > 0);
+
+        let (status, _, body) = call(&addr, "GET", "/v1/tenants/alice/usage", None).unwrap();
+        assert_eq!(status, 200, "{body}");
+
+        server.check_conservation().unwrap();
+        let drained = server.shutdown();
+        assert_eq!(drained.phase, Phase::Stopped);
+        assert_eq!(drained.runtime.jobs_completed, 1);
+    }
+
+    #[test]
+    fn not_found_and_method_errors() {
+        let server = Server::start(ServeConfig::default()).unwrap();
+        let addr = server.addr();
+        let (status, _, _) = call(&addr, "GET", "/v1/jobs/999", None).unwrap();
+        assert_eq!(status, 404);
+        let (status, _, _) = call(&addr, "PUT", "/v1/jobs", Some("{}")).unwrap();
+        assert_eq!(status, 405);
+        let (status, _, _) = call(&addr, "GET", "/nope", None).unwrap();
+        assert_eq!(status, 404);
+        let (status, _, body) = call(&addr, "POST", "/v1/jobs", Some("not json")).unwrap();
+        assert_eq!(status, 400, "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn draining_refuses_submissions_with_503() {
+        let server = Server::start(ServeConfig::default()).unwrap();
+        let addr = server.addr();
+        let drained = server.drain();
+        assert_eq!(drained.phase, Phase::Stopped);
+        let (status, headers, body) =
+            call(&addr, "POST", "/v1/jobs", Some(&tiny_submit("alice"))).unwrap();
+        assert_eq!(status, 503, "{body}");
+        assert!(headers.contains_key("retry-after"));
+        let error: ErrorResponse = serde_json::from_str(&body).unwrap();
+        assert!(error.error.contains("draining"));
+        // Queries still work after drain.
+        let (status, _, _) = call(&addr, "GET", "/v1/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn cancel_refunds_queued_jobs() {
+        // Dispatch paused: submitted jobs stay queued, so cancellation is
+        // deterministic (no race against a fast dispatcher).
+        let config = ServeConfig {
+            dispatch_workers: 0,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(config).unwrap();
+        let addr = server.addr();
+        let (status, _, body) =
+            call(&addr, "POST", "/v1/jobs", Some(&tiny_submit("alice"))).unwrap();
+        assert_eq!(status, 202, "{body}");
+        let first: SubmitResponse = serde_json::from_str(&body).unwrap();
+        let (status, _, body) =
+            call(&addr, "POST", "/v1/jobs", Some(&tiny_submit("alice"))).unwrap();
+        assert_eq!(status, 202, "{body}");
+        let second: SubmitResponse = serde_json::from_str(&body).unwrap();
+
+        let (status, _, body) =
+            call(&addr, "DELETE", &format!("/v1/jobs/{}", second.id), None).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let cancelled: StatusResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(cancelled.state, JobState::Cancelled);
+        // Cancelling again conflicts.
+        let (status, _, _) =
+            call(&addr, "DELETE", &format!("/v1/jobs/{}", second.id), None).unwrap();
+        assert_eq!(status, 409);
+        // The estimate was refunded; only the first job's charge remains.
+        let (status, _, body) = call(&addr, "GET", "/v1/tenants/alice/usage", None).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let usage: crate::meter::TenantUsage = serde_json::from_str(&body).unwrap();
+        assert_eq!(usage.jobs_cancelled, 1);
+        assert_eq!(
+            usage.estimated_microcredits,
+            first.meter.estimated_microcredits
+        );
+
+        // Cancel the first too so the queues are idle and drain completes.
+        let (status, _, _) =
+            call(&addr, "DELETE", &format!("/v1/jobs/{}", first.id), None).unwrap();
+        assert_eq!(status, 200);
+        server.check_conservation().unwrap();
+        let drained = server.shutdown();
+        assert_eq!(drained.ledger.global.jobs_cancelled, 2);
+        assert_eq!(drained.ledger.global.jobs_settled, 0);
+        assert_eq!(
+            drained.ledger.global.estimated_microcredits, 0,
+            "all refunded"
+        );
+    }
+
+    #[test]
+    fn thread_plan_never_oversubscribes() {
+        let config = ServeConfig::default();
+        let plan = config.plan();
+        let compute = plan.machine.saturating_sub(plan.http_workers).max(1);
+        assert!(plan.dispatch_workers * plan.intra_per_job <= compute.max(plan.dispatch_workers));
+        let runtime_config = config.runtime_config();
+        assert_eq!(runtime_config.workers, 1, "dispatchers submit single jobs");
+    }
+}

@@ -85,12 +85,15 @@ pub enum Track {
     Worker(u32),
     /// The runtime's schedule cache (probe hit/miss instants).
     Cache,
+    /// One HTTP service thread of the network front-end (per-request
+    /// spans from `pim-serve`).
+    Service(u32),
 }
 
 impl Track {
     /// Stable Perfetto thread id. Ranges are disjoint per track family so
     /// ids never collide: workers 1.., cache 900, subarrays 10000..,
-    /// lanes 20000.., decoder 30000, phases 40000...
+    /// lanes 20000.., decoder 30000, phases 40000.., services 50000...
     pub fn tid(self) -> u64 {
         match self {
             Track::Worker(w) => 1 + w as u64,
@@ -101,6 +104,7 @@ impl Track {
             Track::Phase(Phase::Broadcast) => 40_000,
             Track::Phase(Phase::Compute) => 40_001,
             Track::Phase(Phase::Collect) => 40_002,
+            Track::Service(s) => 50_000 + s as u64,
         }
     }
 
@@ -114,6 +118,7 @@ impl Track {
             Track::Phase(_) => "phase",
             Track::Worker(_) => "worker",
             Track::Cache => "cache",
+            Track::Service(_) => "service",
         }
     }
 }
@@ -127,6 +132,7 @@ impl fmt::Display for Track {
             Track::Phase(p) => f.write_str(p.name()),
             Track::Worker(w) => write!(f, "worker {w}"),
             Track::Cache => f.write_str("schedule cache"),
+            Track::Service(s) => write!(f, "service {s}"),
         }
     }
 }
@@ -340,5 +346,8 @@ mod tests {
         assert_eq!(Track::Phase(Phase::Compute).class(), "phase");
         assert_eq!(Track::Worker(1).class(), "worker");
         assert_eq!(Track::Cache.class(), "cache");
+        assert_eq!(Track::Service(0).class(), "service");
+        assert_eq!(Track::Service(3).tid(), 50_003);
+        assert_eq!(Track::Service(3).to_string(), "service 3");
     }
 }

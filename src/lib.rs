@@ -23,6 +23,9 @@
 //!   cache, and a JSON-exportable metrics registry.
 //! * [`pim_trace`] — cross-layer structured tracing: spans on per-resource
 //!   timelines, Chrome/Perfetto JSON export, and utilization analytics.
+//! * [`pim_serve`] — the runtime as a network service: std-only HTTP/JSON
+//!   job API with per-tenant weighted fair queues, admission control, and
+//!   cost metering (see `DESIGN.md` §13).
 //!
 //! ## Quickstart
 //!
@@ -50,6 +53,7 @@ pub use pim_baselines;
 pub use pim_device;
 pub use pim_profile;
 pub use pim_runtime;
+pub use pim_serve;
 pub use pim_trace;
 pub use pim_workloads;
 pub use rm_bus;
