@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt lint build test determinism bench-build bench-device fidelity serve-smoke experiments
+.PHONY: verify fmt lint build test determinism bench-build bench-device fidelity serve-smoke obs-smoke experiments
 
-verify: fmt lint build test determinism bench-build bench-device fidelity serve-smoke
+verify: fmt lint build test determinism bench-build bench-device fidelity serve-smoke obs-smoke
 	@echo "verify: all gates passed"
 
 fmt:
@@ -46,9 +46,18 @@ fidelity:
 
 # Service-layer smoke: boots a pim-serve instance on a loopback port,
 # exercises submit/poll/result, forces explicit 429s under a concurrent
-# burst, drains, and reconciles the metering ledger.
+# burst, scrapes /metrics.prom and /v1/events (strict exposition-format
+# validation, request-id correlation), drains, and reconciles the
+# metering ledger.
 serve-smoke:
 	$(CARGO) run --release -p pim-serve --bin serve_smoke
+
+# Observability smoke: the telemetry A/B overhead gate (registry must add
+# no measurable cost to the serving path) plus one rendered pim_top frame
+# against a live in-process server.
+obs-smoke:
+	$(CARGO) run --release -p pim-serve --bin obs_overhead
+	$(CARGO) run --release -p pim-serve --bin pim_top -- --demo
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

@@ -1,0 +1,189 @@
+//! The workspace's shared latency/energy histogram scheme: fixed
+//! power-of-two bucket boundaries with bucket-midpoint percentile
+//! estimates.
+//!
+//! This module is the single home of the bucketing math that
+//! `pim_runtime::metrics` introduced (and PR 4 corrected from
+//! inclusive-upper-bound to midpoint reporting, which had over-reported
+//! percentiles by up to 2x). The runtime's `MetricsSnapshot` and the
+//! `pim-obs` registry's [`Histogram`] both delegate here, so every
+//! percentile in the system shares exact bucket semantics:
+//!
+//! * bucket `b` counts observations needing exactly `b` significant bits,
+//!   i.e. values in `[2^(b-1), 2^b)`; bucket 0 counts zeros;
+//! * the estimate reported for a bucket is its **midpoint** — unbiased for
+//!   values uniform within the bucket, exact to within half a bucket;
+//! * recording is O(1) with fixed bounds, so histograms merge by
+//!   element-wise addition and percentile computation is snapshot-time
+//!   only.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: enough for any `u64` observation.
+pub const BUCKETS: usize = 65;
+
+/// The bucket index for one observation (its significant-bit count).
+pub fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The inclusive `[lo, hi]` range covered by bucket `b`.
+pub fn bucket_bounds(b: usize) -> (u64, u64) {
+    if b == 0 {
+        (0, 0)
+    } else if b >= 64 {
+        (1u64 << 63, u64::MAX)
+    } else {
+        (1u64 << (b - 1), (1u64 << b) - 1)
+    }
+}
+
+/// The estimate reported for bucket `b`: the midpoint of its range.
+pub fn bucket_midpoint(b: usize) -> u64 {
+    let (lo, hi) = bucket_bounds(b);
+    lo + (hi - lo) / 2
+}
+
+/// The midpoint of the bucket holding the rank-`q` observation: the
+/// smallest bucket `b` such that at least `ceil(total * q)` of the
+/// recorded observations land in buckets ≤ `b`. Returns 0 for an empty
+/// histogram.
+pub fn percentile(counts: &[u64], q: f64) -> u64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (b, &count) in counts.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return bucket_midpoint(b);
+        }
+    }
+    bucket_midpoint(counts.len() - 1)
+}
+
+/// A lock-free fixed-boundary histogram: 65 power-of-two buckets plus an
+/// exact sum and count. Recording is two relaxed atomic adds; snapshots
+/// are consistent enough for monitoring (each bucket is individually
+/// exact and monotone).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact sum of recorded observations (wrapping on u64 overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A copy of the bucket counts.
+    pub fn counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The bucket-midpoint percentile estimate for quantile `q`.
+    pub fn percentile(&self, q: f64) -> u64 {
+        percentile(&self.counts(), q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_u64_range() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for b in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(b);
+            assert!(lo <= hi);
+            assert_eq!(bucket_of(lo), b, "lower bound lands in its bucket");
+            assert_eq!(bucket_of(hi), b, "upper bound lands in its bucket");
+        }
+    }
+
+    #[test]
+    fn midpoint_matches_the_runtime_convention() {
+        // The same anchors pim-runtime's metrics tests freeze: a 600 ns
+        // sample lands in bucket 10 = [512, 1023], midpoint 767; a 1 ms
+        // sample lands in bucket 20, midpoint 786_431.
+        assert_eq!(bucket_midpoint(bucket_of(600)), 767);
+        assert_eq!(bucket_midpoint(bucket_of(1_000_000)), 786_431);
+        assert_eq!(bucket_midpoint(0), 0);
+    }
+
+    #[test]
+    fn percentiles_from_recorded_observations() {
+        let h = Histogram::new();
+        for _ in 0..98 {
+            h.record(1_000);
+        }
+        for _ in 0..2 {
+            h.record(1_000_000);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 98 * 1_000 + 2 * 1_000_000);
+        assert_eq!(h.percentile(0.50), 767);
+        assert_eq!(h.percentile(0.95), 767);
+        assert_eq!(h.percentile(0.99), 786_431);
+        // Empty histogram: zero.
+        assert_eq!(Histogram::new().percentile(0.5), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = std::sync::Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 40_000);
+        assert_eq!(h.counts().iter().sum::<u64>(), 40_000);
+    }
+}

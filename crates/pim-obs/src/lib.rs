@@ -1,0 +1,39 @@
+//! pim-obs: always-on host-side telemetry for the StreamPIM stack.
+//!
+//! The crate is std-only and deliberately a *leaf* — it depends on
+//! nothing but the serde shims, so every layer (runtime, serving edge,
+//! CLIs, examples) can record into it without dependency cycles. Four
+//! pieces:
+//!
+//! * [`hist`] — the workspace's shared power-of-two histogram scheme
+//!   (bucket-midpoint percentiles), factored out of `pim_runtime::metrics`
+//!   so the runtime snapshot and the live registry agree exactly;
+//! * [`registry`] — a sharded metrics [`Registry`] of counters, gauges,
+//!   and histograms with lock-free hot paths, encoded for scraping by
+//!   [`prom`] (`GET /metrics.prom`);
+//! * [`events`] — a leveled, rate-limited, bounded [`EventLog`] ring
+//!   (`GET /v1/events`) replacing ad-hoc `eprintln!` paths;
+//! * [`slo`] + [`request`] — per-tenant latency objectives with
+//!   error-budget burn, and the [`RequestIdSource`] that mints the
+//!   correlation ids threaded from HTTP ingress through admission,
+//!   queueing, metering, runtime jobs, and trace spans.
+//!
+//! **Determinism contract**: everything here observes host-side
+//! execution; nothing feeds back into simulated results. The workspace
+//! determinism suite asserts that observed and unobserved runs produce
+//! byte-identical `ExecReport`s.
+
+pub mod events;
+pub mod hist;
+pub mod prom;
+pub mod registry;
+pub mod request;
+pub mod slo;
+
+pub use events::{EventLog, EventLogConfig, EventRecord, Level};
+pub use hist::Histogram;
+pub use registry::{
+    Counter, FamilySnapshot, Gauge, Histo, MetricKind, Registry, SeriesSnapshot, SnapshotValue,
+};
+pub use request::RequestIdSource;
+pub use slo::{SloConfig, SloReport, SloTracker, TenantSlo};

@@ -1,0 +1,403 @@
+//! Prometheus text exposition (format 0.0.4): an encoder for registry
+//! snapshots and a strict line-level validator used by the golden tests
+//! and the CI smoke binaries.
+//!
+//! Histograms are encoded the Prometheus way — cumulative `_bucket`
+//! series with `le` upper bounds, plus `_sum` and `_count` — using the
+//! power-of-two bucket boundaries from [`crate::hist`], so a scrape sees
+//! exactly the same bucket semantics the in-process percentiles use.
+
+use crate::hist;
+use crate::registry::{FamilySnapshot, SnapshotValue};
+use std::collections::HashSet;
+
+/// Escapes a HELP text: backslash and newline.
+fn escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value: backslash, double quote, newline.
+fn escape_label(text: &str) -> String {
+    text.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Encodes a registry snapshot as Prometheus text exposition.
+pub fn encode(families: &[FamilySnapshot]) -> String {
+    let mut out = String::new();
+    for family in families {
+        out.push_str(&format!(
+            "# HELP {} {}\n",
+            family.name,
+            escape_help(&family.help)
+        ));
+        out.push_str(&format!(
+            "# TYPE {} {}\n",
+            family.name,
+            family.kind.prom_type()
+        ));
+        for series in &family.series {
+            match &series.value {
+                SnapshotValue::Counter(v) => {
+                    out.push_str(&format!(
+                        "{}{} {v}\n",
+                        family.name,
+                        render_labels(&series.labels, None)
+                    ));
+                }
+                SnapshotValue::Gauge(v) => {
+                    out.push_str(&format!(
+                        "{}{} {v}\n",
+                        family.name,
+                        render_labels(&series.labels, None)
+                    ));
+                }
+                SnapshotValue::Histogram {
+                    buckets,
+                    sum,
+                    count,
+                } => {
+                    let mut cumulative = 0u64;
+                    for (b, bucket_count) in buckets.iter().enumerate() {
+                        cumulative += bucket_count;
+                        let (_, hi) = hist::bucket_bounds(b);
+                        out.push_str(&format!(
+                            "{}_bucket{} {cumulative}\n",
+                            family.name,
+                            render_labels(&series.labels, Some(("le", &hi.to_string())))
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_bucket{} {count}\n",
+                        family.name,
+                        render_labels(&series.labels, Some(("le", "+Inf")))
+                    ));
+                    out.push_str(&format!(
+                        "{}_sum{} {sum}\n",
+                        family.name,
+                        render_labels(&series.labels, None)
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {count}\n",
+                        family.name,
+                        render_labels(&series.labels, None)
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Summary of a validated exposition body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpositionStats {
+    /// Number of `# TYPE` families seen.
+    pub families: usize,
+    /// Number of distinct sample series (name + label set) seen.
+    pub series: usize,
+    /// Number of sample lines seen.
+    pub samples: usize,
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Splits a sample line into (name, raw label text, value text).
+fn split_sample(line: &str) -> Result<(&str, &str, &str), String> {
+    if let Some(open) = line.find('{') {
+        let close = line
+            .rfind('}')
+            .ok_or_else(|| format!("unclosed label set: {line}"))?;
+        if close < open {
+            return Err(format!("malformed label set: {line}"));
+        }
+        let value = line[close + 1..].trim();
+        if value.is_empty() {
+            return Err(format!("sample line without value: {line}"));
+        }
+        Ok((&line[..open], &line[open + 1..close], value))
+    } else {
+        let mut parts = line.splitn(2, ' ');
+        let name = parts.next().unwrap_or("");
+        let value = parts.next().unwrap_or("").trim();
+        if value.is_empty() {
+            return Err(format!("sample line without value: {line}"));
+        }
+        Ok((name, "", value))
+    }
+}
+
+/// Parses a raw label body (`k1="v1",k2="v2"`) into pairs, honoring
+/// escape sequences inside quoted values.
+fn parse_labels(raw: &str) -> Result<Vec<(String, String)>, String> {
+    let mut pairs = Vec::new();
+    let mut rest = raw.trim();
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=': {rest}"))?;
+        let name = rest[..eq].trim();
+        if !valid_label_name(name) {
+            return Err(format!("invalid label name: {name}"));
+        }
+        let after = &rest[eq + 1..];
+        if !after.starts_with('"') {
+            return Err(format!("label value not quoted: {rest}"));
+        }
+        // Scan for the closing quote, skipping escapes.
+        let bytes = after.as_bytes();
+        let mut i = 1;
+        let mut value = String::new();
+        loop {
+            if i >= bytes.len() {
+                return Err(format!("unterminated label value: {rest}"));
+            }
+            match bytes[i] {
+                b'"' => break,
+                b'\\' => {
+                    if i + 1 >= bytes.len() {
+                        return Err(format!("dangling escape: {rest}"));
+                    }
+                    match bytes[i + 1] {
+                        b'\\' => value.push('\\'),
+                        b'"' => value.push('"'),
+                        b'n' => value.push('\n'),
+                        other => return Err(format!("bad escape \\{}: {rest}", other as char)),
+                    }
+                    i += 2;
+                }
+                _ => {
+                    // Multi-byte UTF-8 is passed through byte-wise; label
+                    // values in this workspace are ASCII.
+                    value.push(bytes[i] as char);
+                    i += 1;
+                }
+            }
+        }
+        pairs.push((name.to_string(), value));
+        rest = after[i + 1..].trim_start();
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped.trim_start();
+        } else if !rest.is_empty() {
+            return Err(format!("junk after label value: {rest}"));
+        }
+    }
+    Ok(pairs)
+}
+
+/// Validates a Prometheus text exposition body line by line:
+///
+/// * every `# TYPE` is preceded by a `# HELP` for the same name, with a
+///   known type keyword, and no family appears twice;
+/// * every sample line parses (valid metric name, well-formed label set,
+///   numeric value) and belongs to the family most recently declared
+///   (allowing `_bucket`/`_sum`/`_count` suffixes for histograms);
+/// * no (name + label set) series appears twice.
+///
+/// Returns summary statistics, or the first violation.
+pub fn validate_exposition(text: &str) -> Result<ExpositionStats, String> {
+    let mut pending_help: Option<String> = None;
+    let mut current_family: Option<(String, String)> = None; // (name, type)
+    let mut declared: HashSet<String> = HashSet::new();
+    let mut seen_series: HashSet<String> = HashSet::new();
+    let mut stats = ExpositionStats {
+        families: 0,
+        series: 0,
+        samples: 0,
+    };
+
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let mut parts = rest.splitn(2, ' ');
+            let name = parts.next().unwrap_or("");
+            if !valid_metric_name(name) {
+                return Err(format!("HELP with invalid metric name: {line}"));
+            }
+            pending_help = Some(name.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().unwrap_or("").to_string();
+            let kind = parts.next().unwrap_or("").to_string();
+            if !valid_metric_name(&name) {
+                return Err(format!("TYPE with invalid metric name: {line}"));
+            }
+            if !matches!(
+                kind.as_str(),
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("unknown TYPE keyword: {line}"));
+            }
+            if pending_help.as_deref() != Some(name.as_str()) {
+                return Err(format!("TYPE for {name} not paired with HELP"));
+            }
+            if !declared.insert(name.clone()) {
+                return Err(format!("family {name} declared twice"));
+            }
+            pending_help = None;
+            current_family = Some((name, kind));
+            stats.families += 1;
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // other comments are legal and ignored
+        }
+
+        // Sample line.
+        let (name, raw_labels, value) = split_sample(line)?;
+        if !valid_metric_name(name) {
+            return Err(format!("invalid metric name in sample: {line}"));
+        }
+        let (family, kind) = current_family
+            .as_ref()
+            .ok_or_else(|| format!("sample before any TYPE: {line}"))?;
+        let belongs = if kind == "histogram" {
+            name == family.as_str()
+                || name == format!("{family}_bucket")
+                || name == format!("{family}_sum")
+                || name == format!("{family}_count")
+        } else {
+            name == family.as_str()
+        };
+        if !belongs {
+            return Err(format!("sample {name} outside its family block ({family})"));
+        }
+        let labels = parse_labels(raw_labels)?;
+        if value != "+Inf" && value != "-Inf" && value != "NaN" && value.parse::<f64>().is_err() {
+            return Err(format!("unparseable sample value: {line}"));
+        }
+        let mut series_id = String::from(name);
+        for (k, v) in &labels {
+            series_id.push('\u{1}');
+            series_id.push_str(k);
+            series_id.push('\u{2}');
+            series_id.push_str(v);
+        }
+        if !seen_series.insert(series_id) {
+            return Err(format!("duplicate series: {line}"));
+        }
+        stats.series += 1;
+        stats.samples += 1;
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn encoded_output_validates() {
+        let registry = Registry::new();
+        registry
+            .counter("pim_jobs_total", "Jobs", &[("tenant", "gold")])
+            .add(3);
+        registry
+            .counter("pim_jobs_total", "Jobs", &[("tenant", "silver")])
+            .add(1);
+        registry.gauge("pim_queue_depth", "Depth", &[]).set(2);
+        let h = registry.histogram("pim_latency_ns", "Latency", &[("route", "submit")]);
+        h.observe(600);
+        h.observe(1_000_000);
+
+        let text = encode(&registry.gather());
+        let stats = validate_exposition(&text).expect("encoder output is valid");
+        assert_eq!(stats.families, 3);
+        // 2 counters + 1 gauge + (65 buckets + Inf + sum + count).
+        assert_eq!(stats.samples, 3 + 68);
+        assert!(text.contains("pim_jobs_total{tenant=\"gold\"} 3\n"));
+        assert!(text.contains("pim_latency_ns_bucket{route=\"submit\",le=\"+Inf\"} 2\n"));
+        assert!(text.contains("pim_latency_ns_sum{route=\"submit\"} 1000600\n"));
+        assert!(text.contains("pim_latency_ns_count{route=\"submit\"} 2\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let registry = Registry::new();
+        let h = registry.histogram("lat", "L", &[]);
+        h.observe(600); // bucket 10, upper bound 1023
+        h.observe(700); // same bucket
+        h.observe(1_000_000); // bucket 20, upper bound 1048575
+        let text = encode(&registry.gather());
+        assert!(text.contains("lat_bucket{le=\"1023\"} 2\n"));
+        assert!(text.contains("lat_bucket{le=\"1048575\"} 3\n"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 3\n"));
+    }
+
+    #[test]
+    fn label_escaping_round_trips() {
+        let registry = Registry::new();
+        registry
+            .counter("esc_total", "Esc", &[("path", "a\"b\\c\nd")])
+            .inc();
+        let text = encode(&registry.gather());
+        let stats = validate_exposition(&text).expect("escaped output validates");
+        assert_eq!(stats.samples, 1);
+        assert!(text.contains("path=\"a\\\"b\\\\c\\nd\""));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_bodies() {
+        assert!(validate_exposition("# TYPE x counter\nx 1\n")
+            .unwrap_err()
+            .contains("not paired with HELP"));
+        assert!(
+            validate_exposition("# HELP x X\n# TYPE x counter\nx 1\nx 2\n")
+                .unwrap_err()
+                .contains("duplicate series")
+        );
+        assert!(validate_exposition("x 1\n")
+            .unwrap_err()
+            .contains("before any TYPE"));
+        assert!(validate_exposition("# HELP x X\n# TYPE x counter\ny 1\n")
+            .unwrap_err()
+            .contains("outside its family"));
+        assert!(
+            validate_exposition("# HELP x X\n# TYPE x counter\nx notanumber\n")
+                .unwrap_err()
+                .contains("unparseable")
+        );
+        assert!(validate_exposition(
+            "# HELP x X\n# TYPE x counter\n# HELP x X\n# TYPE x counter\n"
+        )
+        .unwrap_err()
+        .contains("declared twice"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Per-tenant SLO tracking: latency objectives and error-budget burn.
+//!
+//! The service declares one objective — "a fraction `objective` of
+//! requests complete successfully within `latency_objective_ns`" — and
+//! the tracker folds every finished request into per-tenant good/total
+//! counts. *Attainment* is the good fraction; *error-budget burn* is the
+//! bad fraction divided by the allowed bad fraction, so burn < 1.0 means
+//! the tenant is inside its budget and burn ≥ 1.0 means the objective is
+//! being missed.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// The service-wide objective.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SloConfig {
+    /// A request is "good" if it succeeds within this many host
+    /// nanoseconds end to end.
+    pub latency_objective_ns: u64,
+    /// Target good fraction, e.g. 0.99.
+    pub objective: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            // 2 s end-to-end at three nines: generous enough that a CI
+            // box meets it, tight enough that hangs and overload show up.
+            latency_objective_ns: 2_000_000_000,
+            objective: 0.999,
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct TenantCounts {
+    good: u64,
+    total: u64,
+}
+
+/// One tenant's SLO position at snapshot time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSlo {
+    /// Tenant name.
+    pub tenant: String,
+    /// Requests that met the objective.
+    pub good: u64,
+    /// All finished requests.
+    pub total: u64,
+    /// `good / total` (1.0 when no requests have finished).
+    pub attainment: f64,
+    /// Bad fraction over allowed bad fraction; ≥ 1.0 means the
+    /// objective is currently missed.
+    pub error_budget_burn: f64,
+}
+
+/// The full SLO report exposed at `/v1/metrics`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloReport {
+    /// The configured latency objective.
+    pub latency_objective_ns: u64,
+    /// The configured good-fraction objective.
+    pub objective: f64,
+    /// Per-tenant positions, sorted by tenant name.
+    pub tenants: Vec<TenantSlo>,
+}
+
+/// Folds request outcomes into per-tenant SLO state.
+#[derive(Debug)]
+pub struct SloTracker {
+    config: SloConfig,
+    tenants: Mutex<BTreeMap<String, TenantCounts>>,
+}
+
+impl SloTracker {
+    /// A tracker with the given objective.
+    pub fn new(config: SloConfig) -> Self {
+        SloTracker {
+            config,
+            tenants: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The configured objective.
+    pub fn config(&self) -> SloConfig {
+        self.config
+    }
+
+    /// Records one finished request: whether it succeeded, and its
+    /// end-to-end host latency.
+    pub fn observe(&self, tenant: &str, ok: bool, latency_ns: u64) {
+        let mut tenants = self.tenants.lock().expect("slo table lock");
+        let counts = tenants.entry(tenant.to_string()).or_default();
+        counts.total += 1;
+        if ok && latency_ns <= self.config.latency_objective_ns {
+            counts.good += 1;
+        }
+    }
+
+    /// The current report, tenants sorted by name.
+    pub fn report(&self) -> SloReport {
+        let allowed_bad = (1.0 - self.config.objective).max(1e-9);
+        let tenants = self.tenants.lock().expect("slo table lock");
+        SloReport {
+            latency_objective_ns: self.config.latency_objective_ns,
+            objective: self.config.objective,
+            tenants: tenants
+                .iter()
+                .map(|(tenant, counts)| {
+                    let attainment = if counts.total == 0 {
+                        1.0
+                    } else {
+                        counts.good as f64 / counts.total as f64
+                    };
+                    TenantSlo {
+                        tenant: tenant.clone(),
+                        good: counts.good,
+                        total: counts.total,
+                        attainment,
+                        error_budget_burn: (1.0 - attainment) / allowed_bad,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Evaluates a batch of latencies offline against an objective — used by
+/// loadgen's pass/fail summary. Returns `(attainment, burn, pass)`.
+pub fn evaluate(config: &SloConfig, outcomes: &[(bool, u64)]) -> (f64, f64, bool) {
+    if outcomes.is_empty() {
+        return (1.0, 0.0, true);
+    }
+    let good = outcomes
+        .iter()
+        .filter(|(ok, latency_ns)| *ok && *latency_ns <= config.latency_objective_ns)
+        .count();
+    let attainment = good as f64 / outcomes.len() as f64;
+    let burn = (1.0 - attainment) / (1.0 - config.objective).max(1e-9);
+    (attainment, burn, attainment >= config.objective)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burn_crosses_one_exactly_when_objective_missed() {
+        let tracker = SloTracker::new(SloConfig {
+            latency_objective_ns: 1_000,
+            objective: 0.9,
+        });
+        // 9 good, 1 slow: attainment exactly at the objective, burn 1.0.
+        for _ in 0..9 {
+            tracker.observe("gold", true, 500);
+        }
+        tracker.observe("gold", true, 5_000);
+        let report = tracker.report();
+        assert_eq!(report.tenants.len(), 1);
+        let gold = &report.tenants[0];
+        assert_eq!(gold.good, 9);
+        assert_eq!(gold.total, 10);
+        assert!((gold.attainment - 0.9).abs() < 1e-12);
+        assert!((gold.error_budget_burn - 1.0).abs() < 1e-9);
+
+        // A failure pushes past the budget.
+        tracker.observe("gold", false, 100);
+        let burn = tracker.report().tenants[0].error_budget_burn;
+        assert!(burn > 1.0, "burn {burn} should exceed 1.0");
+    }
+
+    #[test]
+    fn tenants_are_independent_and_sorted() {
+        let tracker = SloTracker::new(SloConfig::default());
+        tracker.observe("zeta", true, 10);
+        tracker.observe("alpha", false, 10);
+        let report = tracker.report();
+        let names: Vec<&str> = report.tenants.iter().map(|t| t.tenant.as_str()).collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+        assert!((report.tenants[0].attainment - 0.0).abs() < 1e-12);
+        assert!((report.tenants[1].attainment - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offline_evaluation_matches_tracker_semantics() {
+        let config = SloConfig {
+            latency_objective_ns: 1_000,
+            objective: 0.95,
+        };
+        let outcomes: Vec<(bool, u64)> = (0..100)
+            .map(|i| (true, if i < 97 { 500 } else { 2_000 }))
+            .collect();
+        let (attainment, burn, pass) = evaluate(&config, &outcomes);
+        assert!((attainment - 0.97).abs() < 1e-12);
+        assert!(pass, "97% under objective meets a 95% target");
+        assert!(burn < 1.0);
+        let (_, _, pass_empty) = evaluate(&config, &[]);
+        assert!(pass_empty, "no traffic trivially passes");
+    }
+}

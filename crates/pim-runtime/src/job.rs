@@ -20,6 +20,11 @@ pub struct Job {
     /// string (the default) is the anonymous tenant; the runtime treats it
     /// like any other.
     pub tenant: String,
+    /// Correlating request id, stamped by a serving edge (empty for
+    /// direct batch submissions). Host-side telemetry only: it flows
+    /// into metrics rows and trace-span attributes but never into the
+    /// job's outcome, its schedule-cache key, or its platform identity.
+    pub request_id: String,
     /// What to price.
     pub workload: WorkloadSpec,
     /// Where to price it.
@@ -37,6 +42,7 @@ impl Job {
         Job {
             name: format!("{}/{}", workload.name(), platform.name()),
             tenant: String::new(),
+            request_id: String::new(),
             workload,
             platform,
             config: None,
@@ -53,6 +59,13 @@ impl Job {
     /// Assigns the job to a tenant (builder style).
     pub fn for_tenant(mut self, tenant: impl Into<String>) -> Self {
         self.tenant = tenant.into();
+        self
+    }
+
+    /// Stamps the correlating request id (builder style). Serving edges
+    /// overwrite this on admission, exactly as they overwrite `tenant`.
+    pub fn with_request_id(mut self, request_id: impl Into<String>) -> Self {
+        self.request_id = request_id.into();
         self
     }
 
@@ -156,6 +169,11 @@ mod tests {
         let c = Job::new(spec, PlatformKind::StPim);
         assert_ne!(a.platform_key(), b.platform_key());
         assert_eq!(a.platform_key(), c.platform_key());
+        // Telemetry-only fields never split the platform pool.
+        let d = Job::new(spec, PlatformKind::StPim)
+            .with_request_id("req-00000001")
+            .for_tenant("gold");
+        assert_eq!(a.platform_key(), d.platform_key());
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub struct JobMetrics {
     pub name: String,
     /// Owning tenant (empty for anonymous jobs).
     pub tenant: String,
+    /// Correlating request id for jobs submitted through a serving edge
+    /// (empty for direct batch runs). Host-side only: it never affects
+    /// the job's outcome, schedule, or platform identity.
+    pub request_id: String,
     /// Platform display name.
     pub platform: String,
     /// Host wall-clock latency from dispatch to completion, nanoseconds.
@@ -145,54 +149,13 @@ fn tenant_rollup(jobs: &[JobMetrics]) -> Vec<TenantMetrics> {
     by_tenant.into_values().collect()
 }
 
-/// Number of histogram buckets: enough for any `u64` latency.
-const LATENCY_BUCKETS: usize = 65;
-
-/// The histogram bucket for one latency observation.
-fn latency_bucket(latency_ns: u64) -> usize {
-    (u64::BITS - latency_ns.leading_zeros()) as usize
-}
-
-/// The inclusive `[lo, hi]` latency range covered by bucket `b`.
-fn bucket_bounds(b: usize) -> (u64, u64) {
-    if b == 0 {
-        (0, 0)
-    } else if b >= 64 {
-        (1u64 << 63, u64::MAX)
-    } else {
-        (1u64 << (b - 1), (1u64 << b) - 1)
-    }
-}
-
-/// The latency estimate reported for bucket `b`: the midpoint of its
-/// range. Reporting the inclusive upper bound instead — the previous
-/// convention — systematically over-reported by up to 2x (a single
-/// 600 ns sample yielded p50 = 1023 ns). The midpoint is unbiased for
-/// latencies uniform within a bucket and halves the worst-case error;
-/// estimates are exact to within half a power-of-two bucket.
-fn bucket_midpoint(b: usize) -> u64 {
-    let (lo, hi) = bucket_bounds(b);
-    lo + (hi - lo) / 2
-}
-
-/// The midpoint of the bucket holding the rank-`q` observation: the
-/// smallest bucket `b` such that at least `q` of the recorded
-/// observations land in buckets ≤ `b`.
-fn percentile(hist: &[u64], q: f64) -> u64 {
-    let total: u64 = hist.iter().sum();
-    if total == 0 {
-        return 0;
-    }
-    let rank = ((total as f64) * q).ceil().max(1.0) as u64;
-    let mut seen = 0u64;
-    for (b, &count) in hist.iter().enumerate() {
-        seen += count;
-        if seen >= rank {
-            return bucket_midpoint(b);
-        }
-    }
-    bucket_midpoint(hist.len() - 1)
-}
+/// The histogram scheme lives in `pim_obs::hist` (it started here and
+/// was factored out so the live metrics registry, the serving edge, and
+/// this snapshot all share exact bucket semantics — including the
+/// bucket-midpoint correction that replaced the upper-bound convention,
+/// which over-reported percentiles by up to 2x). These thin aliases keep
+/// this module's vocabulary.
+use pim_obs::hist::{bucket_of as latency_bucket, percentile, BUCKETS as LATENCY_BUCKETS};
 
 /// Thread-safe collector the runtime records into.
 #[derive(Debug, Default)]
@@ -272,6 +235,7 @@ mod tests {
             index,
             name: format!("job-{index}"),
             tenant: String::new(),
+            request_id: String::new(),
             platform: "StPIM".into(),
             latency_ns,
             queue_depth,

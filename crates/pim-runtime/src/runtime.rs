@@ -259,28 +259,31 @@ impl Runtime {
                             .arg("job", job.name.clone()),
                     );
                 }
+                let mut span = Span::host(
+                    job.name.clone(),
+                    "job",
+                    track,
+                    dispatch_ns,
+                    latency_ns as f64,
+                );
+                if !job.request_id.is_empty() {
+                    span = span.arg(pim_trace::ATTR_REQUEST_ID, job.request_id.clone());
+                }
                 self.sink.record_span(
-                    Span::host(
-                        job.name.clone(),
-                        "job",
-                        track,
-                        dispatch_ns,
-                        latency_ns as f64,
-                    )
-                    .arg("index", index)
-                    .arg("platform", job.platform.name())
-                    .arg("cache_hit", cache_hit)
-                    .arg("queue_depth", queue_depth)
-                    .arg("stolen", stolen)
-                    .arg("ok", report.is_ok())
-                    .arg(
-                        "sim_time_ns",
-                        report.as_ref().map(|r| r.total_ns()).unwrap_or(0.0),
-                    )
-                    .arg(
-                        "queued_ns",
-                        started.duration_since(batch_start).as_nanos() as u64,
-                    ),
+                    span.arg("index", index)
+                        .arg("platform", job.platform.name())
+                        .arg("cache_hit", cache_hit)
+                        .arg("queue_depth", queue_depth)
+                        .arg("stolen", stolen)
+                        .arg("ok", report.is_ok())
+                        .arg(
+                            "sim_time_ns",
+                            report.as_ref().map(|r| r.total_ns()).unwrap_or(0.0),
+                        )
+                        .arg(
+                            "queued_ns",
+                            started.duration_since(batch_start).as_nanos() as u64,
+                        ),
                 );
             }
             self.metrics.record_job(
@@ -288,6 +291,7 @@ impl Runtime {
                     index,
                     name: job.name.clone(),
                     tenant: job.tenant.clone(),
+                    request_id: job.request_id.clone(),
                     platform: job.platform.name().to_string(),
                     latency_ns,
                     queue_depth,
@@ -604,6 +608,44 @@ mod tests {
         assert_eq!(probes.iter().filter(|e| e.name == "cache hit").count(), 1);
         // Each miss produced a lowering span.
         assert_eq!(spans.iter().filter(|s| s.cat == "lowering").count(), 2);
+    }
+
+    #[test]
+    fn request_ids_flow_to_spans_and_metrics_but_not_outcomes() {
+        let sink = Arc::new(pim_trace::Collector::new());
+        let runtime = Runtime::with_sink(
+            RuntimeConfig {
+                workers: 1,
+                cache_enabled: true,
+                ..RuntimeConfig::default()
+            },
+            Arc::clone(&sink) as Arc<dyn TraceSink>,
+        );
+        let job = Job::new(
+            WorkloadSpec::polybench(Kernel::Atax, 0.02),
+            PlatformKind::StPim,
+        )
+        .with_request_id("req-00000007");
+        let tagged = runtime.run_batch(std::slice::from_ref(&job));
+
+        // The id lands on the job span and the metrics row...
+        let spans = sink.spans();
+        let job_span = spans.iter().find(|s| s.cat == "job").expect("job span");
+        assert_eq!(job_span.request_id(), Some("req-00000007"));
+        assert_eq!(runtime.metrics().jobs[0].request_id, "req-00000007");
+
+        // ...but never in the outcome: an untagged identical job on a
+        // fresh runtime produces the same result.
+        let plain = Runtime::new(RuntimeConfig {
+            workers: 1,
+            cache_enabled: true,
+            ..RuntimeConfig::default()
+        });
+        let untagged = Job {
+            request_id: String::new(),
+            ..job
+        };
+        assert_eq!(tagged, plain.run_batch(&[untagged]));
     }
 
     #[test]

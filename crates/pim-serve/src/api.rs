@@ -9,6 +9,7 @@
 use crate::admission::Phase;
 use crate::meter::{LedgerSummary, MeterRecord};
 use pim_device::ExecReport;
+use pim_obs::SloReport;
 use pim_runtime::{Job, MetricsSnapshot};
 use serde::{Deserialize, Serialize};
 
@@ -55,6 +56,11 @@ pub struct SubmitResponse {
     pub id: u64,
     /// Billed tenant.
     pub tenant: String,
+    /// Correlation id minted for the submitting HTTP request (also sent
+    /// as the `x-request-id` response header). The same id appears in
+    /// the job's metrics row, its meter record, its trace spans, and the
+    /// event log.
+    pub request_id: String,
     /// Always [`JobState::Queued`] on admission.
     pub state: JobState,
     /// The admission meter record: cost tier and up-front estimate.
@@ -68,6 +74,8 @@ pub struct StatusResponse {
     pub id: u64,
     /// Billed tenant.
     pub tenant: String,
+    /// Correlation id of the submitting request.
+    pub request_id: String,
     /// Job display name.
     pub name: String,
     /// Current lifecycle state.
@@ -87,6 +95,8 @@ pub struct ResultResponse {
     pub id: u64,
     /// Billed tenant.
     pub tenant: String,
+    /// Correlation id of the submitting request.
+    pub request_id: String,
     /// Terminal state.
     pub state: JobState,
     /// The deterministic run report (completed jobs only).
@@ -140,6 +150,8 @@ pub struct MetricsResponse {
     pub runtime: MetricsSnapshot,
     /// The metering ledger.
     pub ledger: LedgerSummary,
+    /// Per-tenant latency-SLO attainment and error-budget burn.
+    pub slo: SloReport,
 }
 
 /// `POST /v1/admin/drain` body: the final state after a graceful drain.
@@ -158,6 +170,9 @@ pub struct DrainResponse {
 pub struct ErrorResponse {
     /// What went wrong.
     pub error: String,
+    /// Correlation id of the rejected request (empty when the connection
+    /// was shed before a request could be read).
+    pub request_id: String,
     /// Backoff hint for 429/503 responses (also sent as `Retry-After`,
     /// in whole seconds).
     pub retry_after_ms: Option<u64>,
@@ -202,6 +217,7 @@ mod tests {
     fn error_body_carries_the_hint() {
         let error = ErrorResponse {
             error: "service overloaded".into(),
+            request_id: "req-00000002".into(),
             retry_after_ms: Some(1500),
         };
         let json = serde_json::to_string(&error).unwrap();

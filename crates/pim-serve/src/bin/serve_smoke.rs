@@ -153,7 +153,76 @@ fn main() {
         "serve-smoke: burst of 12 -> {admitted} admitted, {rejected} explicit 429s with Retry-After"
     );
 
-    // 5. Graceful drain over the API; admitted burst jobs must all finish.
+    // 5. Observability: the Prometheus exposition must parse strictly
+    // (HELP/TYPE pairing, well-formed labels, no duplicate series) and
+    // carry the serving families; the event log must serve parseable
+    // JSON lines with events correlated to the submitted job's request
+    // id.
+    let (status, headers, body) = call(&addr, "GET", "/metrics.prom", None)
+        .unwrap_or_else(|e| fail(&format!("metrics.prom: {e}")));
+    if status != 200 {
+        fail(&format!("metrics.prom status {status}: {body}"));
+    }
+    if !headers
+        .get("content-type")
+        .is_some_and(|t| t.starts_with("text/plain; version=0.0.4"))
+    {
+        fail(&format!("metrics.prom content type: {headers:?}"));
+    }
+    let stats = pim_obs::prom::validate_exposition(&body)
+        .unwrap_or_else(|e| fail(&format!("exposition invalid: {e}\n{body}")));
+    for family in [
+        "pim_http_requests_total",
+        "pim_http_request_latency_ns",
+        "pim_serve_admission_total",
+        "pim_serve_queue_depth",
+        "pim_trace_dropped_records",
+        "pim_slo_attainment_millionths",
+    ] {
+        if !body.contains(family) {
+            fail(&format!("exposition missing {family}"));
+        }
+    }
+    println!(
+        "serve-smoke: /metrics.prom valid ({} families, {} series, {} samples)",
+        stats.families, stats.series, stats.samples
+    );
+    let (status, _, body) =
+        call(&addr, "GET", "/v1/events", None).unwrap_or_else(|e| fail(&format!("events: {e}")));
+    if status != 200 {
+        fail(&format!("events status {status}: {body}"));
+    }
+    let events: Vec<pim_obs::EventRecord> = body
+        .lines()
+        .map(|line| {
+            serde_json::from_str(line).unwrap_or_else(|e| fail(&format!("event line: {e}: {line}")))
+        })
+        .collect();
+    if !events
+        .iter()
+        .any(|e| e.request_id == submitted.request_id && e.scope == "admission")
+    {
+        fail(&format!(
+            "no admission event for {}: {body}",
+            submitted.request_id
+        ));
+    }
+    if !events
+        .iter()
+        .any(|e| e.request_id == submitted.request_id && e.scope == "dispatch")
+    {
+        fail(&format!(
+            "no dispatch event for {}: {body}",
+            submitted.request_id
+        ));
+    }
+    println!(
+        "serve-smoke: /v1/events serves {} parseable records, request {} linked end to end",
+        events.len(),
+        submitted.request_id
+    );
+
+    // 6. Graceful drain over the API; admitted burst jobs must all finish.
     let (status, _, body) = call(&addr, "POST", "/v1/admin/drain", None)
         .unwrap_or_else(|e| fail(&format!("drain: {e}")));
     if status != 200 {
@@ -163,7 +232,7 @@ fn main() {
         fail(&format!("drain did not stop the service: {body}"));
     }
 
-    // 6. Conservation: per-tenant metered totals == global == runtime.
+    // 7. Conservation: per-tenant metered totals == global == runtime.
     if let Err(violation) = server.check_conservation() {
         fail(&format!("conservation violated: {violation}"));
     }

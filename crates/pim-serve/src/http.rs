@@ -152,9 +152,11 @@ fn read_line_bounded(
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
     /// Extra headers beyond the standard set (name, value).
     pub headers: Vec<(String, String)>,
-    /// Response body (always JSON in this service).
+    /// Response body (JSON everywhere except the Prometheus exposition).
     pub body: String,
 }
 
@@ -163,6 +165,29 @@ impl Response {
     pub fn json(status: u16, body: impl Into<String>) -> Self {
         Response {
             status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A Prometheus text-exposition response (version 0.0.4 of the
+    /// format, the content type scrapers expect).
+    pub fn prometheus(body: impl Into<String>) -> Self {
+        Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A newline-delimited JSON (`application/x-ndjson`) response, used
+    /// by the structured event log.
+    pub fn ndjson(body: impl Into<String>) -> Self {
+        Response {
+            status: 200,
+            content_type: "application/x-ndjson",
             headers: Vec::new(),
             body: body.into(),
         }
@@ -204,9 +229,10 @@ impl Response {
     /// Serializes the response and flushes it to `stream`.
     pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             self.reason(),
+            self.content_type,
             self.body.len()
         );
         for (name, value) in &self.headers {
@@ -352,6 +378,15 @@ mod tests {
         assert_eq!(body, "{\"ok\": true}");
         assert_eq!(headers.get("retry-after").map(String::as_str), Some("2"));
         assert_eq!(headers.get("connection").map(String::as_str), Some("close"));
+    }
+
+    #[test]
+    fn content_types_follow_the_constructor() {
+        assert_eq!(Response::json(200, "{}").content_type, "application/json");
+        let prom = Response::prometheus("# HELP x y\n");
+        assert_eq!(prom.status, 200);
+        assert!(prom.content_type.starts_with("text/plain; version=0.0.4"));
+        assert_eq!(Response::ndjson("").content_type, "application/x-ndjson");
     }
 
     #[test]

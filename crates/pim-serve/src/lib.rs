@@ -23,6 +23,17 @@
 //!   invariant checked against the runtime's own counters.
 //! - [`server`]: the listener, worker pools, routing, and graceful drain.
 //!
+//! ## Observability
+//!
+//! Telemetry is always on and host-side only (see [`pim_obs`]): every
+//! HTTP exchange mints a `req-XXXXXXXX` correlation id, returned in the
+//! `x-request-id` response header and threaded through admission, the
+//! tenant queue, the metering ledger, the runtime job's metrics row, and
+//! its trace spans. The live registry is scraped at `GET /metrics.prom`
+//! (Prometheus text exposition 0.0.4), the structured event log at
+//! `GET /v1/events` (JSON lines), and per-tenant latency-SLO attainment
+//! rides along in `GET /v1/metrics`.
+//!
 //! ## Endpoints
 //!
 //! | Method & path                  | Purpose                              |
@@ -31,7 +42,9 @@
 //! | `GET /v1/jobs/{id}`            | Poll lifecycle state                 |
 //! | `GET /v1/jobs/{id}/result`     | Fetch report + settled meter         |
 //! | `DELETE /v1/jobs/{id}`         | Cancel a queued job (refund)         |
-//! | `GET /v1/metrics`              | Server + runtime + ledger snapshot   |
+//! | `GET /v1/metrics`              | Server + runtime + ledger + SLO      |
+//! | `GET /metrics.prom`            | Prometheus text exposition           |
+//! | `GET /v1/events`               | Structured event log (JSON lines)    |
 //! | `GET /v1/tenants/{t}/usage`    | One tenant's metered totals          |
 //! | `GET /v1/healthz`              | Phase and queue depths               |
 //! | `POST /v1/admin/drain`         | Graceful drain; returns final state  |

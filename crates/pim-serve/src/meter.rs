@@ -149,6 +149,10 @@ pub struct MeterRecord {
     pub job_id: u64,
     /// Owning tenant.
     pub tenant: String,
+    /// Correlating request id of the HTTP submission that admitted this
+    /// job (empty for direct/batch admissions). Telemetry only: never
+    /// priced, never part of the conservation invariant.
+    pub request_id: String,
     /// Tier assigned at admission from the workload shape.
     pub tier: CostTier,
     /// Up-front price: `tier.multiplier × base rate`, microcredits.
@@ -230,14 +234,23 @@ impl Ledger {
         &self.config
     }
 
-    /// Charges the admission estimate and opens a pending record.
-    /// Returns a copy of the record (for the submit response).
-    pub fn admit(&self, job_id: u64, tenant: &str, spec: &WorkloadSpec) -> MeterRecord {
+    /// Charges the admission estimate and opens a pending record stamped
+    /// with the submitting request's correlation id (empty for direct
+    /// admissions). Returns a copy of the record (for the submit
+    /// response).
+    pub fn admit(
+        &self,
+        job_id: u64,
+        tenant: &str,
+        request_id: &str,
+        spec: &WorkloadSpec,
+    ) -> MeterRecord {
         let tier = tier_for(spec);
         let estimated = tier.multiplier * self.config.base_rate_microcredits;
         let record = MeterRecord {
             job_id,
             tenant: tenant.to_string(),
+            request_id: request_id.to_string(),
             tier,
             estimated_microcredits: estimated,
             state: MeterState::Pending,
@@ -490,7 +503,7 @@ mod tests {
     fn admit_settle_reconciles() {
         let ledger = Ledger::new(MeterConfig::default());
         let spec = WorkloadSpec::polybench(Kernel::Gemm, 0.02);
-        let admitted = ledger.admit(1, "alice", &spec);
+        let admitted = ledger.admit(1, "alice", "req-00000001", &spec);
         assert_eq!(admitted.state, MeterState::Pending);
         assert_eq!(
             admitted.estimated_microcredits,
@@ -515,7 +528,7 @@ mod tests {
     #[test]
     fn failed_jobs_settle_to_zero() {
         let ledger = Ledger::new(MeterConfig::default());
-        ledger.admit(1, "alice", &WorkloadSpec::MatMul { m: 4, k: 4, n: 4 });
+        ledger.admit(1, "alice", "", &WorkloadSpec::MatMul { m: 4, k: 4, n: 4 });
         let settled = ledger.settle(1, None);
         assert_eq!(settled.billed_microcredits, 0);
         assert_eq!(settled.actual, Consumption::default());
@@ -526,7 +539,7 @@ mod tests {
     fn cancel_refunds_the_estimate_once() {
         let ledger = Ledger::new(MeterConfig::default());
         let spec = WorkloadSpec::polybench(Kernel::Gemm, 0.02);
-        ledger.admit(1, "alice", &spec);
+        ledger.admit(1, "alice", "req-00000001", &spec);
         let before = ledger.usage("alice").unwrap().estimated_microcredits;
         assert!(before > 0);
         assert!(ledger.cancel(1), "pending jobs cancel");
@@ -535,7 +548,7 @@ mod tests {
         assert_eq!(usage.estimated_microcredits, 0);
         assert_eq!(usage.jobs_cancelled, 1);
         // A settled job cannot be cancelled.
-        ledger.admit(2, "alice", &spec);
+        ledger.admit(2, "alice", "", &spec);
         ledger.settle(2, Some(&report(10.0, 10.0)));
         assert!(!ledger.cancel(2));
     }
@@ -543,7 +556,7 @@ mod tests {
     #[test]
     fn tiny_jobs_are_never_free() {
         let ledger = Ledger::new(MeterConfig::default());
-        ledger.admit(1, "a", &WorkloadSpec::MatMul { m: 2, k: 2, n: 2 });
+        ledger.admit(1, "a", "", &WorkloadSpec::MatMul { m: 2, k: 2, n: 2 });
         let settled = ledger.settle(1, Some(&report(0.4, 0.2)));
         assert_eq!(
             settled.billed_microcredits,
@@ -556,8 +569,8 @@ mod tests {
     fn summary_partitions_by_tenant() {
         let ledger = Ledger::new(MeterConfig::default());
         let spec = WorkloadSpec::polybench(Kernel::Gemm, 0.02);
-        ledger.admit(1, "bob", &spec);
-        ledger.admit(2, "alice", &spec);
+        ledger.admit(1, "bob", "", &spec);
+        ledger.admit(2, "alice", "", &spec);
         ledger.settle(1, Some(&report(100.0, 100.0)));
         ledger.settle(2, Some(&report(200.0, 50.0)));
         let summary = ledger.summary();

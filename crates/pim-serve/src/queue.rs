@@ -149,6 +149,15 @@ impl TenantQueues {
     pub fn is_idle(&self) -> bool {
         self.queued == 0 && self.in_flight == 0
     }
+
+    /// Per-tenant `(tenant, queued, in_flight)` rows in tenant-name order
+    /// — the scrape-time source for the queue-depth gauges.
+    pub fn depths(&self) -> Vec<(String, usize, usize)> {
+        self.tenants
+            .iter()
+            .map(|(name, queue)| (name.clone(), queue.fifo.len(), queue.in_flight))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -261,5 +270,10 @@ mod tests {
         assert_eq!(queues.queued(), 1);
         assert_eq!(queues.in_flight(), 1);
         assert_eq!(queues.in_flight_for("a"), 1, "ties broke to a");
+        assert_eq!(
+            queues.depths(),
+            vec![("a".to_string(), 0, 1), ("b".to_string(), 1, 0)],
+            "per-tenant rows in name order"
+        );
     }
 }

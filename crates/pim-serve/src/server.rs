@@ -36,8 +36,11 @@ use crate::http::{client_request, read_request, ParseError, Request, Response};
 use crate::meter::{Ledger, MeterConfig};
 use crate::queue::TenantQueues;
 use pim_device::Parallelism;
+use pim_obs::{
+    prom, EventLog, EventLogConfig, Level, Registry, RequestIdSource, SloConfig, SloTracker,
+};
 use pim_runtime::{intra_worker_budget, Job, Runtime, RuntimeConfig};
-use pim_trace::{NullSink, Span, TraceSink, Track};
+use pim_trace::{NullSink, Span, TraceSink, Track, ATTR_REQUEST_ID};
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -46,6 +49,10 @@ use std::sync::mpsc::{SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How many recent events `GET /v1/events` returns (the ring retains
+/// [`EventLogConfig::default`]'s capacity; this bounds one response).
+const EVENTS_DEFAULT_LIMIT: usize = 256;
 
 /// Service tuning knobs.
 #[derive(Debug, Clone)]
@@ -145,6 +152,8 @@ impl ServeConfig {
 struct JobRecord {
     id: u64,
     tenant: String,
+    /// Correlation id of the submitting HTTP request.
+    request_id: String,
     name: String,
     job: Job,
     state: JobState,
@@ -202,6 +211,28 @@ impl Counters {
     }
 }
 
+/// The always-on telemetry plane: one registry, one event ring, one SLO
+/// tracker, and the request-id mint — shared by every service thread.
+/// Everything here is host-side observation; nothing feeds back into
+/// simulated results (the determinism suite asserts this).
+struct Obs {
+    registry: Registry,
+    events: EventLog,
+    slo: SloTracker,
+    request_ids: RequestIdSource,
+}
+
+impl Obs {
+    fn new() -> Self {
+        Obs {
+            registry: Registry::new(),
+            events: EventLog::new(EventLogConfig::default()),
+            slo: SloTracker::new(SloConfig::default()),
+            request_ids: RequestIdSource::new(),
+        }
+    }
+}
+
 /// Everything the service threads share.
 struct Core {
     config: ServeConfig,
@@ -218,6 +249,7 @@ struct Core {
     /// Zero point of the service host clock.
     origin: Instant,
     sink: Arc<dyn TraceSink>,
+    obs: Obs,
 }
 
 impl std::fmt::Debug for Core {
@@ -252,6 +284,7 @@ impl Core {
             stop: AtomicBool::new(false),
             origin: Instant::now(),
             sink,
+            obs: Obs::new(),
         }
     }
 
@@ -292,6 +325,42 @@ impl Core {
                 .fetch_add(elapsed_ns, Ordering::Relaxed);
             self.counters.service_jobs.fetch_add(1, Ordering::Relaxed);
 
+            let ok = outcome.report.is_ok();
+            self.obs.slo.observe(&tenant, ok, elapsed_ns);
+            self.obs
+                .registry
+                .counter(
+                    "pim_serve_jobs_dispatched_total",
+                    "Jobs run to completion by the dispatchers (completed or failed).",
+                    &[("tenant", &tenant)],
+                )
+                .inc();
+            self.obs
+                .registry
+                .histogram(
+                    "pim_serve_job_service_ns",
+                    "Host wall-clock service time of one dispatched job, nanoseconds.",
+                    &[],
+                )
+                .observe(elapsed_ns);
+            let id_str = job_id.to_string();
+            match &outcome.report {
+                Ok(_) => self.obs.events.emit(
+                    Level::Info,
+                    "dispatch",
+                    &job.request_id,
+                    "job completed",
+                    &[("id", &id_str), ("tenant", &tenant), ("name", &job.name)],
+                ),
+                Err(message) => self.obs.events.emit(
+                    Level::Error,
+                    "dispatch",
+                    &job.request_id,
+                    message,
+                    &[("id", &id_str), ("tenant", &tenant), ("name", &job.name)],
+                ),
+            };
+
             // Settle the meter before publishing the terminal state, so a
             // client that polls "Completed" always sees a settled record.
             self.ledger.settle(job_id, outcome.report.as_ref().ok());
@@ -318,8 +387,20 @@ impl Core {
         }
     }
 
+    /// Bumps the labeled admission-outcome counter.
+    fn admission_outcome(&self, outcome: &str) {
+        self.obs
+            .registry
+            .counter(
+                "pim_serve_admission_total",
+                "Admission decisions by outcome (admitted, rejected_tenant, rejected_global, rejected_drain, shed_connection).",
+                &[("outcome", outcome)],
+            )
+            .inc();
+    }
+
     /// `POST /v1/jobs`.
-    fn submit(&self, request: &Request) -> Response {
+    fn submit(&self, request: &Request, request_id: &str) -> Response {
         self.counters.submitted.fetch_add(1, Ordering::Relaxed);
         let parsed: SubmitRequest = match serde_json::from_str(request.body_str()) {
             Ok(parsed) => parsed,
@@ -329,7 +410,12 @@ impl Core {
             return Response::error(400, "tenant must be non-empty");
         }
         let tenant = parsed.tenant;
-        let job = parsed.job.for_tenant(tenant.clone());
+        // Tenant and request id are both stamped at the edge: whatever the
+        // client put in those job fields is overwritten here.
+        let job = parsed
+            .job
+            .for_tenant(tenant.clone())
+            .with_request_id(request_id);
 
         let mut state = self.state.lock().expect("core lock");
         let decision = admission::admit(
@@ -341,25 +427,40 @@ impl Core {
         if let Err(rejection) = decision {
             let backlog = state.queues.queued() + state.queues.in_flight();
             drop(state);
-            match &rejection {
-                Rejection::TenantQueueFull { .. } => &self.counters.rejected_tenant,
-                Rejection::GlobalOverload { .. } => &self.counters.rejected_global,
-                Rejection::Draining => &self.counters.rejected_drain,
-            }
-            .fetch_add(1, Ordering::Relaxed);
-            return self.reject(rejection, backlog);
+            let (counter, outcome) = match &rejection {
+                Rejection::TenantQueueFull { .. } => {
+                    (&self.counters.rejected_tenant, "rejected_tenant")
+                }
+                Rejection::GlobalOverload { .. } => {
+                    (&self.counters.rejected_global, "rejected_global")
+                }
+                Rejection::Draining => (&self.counters.rejected_drain, "rejected_drain"),
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            self.admission_outcome(outcome);
+            self.obs.events.emit(
+                Level::Warn,
+                "admission",
+                request_id,
+                &rejection.reason(),
+                &[("tenant", &tenant), ("outcome", outcome)],
+            );
+            return self.reject(rejection, backlog, request_id);
         }
         let job_id = state.next_id;
         state.next_id += 1;
         // Ledger admission happens under the core lock, before the job is
         // visible to dispatchers — a dispatcher can never settle a job the
         // ledger has not admitted.
-        let meter = self.ledger.admit(job_id, &tenant, &job.workload);
+        let meter = self
+            .ledger
+            .admit(job_id, &tenant, request_id, &job.workload);
         state.jobs.insert(
             job_id,
             JobRecord {
                 id: job_id,
                 tenant: tenant.clone(),
+                request_id: request_id.to_string(),
                 name: job.name.clone(),
                 job,
                 state: JobState::Queued,
@@ -373,11 +474,21 @@ impl Core {
         state.queues.push(&tenant, job_id);
         drop(state);
         self.counters.admitted.fetch_add(1, Ordering::Relaxed);
+        self.admission_outcome("admitted");
+        let id_str = job_id.to_string();
+        self.obs.events.emit(
+            Level::Info,
+            "admission",
+            request_id,
+            "job admitted",
+            &[("id", &id_str), ("tenant", &tenant)],
+        );
         self.work.notify_all();
 
         let body = SubmitResponse {
             id: job_id,
             tenant,
+            request_id: request_id.to_string(),
             state: JobState::Queued,
             meter,
         };
@@ -389,11 +500,13 @@ impl Core {
 
     /// Builds the 429/503 response for a refusal, with `Retry-After` both
     /// as a header (whole seconds, per HTTP) and a millisecond hint in the
-    /// body.
-    fn reject(&self, rejection: Rejection, backlog: usize) -> Response {
+    /// body. `request_id` is empty when the connection was shed before a
+    /// request could be read.
+    fn reject(&self, rejection: Rejection, backlog: usize, request_id: &str) -> Response {
         let retry_ms = admission::retry_after_ms(backlog, self.counters.mean_service_ns());
         let body = ErrorResponse {
             error: rejection.reason(),
+            request_id: request_id.to_string(),
             retry_after_ms: Some(retry_ms),
         };
         Response::json(
@@ -412,6 +525,7 @@ impl Core {
         let body = StatusResponse {
             id: record.id,
             tenant: record.tenant.clone(),
+            request_id: record.request_id.clone(),
             name: record.name.clone(),
             state: record.state,
             submitted_ns: record.submitted_ns,
@@ -453,9 +567,10 @@ impl Core {
         // Hand-assembled so the `report` field is the exact bytes stored
         // at completion (field order mirrors `api::ResultResponse`).
         let body = format!(
-            "{{\"id\": {}, \"tenant\": {}, \"state\": {}, \"report\": {}, \"error\": {}, \"meter\": {}}}",
+            "{{\"id\": {}, \"tenant\": {}, \"request_id\": {}, \"state\": {}, \"report\": {}, \"error\": {}, \"meter\": {}}}",
             record.id,
             serde_json::to_string(&record.tenant).expect("tenant serializes"),
+            serde_json::to_string(&record.request_id).expect("request id serializes"),
             state_json,
             report,
             error,
@@ -471,6 +586,7 @@ impl Core {
             return Response::error(404, &format!("no such job {job_id}"));
         };
         let tenant = record.tenant.clone();
+        let request_id = record.request_id.clone();
         match record.state {
             JobState::Queued => {
                 assert!(
@@ -483,11 +599,20 @@ impl Core {
                 drop(state);
                 assert!(self.ledger.cancel(job_id), "queued job's meter is pending");
                 self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                let id_str = job_id.to_string();
+                self.obs.events.emit(
+                    Level::Info,
+                    "admission",
+                    &request_id,
+                    "job cancelled",
+                    &[("id", &id_str), ("tenant", &tenant)],
+                );
                 // Cancellation can make the queues idle: wake a drain.
                 self.done.notify_all();
                 let body = StatusResponse {
                     id: job_id,
                     tenant,
+                    request_id,
                     name: String::new(),
                     state: JobState::Cancelled,
                     submitted_ns: 0,
@@ -512,8 +637,92 @@ impl Core {
             server: self.counters.stats(),
             runtime: self.runtime.metrics(),
             ledger: self.ledger.summary(),
+            slo: self.obs.slo.report(),
         };
         Response::json(200, serde_json::to_string(&body).expect("serializes"))
+    }
+
+    /// Samples the point-in-time gauges that have no event to hook:
+    /// queue depths, trace-sink loss, SLO attainment, and event-log
+    /// suppression. Called on every `/metrics.prom` scrape so the
+    /// exposition is current without a background sampler thread.
+    fn sample_gauges(&self) {
+        let depths = {
+            let state = self.state.lock().expect("core lock");
+            state.queues.depths()
+        };
+        for (tenant, queued, in_flight) in &depths {
+            self.obs
+                .registry
+                .gauge(
+                    "pim_serve_queue_depth",
+                    "Jobs waiting in one tenant's FIFO queue.",
+                    &[("tenant", tenant)],
+                )
+                .set(*queued as i64);
+            self.obs
+                .registry
+                .gauge(
+                    "pim_serve_inflight_jobs",
+                    "Jobs currently executing for one tenant.",
+                    &[("tenant", tenant)],
+                )
+                .set(*in_flight as i64);
+        }
+        self.obs
+            .registry
+            .gauge(
+                "pim_trace_dropped_records",
+                "Trace records refused because the sink was at capacity.",
+                &[],
+            )
+            .set(self.sink.dropped_records() as i64);
+        self.obs
+            .registry
+            .gauge(
+                "pim_trace_collector_capacity",
+                "Trace-sink retention cap in records (-1 = unbounded).",
+                &[],
+            )
+            .set(self.sink.capacity().map_or(-1, |c| c as i64));
+        self.obs
+            .registry
+            .gauge(
+                "pim_obs_events_suppressed_total",
+                "Structured events filtered by level or rate limiting.",
+                &[],
+            )
+            .set(self.obs.events.suppressed() as i64);
+        for tenant in self.obs.slo.report().tenants {
+            self.obs
+                .registry
+                .gauge(
+                    "pim_slo_attainment_millionths",
+                    "Fraction of jobs meeting the tenant's latency objective, in millionths.",
+                    &[("tenant", &tenant.tenant)],
+                )
+                .set((tenant.attainment * 1e6) as i64);
+            self.obs
+                .registry
+                .gauge(
+                    "pim_slo_error_budget_burn_millionths",
+                    "Error-budget burn rate (1 = budget consumed exactly at the objective rate), in millionths.",
+                    &[("tenant", &tenant.tenant)],
+                )
+                .set((tenant.error_budget_burn * 1e6) as i64);
+        }
+    }
+
+    /// `GET /metrics.prom`: the Prometheus text exposition.
+    fn metrics_prom(&self) -> Response {
+        self.sample_gauges();
+        Response::prometheus(prom::encode(&self.obs.registry.gather()))
+    }
+
+    /// `GET /v1/events`: the structured event log as JSON lines, oldest
+    /// first, most recent `EVENTS_DEFAULT_LIMIT` records.
+    fn events(&self) -> Response {
+        Response::ndjson(self.obs.events.to_json_lines(EVENTS_DEFAULT_LIMIT))
     }
 
     /// `GET /v1/tenants/{tenant}/usage`.
@@ -561,13 +770,16 @@ impl Core {
         }
     }
 
-    /// Routes one parsed request.
-    fn route(&self, request: &Request) -> Response {
+    /// Routes one parsed request. `request_id` is the correlation id
+    /// minted for this HTTP exchange.
+    fn route(&self, request: &Request, request_id: &str) -> Response {
         let segments = request.segments();
         match (request.method.as_str(), segments.as_slice()) {
             ("GET", ["v1", "healthz"]) => self.healthz(),
             ("GET", ["v1", "metrics"]) => self.metrics(),
-            ("POST", ["v1", "jobs"]) => self.submit(request),
+            ("GET", ["metrics.prom"]) => self.metrics_prom(),
+            ("GET", ["v1", "events"]) => self.events(),
+            ("POST", ["v1", "jobs"]) => self.submit(request, request_id),
             ("GET", ["v1", "jobs", id]) => match id.parse() {
                 Ok(id) => self.status(id),
                 Err(_) => Response::error(400, &format!("bad job id {id:?}")),
@@ -585,20 +797,65 @@ impl Core {
                 let drained = self.drain();
                 Response::json(200, serde_json::to_string(&drained).expect("serializes"))
             }
-            (_, ["v1", "jobs", ..]) | (_, ["v1", "healthz"]) | (_, ["v1", "metrics"]) => {
+            (_, ["v1", "jobs", ..])
+            | (_, ["v1", "healthz"])
+            | (_, ["v1", "metrics"])
+            | (_, ["v1", "events"])
+            | (_, ["metrics.prom"]) => {
                 Response::error(405, &format!("{} not allowed here", request.method))
             }
             _ => Response::error(404, &format!("no route for {}", request.path)),
         }
     }
 
-    /// One HTTP worker: parse, route, respond, close.
+    /// A bounded-cardinality label for the request path: ids and tenant
+    /// names collapse to placeholders so the metric family stays small no
+    /// matter how many jobs or tenants the server has seen.
+    fn route_label(request: &Request) -> &'static str {
+        match request.segments().as_slice() {
+            ["v1", "healthz"] => "/v1/healthz",
+            ["v1", "metrics"] => "/v1/metrics",
+            ["v1", "events"] => "/v1/events",
+            ["metrics.prom"] => "/metrics.prom",
+            ["v1", "jobs"] => "/v1/jobs",
+            ["v1", "jobs", _] => "/v1/jobs/{id}",
+            ["v1", "jobs", _, "result"] => "/v1/jobs/{id}/result",
+            ["v1", "tenants", _, "usage"] => "/v1/tenants/{tenant}/usage",
+            ["v1", "admin", "drain"] => "/v1/admin/drain",
+            _ => "other",
+        }
+    }
+
+    /// One HTTP worker: parse, mint a request id, route, respond, close.
+    /// Every response carries the id in an `x-request-id` header; the
+    /// same id is on the request's trace span, its HTTP metrics, and —
+    /// for submissions — everything downstream of admission.
     fn handle_connection(&self, worker: usize, mut stream: TcpStream) {
         let started_ns = self.host_ns();
         let timeout = Duration::from_millis(self.config.read_timeout_ms);
+        let request_id = self.obs.request_ids.mint();
         let response = match read_request(&stream, timeout) {
             Ok(request) => {
-                let response = self.route(&request);
+                let response = self.route(&request, &request_id);
+                let elapsed_ns = self.host_ns() - started_ns;
+                let route = Core::route_label(&request);
+                let status = response.status.to_string();
+                self.obs
+                    .registry
+                    .counter(
+                        "pim_http_requests_total",
+                        "HTTP requests served, by normalized route and status code.",
+                        &[("route", route), ("status", &status)],
+                    )
+                    .inc();
+                self.obs
+                    .registry
+                    .histogram(
+                        "pim_http_request_latency_ns",
+                        "Server-side request latency (parse to response ready), nanoseconds.",
+                        &[("route", route)],
+                    )
+                    .observe(elapsed_ns);
                 if self.sink.enabled() {
                     self.sink.record_span(
                         Span::host(
@@ -606,22 +863,32 @@ impl Core {
                             "service",
                             Track::Service(worker as u32),
                             started_ns as f64,
-                            (self.host_ns() - started_ns) as f64,
+                            elapsed_ns as f64,
                         )
-                        .arg("status", response.status as u64),
+                        .arg("status", response.status as u64)
+                        .arg(ATTR_REQUEST_ID, request_id.clone()),
                     );
                 }
                 response
             }
             Err(ParseError::Incomplete) => return, // client went away
             Err(ParseError::Malformed(reason)) => {
+                self.obs.events.emit(
+                    Level::Warn,
+                    "http",
+                    &request_id,
+                    &format!("malformed request: {reason}"),
+                    &[],
+                );
                 Response::error(400, &format!("malformed request: {reason}"))
             }
             Err(ParseError::BodyTooLarge(size)) => {
                 Response::error(413, &format!("body of {size} bytes exceeds limit"))
             }
         };
-        let _ = response.write_to(&mut stream);
+        let _ = response
+            .header("x-request-id", &request_id)
+            .write_to(&mut stream);
     }
 
     /// The acceptor: hand connections to the worker channel, shedding at
@@ -635,16 +902,19 @@ impl Core {
                         self.counters
                             .shed_connections
                             .fetch_add(1, Ordering::Relaxed);
+                        self.admission_outcome("shed_connection");
                         let backlog = {
                             let state = self.state.lock().expect("core lock");
                             state.queues.queued() + state.queues.in_flight()
                         };
+                        // Shed before the request was read: no id minted.
                         let _ = self
                             .reject(
                                 Rejection::GlobalOverload {
                                     depth: self.config.connection_backlog,
                                 },
                                 backlog,
+                                "",
                             )
                             .write_to(&mut stream);
                     }
@@ -938,6 +1208,80 @@ mod tests {
             drained.ledger.global.estimated_microcredits, 0,
             "all refunded"
         );
+    }
+
+    #[test]
+    fn observability_endpoints_serve_prom_and_events() {
+        let server = Server::start(ServeConfig::default()).unwrap();
+        let addr = server.addr();
+
+        let (status, headers, body) =
+            call(&addr, "POST", "/v1/jobs", Some(&tiny_submit("alice"))).unwrap();
+        assert_eq!(status, 202, "{body}");
+        let submitted: SubmitResponse = serde_json::from_str(&body).unwrap();
+        assert!(submitted.request_id.starts_with("req-"));
+        assert_eq!(
+            headers.get("x-request-id").map(String::as_str),
+            Some(submitted.request_id.as_str()),
+            "header and body agree on the request id"
+        );
+        assert_eq!(submitted.meter.request_id, submitted.request_id);
+        poll_terminal(&addr, submitted.id);
+
+        // The Prometheus exposition parses strictly and carries the
+        // families the scrape is expected to expose.
+        let (status, headers, body) = call(&addr, "GET", "/metrics.prom", None).unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            headers
+                .get("content-type")
+                .is_some_and(|t| t.starts_with("text/plain; version=0.0.4")),
+            "prometheus content type"
+        );
+        let stats = pim_obs::prom::validate_exposition(&body).expect("valid exposition");
+        assert!(
+            stats.families >= 5,
+            "got {} families:\n{body}",
+            stats.families
+        );
+        for family in [
+            "pim_http_requests_total",
+            "pim_http_request_latency_ns",
+            "pim_serve_admission_total",
+            "pim_serve_queue_depth",
+            "pim_trace_dropped_records",
+            "pim_trace_collector_capacity",
+            "pim_slo_attainment_millionths",
+        ] {
+            assert!(body.contains(family), "missing {family} in:\n{body}");
+        }
+
+        // The event log serves JSON lines, each a parseable record, and
+        // the submission left correlated admission + dispatch events.
+        let (status, headers, body) = call(&addr, "GET", "/v1/events", None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(
+            headers.get("content-type").map(String::as_str),
+            Some("application/x-ndjson")
+        );
+        let records: Vec<pim_obs::EventRecord> = body
+            .lines()
+            .map(|line| serde_json::from_str(line).expect("event line parses"))
+            .collect();
+        assert!(
+            records
+                .iter()
+                .any(|r| r.message == "job admitted" && r.request_id == submitted.request_id),
+            "admission event correlated: {body}"
+        );
+        assert!(
+            records
+                .iter()
+                .any(|r| r.scope == "dispatch" && r.request_id == submitted.request_id),
+            "dispatch event correlated: {body}"
+        );
+
+        server.shutdown();
     }
 
     #[test]

@@ -77,7 +77,7 @@ proptest! {
                 kernels[*kernel_idx],
                 0.01 * f64::from(*scale_steps),
             );
-            ledger.admit(job_id, tenant, &spec);
+            ledger.admit(job_id, tenant, "", &spec);
             if cancel_mask & (1 << job_id) != 0 {
                 // Cancelled before dispatch: never reaches the runtime.
                 prop_assert!(ledger.cancel(job_id));

@@ -44,4 +44,4 @@ pub mod sink;
 pub mod span;
 
 pub use sink::{Collector, NullSink, TraceSink};
-pub use span::{ArgValue, ClockDomain, Event, Phase, Span, Track};
+pub use span::{ArgValue, ClockDomain, Event, Phase, Span, Track, ATTR_REQUEST_ID};

@@ -30,6 +30,20 @@ pub trait TraceSink: Send + Sync + std::fmt::Debug {
 
     /// Records one instantaneous event.
     fn record_instant(&self, event: Event);
+
+    /// Records refused because the sink ran out of room. The default —
+    /// unbounded or discarding sinks — is 0; [`Collector`] overrides
+    /// this so serving edges can surface trace loss as a live gauge
+    /// instead of an offline Analysis warning.
+    fn dropped_records(&self) -> u64 {
+        0
+    }
+
+    /// Retention cap in records, if the sink has one. `None` for
+    /// unbounded or discarding sinks; [`Collector`] overrides this.
+    fn capacity(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// The disabled sink: `enabled()` is `false` and both record methods are
@@ -163,6 +177,14 @@ impl TraceSink for Collector {
         if self.try_reserve() {
             self.events.lock().expect("event lock").push(event);
         }
+    }
+
+    fn dropped_records(&self) -> u64 {
+        Collector::dropped_records(self)
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        Collector::capacity(self)
     }
 }
 

@@ -19,6 +19,14 @@
 
 use std::fmt;
 
+/// Canonical argument key for the request-scoped correlation id minted
+/// by a serving edge. Every layer that annotates spans or events with a
+/// request id uses this key, so one grep over a trace export — or one
+/// [`Span::request_id`] call over collected records — links an HTTP
+/// submission to its admission decision, queue wait, runtime job, and
+/// device spans.
+pub const ATTR_REQUEST_ID: &str = "request_id";
+
 /// Which clock a record's timestamps are measured on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ClockDomain {
@@ -251,6 +259,14 @@ impl Span {
         self
     }
 
+    /// The [`ATTR_REQUEST_ID`] annotation, if this span carries one.
+    pub fn request_id(&self) -> Option<&str> {
+        self.args.iter().find_map(|(k, v)| match v {
+            ArgValue::Str(s) if *k == ATTR_REQUEST_ID => Some(s.as_str()),
+            _ => None,
+        })
+    }
+
     /// End time, nanoseconds.
     pub fn end_ns(&self) -> f64 {
         self.start_ns + self.dur_ns
@@ -291,6 +307,14 @@ impl Event {
     pub fn arg(mut self, key: &'static str, value: impl Into<ArgValue>) -> Self {
         self.args.push((key, value.into()));
         self
+    }
+
+    /// The [`ATTR_REQUEST_ID`] annotation, if this event carries one.
+    pub fn request_id(&self) -> Option<&str> {
+        self.args.iter().find_map(|(k, v)| match v {
+            ArgValue::Str(s) if *k == ATTR_REQUEST_ID => Some(s.as_str()),
+            _ => None,
+        })
     }
 }
 
@@ -337,6 +361,19 @@ mod tests {
         assert_eq!(s.args.len(), 2);
         assert_eq!(s.track.class(), "subarray");
         assert_eq!(s.track.to_string(), "subarray 3");
+    }
+
+    #[test]
+    fn request_id_annotation_round_trips() {
+        let bare = Span::host("j", "job", Track::Worker(0), 0.0, 1.0);
+        assert_eq!(bare.request_id(), None);
+        let tagged = Span::host("j", "job", Track::Worker(0), 0.0, 1.0)
+            .arg("index", 3u64)
+            .arg(ATTR_REQUEST_ID, "req-00000001");
+        assert_eq!(tagged.request_id(), Some("req-00000001"));
+        let event = Event::host("submit", "http", Track::Service(0), 0.0)
+            .arg(ATTR_REQUEST_ID, "req-00000002");
+        assert_eq!(event.request_id(), Some("req-00000002"));
     }
 
     #[test]

@@ -19,16 +19,21 @@
 //! so the admission caps must shed; the measurement is how the service
 //! degrades (explicit 429s, stable completion rate) rather than whether.
 //!
-//! Latency percentiles come from the runtime's own power-of-two histogram
-//! (`MetricsSnapshot::latency_p50_ns`/`p95`/`p99`), not from client-side
-//! timers — they measure dispatch-to-completion host latency per job.
+//! Two latency views are reported: the runtime's own power-of-two
+//! histogram (`MetricsSnapshot::latency_p50_ns`/`p95`/`p99`, dispatch-to-
+//! completion host latency per job) and **client-side** percentiles from
+//! the same bucket scheme ([`pim_obs::Histogram`]) over every HTTP round
+//! trip the clients made. Closed-loop submit→terminal job latencies are
+//! evaluated against the default latency SLO and the summary prints an
+//! explicit pass/fail line.
 
 use std::io::Write;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use streampim::pim_baselines::PlatformKind;
+use streampim::pim_obs::{slo, Histogram, SloConfig};
 use streampim::pim_runtime::Job;
 use streampim::pim_serve::api::{MetricsResponse, StatusResponse, SubmitRequest};
 use streampim::pim_serve::{call, AdmissionConfig, JobState, ServeConfig, Server};
@@ -44,6 +49,26 @@ struct Traffic {
     admitted: AtomicU64,
     rejected: AtomicU64,
     completed: AtomicU64,
+    /// Client-observed wall-clock of every HTTP round trip (submits and
+    /// polls alike), in the workspace's shared power-of-two buckets.
+    http_latency: Histogram,
+    /// Closed-loop end-to-end job outcomes: (completed, submit→terminal
+    /// latency in ns) — the SLO evaluation input.
+    e2e: Mutex<Vec<(bool, u64)>>,
+}
+
+/// One timed HTTP call: records the client-observed round trip.
+fn timed_call(
+    addr: &SocketAddr,
+    traffic: &Traffic,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, std::collections::HashMap<String, String>, String)> {
+    let t0 = Instant::now();
+    let outcome = call(addr, method, path, body);
+    traffic.http_latency.record(t0.elapsed().as_nanos() as u64);
+    outcome
 }
 
 fn submit_body(tenant: &str, m: usize) -> String {
@@ -57,7 +82,14 @@ fn submit_body(tenant: &str, m: usize) -> String {
 /// Submits one job; returns its id if admitted.
 fn submit(addr: &SocketAddr, tenant: &str, m: usize, traffic: &Traffic) -> Option<u64> {
     traffic.submitted.fetch_add(1, Ordering::Relaxed);
-    let (status, _, body) = call(addr, "POST", "/v1/jobs", Some(&submit_body(tenant, m))).ok()?;
+    let (status, _, body) = timed_call(
+        addr,
+        traffic,
+        "POST",
+        "/v1/jobs",
+        Some(&submit_body(tenant, m)),
+    )
+    .ok()?;
     if status == 202 {
         traffic.admitted.fetch_add(1, Ordering::Relaxed);
         let parsed: streampim::pim_serve::SubmitResponse =
@@ -69,21 +101,25 @@ fn submit(addr: &SocketAddr, tenant: &str, m: usize, traffic: &Traffic) -> Optio
     }
 }
 
-/// Polls a job to a terminal state; counts completions.
-fn await_job(addr: &SocketAddr, id: u64, traffic: &Traffic) {
+/// Polls a job to a terminal state; counts completions. Returns whether
+/// the job completed successfully.
+fn await_job(addr: &SocketAddr, id: u64, traffic: &Traffic) -> bool {
     loop {
-        let Ok((status, _, body)) = call(addr, "GET", &format!("/v1/jobs/{id}"), None) else {
-            return;
+        let Ok((status, _, body)) =
+            timed_call(addr, traffic, "GET", &format!("/v1/jobs/{id}"), None)
+        else {
+            return false;
         };
         if status != 200 {
-            return;
+            return false;
         }
         let parsed: StatusResponse = serde_json::from_str(&body).expect("status parses");
         if parsed.state.is_terminal() {
-            if parsed.state == JobState::Completed {
+            let completed = parsed.state == JobState::Completed;
+            if completed {
                 traffic.completed.fetch_add(1, Ordering::Relaxed);
             }
-            return;
+            return completed;
         }
         std::thread::sleep(Duration::from_millis(1));
     }
@@ -106,8 +142,14 @@ fn closed_loop(addr: SocketAddr, duration: Duration, clients: usize) -> (Traffic
                     // hits (repeats) and misses (new sizes).
                     let m = 16 + 8 * (round % 12);
                     round += 1;
+                    let t_job = Instant::now();
                     if let Some(id) = submit(&addr, tenant, m, &traffic) {
-                        await_job(&addr, id, &traffic);
+                        let completed = await_job(&addr, id, &traffic);
+                        traffic
+                            .e2e
+                            .lock()
+                            .expect("e2e lock")
+                            .push((completed, t_job.elapsed().as_nanos() as u64));
                     } else {
                         std::thread::sleep(Duration::from_millis(2));
                     }
@@ -170,15 +212,24 @@ fn open_loop(
     (traffic, t0.elapsed().as_secs_f64())
 }
 
-/// One mode's results as a JSON object string.
+/// One mode's results as a JSON object string, with the client-observed
+/// HTTP round-trip percentiles and the shed rate (rejected / submitted).
 fn mode_json(name: &str, traffic: &Traffic, elapsed_s: f64) -> String {
     let completed = traffic.completed.load(Ordering::Relaxed);
+    let submitted = traffic.submitted.load(Ordering::Relaxed);
+    let rejected = traffic.rejected.load(Ordering::Relaxed);
+    let shed_rate = if submitted > 0 {
+        rejected as f64 / submitted as f64
+    } else {
+        0.0
+    };
     format!(
-        "{{\"mode\": \"{name}\", \"elapsed_s\": {elapsed_s:.3}, \"submitted\": {}, \"admitted\": {}, \"rejected\": {}, \"completed\": {completed}, \"throughput_jobs_per_s\": {:.1}}}",
-        traffic.submitted.load(Ordering::Relaxed),
+        "{{\"mode\": \"{name}\", \"elapsed_s\": {elapsed_s:.3}, \"submitted\": {submitted}, \"admitted\": {}, \"rejected\": {rejected}, \"shed_rate\": {shed_rate:.4}, \"completed\": {completed}, \"throughput_jobs_per_s\": {:.1}, \"http_latency_ns\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}}}}",
         traffic.admitted.load(Ordering::Relaxed),
-        traffic.rejected.load(Ordering::Relaxed),
         completed as f64 / elapsed_s,
+        traffic.http_latency.percentile(0.50),
+        traffic.http_latency.percentile(0.95),
+        traffic.http_latency.percentile(0.99),
     )
 }
 
@@ -234,11 +285,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         metrics.ledger.tenants.len(),
     );
 
+    // SLO: closed-loop submit→terminal latencies against the default
+    // objective (the same config the server's own tracker uses).
+    let slo_config = SloConfig::default();
+    let outcomes = closed.e2e.lock().expect("e2e lock").clone();
+    let (attainment, burn, pass) = slo::evaluate(&slo_config, &outcomes);
+    println!(
+        "loadgen: SLO {} — {:.4} attainment vs {:.3} objective ({} jobs, burn {:.2})",
+        if pass { "PASS" } else { "FAIL" },
+        attainment,
+        slo_config.objective,
+        outcomes.len(),
+        burn,
+    );
+
     server.check_conservation().expect("metering conservation");
     let drained = server.shutdown();
 
     let json = format!(
-        "{{\n  \"bench\": \"serve_loadgen\",\n  \"config\": {{\"duration_ms\": {duration_ms}, \"clients\": {clients}, \"dispatchers\": {}, \"intra_threads\": {}}},\n  \"modes\": [\n    {},\n    {}\n  ],\n  \"latency_ns\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}},\n  \"ledger\": {{\"tenants\": {}, \"billed_microcredits\": {}, \"jobs_settled\": {}, \"jobs_cancelled\": {}}}\n}}\n",
+        "{{\n  \"bench\": \"serve_loadgen\",\n  \"config\": {{\"duration_ms\": {duration_ms}, \"clients\": {clients}, \"dispatchers\": {}, \"intra_threads\": {}}},\n  \"modes\": [\n    {},\n    {}\n  ],\n  \"latency_ns\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}},\n  \"slo\": {{\"latency_objective_ns\": {}, \"objective\": {}, \"jobs\": {}, \"attainment\": {attainment:.6}, \"error_budget_burn\": {burn:.4}, \"pass\": {pass}}},\n  \"ledger\": {{\"tenants\": {}, \"billed_microcredits\": {}, \"jobs_settled\": {}, \"jobs_cancelled\": {}}}\n}}\n",
         plan.dispatch_workers,
         plan.intra_per_job,
         mode_json("closed_loop", &closed, closed_s),
@@ -246,6 +311,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         runtime.latency_p50_ns,
         runtime.latency_p95_ns,
         runtime.latency_p99_ns,
+        slo_config.latency_objective_ns,
+        slo_config.objective,
+        outcomes.len(),
         drained.ledger.tenants.len(),
         drained.ledger.global.billed_microcredits,
         drained.ledger.global.jobs_settled,

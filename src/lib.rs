@@ -23,6 +23,9 @@
 //!   cache, and a JSON-exportable metrics registry.
 //! * [`pim_trace`] — cross-layer structured tracing: spans on per-resource
 //!   timelines, Chrome/Perfetto JSON export, and utilization analytics.
+//! * [`pim_obs`] — always-on host-side telemetry: sharded metrics registry
+//!   with Prometheus text exposition, structured event log, request-id
+//!   correlation, and per-tenant latency-SLO tracking.
 //! * [`pim_serve`] — the runtime as a network service: std-only HTTP/JSON
 //!   job API with per-tenant weighted fair queues, admission control, and
 //!   cost metering (see `DESIGN.md` §13).
@@ -51,6 +54,7 @@
 pub use dw_logic;
 pub use pim_baselines;
 pub use pim_device;
+pub use pim_obs;
 pub use pim_profile;
 pub use pim_runtime;
 pub use pim_serve;

@@ -142,6 +142,72 @@ fn functional_device_with_fault_streams_is_identical_at_any_worker_count() {
     }
 }
 
+/// Telemetry is host-side only (DESIGN.md §14): attaching a trace
+/// collector and request-id correlation must leave every report
+/// bit-identical to the bare run, at every worker count.
+#[test]
+fn observed_runs_are_bit_identical_to_unobserved_runs() {
+    use std::sync::Arc;
+    use streampim::pim_baselines::platform::PlatformKind;
+    use streampim::pim_runtime::{Job, Runtime, RuntimeConfig};
+
+    // Device level: tracing into a live collector changes nothing.
+    let device = StreamPim::new(StreamPimConfig::paper_default()).expect("valid");
+    let schedule = lowered(Kernel::Gemm, &device);
+    let bare = device.execute(&schedule);
+    for &workers in &worker_counts() {
+        let sink = Collector::new();
+        let traced = device
+            .clone()
+            .with_parallelism(Parallelism::Threads(workers))
+            .execute_traced(&schedule, &sink);
+        assert_eq!(traced, bare, "traced report x{workers}");
+        assert_eq!(
+            traced.total_ns().to_bits(),
+            bare.total_ns().to_bits(),
+            "traced time bits x{workers}"
+        );
+        assert!(!sink.spans().is_empty(), "collector really observed");
+    }
+
+    // Runtime level: a span sink plus request-id stamping on every job is
+    // equally invisible. Fresh runtimes per arm so no cache is shared.
+    let jobs = |with_ids: bool| -> Vec<Job> {
+        (0..4)
+            .map(|i| {
+                let job = Job::new(
+                    WorkloadSpec::MatMul {
+                        m: 12 + 4 * i,
+                        k: 12 + 4 * i,
+                        n: 12 + 4 * i,
+                    },
+                    PlatformKind::StPim,
+                )
+                .for_tenant("det");
+                if with_ids {
+                    job.with_request_id(format!("req-{i:08x}"))
+                } else {
+                    job
+                }
+            })
+            .collect()
+    };
+    let quiet: Vec<String> = Runtime::new(RuntimeConfig::default())
+        .run_batch(&jobs(false))
+        .outcomes
+        .into_iter()
+        .map(|o| serde_json::to_string(&o.report.expect("ok")).unwrap())
+        .collect();
+    let observed: Vec<String> =
+        Runtime::with_sink(RuntimeConfig::default(), Arc::new(Collector::new()))
+            .run_batch(&jobs(true))
+            .outcomes
+            .into_iter()
+            .map(|o| serde_json::to_string(&o.report.expect("ok")).unwrap())
+            .collect();
+    assert_eq!(observed, quiet, "request ids + sink changed a report");
+}
+
 /// A schedule shaped like real kernel lowerings, sized by the proptest case.
 fn synthetic_schedule(rounds: usize, computes: usize, len: u32, repeat: u64) -> Schedule {
     let mut schedule = Schedule::new();
