@@ -31,6 +31,29 @@ use std::hint::black_box;
 use std::process::ExitCode;
 use std::time::Instant;
 
+/// The host environment a report was produced on. Absolute timings — and
+/// thread speedups especially — only transfer between hosts that match on
+/// these fields; `--compare` reads them to decide which gates apply.
+#[derive(Debug, Serialize, Deserialize)]
+struct HostEnv {
+    /// `std::thread::available_parallelism` at bench time.
+    available_parallelism: usize,
+    /// Target architecture (`std::env::consts::ARCH`).
+    arch: String,
+    /// SIMD level the wide kernels dispatch to (`rm_core::wide::simd_level`).
+    simd: String,
+}
+
+impl HostEnv {
+    fn current() -> Self {
+        HostEnv {
+            available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            arch: std::env::consts::ARCH.to_string(),
+            simd: rm_core::wide::simd_level().to_string(),
+        }
+    }
+}
+
 /// Median ns/op comparison of one kernel.
 #[derive(Debug, Serialize, Deserialize)]
 struct KernelResult {
@@ -38,6 +61,31 @@ struct KernelResult {
     scalar_ns: f64,
     packed_ns: f64,
     speedup: f64,
+}
+
+/// Median ns/op of one kernel's wide word-group path against its retained
+/// single-word reference path (PR 8 tentpole): `ratio` is `word_ns /
+/// wide_ns`, so ≥ 1 means the widening pays off.
+#[derive(Debug, Serialize, Deserialize)]
+struct WideResult {
+    name: String,
+    word_ns: f64,
+    wide_ns: f64,
+    ratio: f64,
+}
+
+/// Cold pricing vs near-miss re-pricing of one submission, medianed over a
+/// shape-swept workload: `cold_ns` builds the task, lowers, and prices every
+/// row from scratch (the pre-cache submission path); `repriced_ns` lowers
+/// the shape-only task and replays already-priced rows through a warmed
+/// [`pim_device::PriceTable`] (the runtime's near-miss path). `ratio` is
+/// `repriced_ns / cold_ns` — the acceptance gate wants it under 0.5.
+#[derive(Debug, Serialize, Deserialize)]
+struct RepriceResult {
+    shapes: usize,
+    cold_ns: f64,
+    repriced_ns: f64,
+    ratio: f64,
 }
 
 /// One intra-run parallelism measurement: the same `DeviceFlow` workload
@@ -58,9 +106,12 @@ struct ParallelResult {
 struct Report {
     bench: String,
     mode: String,
+    host: HostEnv,
     iters_per_sample: u64,
     samples: usize,
     results: Vec<KernelResult>,
+    wide: Vec<WideResult>,
+    reprice: RepriceResult,
     parallel: Vec<ParallelResult>,
 }
 
@@ -229,11 +280,117 @@ fn main() -> ExitCode {
         });
     }
 
+    // Wide group: each widened hot path against its retained single-word
+    // reference (PR 8): the processor dot datapath, the aligned row copy
+    // under `Mat` reads/writes, and the bus's closed-form bulk stream.
+    let mut wide = Vec::new();
+    {
+        let a: Vec<u64> = (0..256).map(|i| (i * 37 + 11) % 256).collect();
+        let b: Vec<u64> = (0..256).map(|i| (i * 91 + 13) % 256).collect();
+        let mut proc = RmProcessor::new(8, 2);
+        let wide_ns = median_ns(gemv_iters, samples, || {
+            black_box(proc.dot(black_box(&a), black_box(&b)));
+        });
+        let word_ns = median_ns(gemv_iters, samples, || {
+            black_box(proc.dot_words(black_box(&a), black_box(&b)));
+        });
+        wide.push(WideResult {
+            name: "gemv".into(),
+            word_ns,
+            wide_ns,
+            ratio: word_ns / wide_ns,
+        });
+    }
+    {
+        // A full 4096-lane plane row, the grain `Mat` row reads copy.
+        const LANES: usize = 4096;
+        let mut src = rm_core::PackedBits::new(LANES);
+        for i in (0..LANES).step_by(3) {
+            src.set(i, true);
+        }
+        let mut dst = rm_core::PackedBits::new(LANES);
+        let wide_ns = median_ns(iters, samples, || {
+            dst.copy_range_from(0, black_box(&src), 0, LANES);
+            black_box(&dst);
+        });
+        let word_ns = median_ns(iters, samples, || {
+            dst.copy_range_from_by_words(0, black_box(&src), 0, LANES);
+            black_box(&dst);
+        });
+        wide.push(WideResult {
+            name: "read_row".into(),
+            word_ns,
+            wide_ns,
+            ratio: word_ns / wide_ns,
+        });
+    }
+    {
+        let words: Vec<u64> = (0..64).map(|i| i * 0x9E37_79B9_7F4A_7C15u64).collect();
+        let (src, dst) = (0usize, 8usize);
+        let mut bulk = rm_bus::SegmentedBus::new(16);
+        let wide_ns = median_ns(iters / 4, samples, || {
+            black_box(bulk.stream_words(src, dst, black_box(&words)));
+        });
+        let mut cycled = rm_bus::SegmentedBus::new(16);
+        let word_ns = median_ns(iters / 4, samples, || {
+            black_box(cycled.stream_words_cycled_reference(src, dst, black_box(&words)));
+        });
+        wide.push(WideResult {
+            name: "stream_words".into(),
+            word_ns,
+            wide_ns,
+            ratio: word_ns / wide_ns,
+        });
+    }
+
+    // Reprice group: the runtime's near-miss submission path (shape-only
+    // lowering + memoized pricing) against the cold path (task build + full
+    // pricing), medianed over a shape-swept MatMul workload whose price
+    // table was warmed by one sibling shape.
+    let reprice = {
+        use pim_device::{PriceTable, StreamPim, StreamPimConfig};
+        use pim_workloads::WorkloadSpec;
+        let device = StreamPim::new(StreamPimConfig::paper_default()).expect("device builds");
+        let shapes: Vec<WorkloadSpec> = (0..6)
+            .map(|i| WorkloadSpec::MatMul {
+                m: 32 + 8 * i,
+                k: 48 + 4 * i,
+                n: 16 + 2 * i,
+            })
+            .collect();
+        let (rep_iters, rep_samples) = if smoke { (2, 3) } else { (20, 7) };
+        let cold_ns = median_ns(rep_iters, rep_samples, || {
+            for spec in &shapes {
+                let schedule = spec.build_task().lower(&device).expect("lowers");
+                black_box(device.execute(&schedule));
+            }
+        });
+        // Warm the table with the first shape, then sweep the rest —
+        // exactly what the runtime does after one shape-class submission.
+        let mut table = PriceTable::new();
+        let warm = shapes[0].shape_task().lower(&device).expect("lowers");
+        device.execute_repriced(&warm, &mut table);
+        let repriced_ns = median_ns(rep_iters, rep_samples, || {
+            for spec in &shapes {
+                let schedule = spec.shape_task().lower(&device).expect("lowers");
+                black_box(device.execute_repriced(&schedule, &mut table));
+            }
+        });
+        RepriceResult {
+            shapes: shapes.len(),
+            cold_ns,
+            repriced_ns,
+            ratio: repriced_ns / cold_ns,
+        }
+    };
+
     // Parallel group: functional DeviceFlow gemv/gemm sharded across
-    // intra-run worker threads. Informational, never gated by --compare:
-    // the speedup is a property of the machine's core count, which is why
-    // each entry records `available_parallelism` next to `threads`.
-    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // intra-run worker threads. Gated by --compare only when the baseline
+    // ran with the same hardware thread count: the speedup is a property
+    // of the machine's core count, which is why each entry records
+    // `available_parallelism` next to `threads`.
+    let host = HostEnv::current();
+    let available = host.available_parallelism;
     let (par_iters, par_samples) = if smoke { (1, 3) } else { (4, 7) };
     let mut parallel = Vec::new();
     {
@@ -280,21 +437,38 @@ fn main() -> ExitCode {
     let report = Report {
         bench: "device".into(),
         mode: if smoke { "smoke" } else { "full" }.into(),
+        host,
         iters_per_sample: iters,
         samples,
         results,
+        wide,
+        reprice,
         parallel,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, &json).expect("report written");
 
-    println!("device kernels ({} mode):", report.mode);
+    println!(
+        "device kernels ({} mode, {} / {} / {} threads):",
+        report.mode, report.host.arch, report.host.simd, report.host.available_parallelism
+    );
     for k in &report.results {
         println!(
             "  {:<10} scalar {:>10.1} ns/op   packed {:>10.1} ns/op   {:>6.1}x",
             k.name, k.scalar_ns, k.packed_ns, k.speedup
         );
     }
+    println!("wide word-group vs single-word paths:");
+    for w in &report.wide {
+        println!(
+            "  {:<12} word {:>10.1} ns/op   wide {:>10.1} ns/op   {:>6.2}x",
+            w.name, w.word_ns, w.wide_ns, w.ratio
+        );
+    }
+    println!(
+        "near-miss re-pricing over {} swept shapes: cold {:>10.1} ns   repriced {:>10.1} ns   {:.2}x",
+        report.reprice.shapes, report.reprice.cold_ns, report.reprice.repriced_ns, report.reprice.ratio
+    );
     println!("intra-run parallel flow (machine has {available} hardware threads):");
     for p in &report.parallel {
         println!(
@@ -346,6 +520,50 @@ fn compare(report: &Report, base_path: &str, tolerance_pct: f64) -> ExitCode {
         if !report.results.iter().any(|k| k.name == b.name) {
             eprintln!("  {:<10} in baseline but not measured", b.name);
             failed = true;
+        }
+    }
+    // The parallel gate compares thread-speedup ratios, which only make
+    // sense between hosts with the same core count: skip loudly otherwise
+    // (the PR 5 baseline was recorded on a 1-CPU runner and silently gated
+    // nothing — this warning is the fix).
+    if baseline.host.available_parallelism != report.host.available_parallelism {
+        eprintln!(
+            "  WARNING: skipping parallel speedup gate — baseline host had {} threads, this host has {}",
+            baseline.host.available_parallelism, report.host.available_parallelism
+        );
+    } else if report.host.available_parallelism <= 1 {
+        // On a single-hardware-thread host the "speedup" of the threaded
+        // engine is pure scheduler overhead; the ratio swings 2x run to run
+        // and gating it only produces flaky CI.
+        eprintln!(
+            "  WARNING: skipping parallel speedup gate — host has 1 hardware thread, ratios are scheduler noise"
+        );
+    } else {
+        for p in &report.parallel {
+            let Some(base) = baseline
+                .parallel
+                .iter()
+                .find(|b| b.name == p.name && b.threads == p.threads)
+            else {
+                eprintln!(
+                    "  {:<10} x{:<2} MISSING from baseline parallel group",
+                    p.name, p.threads
+                );
+                failed = true;
+                continue;
+            };
+            let drift_pct = (p.speedup / base.speedup - 1.0) * 100.0;
+            let ok = drift_pct.abs() <= tolerance_pct;
+            failed |= !ok;
+            println!(
+                "  {:<10} x{:<2} baseline {:>6.2}x   now {:>6.2}x   {:>+7.1}%  {}",
+                p.name,
+                p.threads,
+                base.speedup,
+                p.speedup,
+                drift_pct,
+                if ok { "ok" } else { "FAIL" }
+            );
         }
     }
     if failed {

@@ -115,6 +115,45 @@ impl AdderTree {
             .next()
             .unwrap_or_else(|| vec![0u64; width])
     }
+
+    /// Word-group sibling of [`Self::sum_planes`]: each operand is `width`
+    /// bit planes of `group_words` lane-words, flattened plane-major, over
+    /// `lanes` total lanes. Same pairwise reduction; results and tallies are
+    /// bit-identical to [`Self::sum_planes`] applied per word column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand is not `width * group_words` words long.
+    pub fn sum_planes_group(
+        &self,
+        operands: &[Vec<u64>],
+        group_words: usize,
+        lanes: u64,
+        tally: &mut GateTally,
+    ) -> Vec<u64> {
+        let width = self.width as usize;
+        for op in operands {
+            assert_eq!(op.len(), width * group_words, "operand plane-group length");
+        }
+        let adder = RippleCarryAdder::new(self.width);
+        let mut level: Vec<Vec<u64>> = operands.to_vec();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                if let [a, b] = pair {
+                    let (s, _carry) = adder.add_planes_group(a, b, group_words, lanes, tally);
+                    next.push(s);
+                } else {
+                    next.push(pair[0].clone());
+                }
+            }
+            level = next;
+        }
+        level
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| vec![0u64; width * group_words])
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +237,52 @@ mod tests {
             assert_eq!(got, expect, "lane {l}");
         }
         assert_eq!(tw, ts);
+    }
+
+    #[test]
+    fn sum_planes_group_matches_per_word_sum_planes() {
+        let tree = AdderTree::new(12);
+        let width = 12usize;
+        for lanes in [1u64, 64, 70, 128, 190] {
+            let g = (lanes as usize).div_ceil(64);
+            let partial = (lanes % 64) as u32;
+            let tail_mask = if partial == 0 {
+                u64::MAX
+            } else {
+                (1u64 << partial) - 1
+            };
+            let operands: Vec<Vec<u64>> = (0..5u64)
+                .map(|op| {
+                    let mut planes = vec![0u64; width * g];
+                    for (i, word) in planes.iter_mut().enumerate() {
+                        *word = (op * 131 + i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    }
+                    for i in 0..width {
+                        planes[i * g + g - 1] &= tail_mask;
+                    }
+                    planes
+                })
+                .collect();
+            let mut tg = GateTally::new();
+            let sum_g = tree.sum_planes_group(&operands, g, lanes, &mut tg);
+            let mut tw = GateTally::new();
+            for w in 0..g {
+                let wl = (lanes - 64 * w as u64).min(64) as u32;
+                let cols: Vec<Vec<u64>> = operands
+                    .iter()
+                    .map(|op| (0..width).map(|i| op[i * g + w]).collect())
+                    .collect();
+                let sum_w = tree.sum_planes(&cols, wl, &mut tw);
+                for i in 0..width {
+                    assert_eq!(
+                        sum_g[i * g + w],
+                        sum_w[i],
+                        "plane {i} word {w} at {lanes} lanes"
+                    );
+                }
+            }
+            assert_eq!(tg, tw, "tally at {lanes} lanes");
+        }
     }
 
     #[test]

@@ -9,7 +9,8 @@
 
 use crate::adder_tree::AdderTree;
 use crate::cost::GateTally;
-use crate::gate::{and, and_words};
+use crate::gate::{and, and_words, and_words_group};
+use rm_core::wide::transpose64;
 use serde::{Deserialize, Serialize};
 
 /// Transposes up to 64 lane values into `width` bit planes: plane `i`, bit
@@ -151,10 +152,95 @@ impl Multiplier {
     /// loop skips the per-call output allocation). Results and tallies are
     /// identical to [`Self::multiply_many`].
     ///
+    /// This is the wide path (PR 8): operands are chunked into word-groups
+    /// of up to [`rm_core::wide::GROUP_LANES`] lanes, transposed 64 lanes at
+    /// a time with the word-level [`rm_core::wide::transpose64`] (replacing
+    /// the per-bit gather), and the `width²` AND partial-product gates plus
+    /// the adder tree evaluate whole word-groups per op via the
+    /// `*_words_group` gate kernels. The single-word path is retained as
+    /// [`Self::multiply_many_words_into`]; differential tests prove both
+    /// bit-identical in results and tallies.
+    ///
     /// # Panics
     ///
     /// Panics if `a` and `b` differ in length.
     pub fn multiply_many_into(
+        &self,
+        a: &[u64],
+        b: &[u64],
+        tally: &mut GateTally,
+        out: &mut Vec<u64>,
+    ) {
+        assert_eq!(a.len(), b.len(), "operand vectors must pair up");
+        let w = self.width as usize;
+        let pw = 2 * w;
+        let mask = (1u64 << self.width) - 1;
+        out.reserve(a.len());
+        let mut buf = [0u64; 64];
+        for (ca, cb) in a
+            .chunks(rm_core::wide::GROUP_LANES)
+            .zip(b.chunks(rm_core::wide::GROUP_LANES))
+        {
+            let lanes = ca.len();
+            let lanes_u64 = lanes as u64;
+            let g = lanes.div_ceil(64);
+            // Forward transpose, one 64-lane word at a time: plane i of word
+            // group column wi lives at planes[i * g + wi].
+            let mut a_planes = vec![0u64; w * g];
+            let mut b_planes = vec![0u64; w * g];
+            for (operand, planes) in [(ca, &mut a_planes), (cb, &mut b_planes)] {
+                for (wi, sub) in operand.chunks(64).enumerate() {
+                    buf.fill(0);
+                    for (l, &v) in sub.iter().enumerate() {
+                        buf[l] = v & mask;
+                    }
+                    transpose64(&mut buf);
+                    for (i, chunk) in planes.chunks_mut(g).enumerate() {
+                        chunk[wi] = buf[i];
+                    }
+                }
+            }
+            // Partial product i = (a AND b_i) << i in plane-group form: its
+            // plane i+j is the AND of a's plane j with bit i of b, evaluated
+            // over the whole word-group at once.
+            let pps: Vec<Vec<u64>> = (0..w)
+                .map(|i| {
+                    let mut planes = vec![0u64; pw * g];
+                    for j in 0..w {
+                        and_words_group(
+                            &a_planes[j * g..(j + 1) * g],
+                            &b_planes[i * g..(i + 1) * g],
+                            &mut planes[(i + j) * g..(i + j + 1) * g],
+                            lanes_u64,
+                            tally,
+                        );
+                    }
+                    planes
+                })
+                .collect();
+            let product_planes = self.tree.sum_planes_group(&pps, g, lanes_u64, tally);
+            // Back-transpose each word column and gather the live lanes.
+            for wi in 0..g {
+                buf.fill(0);
+                for j in 0..pw {
+                    buf[j] = product_planes[j * g + wi];
+                }
+                transpose64(&mut buf);
+                let sub_lanes = (lanes - wi * 64).min(64);
+                out.extend_from_slice(&buf[..sub_lanes]);
+            }
+        }
+    }
+
+    /// The retained single-word path of [`Self::multiply_many_into`]:
+    /// transposes per 64-lane chunk with the scalar gather and evaluates one
+    /// lane-word per gate op. Kept as the differential reference (and bench
+    /// comparison point) for the wide path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` differ in length.
+    pub fn multiply_many_words_into(
         &self,
         a: &[u64],
         b: &[u64],
@@ -267,6 +353,24 @@ mod tests {
             assert_eq!(products[i], a[i] * b[i], "pair {i} exact");
         }
         assert_eq!(tw, ts);
+    }
+
+    #[test]
+    fn multiply_many_wide_matches_word_path_and_tally() {
+        let m = Multiplier::new(8);
+        // Cross a group boundary (512 lanes) and leave a ragged tail.
+        for n in [1usize, 63, 64, 65, 511, 512, 700] {
+            let a: Vec<u64> = (0..n as u64).map(|i| (i * 37) % 256).collect();
+            let b: Vec<u64> = (0..n as u64).map(|i| (i * 91 + 13) % 256).collect();
+            let mut tg = GateTally::new();
+            let mut wide = Vec::new();
+            m.multiply_many_into(&a, &b, &mut tg, &mut wide);
+            let mut tw = GateTally::new();
+            let mut word = Vec::new();
+            m.multiply_many_words_into(&a, &b, &mut tw, &mut word);
+            assert_eq!(wide, word, "products at {n} lanes");
+            assert_eq!(tg, tw, "tally at {n} lanes");
+        }
     }
 
     #[test]

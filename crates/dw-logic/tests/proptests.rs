@@ -173,22 +173,31 @@ proptest! {
         }
     }
 
-    /// Differential: `multiply_many` equals per-pair `multiply` in results
-    /// and gate tally for arbitrary operand streams (crossing word chunks).
+    /// Differential: the wide word-group `multiply_many` equals both the
+    /// retained single-word path and per-pair `multiply` in results and gate
+    /// tally for arbitrary operand streams. The length range crosses both
+    /// the 64-lane word chunk and the 512-lane word-group boundary so ragged
+    /// tails of each granularity are exercised.
     #[test]
     fn multiply_many_matches_scalar_stream(
-        pairs in proptest::collection::vec((0u64..4096, 0u64..4096), 0..100),
+        pairs in proptest::collection::vec((0u64..4096, 0u64..4096), 0..600),
     ) {
         let m = Multiplier::new(12);
         let a: Vec<u64> = pairs.iter().map(|&(x, _)| x).collect();
         let b: Vec<u64> = pairs.iter().map(|&(_, y)| y).collect();
         let mut tw = GateTally::new();
         let products = m.multiply_many(&a, &b, &mut tw);
+        let mut tword = GateTally::new();
+        let mut word_products = Vec::new();
+        m.multiply_many_words_into(&a, &b, &mut tword, &mut word_products);
         let mut ts = GateTally::new();
         for (i, &(x, y)) in pairs.iter().enumerate() {
-            prop_assert_eq!(products[i], m.multiply(x, y, &mut ts));
+            let expect = m.multiply(x, y, &mut ts);
+            prop_assert_eq!(products[i], expect);
+            prop_assert_eq!(word_products[i], expect);
         }
-        prop_assert_eq!(tw, ts);
+        prop_assert_eq!(&tw, &ts);
+        prop_assert_eq!(&tword, &ts);
     }
 
     /// Differential: bulk circle accumulation equals serial accumulation in

@@ -8,7 +8,7 @@ use crate::gpu::GpuModel;
 use pim_device::report::ExecReport;
 use pim_device::schedule::Schedule;
 use pim_device::task::PimTask;
-use pim_device::{Parallelism, PimError, StreamPim, StreamPimConfig};
+use pim_device::{Parallelism, PimError, PriceTable, StreamPim, StreamPimConfig};
 use pim_trace::{NullSink, Phase, Span, TraceSink, Track};
 use pim_workloads::dnn::DnnModel;
 use pim_workloads::polybench::KernelInstance;
@@ -374,24 +374,54 @@ impl Platform {
                 r
             }
         };
-        // Peripheral/controller static power of the PIM device over the
-        // execution (the CPU/GPU models fold theirs into per-op energies).
-        let static_pj = report.time.total_ns() * PIM_STATIC_W * 1000.0;
-        report.energy.other_pj += static_pj;
-        if probe.enabled() {
-            probe.record(
-                "device/peripherals",
-                rm_core::ProbeSample::energy(rm_core::EnergyBreakdown {
-                    other_pj: static_pj,
-                    ..rm_core::EnergyBreakdown::default()
-                }),
-            );
-        }
+        add_pim_static_power(&mut report, probe);
         if !matches!(&self.inner, Inner::StreamPim(_)) {
             // The idealized PIM baselines are closed-form too: one span.
             emit_platform_span(sink, self.name(), workload, &report);
         }
         Ok(report)
+    }
+
+    /// Prices a pre-lowered `schedule` on the embedded StreamPIM device
+    /// through a [`PriceTable`] memo (see
+    /// [`pim_device::StreamPim::execute_repriced`]), applying the same
+    /// static-power post-processing as [`Platform::run_with_schedule`] so
+    /// the returned report is byte-identical to it at any table state.
+    /// Returns the report plus the number of rows priced fresh this run,
+    /// or `None` for platforms without an embedded StreamPIM device
+    /// (hosts and the closed-form PIM baselines), which must take the
+    /// workload-carrying path instead.
+    ///
+    /// The table must only ever be fed by this platform's configuration —
+    /// callers key tables by [`Platform::lowering_config`].
+    pub fn run_schedule_repriced(
+        &self,
+        schedule: &Schedule,
+        table: &mut PriceTable,
+    ) -> Option<(ExecReport, u64)> {
+        let Inner::StreamPim(device) = &self.inner else {
+            return None;
+        };
+        let (mut report, fresh) = device.execute_repriced(schedule, table);
+        add_pim_static_power(&mut report, &rm_core::NullProbe);
+        Some((report, fresh))
+    }
+}
+
+/// Peripheral/controller static power of the PIM device over the execution
+/// (the CPU/GPU models fold theirs into per-op energies). Shared by the
+/// instrumented and repriced paths so both post-process identically.
+fn add_pim_static_power(report: &mut ExecReport, probe: &dyn rm_core::Probe) {
+    let static_pj = report.time.total_ns() * PIM_STATIC_W * 1000.0;
+    report.energy.other_pj += static_pj;
+    if probe.enabled() {
+        probe.record(
+            "device/peripherals",
+            rm_core::ProbeSample::energy(rm_core::EnergyBreakdown {
+                other_pj: static_pj,
+                ..rm_core::EnergyBreakdown::default()
+            }),
+        );
     }
 }
 

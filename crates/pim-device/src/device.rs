@@ -78,6 +78,28 @@ impl Parallelism {
             .unwrap_or(1);
         self.resolve(total)
     }
+
+    /// Minimum pricing rows each worker must receive before `Auto` spawns
+    /// it. Pricing one analytic row costs tens of nanoseconds while a
+    /// scoped worker thread costs tens of microseconds to spawn and join,
+    /// so the break-even shard is a few thousand rows; below it, threads
+    /// are pure overhead on small shapes (DESIGN.md §15 has the
+    /// measurement). `Serial` and `Threads(n)` are explicit demands and
+    /// bypass this heuristic.
+    pub const AUTO_MIN_ROWS_PER_WORKER: usize = 2048;
+
+    /// Worker count for a run whose hot loop has `rows` independent work
+    /// items, on a machine with `total` hardware threads. `Auto` grants
+    /// one worker per [`Parallelism::AUTO_MIN_ROWS_PER_WORKER`] rows
+    /// (capped at `total`), so small shapes run serial instead of paying
+    /// thread spawn/join for shards that finish in microseconds. Explicit
+    /// levels resolve exactly as [`Parallelism::resolve`].
+    pub fn resolve_for_rows(self, total: usize, rows: usize) -> usize {
+        match self {
+            Parallelism::Auto => (rows / Self::AUTO_MIN_ROWS_PER_WORKER).clamp(1, total.max(1)),
+            explicit => explicit.resolve(total),
+        }
+    }
 }
 
 /// Full configuration of a simulated StreamPIM platform.
@@ -201,9 +223,21 @@ impl StreamPim {
         self.parallelism
     }
 
-    /// Worker threads a run of this device will use.
-    fn workers(&self) -> usize {
-        self.parallelism.resolve_here()
+    /// Worker threads a run over `schedule` will use: the device's
+    /// parallelism level resolved against the machine *and* the schedule's
+    /// pricing-row count, so `Auto` declines to spawn threads for shapes
+    /// whose shards would finish faster than the threads start (see
+    /// [`Parallelism::resolve_for_rows`]).
+    fn workers(&self, schedule: &Schedule) -> usize {
+        let total = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let rows: usize = schedule
+            .rounds
+            .iter()
+            .map(|r| r.broadcasts.len() + r.collects.len() + r.computes.len())
+            .sum();
+        self.parallelism.resolve_for_rows(total, rows)
     }
 
     /// Prices a schedule on this device: the core simulation entry point.
@@ -212,7 +246,26 @@ impl StreamPim {
             schedule,
             &pim_trace::NullSink,
             &rm_core::NullProbe,
-            self.workers(),
+            self.workers(schedule),
+        )
+    }
+
+    /// Like [`StreamPim::execute`], but prices through a
+    /// [`crate::engine::PriceTable`] memo: rows already priced by an earlier
+    /// run of this configuration are replayed, only new `(kind, len)` rows
+    /// are priced fresh. Returns the report plus the number of rows priced
+    /// fresh this run. The report is byte-identical to [`StreamPim::execute`]
+    /// at any table state (see [`Engine::run_repriced`]).
+    pub fn execute_repriced(
+        &self,
+        schedule: &Schedule,
+        table: &mut crate::engine::PriceTable,
+    ) -> (ExecReport, u64) {
+        Engine::new(&self.config).run_repriced(
+            schedule,
+            &pim_trace::NullSink,
+            &rm_core::NullProbe,
+            table,
         )
     }
 
@@ -228,7 +281,7 @@ impl StreamPim {
             schedule,
             sink,
             &rm_core::NullProbe,
-            self.workers(),
+            self.workers(schedule),
         )
     }
 
@@ -241,7 +294,7 @@ impl StreamPim {
             schedule,
             &pim_trace::NullSink,
             probe,
-            self.workers(),
+            self.workers(schedule),
         )
     }
 
@@ -257,7 +310,7 @@ impl StreamPim {
             schedule,
             sink,
             probe,
-            self.workers(),
+            self.workers(schedule),
         )
     }
 }
@@ -327,6 +380,23 @@ mod tests {
         }
         s.push(round);
         assert_eq!(serial.execute(&s), threaded.execute(&s));
+    }
+
+    #[test]
+    fn auto_falls_back_to_serial_below_row_threshold() {
+        const T: usize = Parallelism::AUTO_MIN_ROWS_PER_WORKER;
+        // Small shapes: Auto declines to spawn any workers.
+        assert_eq!(Parallelism::Auto.resolve_for_rows(8, 0), 1);
+        assert_eq!(Parallelism::Auto.resolve_for_rows(8, T), 1);
+        assert_eq!(Parallelism::Auto.resolve_for_rows(8, 2 * T - 1), 1);
+        // The cutover: two full shards' worth of rows earns two workers.
+        assert_eq!(Parallelism::Auto.resolve_for_rows(8, 2 * T), 2);
+        assert_eq!(Parallelism::Auto.resolve_for_rows(8, 5 * T), 5);
+        // Large shapes cap at the machine.
+        assert_eq!(Parallelism::Auto.resolve_for_rows(4, 100 * T), 4);
+        // Explicit levels are demands, not hints: no fallback.
+        assert_eq!(Parallelism::Serial.resolve_for_rows(8, 100 * T), 1);
+        assert_eq!(Parallelism::Threads(3).resolve_for_rows(8, 1), 3);
     }
 
     #[test]

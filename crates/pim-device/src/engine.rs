@@ -137,6 +137,93 @@ enum PriceReq {
     Compute(Vpc),
 }
 
+/// Memoization key of one pricing request: pricing is a pure function of
+/// the engine configuration, the request kind, and the operand element
+/// count — nothing else ([`Engine::compute_cost`] reads only the op kind and
+/// `len`; [`Engine::tran_cost`] only the element count). Two requests with
+/// equal keys therefore price to bit-identical [`VpcCost`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum PriceKey {
+    /// A TRAN of that element count.
+    Tran(u64),
+    /// A dot-product compute of that operand length.
+    Dot(u64),
+    /// A scalar-vector multiply of that operand length.
+    Smul(u64),
+    /// A vector add of that operand length.
+    Add(u64),
+}
+
+impl PriceKey {
+    fn of(req: PriceReq) -> PriceKey {
+        match req {
+            PriceReq::Tran(elements) => PriceKey::Tran(elements),
+            PriceReq::Compute(vpc) => match vpc {
+                Vpc::Mul { src1, .. } => PriceKey::Dot(src1.len as u64),
+                Vpc::Smul { src } => PriceKey::Smul(src.len as u64),
+                Vpc::Add { src1, .. } => PriceKey::Add(src1.len as u64),
+                Vpc::Tran { len, .. } => PriceKey::Tran(len as u64),
+            },
+        }
+    }
+}
+
+/// A memo of priced request-table rows, keyed by [`PriceKey`], for the
+/// incremental re-pricing path (PR 8): when the runtime sees a cache
+/// *near-miss* — a workload with the same DAG shape as a cached one but
+/// different dimensions — it re-prices only the rows whose key is new
+/// (the shape-dependent ones) and replays every other row from the memo.
+/// Memoized [`VpcCost`]s are the exact values a cold run would compute, so
+/// the composed report is byte-identical to cold pricing; the determinism
+/// suite enforces this.
+///
+/// A table is only valid for one engine configuration: costs depend on the
+/// full [`StreamPimConfig`]. Callers (the runtime's schedule cache) key
+/// tables by config and must not share them across configs.
+#[derive(Debug, Clone, Default)]
+pub struct PriceTable {
+    entries: HashMap<PriceKey, VpcCost>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PriceTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        PriceTable::default()
+    }
+
+    /// Distinct priced rows currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table holds no priced rows.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Requests served from the memo so far (across runs).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Requests priced fresh and inserted so far (across runs).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Merges `other` into this table. Safe whenever both tables were fed
+    /// by engines with the same configuration: each row is a pure function
+    /// of its key, so colliding entries are identical and either may win.
+    /// Hit/miss counters accumulate.
+    pub fn absorb(&mut self, other: PriceTable) {
+        self.entries.extend(other.entries);
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
 /// Per-VPC cost record produced by the substrate models.
 #[derive(Debug, Clone, Copy, Default)]
 struct VpcCost {
@@ -290,6 +377,40 @@ impl Engine {
             cursor += 1;
             c
         })
+    }
+
+    /// Prices a schedule through a [`PriceTable`] memo: rows whose
+    /// [`PriceKey`] is already in the table are replayed from the memo; new
+    /// rows are priced fresh and inserted. Returns the report and the number
+    /// of rows priced fresh in *this* run (the re-priced row count surfaced
+    /// as `cache_repriced_rows`).
+    ///
+    /// Because pricing is pure per key and the composition loop is the same
+    /// serial walk as [`Engine::run_instrumented`], the report — and every
+    /// probe sample and trace span — is byte-identical to a cold run at any
+    /// table state, provided the table was only ever fed by an engine with
+    /// this configuration.
+    pub fn run_repriced(
+        &self,
+        schedule: &Schedule,
+        sink: &dyn TraceSink,
+        probe: &dyn Probe,
+        table: &mut PriceTable,
+    ) -> (ExecReport, u64) {
+        let misses_before = table.misses;
+        let report = self.compose(schedule, sink, probe, &mut |req| {
+            let key = PriceKey::of(req);
+            if let Some(&cost) = table.entries.get(&key) {
+                table.hits += 1;
+                cost
+            } else {
+                let cost = self.price(req);
+                table.entries.insert(key, cost);
+                table.misses += 1;
+                cost
+            }
+        });
+        (report, table.misses - misses_before)
     }
 
     /// Prices one request (pure in `&self`).
@@ -1001,6 +1122,59 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn repriced_run_is_byte_identical_to_cold_run() {
+        for opt in [OptLevel::Base, OptLevel::Distribute, OptLevel::Unblock] {
+            let cfg = StreamPimConfig::paper_default().with_opt(opt);
+            let engine = Engine::new(&cfg);
+            let mut table = PriceTable::new();
+
+            // Cold-prime the table on one shape.
+            let s1 = schedule(8, 64, 1200);
+            let cold1 = engine.run(&s1);
+            let (warm1, fresh1) = engine.run_repriced(&s1, &NullSink, &NullProbe, &mut table);
+            assert_eq!(cold1, warm1, "first repriced run ({opt:?})");
+            assert!(fresh1 > 0, "first run must price rows fresh");
+
+            // Same shape again: every row replays from the memo.
+            let (warm1b, fresh1b) = engine.run_repriced(&s1, &NullSink, &NullProbe, &mut table);
+            assert_eq!(cold1, warm1b);
+            assert_eq!(fresh1b, 0, "identical schedule re-prices nothing");
+
+            // Same DAG shape, different dimensions: only the
+            // dimension-dependent keys price fresh, and the report still
+            // matches cold pricing bit-for-bit.
+            let s2 = schedule(8, 64, 900);
+            let cold2 = engine.run(&s2);
+            let (warm2, fresh2) = engine.run_repriced(&s2, &NullSink, &NullProbe, &mut table);
+            assert_eq!(cold2, warm2, "near-miss repriced run ({opt:?})");
+            assert!(fresh2 > 0, "changed dimensions must re-price");
+            assert!(
+                fresh2 < engine.price_requests(&s2).len() as u64,
+                "unchanged rows must replay from the memo"
+            );
+            assert_eq!(
+                cold2.total_ns().to_bits(),
+                warm2.total_ns().to_bits(),
+                "bit-identical totals ({opt:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn price_table_reports_hit_and_miss_counts() {
+        let engine = Engine::new(&StreamPimConfig::paper_default());
+        let mut table = PriceTable::new();
+        assert!(table.is_empty());
+        let s = schedule(2, 4, 500);
+        let reqs = engine.price_requests(&s).len() as u64;
+        let (_, fresh) = engine.run_repriced(&s, &NullSink, &NullProbe, &mut table);
+        assert_eq!(table.misses(), fresh);
+        assert_eq!(table.hits(), reqs - fresh);
+        assert_eq!(table.len() as u64, fresh);
+        assert!(!table.is_empty());
     }
 
     #[test]

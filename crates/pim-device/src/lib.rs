@@ -46,9 +46,10 @@ pub mod task;
 pub mod vpc;
 
 pub use device::{OptLevel, Parallelism, StreamPim, StreamPimConfig};
+pub use engine::PriceTable;
 pub use error::PimError;
 pub use report::ExecReport;
-pub use task::{MatrixOp, PimTask, TaskOutcome};
+pub use task::{MatrixOp, PimTask, ShapeTask, TaskOutcome};
 pub use vpc::{VecRef, Vpc, VpcTrace};
 
 /// Result alias for device-level operations.

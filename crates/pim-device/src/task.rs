@@ -126,6 +126,347 @@ impl TaskOutcome {
     }
 }
 
+/// A shape-only view of a task: matrix dimensions plus operations, with no
+/// element data.
+///
+/// Lowering depends only on operand shapes, so a `ShapeTask` produces a
+/// [`Schedule`] **identical** to the [`PimTask`] it mirrors — `PimTask::lower`
+/// delegates here, making this the single source of truth for lowering. The
+/// runtime's incremental re-pricing path uses it to price a near-miss request
+/// (same computation graph, different dimensions) without allocating the
+/// matrices or cloning element data.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShapeTask {
+    shapes: Vec<(usize, usize)>,
+    ops: Vec<MatrixOp>,
+}
+
+impl ShapeTask {
+    /// Creates an empty shape task.
+    pub fn new() -> Self {
+        ShapeTask::default()
+    }
+
+    /// Registers a matrix by shape alone.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; returns `Result` to mirror
+    /// [`PimTask::add_matrix`].
+    pub fn add_shape(&mut self, rows: usize, cols: usize) -> Result<MatHandle> {
+        self.shapes.push((rows, cols));
+        Ok(MatHandle(self.shapes.len() - 1))
+    }
+
+    /// Appends an operation, with the same shape checking as
+    /// [`PimTask::add_operation`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::UnknownMatrix`] for foreign handles or
+    /// [`PimError::ShapeMismatch`] for incompatible operand shapes.
+    pub fn add_operation(&mut self, op: MatrixOp) -> Result<()> {
+        check_op_shapes(&self.shapes, op)?;
+        self.ops.push(op);
+        Ok(())
+    }
+
+    /// Number of queued operations.
+    pub fn operation_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The registered shapes, in handle order.
+    pub fn shapes(&self) -> &[(usize, usize)] {
+        &self.shapes
+    }
+
+    /// Lowers the task to a schedule for `device`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::EmptyTask`] if no operations were added.
+    pub fn lower(&self, device: &StreamPim) -> Result<Schedule> {
+        if self.ops.is_empty() {
+            return Err(PimError::EmptyTask);
+        }
+        let cfg = device.config();
+        let mut placement = Placement::new(cfg.opt.placement(), &cfg.device);
+        let ids: Vec<usize> = self
+            .shapes
+            .iter()
+            .map(|&(r, c)| placement.register_matrix(r as u32, c as u32))
+            .collect();
+        let banks = cfg.device.pim_banks.max(1);
+        let mut schedule = Schedule::new();
+        for &op in &self.ops {
+            self.lower_op(op, &placement, &ids, banks, &mut schedule);
+        }
+        Ok(schedule)
+    }
+
+    /// Lowers and prices the task on `device` without functional execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::EmptyTask`] if no operations were added.
+    pub fn price(&self, device: &StreamPim) -> Result<ExecReport> {
+        Ok(device.execute(&self.lower(device)?))
+    }
+
+    fn lower_op(
+        &self,
+        op: MatrixOp,
+        placement: &Placement,
+        ids: &[usize],
+        banks: u32,
+        schedule: &mut Schedule,
+    ) {
+        match op {
+            MatrixOp::MatMul { a, b, dst } => {
+                let (m, k) = self.shapes[a.0];
+                let n = self.shapes[b.0].1;
+                let slices = placement.slices_for(k as u64) as u32;
+                let slice_len = (k as u32).div_ceil(slices);
+                // One prototype round (column j), repeated n times.
+                let mut round = Round::new().repeated(n as u64);
+                // Broadcast B_j to every PIM bank's subarrays.
+                let src = placement.home_of_row(ids[b.0], 0);
+                for bank in 0..banks {
+                    round.broadcasts.push(Vpc::Tran {
+                        src,
+                        dst: bank * (placement.pim_subarrays() / banks.max(1)),
+                        len: k as u32,
+                    });
+                }
+                for i in 0..m {
+                    let home = placement.home_of_row(ids[a.0], i as u32);
+                    let dst_home = placement.home_of_row(ids[dst.0], i as u32);
+                    if slices == 1 {
+                        let v = VecRef::new(home, k as u32);
+                        round.computes.push(Vpc::Mul { src1: v, src2: v });
+                        // The result C[i][j] lands in row i's home of C.
+                        round.collects.push(Vpc::Tran {
+                            src: home,
+                            dst: dst_home,
+                            len: 1,
+                        });
+                    } else {
+                        // §IV-C slicing: the oversized row is split across
+                        // `slices` subarrays; partials are gathered and
+                        // reduced at the destination.
+                        for sl in 0..slices {
+                            let sub = (home + sl) % placement.pim_subarrays();
+                            let v = VecRef::new(sub, slice_len);
+                            round.computes.push(Vpc::Mul { src1: v, src2: v });
+                            round.collects.push(Vpc::Tran {
+                                src: sub,
+                                dst: dst_home,
+                                len: 1,
+                            });
+                        }
+                        round.computes.push(Vpc::Add {
+                            src1: VecRef::new(dst_home, slices),
+                            src2: VecRef::new(dst_home, slices),
+                        });
+                        round.collects.push(Vpc::Tran {
+                            src: dst_home,
+                            dst: dst_home,
+                            len: 1,
+                        });
+                    }
+                }
+                schedule.push(round);
+            }
+            MatrixOp::MatVec { a, x, dst } => {
+                let (m, k) = self.shapes[a.0];
+                let slices = placement.slices_for(k as u64) as u32;
+                let slice_len = (k as u32).div_ceil(slices);
+                let x_home = placement.home_of_row(ids[x.0], 0);
+                let mut round = Round::new();
+                for i in 0..m {
+                    let home = placement.home_of_row(ids[a.0], i as u32);
+                    let dst_home = placement.home_of_row(ids[dst.0], i as u32);
+                    if slices == 1 {
+                        // Operand staging: x (or the scattered intermediate
+                        // it came from) is moved to the dot's subarray.
+                        round.broadcasts.push(Vpc::Tran {
+                            src: x_home,
+                            dst: home,
+                            len: k as u32,
+                        });
+                        let v = VecRef::new(home, k as u32);
+                        round.computes.push(Vpc::Mul { src1: v, src2: v });
+                        round.collects.push(Vpc::Tran {
+                            src: home,
+                            dst: dst_home,
+                            len: 1,
+                        });
+                    } else {
+                        // §IV-C slicing for rows beyond a subarray's
+                        // capacity: each slice computes a partial dot where
+                        // its part of the row lives; one reduction follows.
+                        for sl in 0..slices {
+                            let sub = (home + sl) % placement.pim_subarrays();
+                            round.broadcasts.push(Vpc::Tran {
+                                src: x_home,
+                                dst: sub,
+                                len: slice_len,
+                            });
+                            let v = VecRef::new(sub, slice_len);
+                            round.computes.push(Vpc::Mul { src1: v, src2: v });
+                            round.collects.push(Vpc::Tran {
+                                src: sub,
+                                dst: dst_home,
+                                len: 1,
+                            });
+                        }
+                        round.computes.push(Vpc::Add {
+                            src1: VecRef::new(dst_home, slices),
+                            src2: VecRef::new(dst_home, slices),
+                        });
+                        round.collects.push(Vpc::Tran {
+                            src: dst_home,
+                            dst: dst_home,
+                            len: 1,
+                        });
+                    }
+                }
+                schedule.push(round);
+            }
+            MatrixOp::MatAdd { a, b, dst } => {
+                let (m, n) = self.shapes[a.0];
+                let mut round = Round::new();
+                for i in 0..m {
+                    let home = placement.home_of_row(ids[a.0], i as u32);
+                    let other = placement.home_of_row(ids[b.0], i as u32);
+                    // Align the B row into A's subarray, add, collect.
+                    round.broadcasts.push(Vpc::Tran {
+                        src: other,
+                        dst: home,
+                        len: n as u32,
+                    });
+                    let v = VecRef::new(home, n as u32);
+                    round.computes.push(Vpc::Add { src1: v, src2: v });
+                    let dst_home = placement.home_of_row(ids[dst.0], i as u32);
+                    round.collects.push(Vpc::Tran {
+                        src: home,
+                        dst: dst_home,
+                        len: n as u32,
+                    });
+                }
+                schedule.push(round);
+            }
+            MatrixOp::ScalarMul { a, dst, .. } => {
+                let (m, n) = self.shapes[a.0];
+                let mut round = Round::new();
+                for i in 0..m {
+                    let home = placement.home_of_row(ids[a.0], i as u32);
+                    round.computes.push(Vpc::Smul {
+                        src: VecRef::new(home, n as u32),
+                    });
+                    let dst_home = placement.home_of_row(ids[dst.0], i as u32);
+                    round.collects.push(Vpc::Tran {
+                        src: home,
+                        dst: dst_home,
+                        len: n as u32,
+                    });
+                }
+                schedule.push(round);
+            }
+            MatrixOp::Axpby { a, b, dst, .. } => {
+                let (m, n) = self.shapes[a.0];
+                let mut round = Round::new();
+                for i in 0..m {
+                    // Two SMUL passes per row; the second accumulates onto
+                    // the first through the circle adder.
+                    let home_a = placement.home_of_row(ids[a.0], i as u32);
+                    let home_b = placement.home_of_row(ids[b.0], i as u32);
+                    round.computes.push(Vpc::Smul {
+                        src: VecRef::new(home_a, n as u32),
+                    });
+                    round.computes.push(Vpc::Smul {
+                        src: VecRef::new(home_b, n as u32),
+                    });
+                    let dst_home = placement.home_of_row(ids[dst.0], i as u32);
+                    round.collects.push(Vpc::Tran {
+                        src: home_a,
+                        dst: home_b,
+                        len: n as u32,
+                    });
+                    round.collects.push(Vpc::Tran {
+                        src: home_b,
+                        dst: dst_home,
+                        len: n as u32,
+                    });
+                }
+                schedule.push(round);
+            }
+        }
+    }
+}
+
+fn check_op_shapes(shapes: &[(usize, usize)], op: MatrixOp) -> Result<()> {
+    let get = |h: MatHandle| -> Result<(usize, usize)> {
+        shapes
+            .get(h.0)
+            .copied()
+            .ok_or(PimError::UnknownMatrix { handle: h.0 })
+    };
+    match op {
+        MatrixOp::MatMul { a, b, dst } => {
+            let (am, ak) = get(a)?;
+            let (bk, bn) = get(b)?;
+            let (dm, dn) = get(dst)?;
+            if ak != bk || dm != am || dn != bn {
+                return Err(PimError::ShapeMismatch {
+                    detail: format!("matmul {am}x{ak} * {bk}x{bn} -> {dm}x{dn}"),
+                });
+            }
+        }
+        MatrixOp::MatVec { a, x, dst } => {
+            let (am, ak) = get(a)?;
+            let (xk, xc) = get(x)?;
+            let (dm, dc) = get(dst)?;
+            if xc != 1 || dc != 1 || ak != xk || dm != am {
+                return Err(PimError::ShapeMismatch {
+                    detail: format!("matvec {am}x{ak} * {xk}x{xc} -> {dm}x{dc}"),
+                });
+            }
+        }
+        MatrixOp::MatAdd { a, b, dst } => {
+            let sa = get(a)?;
+            let sb = get(b)?;
+            let sd = get(dst)?;
+            if sa != sb || sa != sd {
+                return Err(PimError::ShapeMismatch {
+                    detail: format!("add {sa:?} + {sb:?} -> {sd:?}"),
+                });
+            }
+        }
+        MatrixOp::ScalarMul { a, dst, .. } => {
+            let sa = get(a)?;
+            let sd = get(dst)?;
+            if sa != sd {
+                return Err(PimError::ShapeMismatch {
+                    detail: format!("scale {sa:?} -> {sd:?}"),
+                });
+            }
+        }
+        MatrixOp::Axpby { a, b, dst, .. } => {
+            let sa = get(a)?;
+            let sb = get(b)?;
+            let sd = get(dst)?;
+            if sa != sb || sa != sd {
+                return Err(PimError::ShapeMismatch {
+                    detail: format!("axpby {sa:?}, {sb:?} -> {sd:?}"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// A StreamPIM computation task (paper Figure 16).
 ///
 /// ```
@@ -196,29 +537,26 @@ impl PimTask {
         self.ops.len()
     }
 
+    /// The shape-only view of this task. Lowering the returned
+    /// [`ShapeTask`] yields a schedule identical to [`Self::lower`].
+    pub fn shape_task(&self) -> ShapeTask {
+        ShapeTask {
+            shapes: self.matrices.iter().map(|m| m.shape()).collect(),
+            ops: self.ops.clone(),
+        }
+    }
+
     /// Lowers the task to a schedule for `device` without running it
     /// (useful for trace statistics, Table IV).
+    ///
+    /// Delegates to [`ShapeTask::lower`] — lowering reads only operand
+    /// shapes, never element data.
     ///
     /// # Errors
     ///
     /// Returns [`PimError::EmptyTask`] if no operations were added.
     pub fn lower(&self, device: &StreamPim) -> Result<Schedule> {
-        if self.ops.is_empty() {
-            return Err(PimError::EmptyTask);
-        }
-        let cfg = device.config();
-        let mut placement = Placement::new(cfg.opt.placement(), &cfg.device);
-        let ids: Vec<usize> = self
-            .matrices
-            .iter()
-            .map(|m| placement.register_matrix(m.rows() as u32, m.cols() as u32))
-            .collect();
-        let banks = cfg.device.pim_banks.max(1);
-        let mut schedule = Schedule::new();
-        for &op in &self.ops {
-            self.lower_op(op, &placement, &ids, banks, &mut schedule);
-        }
-        Ok(schedule)
+        self.shape_task().lower(device)
     }
 
     /// Lowers and prices the task on `device` *without* functional
@@ -275,255 +613,9 @@ impl PimTask {
         })
     }
 
-    fn lower_op(
-        &self,
-        op: MatrixOp,
-        placement: &Placement,
-        ids: &[usize],
-        banks: u32,
-        schedule: &mut Schedule,
-    ) {
-        match op {
-            MatrixOp::MatMul { a, b, dst } => {
-                let (m, k) = self.matrices[a.0].shape();
-                let n = self.matrices[b.0].cols();
-                let slices = placement.slices_for(k as u64) as u32;
-                let slice_len = (k as u32).div_ceil(slices);
-                // One prototype round (column j), repeated n times.
-                let mut round = Round::new().repeated(n as u64);
-                // Broadcast B_j to every PIM bank's subarrays.
-                let src = placement.home_of_row(ids[b.0], 0);
-                for bank in 0..banks {
-                    round.broadcasts.push(Vpc::Tran {
-                        src,
-                        dst: bank * (placement.pim_subarrays() / banks.max(1)),
-                        len: k as u32,
-                    });
-                }
-                for i in 0..m {
-                    let home = placement.home_of_row(ids[a.0], i as u32);
-                    let dst_home = placement.home_of_row(ids[dst.0], i as u32);
-                    if slices == 1 {
-                        let v = VecRef::new(home, k as u32);
-                        round.computes.push(Vpc::Mul { src1: v, src2: v });
-                        // The result C[i][j] lands in row i's home of C.
-                        round.collects.push(Vpc::Tran {
-                            src: home,
-                            dst: dst_home,
-                            len: 1,
-                        });
-                    } else {
-                        // §IV-C slicing: the oversized row is split across
-                        // `slices` subarrays; partials are gathered and
-                        // reduced at the destination.
-                        for sl in 0..slices {
-                            let sub = (home + sl) % placement.pim_subarrays();
-                            let v = VecRef::new(sub, slice_len);
-                            round.computes.push(Vpc::Mul { src1: v, src2: v });
-                            round.collects.push(Vpc::Tran {
-                                src: sub,
-                                dst: dst_home,
-                                len: 1,
-                            });
-                        }
-                        round.computes.push(Vpc::Add {
-                            src1: VecRef::new(dst_home, slices),
-                            src2: VecRef::new(dst_home, slices),
-                        });
-                        round.collects.push(Vpc::Tran {
-                            src: dst_home,
-                            dst: dst_home,
-                            len: 1,
-                        });
-                    }
-                }
-                schedule.push(round);
-            }
-            MatrixOp::MatVec { a, x, dst } => {
-                let (m, k) = self.matrices[a.0].shape();
-                let slices = placement.slices_for(k as u64) as u32;
-                let slice_len = (k as u32).div_ceil(slices);
-                let x_home = placement.home_of_row(ids[x.0], 0);
-                let mut round = Round::new();
-                for i in 0..m {
-                    let home = placement.home_of_row(ids[a.0], i as u32);
-                    let dst_home = placement.home_of_row(ids[dst.0], i as u32);
-                    if slices == 1 {
-                        // Operand staging: x (or the scattered intermediate
-                        // it came from) is moved to the dot's subarray.
-                        round.broadcasts.push(Vpc::Tran {
-                            src: x_home,
-                            dst: home,
-                            len: k as u32,
-                        });
-                        let v = VecRef::new(home, k as u32);
-                        round.computes.push(Vpc::Mul { src1: v, src2: v });
-                        round.collects.push(Vpc::Tran {
-                            src: home,
-                            dst: dst_home,
-                            len: 1,
-                        });
-                    } else {
-                        // §IV-C slicing for rows beyond a subarray's
-                        // capacity: each slice computes a partial dot where
-                        // its part of the row lives; one reduction follows.
-                        for sl in 0..slices {
-                            let sub = (home + sl) % placement.pim_subarrays();
-                            round.broadcasts.push(Vpc::Tran {
-                                src: x_home,
-                                dst: sub,
-                                len: slice_len,
-                            });
-                            let v = VecRef::new(sub, slice_len);
-                            round.computes.push(Vpc::Mul { src1: v, src2: v });
-                            round.collects.push(Vpc::Tran {
-                                src: sub,
-                                dst: dst_home,
-                                len: 1,
-                            });
-                        }
-                        round.computes.push(Vpc::Add {
-                            src1: VecRef::new(dst_home, slices),
-                            src2: VecRef::new(dst_home, slices),
-                        });
-                        round.collects.push(Vpc::Tran {
-                            src: dst_home,
-                            dst: dst_home,
-                            len: 1,
-                        });
-                    }
-                }
-                schedule.push(round);
-            }
-            MatrixOp::MatAdd { a, b, dst } => {
-                let (m, n) = self.matrices[a.0].shape();
-                let mut round = Round::new();
-                for i in 0..m {
-                    let home = placement.home_of_row(ids[a.0], i as u32);
-                    let other = placement.home_of_row(ids[b.0], i as u32);
-                    // Align the B row into A's subarray, add, collect.
-                    round.broadcasts.push(Vpc::Tran {
-                        src: other,
-                        dst: home,
-                        len: n as u32,
-                    });
-                    let v = VecRef::new(home, n as u32);
-                    round.computes.push(Vpc::Add { src1: v, src2: v });
-                    let dst_home = placement.home_of_row(ids[dst.0], i as u32);
-                    round.collects.push(Vpc::Tran {
-                        src: home,
-                        dst: dst_home,
-                        len: n as u32,
-                    });
-                }
-                schedule.push(round);
-            }
-            MatrixOp::ScalarMul { a, dst, .. } => {
-                let (m, n) = self.matrices[a.0].shape();
-                let mut round = Round::new();
-                for i in 0..m {
-                    let home = placement.home_of_row(ids[a.0], i as u32);
-                    round.computes.push(Vpc::Smul {
-                        src: VecRef::new(home, n as u32),
-                    });
-                    let dst_home = placement.home_of_row(ids[dst.0], i as u32);
-                    round.collects.push(Vpc::Tran {
-                        src: home,
-                        dst: dst_home,
-                        len: n as u32,
-                    });
-                }
-                schedule.push(round);
-            }
-            MatrixOp::Axpby { a, b, dst, .. } => {
-                let (m, n) = self.matrices[a.0].shape();
-                let mut round = Round::new();
-                for i in 0..m {
-                    // Two SMUL passes per row; the second accumulates onto
-                    // the first through the circle adder.
-                    let home_a = placement.home_of_row(ids[a.0], i as u32);
-                    let home_b = placement.home_of_row(ids[b.0], i as u32);
-                    round.computes.push(Vpc::Smul {
-                        src: VecRef::new(home_a, n as u32),
-                    });
-                    round.computes.push(Vpc::Smul {
-                        src: VecRef::new(home_b, n as u32),
-                    });
-                    let dst_home = placement.home_of_row(ids[dst.0], i as u32);
-                    round.collects.push(Vpc::Tran {
-                        src: home_a,
-                        dst: home_b,
-                        len: n as u32,
-                    });
-                    round.collects.push(Vpc::Tran {
-                        src: home_b,
-                        dst: dst_home,
-                        len: n as u32,
-                    });
-                }
-                schedule.push(round);
-            }
-        }
-    }
-
     fn check_shapes(&self, op: MatrixOp) -> Result<()> {
-        let get = |h: MatHandle| -> Result<&Matrix> {
-            self.matrices
-                .get(h.0)
-                .ok_or(PimError::UnknownMatrix { handle: h.0 })
-        };
-        match op {
-            MatrixOp::MatMul { a, b, dst } => {
-                let (am, ak) = get(a)?.shape();
-                let (bk, bn) = get(b)?.shape();
-                let (dm, dn) = get(dst)?.shape();
-                if ak != bk || dm != am || dn != bn {
-                    return Err(PimError::ShapeMismatch {
-                        detail: format!("matmul {am}x{ak} * {bk}x{bn} -> {dm}x{dn}"),
-                    });
-                }
-            }
-            MatrixOp::MatVec { a, x, dst } => {
-                let (am, ak) = get(a)?.shape();
-                let (xk, xc) = get(x)?.shape();
-                let (dm, dc) = get(dst)?.shape();
-                if xc != 1 || dc != 1 || ak != xk || dm != am {
-                    return Err(PimError::ShapeMismatch {
-                        detail: format!("matvec {am}x{ak} * {xk}x{xc} -> {dm}x{dc}"),
-                    });
-                }
-            }
-            MatrixOp::MatAdd { a, b, dst } => {
-                let sa = get(a)?.shape();
-                let sb = get(b)?.shape();
-                let sd = get(dst)?.shape();
-                if sa != sb || sa != sd {
-                    return Err(PimError::ShapeMismatch {
-                        detail: format!("add {sa:?} + {sb:?} -> {sd:?}"),
-                    });
-                }
-            }
-            MatrixOp::ScalarMul { a, dst, .. } => {
-                let sa = get(a)?.shape();
-                let sd = get(dst)?.shape();
-                if sa != sd {
-                    return Err(PimError::ShapeMismatch {
-                        detail: format!("scale {sa:?} -> {sd:?}"),
-                    });
-                }
-            }
-            MatrixOp::Axpby { a, b, dst, .. } => {
-                let sa = get(a)?.shape();
-                let sb = get(b)?.shape();
-                let sd = get(dst)?.shape();
-                if sa != sb || sa != sd {
-                    return Err(PimError::ShapeMismatch {
-                        detail: format!("axpby {sa:?}, {sb:?} -> {sd:?}"),
-                    });
-                }
-            }
-        }
-        Ok(())
+        let shapes: Vec<(usize, usize)> = self.matrices.iter().map(|m| m.shape()).collect();
+        check_op_shapes(&shapes, op)
     }
 }
 

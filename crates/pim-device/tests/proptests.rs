@@ -3,11 +3,12 @@
 
 use pim_device::engine::Engine;
 use pim_device::engine_event::EventEngine;
+use pim_device::flow::DeviceFlow;
 use pim_device::matrix::Matrix;
 use pim_device::schedule::{Round, Schedule};
 use pim_device::task::{MatrixOp, PimTask};
 use pim_device::vpc::{VecRef, Vpc};
-use pim_device::{OptLevel, StreamPim, StreamPimConfig};
+use pim_device::{OptLevel, Parallelism, StreamPim, StreamPimConfig};
 use pim_trace::{Collector, Track};
 use proptest::prelude::*;
 
@@ -235,6 +236,35 @@ proptest! {
                 "base event makespan {} != analytic {}", makespan, analytic
             );
         }
+    }
+
+    /// Differential: gemv through the functional device — which runs the
+    /// wide word-group dot datapath in every lane — produces byte-identical
+    /// results and identical fault tallies at every worker count, for
+    /// arbitrary shapes, operand values, fault probabilities, and seeds.
+    /// Same-seed per-lane fault streams are a function of the work
+    /// assignment alone, never of scheduling.
+    #[test]
+    fn faulted_gemv_tallies_invariant_across_workers(
+        m in 1usize..12,
+        k in 1usize..24,
+        seed in any::<u64>(),
+        p_over in 0.0f64..0.5,
+        p_under in 0.0f64..0.5,
+        workers in 2usize..5,
+    ) {
+        let a: Vec<u8> = (0..m * k).map(|i| (i as u64 * 37 + seed) as u8).collect();
+        let x: Vec<u8> = (0..k).map(|i| (i as u64 * 13 + seed / 7) as u8).collect();
+        let mut serial = DeviceFlow::new(4).unwrap().with_fault_model(p_over, p_under, seed);
+        let y0 = serial.gemv(&a, &x, m, k, Parallelism::Serial).unwrap();
+        let host: Vec<u64> = (0..m)
+            .map(|i| (0..k).map(|j| a[i * k + j] as u64 * x[j] as u64).sum())
+            .collect();
+        prop_assert_eq!(&y0, &host);
+        let mut sharded = DeviceFlow::new(4).unwrap().with_fault_model(p_over, p_under, seed);
+        let y = sharded.gemv(&a, &x, m, k, Parallelism::Threads(workers)).unwrap();
+        prop_assert_eq!(&y, &y0);
+        prop_assert_eq!(sharded.stats(), serial.stats());
     }
 
     /// Optimizations never make execution slower.

@@ -43,6 +43,21 @@ impl ScheduleCache {
         h.finish()
     }
 
+    /// The *shape* key for a `(lowering config, workload)` pair: like
+    /// [`ScheduleCache::key`] but dimension-blind — the workload
+    /// contributes only its [`WorkloadSpec::shape_class`], so two jobs with
+    /// the same operation DAG at different sizes collide. A full-key miss
+    /// whose shape key was seen before is a *near miss*: the runtime
+    /// re-prices only the shape-dependent rows through the shape's
+    /// [`pim_device::PriceTable`] instead of pricing every row cold.
+    pub fn shape_key(config: &StreamPimConfig, workload: &WorkloadSpec) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = rm_core::FnvHasher::with_tag("shape-key-v1");
+        config.hash(&mut h);
+        workload.shape_class().hash(&mut h);
+        h.finish()
+    }
+
     /// Returns the schedule for `key`, lowering it with `lower` on a miss.
     /// The second component reports whether this call was a hit.
     ///
@@ -173,6 +188,43 @@ mod tests {
         // A workload scale perturbation likewise.
         let denser = WorkloadSpec::polybench(Kernel::Atax, 0.021);
         assert_ne!(k, ScheduleCache::key(&cfg, &denser), "workload scale");
+    }
+
+    #[test]
+    fn shape_keys_collide_across_sizes_but_not_shapes() {
+        let cfg = StreamPimConfig::paper_default();
+        // Same DAG at different sizes: full keys differ, shape keys agree.
+        let small = WorkloadSpec::MatMul { m: 8, k: 8, n: 8 };
+        let large = WorkloadSpec::MatMul {
+            m: 64,
+            k: 32,
+            n: 16,
+        };
+        assert_ne!(
+            ScheduleCache::key(&cfg, &small),
+            ScheduleCache::key(&cfg, &large)
+        );
+        assert_eq!(
+            ScheduleCache::shape_key(&cfg, &small),
+            ScheduleCache::shape_key(&cfg, &large)
+        );
+        // Polybench kernels: scale-blind, kernel-sensitive.
+        let atax = WorkloadSpec::polybench(Kernel::Atax, 0.02);
+        let atax_big = WorkloadSpec::polybench(Kernel::Atax, 0.05);
+        let bicg = WorkloadSpec::polybench(Kernel::Bicg, 0.02);
+        assert_eq!(
+            ScheduleCache::shape_key(&cfg, &atax),
+            ScheduleCache::shape_key(&cfg, &atax_big)
+        );
+        assert_ne!(
+            ScheduleCache::shape_key(&cfg, &atax),
+            ScheduleCache::shape_key(&cfg, &bicg)
+        );
+        // Different configs must not share price tables.
+        assert_ne!(
+            ScheduleCache::shape_key(&cfg, &atax),
+            ScheduleCache::shape_key(&StreamPimConfig::electrical_bus(), &atax)
+        );
     }
 
     #[test]

@@ -66,6 +66,13 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     /// Distinct schedules resident in the cache.
     pub cache_entries: u64,
+    /// Cache *near* hits: full-key misses whose dimension-blind shape key
+    /// was seen before, priced incrementally through the shape's price
+    /// table instead of cold (see `ScheduleCache::shape_key`).
+    pub cache_near_hits: u64,
+    /// Request-table rows priced fresh across all near-hit re-pricings
+    /// (rows replayed from the memo are the savings).
+    pub cache_repriced_rows: u64,
     /// Largest queue depth observed at any dispatch.
     pub max_queue_depth: usize,
     /// Items executed from a stolen deque across all batches.
@@ -198,6 +205,13 @@ impl MetricsRegistry {
     /// Folds one batch's executor steal count into the totals.
     pub fn record_steals(&self, steals: u64) {
         self.inner.lock().expect("metrics lock").steals += steals;
+    }
+
+    /// Records one cache near hit and the rows it had to price fresh.
+    pub fn record_near_hit(&self, repriced_rows: u64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner.cache_near_hits += 1;
+        inner.cache_repriced_rows += repriced_rows;
     }
 
     /// Updates the cache statistics (overwrites; the cache owns the truth).

@@ -5,8 +5,7 @@ use crate::executor;
 use crate::job::Job;
 use crate::metrics::{JobMetrics, MetricsRegistry, MetricsSnapshot};
 use pim_baselines::{Platform, Workload};
-use pim_device::schedule::Schedule;
-use pim_device::{ExecReport, Parallelism, StreamPim};
+use pim_device::{ExecReport, Parallelism, PriceTable, StreamPim};
 use pim_trace::{Event, NullSink, Span, TraceSink, Track};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -108,6 +107,12 @@ pub struct Runtime {
     cache: ScheduleCache,
     metrics: MetricsRegistry,
     platforms: Mutex<HashMap<u64, Arc<Platform>>>,
+    /// Per-shape price tables for incremental re-pricing, keyed by
+    /// [`ScheduleCache::shape_key`] (which folds in the lowering config, so
+    /// a table is only ever fed by one engine configuration). A full-key
+    /// cache miss whose shape key is present here is a *near miss*: only
+    /// rows whose `(kind, len)` is new get priced fresh.
+    reprice: Mutex<HashMap<u64, PriceTable>>,
     sink: Arc<dyn TraceSink>,
     /// Zero point of the host clock domain: all host-span timestamps are
     /// nanoseconds since runtime construction.
@@ -148,6 +153,7 @@ impl Runtime {
             cache: ScheduleCache::new(),
             metrics: MetricsRegistry::new(),
             platforms: Mutex::new(HashMap::new()),
+            reprice: Mutex::new(HashMap::new()),
             sink,
             origin: Instant::now(),
             intake: Mutex::new(Intake::default()),
@@ -342,60 +348,106 @@ impl Runtime {
             Ok(p) => p,
             Err(e) => return (Err(e), false, false),
         };
-        let workload = Workload::from_spec(&job.workload);
 
-        let mut cache_hit = false;
-        let mut cache_probed = false;
-        let schedule: Option<Arc<Schedule>> = match platform.lowering_config() {
-            Some(cfg) if self.config.cache_enabled => {
-                cache_probed = true;
-                let key = ScheduleCache::key(&cfg, &job.workload);
-                let probe_start = Instant::now();
-                match self
-                    .cache
-                    .get_or_lower(key, || workload.task.lower(&StreamPim::new(cfg.clone())?))
-                {
-                    Ok((schedule, hit)) => {
-                        if self.sink.enabled() {
-                            self.sink.record_instant(
-                                Event::host(
-                                    if hit { "cache hit" } else { "cache miss" },
-                                    "cache",
-                                    Track::Cache,
-                                    self.host_ns(probe_start),
-                                )
-                                .arg("job", job.name.clone())
-                                .arg("hit", hit),
-                            );
-                            if !hit {
-                                // A miss means the closure lowered the task;
-                                // the probe's wall-clock is the lowering cost
-                                // (lock overhead is negligible next to it).
-                                self.sink.record_span(
-                                    Span::host(
-                                        format!("lower {}", job.name),
-                                        "lowering",
-                                        Track::Worker(worker as u32),
-                                        self.host_ns(probe_start),
-                                        probe_start.elapsed().as_nanos() as f64,
-                                    )
-                                    .arg("job", job.name.clone()),
-                                );
-                            }
-                        }
-                        cache_hit = hit;
-                        Some(schedule)
-                    }
-                    Err(e) => return (Err(e), false, true),
-                }
+        let cfg = match platform.lowering_config() {
+            Some(cfg) if self.config.cache_enabled => cfg,
+            // Host platforms and cache-disabled runtimes: materialize the
+            // workload and run it whole.
+            _ => {
+                let workload = Workload::from_spec(&job.workload);
+                return (platform.run_with_schedule(&workload, None), false, false);
             }
-            _ => None,
         };
 
+        let key = ScheduleCache::key(&cfg, &job.workload);
+        let shape_key = ScheduleCache::shape_key(&cfg, &job.workload);
+        let probe_start = Instant::now();
+        // Lowering reads only shapes (see `ShapeTask`), so the cached path
+        // never materializes the workload's matrices at all.
+        let (schedule, hit) = match self.cache.get_or_lower(key, || {
+            job.workload
+                .shape_task()
+                .lower(&StreamPim::new(cfg.clone())?)
+        }) {
+            Ok(found) => found,
+            Err(e) => return (Err(e), false, true),
+        };
+        if self.sink.enabled() {
+            self.sink.record_instant(
+                Event::host(
+                    if hit { "cache hit" } else { "cache miss" },
+                    "cache",
+                    Track::Cache,
+                    self.host_ns(probe_start),
+                )
+                .arg("job", job.name.clone())
+                .arg("hit", hit),
+            );
+            if !hit {
+                // A miss means the closure lowered the task; the probe's
+                // wall-clock is the lowering cost (lock overhead is
+                // negligible next to it).
+                self.sink.record_span(
+                    Span::host(
+                        format!("lower {}", job.name),
+                        "lowering",
+                        Track::Worker(worker as u32),
+                        self.host_ns(probe_start),
+                        probe_start.elapsed().as_nanos() as f64,
+                    )
+                    .arg("job", job.name.clone()),
+                );
+            }
+        }
+
+        // Incremental re-pricing: take the shape's price table out of the
+        // map, run through it, merge it back. A full-key miss with a
+        // previously seen shape key is a near miss — only rows with a new
+        // `(kind, len)` are priced fresh; the report stays byte-identical
+        // to a cold run (see `Engine::run_repriced`).
+        let (mut table, shape_seen) = match self
+            .reprice
+            .lock()
+            .expect("reprice lock")
+            .remove(&shape_key)
+        {
+            Some(table) => (table, true),
+            None => (PriceTable::new(), false),
+        };
+        if let Some((report, fresh)) = platform.run_schedule_repriced(&schedule, &mut table) {
+            use std::collections::hash_map::Entry;
+            match self.reprice.lock().expect("reprice lock").entry(shape_key) {
+                // Another worker re-seeded the shape while we ran: merge
+                // (rows are pure per key, so collisions are identical).
+                Entry::Occupied(mut resident) => resident.get_mut().absorb(table),
+                Entry::Vacant(slot) => {
+                    slot.insert(table);
+                }
+            }
+            if !hit && shape_seen {
+                self.metrics.record_near_hit(fresh);
+                if self.sink.enabled() {
+                    self.sink.record_instant(
+                        Event::host(
+                            "cache near hit",
+                            "cache",
+                            Track::Cache,
+                            self.host_ns(Instant::now()),
+                        )
+                        .arg("job", job.name.clone())
+                        .arg("repriced_rows", fresh),
+                    );
+                }
+            }
+            return (Ok(report), hit, true);
+        }
+
+        // Closed-form PIM baselines: schedule-driven but not repriced.
+        let workload = Workload::from_spec(&job.workload);
         (
-            platform.run_with_schedule(&workload, schedule.as_deref()),
-            cache_hit,
-            cache_probed,
+            platform.run_with_schedule(&workload, Some(&schedule)),
+            hit,
+            true,
         )
     }
 
@@ -789,6 +841,99 @@ mod tests {
         let host_row = &snap.jobs[3];
         assert!(!host_row.cache_hit && !host_row.cache_miss);
         assert_eq!(host_row.tenant, "bob");
+    }
+
+    #[test]
+    fn near_miss_repricing_is_byte_identical_to_cold_pricing() {
+        // A shape-swept workload: same operation DAG, different dimensions.
+        // On the warm runtime the first job is cold (seeds the shape's
+        // price table), every later one is a near miss re-priced through
+        // the memo.
+        let specs: Vec<WorkloadSpec> = (0..6)
+            .map(|i| WorkloadSpec::MatMul {
+                m: 16 + 4 * i,
+                k: 24 + 2 * i,
+                n: 8 + i,
+            })
+            .collect();
+        let jobs: Vec<Job> = specs
+            .iter()
+            .map(|s| Job::new(*s, PlatformKind::StPim))
+            .collect();
+        let warm = Runtime::new(RuntimeConfig {
+            workers: 1,
+            cache_enabled: true,
+            ..RuntimeConfig::default()
+        });
+        let warm_batch = warm.run_batch(&jobs);
+        assert_eq!(warm_batch.completed(), jobs.len());
+
+        for (i, job) in jobs.iter().enumerate() {
+            // Cold pricing: a fresh runtime has no shape table to reuse.
+            let cold = Runtime::new(RuntimeConfig {
+                workers: 1,
+                cache_enabled: true,
+                ..RuntimeConfig::default()
+            });
+            let cold_batch = cold.run_batch(std::slice::from_ref(job));
+            assert_eq!(
+                cold_batch.outcomes[0].report, warm_batch.outcomes[i].report,
+                "near-miss re-priced report must be byte-identical to cold"
+            );
+            assert_eq!(
+                cold.metrics().cache_near_hits,
+                0,
+                "single job never near-hits"
+            );
+            // And both match the legacy uncached platform path exactly.
+            let direct = pim_baselines::Platform::new(PlatformKind::StPim)
+                .unwrap()
+                .run(&Workload::from_spec(&specs[i]))
+                .unwrap();
+            assert_eq!(warm_batch.outcomes[i].report.as_ref().unwrap(), &direct);
+        }
+
+        let snap = warm.metrics();
+        assert_eq!(snap.cache_near_hits, (jobs.len() - 1) as u64);
+        assert!(
+            snap.cache_repriced_rows > 0,
+            "swept shapes introduce fresh (kind, len) rows"
+        );
+        // All six jobs were distinct full keys: every probe missed.
+        assert_eq!(snap.cache_hits, 0);
+        assert_eq!(snap.cache_misses, jobs.len() as u64);
+    }
+
+    #[test]
+    fn near_hits_reprice_fewer_rows_than_cold_runs() {
+        // gemv-shaped matmuls share the dot length across rows, so a near
+        // miss that only changes `m`/`n` re-prices almost nothing; one that
+        // changes `k` re-prices exactly the new dot rows.
+        let base = WorkloadSpec::MatMul { m: 32, k: 64, n: 4 };
+        let taller = WorkloadSpec::MatMul { m: 48, k: 64, n: 4 };
+        let wider_k = WorkloadSpec::MatMul { m: 32, k: 80, n: 4 };
+        let runtime = Runtime::new(RuntimeConfig {
+            workers: 1,
+            cache_enabled: true,
+            ..RuntimeConfig::default()
+        });
+        let jobs: Vec<Job> = [base, taller, wider_k]
+            .iter()
+            .map(|s| Job::new(*s, PlatformKind::StPim))
+            .collect();
+        let batch = runtime.run_batch(&jobs);
+        assert_eq!(batch.completed(), 3);
+        let snap = runtime.metrics();
+        assert_eq!(snap.cache_near_hits, 2);
+        // `taller` re-uses every (kind, len) row of `base`; `wider_k`
+        // introduces the k=80 dot row (plus its collect length if new).
+        // Either way the re-priced rows are a small fraction of the
+        // hundreds of requests a cold pricing walks.
+        assert!(
+            snap.cache_repriced_rows <= 4,
+            "near misses re-price only shape-dependent rows, got {}",
+            snap.cache_repriced_rows
+        );
     }
 
     #[test]

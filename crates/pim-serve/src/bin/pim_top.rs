@@ -66,6 +66,14 @@ fn frame(addr: &str) -> Result<String, String> {
         runtime.latency_p99_ns / 1_000,
     ));
     out.push_str(&format!(
+        "cache     {} hits / {} misses   {} near hits ({} rows repriced)   {} schedules resident\n",
+        runtime.cache_hits,
+        runtime.cache_misses,
+        runtime.cache_near_hits,
+        runtime.cache_repriced_rows,
+        runtime.cache_entries,
+    ));
+    out.push_str(&format!(
         "ledger    {} tenants   {} settled / {} cancelled   {} microcredits billed\n\n",
         metrics.ledger.tenants.len(),
         metrics.ledger.global.jobs_settled,

@@ -669,6 +669,23 @@ impl Core {
                 )
                 .set(*in_flight as i64);
         }
+        let runtime = self.runtime.metrics();
+        self.obs
+            .registry
+            .gauge(
+                "pim_runtime_cache_near_hits",
+                "Cache near misses served by incremental re-pricing (same DAG shape, new dimensions).",
+                &[],
+            )
+            .set(runtime.cache_near_hits as i64);
+        self.obs
+            .registry
+            .gauge(
+                "pim_runtime_cache_repriced_rows",
+                "Request-table rows priced fresh across all near-miss re-pricings.",
+                &[],
+            )
+            .set(runtime.cache_repriced_rows as i64);
         self.obs
             .registry
             .gauge(
@@ -1249,6 +1266,8 @@ mod tests {
             "pim_http_request_latency_ns",
             "pim_serve_admission_total",
             "pim_serve_queue_depth",
+            "pim_runtime_cache_near_hits",
+            "pim_runtime_cache_repriced_rows",
             "pim_trace_dropped_records",
             "pim_trace_collector_capacity",
             "pim_slo_attainment_millionths",

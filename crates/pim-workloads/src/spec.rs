@@ -15,7 +15,7 @@ use crate::dnn::DnnModel;
 use crate::matrix::Matrix;
 use crate::polybench::Kernel;
 use crate::profile::KernelProfile;
-use pim_device::task::PimTask;
+use pim_device::task::{PimTask, ShapeTask};
 use serde::{Deserialize, Serialize};
 
 /// The DNN models of the paper's §V-E evaluation.
@@ -131,6 +131,44 @@ impl WorkloadSpec {
         }
     }
 
+    /// A dimension-blind discriminant of the workload's computation-graph
+    /// shape: two specs share a shape class exactly when they build the
+    /// same DAG of operations over (possibly) differently-sized matrices.
+    /// A polybench kernel keeps its op graph at every scale; every raw
+    /// `MatMul` is one op regardless of `m`/`k`/`n`. The runtime's
+    /// near-miss detection keys its price tables on this value (combined
+    /// with the lowering config).
+    pub fn shape_class(&self) -> (u8, u32) {
+        match self {
+            WorkloadSpec::Polybench { kernel, .. } => (0, *kernel as u32),
+            WorkloadSpec::Dnn { model } => (1, *model as u32),
+            WorkloadSpec::MatMul { .. } => (2, 0),
+        }
+    }
+
+    /// Builds the shape-only view of the task: the same operation graph
+    /// with matrix dimensions but no element data.
+    ///
+    /// Lowering a `ShapeTask` yields a schedule identical to lowering
+    /// [`Self::build_task`]'s result (see [`ShapeTask`]); for `MatMul` specs
+    /// the shape task is assembled directly, skipping the zero-matrix
+    /// allocations entirely — the fast path the runtime's near-miss
+    /// re-pricing rides on.
+    pub fn shape_task(&self) -> ShapeTask {
+        match self {
+            WorkloadSpec::MatMul { m, k, n } => {
+                let mut task = ShapeTask::new();
+                let a = task.add_shape(*m, *k).expect("matmul shapes register");
+                let b = task.add_shape(*k, *n).expect("matmul shapes register");
+                let dst = task.add_shape(*m, *n).expect("matmul output registers");
+                task.add_operation(pim_device::task::MatrixOp::MatMul { a, b, dst })
+                    .expect("operand shapes agree");
+                task
+            }
+            _ => self.build_task().shape_task(),
+        }
+    }
+
     /// Builds the host-side characterization consumed by CPU/GPU baselines.
     pub fn profile(&self) -> KernelProfile {
         match self {
@@ -210,6 +248,22 @@ mod tests {
         assert_eq!(p.flops, 2.0 * 16.0 * 8.0 * 12.0);
         assert!(p.bytes > 0.0);
         assert_eq!(spec.name(), "matmul_16x8x12");
+    }
+
+    #[test]
+    fn shape_task_lowers_identically_to_built_task() {
+        let dev = pim_device::StreamPim::new(pim_device::StreamPimConfig::paper_default()).unwrap();
+        let specs = [
+            WorkloadSpec::MatMul { m: 24, k: 16, n: 8 },
+            WorkloadSpec::polybench(Kernel::Gemm, 0.02),
+            WorkloadSpec::polybench(Kernel::Atax, 0.02),
+            WorkloadSpec::dnn(DnnKind::Mlp),
+        ];
+        for spec in specs {
+            let from_task = spec.build_task().lower(&dev).unwrap();
+            let from_shapes = spec.shape_task().lower(&dev).unwrap();
+            assert_eq!(from_task, from_shapes, "{}", spec.name());
+        }
     }
 
     #[test]

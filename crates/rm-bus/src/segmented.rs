@@ -204,6 +204,18 @@ impl SegmentedBus {
     /// state (cf. [`SegmentedBusModel::stream_cycles`]). Runs until every
     /// word has been delivered and returns the deliveries in order.
     ///
+    /// When the bus starts empty — the overwhelmingly common case on the
+    /// device's row-streaming path — the whole stream is applied as one bulk
+    /// closed-form update (PR 8) instead of simulating cycle by cycle. The
+    /// schedule of an inject-ASAP stream on an empty unidirectional bus is
+    /// fully determined: with hop distance `d = dst - src`, word `i` is
+    /// injected at cycle `2i` (every cycle when `d == 1`, since the slot
+    /// empties on eject), every word spends exactly `d` cycles in flight and
+    /// makes `d` segment shifts, and deliveries occur one per word in order.
+    /// The cycle-by-cycle loop is retained for buses with packets already in
+    /// flight and as the differential reference; both produce bit-identical
+    /// deliveries, cycle counts and shift statistics.
+    ///
     /// # Panics
     ///
     /// Panics if `src`/`dst` are out of range (see [`Self::try_inject`]) or
@@ -212,7 +224,71 @@ impl SegmentedBus {
         if words.is_empty() {
             return Vec::new();
         }
+        assert!(src < self.segments.len(), "src tap out of range");
+        assert!(dst < self.segments.len(), "dst tap out of range");
         assert!(dst > src, "stream route must move forward on the bus");
+        if self.is_empty() {
+            return self.stream_words_bulk(src, dst, words);
+        }
+        self.stream_words_cycled(src, dst, words)
+    }
+
+    /// Closed-form bulk application of an inject-ASAP stream on an empty
+    /// bus (see [`Self::stream_words`] for the derivation).
+    fn stream_words_bulk(&mut self, src: usize, dst: usize, words: &[u64]) -> Vec<Delivery> {
+        let d = (dst - src) as u64;
+        let n = words.len() as u64;
+        let start = self.cycles;
+        // d == 1: the packet ejects on the cycle after injection, freeing the
+        // entry slot immediately, so a new word enters every cycle. d >= 2:
+        // the empty-gap invariant admits a new word every other cycle.
+        let step = if d == 1 { 1 } else { 2 };
+        let out: Vec<Delivery> = words
+            .iter()
+            .enumerate()
+            .map(|(i, &data)| Delivery {
+                packet: Packet {
+                    data,
+                    dst,
+                    injected_at: start + step * i as u64,
+                },
+                latency_cycles: d,
+            })
+            .collect();
+        self.cycles = start + step * (n - 1) + d;
+        self.injected += n;
+        self.delivered += n;
+        self.segment_shifts += n * d;
+        out
+    }
+
+    /// The cycle-by-cycle reference for [`Self::stream_words`], forced even
+    /// on an empty bus. Exposed for the differential suites and the bench
+    /// harness, which compare it against the closed-form bulk path —
+    /// deliveries, cycle counts, and shift statistics must be bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// See [`Self::stream_words`].
+    pub fn stream_words_cycled_reference(
+        &mut self,
+        src: usize,
+        dst: usize,
+        words: &[u64],
+    ) -> Vec<Delivery> {
+        if words.is_empty() {
+            return Vec::new();
+        }
+        assert!(src < self.segments.len(), "src tap out of range");
+        assert!(dst < self.segments.len(), "dst tap out of range");
+        assert!(dst > src, "stream route must move forward on the bus");
+        self.stream_words_cycled(src, dst, words)
+    }
+
+    /// The retained cycle-by-cycle stream loop, used when the bus already
+    /// carries traffic and as the differential reference for
+    /// [`Self::stream_words_bulk`].
+    fn stream_words_cycled(&mut self, src: usize, dst: usize, words: &[u64]) -> Vec<Delivery> {
         let mut out = Vec::with_capacity(words.len());
         let mut pending = words.iter();
         let mut next = pending.next();
@@ -514,6 +590,43 @@ mod tests {
         }
         assert_eq!(got, vec![77]);
         assert_eq!(bus, via_cycle);
+    }
+
+    #[test]
+    fn bulk_stream_matches_cycled_stream_exactly() {
+        // Every hop distance including the eject-next-cycle d == 1 case,
+        // with word counts around the pipelining boundaries.
+        for (src, dst) in [(0usize, 1usize), (0, 2), (2, 7), (0, 15), (3, 4)] {
+            for n in [1usize, 2, 3, 17, 64] {
+                let words: Vec<u64> = (0..n as u64).map(|i| 0xA000 + i).collect();
+                let mut bulk = SegmentedBus::new(16);
+                bulk.cycles = 5; // a non-zero starting clock must carry over
+                let mut cycled = bulk.clone();
+                let out_bulk = bulk.stream_words(src, dst, &words);
+                let out_cycled = cycled.stream_words_cycled(src, dst, &words);
+                assert_eq!(out_bulk, out_cycled, "deliveries src {src} dst {dst} n {n}");
+                assert_eq!(bulk, cycled, "bus state src {src} dst {dst} n {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn occupied_bus_still_streams_through_the_loop() {
+        // A packet already in flight forces the cycle-by-cycle path; the
+        // stream must still deliver everything and leave the bus empty.
+        let mut bus = SegmentedBus::new(16);
+        assert!(bus.try_inject(4, 0xFEED, 12));
+        assert!(!bus.is_empty());
+        let words: Vec<u64> = (0..10).collect();
+        let out = bus.stream_words(0, 10, &words);
+        let datas: Vec<u64> = out
+            .iter()
+            .map(|d| d.packet.data)
+            .filter(|&d| d != 0xFEED)
+            .collect();
+        assert_eq!(datas, words);
+        assert_eq!(out.len(), 11, "pre-existing packet also delivered");
+        assert!(bus.is_empty());
     }
 
     #[test]

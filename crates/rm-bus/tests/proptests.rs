@@ -57,6 +57,32 @@ proptest! {
         }
     }
 
+    /// Differential: the bulk closed-form `stream_words` fast path equals
+    /// the retained per-cycle reference in every delivery (payload,
+    /// destination, injection cycle, latency) and in the full bus state —
+    /// cycle counter, delivered count, segment shifts, and occupancy — for
+    /// any segment count, route, and stream length.
+    #[test]
+    fn bulk_stream_matches_cycled_reference(
+        n_segments in 4usize..24,
+        route in (0usize..20, 1usize..20),
+        words in proptest::collection::vec(any::<u64>(), 0..40),
+    ) {
+        let (src_raw, hop) = route;
+        let src = src_raw % (n_segments - 1);
+        let dst = (src + hop).min(n_segments - 1);
+        let mut bulk = SegmentedBus::new(n_segments);
+        let mut cycled = SegmentedBus::new(n_segments);
+        let db = bulk.stream_words(src, dst, &words);
+        let dc = cycled.stream_words_cycled_reference(src, dst, &words);
+        prop_assert_eq!(db, dc);
+        prop_assert_eq!(bulk.cycles(), cycled.cycles());
+        prop_assert_eq!(bulk.delivered(), cycled.delivered());
+        prop_assert_eq!(bulk.segment_shifts(), cycled.segment_shifts());
+        prop_assert_eq!(bulk.occupancy(), cycled.occupancy());
+        prop_assert_eq!(bulk, cycled);
+    }
+
     /// Pipelined streaming is never slower than word-at-a-time transfer,
     /// for any segment size and stream length.
     #[test]

@@ -249,12 +249,60 @@ impl PackedBits {
     }
 
     /// Copies `len` lanes from `src[src_start..]` into `self[dst_start..]`,
-    /// one word chunk at a time.
+    /// one word chunk at a time. When both starts are word-aligned — true of
+    /// every row-granular copy on the device hot path — the full words are
+    /// copied as one slice `memcpy` and only the ragged tail goes through
+    /// the masked insert.
     ///
     /// # Panics
     ///
     /// Panics if either range runs past its vector's end.
     pub fn copy_range_from(
+        &mut self,
+        dst_start: usize,
+        src: &PackedBits,
+        src_start: usize,
+        len: usize,
+    ) {
+        if dst_start.is_multiple_of(WORD_BITS) && src_start.is_multiple_of(WORD_BITS) {
+            assert!(
+                src_start + len <= src.len,
+                "range {src_start}..{} out of 0..{}",
+                src_start + len,
+                src.len
+            );
+            assert!(
+                dst_start + len <= self.len,
+                "range {dst_start}..{} out of 0..{}",
+                dst_start + len,
+                self.len
+            );
+            let dw = dst_start / WORD_BITS;
+            let sw = src_start / WORD_BITS;
+            let full = len / WORD_BITS;
+            self.words[dw..dw + full].copy_from_slice(&src.words[sw..sw + full]);
+            let tail = len % WORD_BITS;
+            if tail != 0 {
+                self.insert_word(
+                    dst_start + full * WORD_BITS,
+                    tail,
+                    src.extract_word(src_start + full * WORD_BITS, tail),
+                );
+            }
+            return;
+        }
+        self.copy_range_from_by_words(dst_start, src, src_start, len);
+    }
+
+    /// Word-at-a-time reference for [`Self::copy_range_from`]: always takes
+    /// the masked extract/insert loop, never the aligned slice-`memcpy` fast
+    /// path. Exposed for the differential suites and the bench harness,
+    /// which compare the two — the copied lanes must be bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either range runs past its vector's end.
+    pub fn copy_range_from_by_words(
         &mut self,
         dst_start: usize,
         src: &PackedBits,

@@ -52,6 +52,7 @@ pub mod shard;
 pub mod stats;
 pub mod subarray;
 pub mod timing;
+pub mod wide;
 
 pub use address::{Addr, BankId, MatId, RowAddr, SubarrayId};
 pub use bank::Bank;

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use rm_core::reference::{ScalarMat, ScalarNanowire};
-use rm_core::{Addr, Geometry, Mat, Nanowire, ShiftDir, ShiftFaultModel, Subarray};
+use rm_core::{Addr, Geometry, Mat, Nanowire, PackedBits, ShiftDir, ShiftFaultModel, Subarray};
 
 /// One random nanowire operation for the packed-vs-scalar differential run.
 #[derive(Debug, Clone)]
@@ -180,6 +180,36 @@ proptest! {
         let da = Addr::decode(a, &geom).unwrap();
         let db = Addr::decode(b, &geom).unwrap();
         prop_assert_ne!(da, db);
+    }
+
+    /// Differential: the lane copy's aligned slice-`memcpy` fast path, the
+    /// word-at-a-time reference, and a per-lane scalar model all produce
+    /// bit-identical destinations for arbitrary alignments and lengths —
+    /// including spans crossing many word boundaries and zero-length copies.
+    #[test]
+    fn wide_copy_matches_word_and_scalar_references(
+        src_bits in proptest::collection::vec(any::<bool>(), 1..700),
+        dst_bits in proptest::collection::vec(any::<bool>(), 1..700),
+        dst_start in 0usize..700,
+        src_start in 0usize..700,
+        len in 0usize..700,
+    ) {
+        let src = PackedBits::from_bools(&src_bits);
+        let src_start = src_start % src_bits.len();
+        let dst_start = dst_start % dst_bits.len();
+        let len = len
+            .min(src_bits.len() - src_start)
+            .min(dst_bits.len() - dst_start);
+        let mut fast = PackedBits::from_bools(&dst_bits);
+        let mut by_words = PackedBits::from_bools(&dst_bits);
+        let mut model = dst_bits.clone();
+        fast.copy_range_from(dst_start, &src, src_start, len);
+        by_words.copy_range_from_by_words(dst_start, &src, src_start, len);
+        model[dst_start..dst_start + len]
+            .copy_from_slice(&src_bits[src_start..src_start + len]);
+        prop_assert_eq!(fast.to_bools(), model.clone());
+        prop_assert_eq!(by_words.to_bools(), model);
+        prop_assert_eq!(fast.words(), by_words.words());
     }
 
     /// Differential: the word-packed nanowire behaves bit-for-bit like the

@@ -104,11 +104,12 @@ impl RmProcessor {
 
     /// Dot product of two element slices (values masked to `width` bits).
     ///
-    /// Runs the word-parallel datapath: the duplicator bank accounts all
-    /// replications in bulk, the multiplier evaluates 64 scalar products per
-    /// plane-word gate op, and the circle adder accumulates the product
-    /// stream in one pass. Results, gate tallies, and unit state are
-    /// identical to [`Self::dot_scalar`].
+    /// Runs the wide word-group datapath: the duplicator bank accounts all
+    /// replications in bulk, the multiplier evaluates up to
+    /// [`rm_core::wide::GROUP_LANES`] scalar products per plane-group gate
+    /// op, and the circle adder accumulates the product stream in one pass.
+    /// Results, gate tallies, and unit state are identical to
+    /// [`Self::dot_words`] and [`Self::dot_scalar`].
     ///
     /// Returns the result and the accumulated gate tally.
     ///
@@ -195,10 +196,34 @@ impl RmProcessor {
         (self.circle.take_result(), tally)
     }
 
+    /// Single-word reference datapath for [`Self::dot`]: same bulk staging,
+    /// but the multiplier evaluates one 64-lane word per gate op
+    /// ([`Multiplier::multiply_many_words_into`]) instead of a wide
+    /// word-group. Retained for differential tests and as the bench
+    /// comparison point for the wide path; must match [`Self::dot`]
+    /// bit-for-bit in result, tally, and unit state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn dot_words(&mut self, a: &[u64], b: &[u64]) -> (u64, GateTally) {
+        assert_eq!(a.len(), b.len(), "dot product needs equal-length vectors");
+        let mut tally = GateTally::new();
+        self.circle.reset();
+        self.duplicators
+            .replicate_bulk(self.width as usize, a.len() as u64, &mut tally);
+        let mut products = Vec::new();
+        self.multiplier
+            .multiply_many_words_into(a, b, &mut tally, &mut products);
+        self.circle.accumulate_many(&products, &mut tally);
+        self.ops_executed += 1;
+        (self.circle.take_result(), tally)
+    }
+
     /// Serial reference datapath for [`Self::dot`]: one element at a time
     /// through duplicators → multiplier → tree → circle adder. Retained for
-    /// differential tests; the word path must match it bit-for-bit in
-    /// result, tally, and unit state.
+    /// differential tests; the word and wide paths must match it bit-for-bit
+    /// in result, tally, and unit state.
     ///
     /// # Panics
     ///
@@ -515,6 +540,20 @@ mod tests {
         assert_eq!(rw, rs);
         assert_eq!(tw, ts);
         assert_eq!(pw, ps, "all duplicator/circle/diode state must match");
+    }
+
+    #[test]
+    fn wide_dot_matches_word_dot_state_and_tally() {
+        // Cross the 512-lane group boundary with a ragged tail.
+        let a: Vec<u64> = (0..600).map(|i| i * 37 % 256).collect();
+        let b: Vec<u64> = (0..600).map(|i| i * 91 + 13).collect();
+        let mut pg = RmProcessor::new(8, 2);
+        let mut pw = RmProcessor::new(8, 2);
+        let (rg, tg) = pg.dot(&a, &b);
+        let (rw, tw) = pw.dot_words(&a, &b);
+        assert_eq!(rg, rw);
+        assert_eq!(tg, tw);
+        assert_eq!(pg, pw, "all duplicator/circle/diode state must match");
     }
 
     #[test]

@@ -179,6 +179,8 @@ const METRICS_SCHEMA_GOLDEN: &[&str] = &[
     "runtime.cache_hits: int",
     "runtime.cache_misses: int",
     "runtime.cache_entries: int",
+    "runtime.cache_near_hits: int",
+    "runtime.cache_repriced_rows: int",
     "runtime.max_queue_depth: int",
     "runtime.steals: int",
     "runtime.total_latency_ns: int",
