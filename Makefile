@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt lint build test determinism wide-smoke bench-build bench-device fidelity serve-smoke obs-smoke experiments
+.PHONY: verify fmt lint build test determinism wide-smoke bench-build bench-device fidelity serve-smoke obs-smoke flight-smoke experiments
 
-verify: fmt lint build test determinism wide-smoke bench-build bench-device fidelity serve-smoke obs-smoke
+verify: fmt lint build test determinism wide-smoke bench-build bench-device fidelity serve-smoke obs-smoke flight-smoke
 	@echo "verify: all gates passed"
 
 fmt:
@@ -64,6 +64,14 @@ serve-smoke:
 obs-smoke:
 	$(CARGO) run --release -p pim-serve --bin obs_overhead
 	$(CARGO) run --release -p pim-serve --bin pim_top -- --demo
+
+# Flight-recorder smoke: boots a server with a 1 ns SLO objective so
+# every job breaches, then checks the tail sampler retained full records,
+# each is fetchable at /v1/debug/requests/<id> with spans + attribution +
+# folded stacks, /v1/device/health serves a non-empty wear heatmap, and
+# the Prometheus exposition (strictly validated) carries the new families.
+flight-smoke:
+	$(CARGO) run --release -p pim-serve --bin flight_smoke
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

@@ -399,11 +399,29 @@ impl Platform {
         schedule: &Schedule,
         table: &mut PriceTable,
     ) -> Option<(ExecReport, u64)> {
+        self.run_schedule_repriced_instrumented(schedule, table, &NullSink, &rm_core::NullProbe)
+    }
+
+    /// [`Platform::run_schedule_repriced`] with tracing and profiling
+    /// attached. The engine's re-pricing contract extends to instruments:
+    /// report, spans and probe samples (including the static-power
+    /// `device/peripherals` sample added here) are byte-identical to a
+    /// cold instrumented run at any table state — this is what lets the
+    /// serving flight recorder observe every request on the memoized fast
+    /// path.
+    pub fn run_schedule_repriced_instrumented(
+        &self,
+        schedule: &Schedule,
+        table: &mut PriceTable,
+        sink: &dyn TraceSink,
+        probe: &dyn rm_core::Probe,
+    ) -> Option<(ExecReport, u64)> {
         let Inner::StreamPim(device) = &self.inner else {
             return None;
         };
-        let (mut report, fresh) = device.execute_repriced(schedule, table);
-        add_pim_static_power(&mut report, &rm_core::NullProbe);
+        let (mut report, fresh) =
+            device.execute_repriced_instrumented(schedule, sink, probe, table);
+        add_pim_static_power(&mut report, probe);
         Some((report, fresh))
     }
 }

@@ -269,6 +269,22 @@ impl StreamPim {
         )
     }
 
+    /// [`StreamPim::execute_repriced`] with tracing and profiling attached:
+    /// phase spans go to `sink`, component attribution to `probe`. The
+    /// engine's re-pricing contract makes the report — and every span and
+    /// probe sample — byte-identical to a cold instrumented run at any
+    /// table state, so always-on observers (the serving flight recorder)
+    /// can ride the memoized fast path without forcing a cold price.
+    pub fn execute_repriced_instrumented(
+        &self,
+        schedule: &Schedule,
+        sink: &dyn pim_trace::TraceSink,
+        probe: &dyn rm_core::Probe,
+        table: &mut crate::engine::PriceTable,
+    ) -> (ExecReport, u64) {
+        Engine::new(&self.config).run_repriced(schedule, sink, probe, table)
+    }
+
     /// Like [`StreamPim::execute`], but emits phase spans describing the
     /// analytic timeline to `sink`. With a disabled sink (e.g.
     /// [`pim_trace::NullSink`]) this is identical to `execute`.

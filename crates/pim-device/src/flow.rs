@@ -21,9 +21,10 @@ use crate::device::Parallelism;
 use crate::error::PimError;
 use crate::Result;
 use rm_bus::{Delivery, SegmentedBus};
-use rm_core::{BufferProbe, Probe, ShiftFaultModel, Subarray};
+use rm_core::{BufferProbe, Probe, ShiftFaultModel, Subarray, WearTracker};
 use rm_proc::{ProcScratch, RmProcessor};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Bus segments in the functional in-subarray buses.
 const BUS_SEGMENTS: usize = 8;
@@ -320,6 +321,26 @@ const LANE_OPERAND_ROWS: usize = 16;
 struct Lane {
     flow: SubarrayFlow,
     faults: Option<ShiftFaultModel>,
+    /// Purely observational device-health sink: records where shifts and
+    /// fault draws land, never feeds back into the computation or the
+    /// fault RNG stream.
+    health: Option<Arc<WearTracker>>,
+}
+
+impl Lane {
+    /// Records one row's realized shift delta (and the fault draw it fed,
+    /// if a model is attached) into the health tracker. The wire identity
+    /// is the output row: on this reduced geometry each output row is
+    /// backed by a fixed set of nanowires, so per-row wear is the
+    /// per-nanowire wear proxy.
+    fn observe_row(&self, lane_idx: usize, row: usize, shift_delta: u64) {
+        if let Some(health) = &self.health {
+            // Each counted shift on this path is a single-domain step, so
+            // the travelled distance equals the shift count.
+            health.record_activity(lane_idx as u32, shift_delta, shift_delta, 0.0);
+            health.record_wire_shifts(lane_idx as u32, row as u32, shift_delta);
+        }
+    }
 }
 
 impl Lane {
@@ -351,9 +372,14 @@ impl Lane {
             let value =
                 self.flow
                     .dot_probed(LANE_A_ROW, LANE_B_ROW, k, LANE_DST_ROW, probe, prefix)?;
+            let shift_delta = self.flow.shifts() - before;
             if let Some(fm) = &mut self.faults {
-                let _ = fm.sample((self.flow.shifts() - before) as usize);
+                let outcome = fm.sample(shift_delta as usize);
+                if let Some(health) = &self.health {
+                    health.record_fault(lane_idx as u32, row as u32, outcome);
+                }
             }
+            self.observe_row(lane_idx, row, shift_delta);
             out.push((row, value));
             row += n_lanes;
         }
@@ -392,9 +418,14 @@ impl Lane {
                 let value =
                     self.flow
                         .dot_probed(LANE_A_ROW, LANE_B_ROW, k, LANE_DST_ROW, probe, prefix)?;
+                let shift_delta = self.flow.shifts() - before;
                 if let Some(fm) = &mut self.faults {
-                    let _ = fm.sample((self.flow.shifts() - before) as usize);
+                    let outcome = fm.sample(shift_delta as usize);
+                    if let Some(health) = &self.health {
+                        health.record_fault(lane_idx as u32, row as u32, outcome);
+                    }
                 }
+                self.observe_row(lane_idx, row, shift_delta);
                 values.push(value);
             }
             out.push((row, values));
@@ -442,6 +473,7 @@ impl DeviceFlow {
                 Ok(Lane {
                     flow: SubarrayFlow::new()?,
                     faults: None,
+                    health: None,
                 })
             })
             .collect::<Result<Vec<_>>>()?;
@@ -454,6 +486,17 @@ impl DeviceFlow {
     pub fn with_fault_model(mut self, p_over: f64, p_under: f64, base_seed: u64) -> Self {
         for (s, lane) in self.lanes.iter_mut().enumerate() {
             lane.faults = Some(ShiftFaultModel::new(p_over, p_under, base_seed ^ s as u64));
+        }
+        self
+    }
+
+    /// Attaches a device-health tracker: every lane records its shift
+    /// activity and fault-draw outcomes (keyed subarray = lane, wire =
+    /// output row) into `tracker`. Observational only — results, counters
+    /// and fault tallies are byte-identical with or without a tracker.
+    pub fn with_health(mut self, tracker: Arc<WearTracker>) -> Self {
+        for lane in self.lanes.iter_mut() {
+            lane.health = Some(Arc::clone(&tracker));
         }
         self
     }

@@ -1,0 +1,124 @@
+//! Streaming latency reservoirs: the outlier detector behind tail
+//! sampling.
+//!
+//! One [`LatencyReservoir`] holds the last `capacity` observed latencies
+//! of one (tenant, shape-key) stream. A new latency is an **outlier** when
+//! the reservoir has seen at least `min_samples` values and the latency
+//! exceeds `factor ×` the reservoir's p95. The decision is taken against
+//! the *prior* stream — the deciding latency is pushed only afterwards —
+//! so retention is a pure function of the observation sequence.
+
+/// Fixed-capacity ring of recent latencies with an order-statistic query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyReservoir {
+    ring: Vec<u64>,
+    /// Next write position (the ring wraps once `len == capacity`).
+    head: usize,
+    len: usize,
+}
+
+impl LatencyReservoir {
+    /// An empty reservoir holding up to `capacity` samples (min 1).
+    pub fn new(capacity: usize) -> Self {
+        LatencyReservoir {
+            ring: vec![0; capacity.max(1)],
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the reservoir holds no samples yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Pushes one latency, evicting the oldest once full.
+    pub fn observe(&mut self, latency_ns: u64) {
+        self.ring[self.head] = latency_ns;
+        self.head = (self.head + 1) % self.ring.len();
+        self.len = (self.len + 1).min(self.ring.len());
+    }
+
+    /// The reservoir's p95 (nearest-rank over the held samples; 0 when
+    /// empty).
+    pub fn p95_ns(&self) -> u64 {
+        if self.len == 0 {
+            return 0;
+        }
+        let mut sorted: Vec<u64> = self.ring[..self.len.min(self.ring.len())].to_vec();
+        sorted.sort_unstable();
+        // Nearest-rank: ceil(0.95 * n) - 1, clamped.
+        let rank = (self.len * 95).div_ceil(100).saturating_sub(1);
+        sorted[rank.min(self.len - 1)]
+    }
+
+    /// Whether `latency_ns` is an outlier against the *current* contents
+    /// (call before [`LatencyReservoir::observe`]).
+    pub fn is_outlier(&self, latency_ns: u64, min_samples: usize, factor: f64) -> bool {
+        if self.len < min_samples.max(1) {
+            return false;
+        }
+        latency_ns as f64 > self.p95_ns() as f64 * factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warms_up_before_flagging() {
+        let mut r = LatencyReservoir::new(16);
+        for _ in 0..7 {
+            assert!(!r.is_outlier(1_000_000, 8, 2.0));
+            r.observe(100);
+        }
+        // 7 samples < min_samples=8: still warming up.
+        assert!(!r.is_outlier(1_000_000, 8, 2.0));
+        r.observe(100);
+        assert!(r.is_outlier(1_000_000, 8, 2.0));
+        assert!(!r.is_outlier(150, 8, 2.0));
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut r = LatencyReservoir::new(4);
+        for v in [1, 2, 3, 4, 100, 100, 100, 100] {
+            r.observe(v);
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.p95_ns(), 100);
+    }
+
+    #[test]
+    fn p95_nearest_rank() {
+        let mut r = LatencyReservoir::new(100);
+        for v in 1..=100u64 {
+            r.observe(v);
+        }
+        assert_eq!(r.p95_ns(), 95);
+        let mut small = LatencyReservoir::new(8);
+        small.observe(10);
+        assert_eq!(small.p95_ns(), 10);
+    }
+
+    #[test]
+    fn decisions_are_a_pure_function_of_the_stream() {
+        let stream: Vec<u64> = (0..64).map(|i| 100 + (i * 37) % 50).collect();
+        let run = || {
+            let mut r = LatencyReservoir::new(16);
+            let mut decisions = Vec::new();
+            for &v in &stream {
+                decisions.push(r.is_outlier(v * 3, 8, 2.0));
+                r.observe(v);
+            }
+            decisions
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -45,4 +45,7 @@ pub mod runtime;
 pub use cache::ScheduleCache;
 pub use job::Job;
 pub use metrics::{JobMetrics, MetricsRegistry, MetricsSnapshot, TenantMetrics};
-pub use runtime::{intra_worker_budget, BatchResult, JobOutcome, Runtime, RuntimeConfig};
+pub use runtime::{
+    intra_worker_budget, BatchResult, CacheDisposition, JobInstruments, JobOutcome, Runtime,
+    RuntimeConfig,
+};

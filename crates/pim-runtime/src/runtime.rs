@@ -60,6 +60,66 @@ pub fn intra_worker_budget(
     }
 }
 
+/// Per-job observers threaded through [`Runtime::run_batch_instrumented`]:
+/// every job in the batch records its host job span, cache instants and
+/// full simulated timeline into `sink`, and its component attribution into
+/// `probe` — in addition to the runtime's own batch-level sink. With null
+/// instruments this is exactly [`Runtime::run_batch`]; the repriced fast
+/// path stays engaged either way (see
+/// [`pim_baselines::Platform::run_schedule_repriced_instrumented`]), so
+/// always-on observers add no simulation work.
+#[derive(Clone, Copy)]
+pub struct JobInstruments<'a> {
+    /// Receives host job/lowering spans, cache instants, and the job's
+    /// simulated timeline.
+    pub sink: &'a dyn TraceSink,
+    /// Receives per-component attribution samples.
+    pub probe: &'a dyn rm_core::Probe,
+}
+
+impl JobInstruments<'_> {
+    /// Disabled instruments (the [`Runtime::run_batch`] behavior).
+    pub fn disabled() -> JobInstruments<'static> {
+        JobInstruments {
+            sink: &NullSink,
+            probe: &rm_core::NullProbe,
+        }
+    }
+}
+
+impl std::fmt::Debug for JobInstruments<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobInstruments")
+            .field("sink_enabled", &self.sink.enabled())
+            .field("probe_enabled", &self.probe.enabled())
+            .finish()
+    }
+}
+
+/// How one job interacted with the schedule cache and the re-pricing memo.
+///
+/// This is *host-side history*, not part of [`JobOutcome`]: whether a job
+/// hit the cache depends on what ran before it, so it must never leak into
+/// the outcome (which is a pure function of the job). The flight recorder
+/// stores it alongside the record instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CacheDisposition {
+    /// Whether the schedule cache was probed at all (host platforms and
+    /// cache-disabled runtimes never probe).
+    pub probed: bool,
+    /// Full-key cache hit.
+    pub hit: bool,
+    /// Full-key miss whose dimension-blind shape key was already seeded:
+    /// pricing was incremental.
+    pub near_hit: bool,
+    /// Schedule rows priced fresh on the repriced path this run.
+    pub repriced_rows: u64,
+    /// The job's dimension-blind shape key (0 when the cache was not
+    /// probed). Keys the flight recorder's per-(tenant, shape) latency
+    /// reservoirs.
+    pub shape_key: u64,
+}
+
 /// The deterministic result of one job: everything here is a pure function
 /// of the job itself. Host-side observations (latency, worker id, queue
 /// depth) deliberately live in [`MetricsRegistry`] instead — see the
@@ -216,24 +276,42 @@ impl Runtime {
     /// carries a "runtime is draining" error and nothing is recorded in
     /// the metrics registry (the jobs were never admitted).
     pub fn run_batch(&self, jobs: &[Job]) -> BatchResult {
+        self.run_batch_instrumented(jobs, &JobInstruments::disabled())
+            .0
+    }
+
+    /// [`Runtime::run_batch`] with per-job observers attached: spans,
+    /// cache instants and the simulated timeline also land in
+    /// `instruments.sink`, attribution in `instruments.probe`, and each
+    /// job's [`CacheDisposition`] is returned index-aligned with the
+    /// outcomes. The outcomes themselves are byte-identical to
+    /// [`Runtime::run_batch`] — instruments observe, never steer.
+    pub fn run_batch_instrumented(
+        &self,
+        jobs: &[Job],
+        instruments: &JobInstruments<'_>,
+    ) -> (BatchResult, Vec<CacheDisposition>) {
         {
             let mut intake = self.intake.lock().expect("intake lock");
             if intake.draining {
-                return BatchResult {
-                    outcomes: jobs
-                        .iter()
-                        .enumerate()
-                        .map(|(index, job)| JobOutcome {
-                            index,
-                            name: job.name.clone(),
-                            report: Err("runtime is draining: batch refused".to_string()),
-                        })
-                        .collect(),
-                };
+                return (
+                    BatchResult {
+                        outcomes: jobs
+                            .iter()
+                            .enumerate()
+                            .map(|(index, job)| JobOutcome {
+                                index,
+                                name: job.name.clone(),
+                                report: Err("runtime is draining: batch refused".to_string()),
+                            })
+                            .collect(),
+                    },
+                    vec![CacheDisposition::default(); jobs.len()],
+                );
             }
             intake.in_flight += 1;
         }
-        let result = self.run_batch_inner(jobs);
+        let result = self.run_batch_inner(jobs, instruments);
         let mut intake = self.intake.lock().expect("intake lock");
         intake.in_flight -= 1;
         if intake.in_flight == 0 {
@@ -243,9 +321,14 @@ impl Runtime {
     }
 
     /// The pre-drain body of [`Runtime::run_batch`].
-    fn run_batch_inner(&self, jobs: &[Job]) -> BatchResult {
+    fn run_batch_inner(
+        &self,
+        jobs: &[Job],
+        instruments: &JobInstruments<'_>,
+    ) -> (BatchResult, Vec<CacheDisposition>) {
         let n = jobs.len();
-        let slots: Vec<Mutex<Option<JobOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<(JobOutcome, CacheDisposition)>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
         let pending = AtomicUsize::new(n);
         let batch_start = Instant::now();
 
@@ -253,12 +336,14 @@ impl Runtime {
             let queue_depth = pending.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
             let started = Instant::now();
             let job = &jobs[index];
-            let (report, cache_hit, cache_probed) = self.run_one(job, worker);
+            let (report, cache) = self.run_one(job, worker, instruments);
+            let cache_hit = cache.hit;
+            let cache_probed = cache.probed;
             let latency_ns = started.elapsed().as_nanos() as u64;
-            if self.sink.enabled() {
+            if self.sink.enabled() || instruments.sink.enabled() {
                 let track = Track::Worker(worker as u32);
                 let dispatch_ns = self.host_ns(started);
-                if stolen {
+                if stolen && self.sink.enabled() {
                     self.sink.record_instant(
                         Event::host("steal", "steal", track, dispatch_ns)
                             .arg("index", index)
@@ -275,22 +360,27 @@ impl Runtime {
                 if !job.request_id.is_empty() {
                     span = span.arg(pim_trace::ATTR_REQUEST_ID, job.request_id.clone());
                 }
-                self.sink.record_span(
-                    span.arg("index", index)
-                        .arg("platform", job.platform.name())
-                        .arg("cache_hit", cache_hit)
-                        .arg("queue_depth", queue_depth)
-                        .arg("stolen", stolen)
-                        .arg("ok", report.is_ok())
-                        .arg(
-                            "sim_time_ns",
-                            report.as_ref().map(|r| r.total_ns()).unwrap_or(0.0),
-                        )
-                        .arg(
-                            "queued_ns",
-                            started.duration_since(batch_start).as_nanos() as u64,
-                        ),
-                );
+                let span = span
+                    .arg("index", index)
+                    .arg("platform", job.platform.name())
+                    .arg("cache_hit", cache_hit)
+                    .arg("queue_depth", queue_depth)
+                    .arg("stolen", stolen)
+                    .arg("ok", report.is_ok())
+                    .arg(
+                        "sim_time_ns",
+                        report.as_ref().map(|r| r.total_ns()).unwrap_or(0.0),
+                    )
+                    .arg(
+                        "queued_ns",
+                        started.duration_since(batch_start).as_nanos() as u64,
+                    );
+                if instruments.sink.enabled() {
+                    instruments.sink.record_span(span.clone());
+                }
+                if self.sink.enabled() {
+                    self.sink.record_span(span);
+                }
             }
             self.metrics.record_job(
                 JobMetrics {
@@ -311,42 +401,46 @@ impl Runtime {
                 },
                 report.as_ref().ok(),
             );
-            *slots[index].lock().expect("slot lock") = Some(JobOutcome {
-                index,
-                name: job.name.clone(),
-                report: report.map_err(|e| e.to_string()),
-            });
+            *slots[index].lock().expect("slot lock") = Some((
+                JobOutcome {
+                    index,
+                    name: job.name.clone(),
+                    report: report.map_err(|e| e.to_string()),
+                },
+                cache,
+            ));
         });
 
         self.metrics.record_steals(stats.steals);
         self.metrics
             .record_cache(self.cache.hits(), self.cache.misses(), self.cache.len());
 
-        BatchResult {
-            outcomes: slots
-                .into_iter()
-                .map(|slot| {
-                    slot.into_inner()
-                        .expect("slot lock")
-                        .expect("every index executed")
-                })
-                .collect(),
-        }
+        let (outcomes, dispositions) = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock")
+                    .expect("every index executed")
+            })
+            .unzip();
+        (BatchResult { outcomes }, dispositions)
     }
 
     /// Prices one job, reusing pooled platforms and cached schedules.
     /// `worker` attributes host-side lowering spans to the executing
-    /// worker's track. The two trailing flags report whether the schedule
-    /// cache was hit and whether it was probed at all (host platforms and
+    /// worker's track. The returned [`CacheDisposition`] reports how the
+    /// schedule cache and re-pricing memo were engaged (host platforms and
     /// cache-disabled runtimes never probe).
     fn run_one(
         &self,
         job: &Job,
         worker: usize,
-    ) -> (Result<ExecReport, pim_device::PimError>, bool, bool) {
+        instruments: &JobInstruments<'_>,
+    ) -> (Result<ExecReport, pim_device::PimError>, CacheDisposition) {
+        let unprobed = CacheDisposition::default();
         let platform = match self.pooled_platform(job) {
             Ok(p) => p,
-            Err(e) => return (Err(e), false, false),
+            Err(e) => return (Err(e), unprobed),
         };
 
         let cfg = match platform.lowering_config() {
@@ -355,12 +449,20 @@ impl Runtime {
             // workload and run it whole.
             _ => {
                 let workload = Workload::from_spec(&job.workload);
-                return (platform.run_with_schedule(&workload, None), false, false);
+                return (
+                    platform.run_instrumented(&workload, None, instruments.sink, instruments.probe),
+                    unprobed,
+                );
             }
         };
 
         let key = ScheduleCache::key(&cfg, &job.workload);
         let shape_key = ScheduleCache::shape_key(&cfg, &job.workload);
+        let mut cache = CacheDisposition {
+            probed: true,
+            shape_key,
+            ..CacheDisposition::default()
+        };
         let probe_start = Instant::now();
         // Lowering reads only shapes (see `ShapeTask`), so the cached path
         // never materializes the workload's matrices at all.
@@ -370,33 +472,42 @@ impl Runtime {
                 .lower(&StreamPim::new(cfg.clone())?)
         }) {
             Ok(found) => found,
-            Err(e) => return (Err(e), false, true),
+            Err(e) => return (Err(e), cache),
         };
-        if self.sink.enabled() {
-            self.sink.record_instant(
-                Event::host(
-                    if hit { "cache hit" } else { "cache miss" },
-                    "cache",
-                    Track::Cache,
-                    self.host_ns(probe_start),
-                )
-                .arg("job", job.name.clone())
-                .arg("hit", hit),
-            );
+        cache.hit = hit;
+        if self.sink.enabled() || instruments.sink.enabled() {
+            let probe_event = Event::host(
+                if hit { "cache hit" } else { "cache miss" },
+                "cache",
+                Track::Cache,
+                self.host_ns(probe_start),
+            )
+            .arg("job", job.name.clone())
+            .arg("hit", hit);
+            if instruments.sink.enabled() {
+                instruments.sink.record_instant(probe_event.clone());
+            }
+            if self.sink.enabled() {
+                self.sink.record_instant(probe_event);
+            }
             if !hit {
                 // A miss means the closure lowered the task; the probe's
                 // wall-clock is the lowering cost (lock overhead is
                 // negligible next to it).
-                self.sink.record_span(
-                    Span::host(
-                        format!("lower {}", job.name),
-                        "lowering",
-                        Track::Worker(worker as u32),
-                        self.host_ns(probe_start),
-                        probe_start.elapsed().as_nanos() as f64,
-                    )
-                    .arg("job", job.name.clone()),
-                );
+                let lower_span = Span::host(
+                    format!("lower {}", job.name),
+                    "lowering",
+                    Track::Worker(worker as u32),
+                    self.host_ns(probe_start),
+                    probe_start.elapsed().as_nanos() as f64,
+                )
+                .arg("job", job.name.clone());
+                if instruments.sink.enabled() {
+                    instruments.sink.record_span(lower_span.clone());
+                }
+                if self.sink.enabled() {
+                    self.sink.record_span(lower_span);
+                }
             }
         }
 
@@ -414,7 +525,12 @@ impl Runtime {
             Some(table) => (table, true),
             None => (PriceTable::new(), false),
         };
-        if let Some((report, fresh)) = platform.run_schedule_repriced(&schedule, &mut table) {
+        if let Some((report, fresh)) = platform.run_schedule_repriced_instrumented(
+            &schedule,
+            &mut table,
+            instruments.sink,
+            instruments.probe,
+        ) {
             use std::collections::hash_map::Entry;
             match self.reprice.lock().expect("reprice lock").entry(shape_key) {
                 // Another worker re-seeded the shape while we ran: merge
@@ -424,7 +540,9 @@ impl Runtime {
                     slot.insert(table);
                 }
             }
+            cache.repriced_rows = fresh;
             if !hit && shape_seen {
+                cache.near_hit = true;
                 self.metrics.record_near_hit(fresh);
                 if self.sink.enabled() {
                     self.sink.record_instant(
@@ -439,15 +557,19 @@ impl Runtime {
                     );
                 }
             }
-            return (Ok(report), hit, true);
+            return (Ok(report), cache);
         }
 
         // Closed-form PIM baselines: schedule-driven but not repriced.
         let workload = Workload::from_spec(&job.workload);
         (
-            platform.run_with_schedule(&workload, Some(&schedule)),
-            hit,
-            true,
+            platform.run_instrumented(
+                &workload,
+                Some(&schedule),
+                instruments.sink,
+                instruments.probe,
+            ),
+            cache,
         )
     }
 

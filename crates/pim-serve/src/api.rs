@@ -9,8 +9,10 @@
 use crate::admission::Phase;
 use crate::meter::{LedgerSummary, MeterRecord};
 use pim_device::ExecReport;
+use pim_flight::FlightCounters;
 use pim_obs::SloReport;
 use pim_runtime::{Job, MetricsSnapshot};
+use rm_core::DeviceHealth;
 use serde::{Deserialize, Serialize};
 
 /// `POST /v1/jobs` request body.
@@ -152,6 +154,15 @@ pub struct MetricsResponse {
     pub ledger: LedgerSummary,
     /// Per-tenant latency-SLO attainment and error-budget burn.
     pub slo: SloReport,
+    /// Flight-recorder retention/eviction/overhead counters.
+    pub flight: FlightCounters,
+}
+
+/// `GET /v1/device/health` response body: the fault heatmap.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeviceHealthResponse {
+    /// Per-subarray wear rows, top-K wire list, and grand totals.
+    pub health: DeviceHealth,
 }
 
 /// `POST /v1/admin/drain` body: the final state after a graceful drain.

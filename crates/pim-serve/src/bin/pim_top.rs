@@ -16,7 +16,8 @@
 //! endpoints the service serves anyway, so watching a server never
 //! perturbs admission, dispatch, or metering.
 
-use pim_serve::api::MetricsResponse;
+use pim_flight::FlightIndex;
+use pim_serve::api::{DeviceHealthResponse, MetricsResponse};
 use pim_serve::http::client_request;
 use std::time::Duration;
 
@@ -32,6 +33,32 @@ fn get(addr: &str, path: &str) -> Result<String, String> {
         Ok((status, _, body)) => Err(format!("{path} -> {status}: {body}")),
         Err(error) => Err(format!("{path}: {error}")),
     }
+}
+
+/// One character per subarray, shaded by its share of the busiest
+/// subarray's shift count — a `top`-style wear heatmap in a single row.
+/// Subarrays that sampled faults are flagged `!` regardless of load.
+fn heatmap_row(health: &rm_core::DeviceHealth) -> String {
+    const SHADES: [char; 6] = ['.', ':', '-', '=', '#', '@'];
+    let peak = health
+        .subarrays
+        .iter()
+        .map(|s| s.wear.shifts)
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    health
+        .subarrays
+        .iter()
+        .map(|s| {
+            if s.wear.faults_injected() > 0 {
+                '!'
+            } else {
+                let bucket = (s.wear.shifts * (SHADES.len() as u64 - 1)).div_ceil(peak);
+                SHADES[bucket as usize]
+            }
+        })
+        .collect()
 }
 
 /// Renders one dashboard frame from the server's own snapshots.
@@ -107,6 +134,49 @@ fn frame(addr: &str) -> Result<String, String> {
         }
     }
 
+    let index: FlightIndex = serde_json::from_str(&get(addr, "/v1/debug/requests")?)
+        .map_err(|e| format!("debug index: {e}"))?;
+    let flight = &metrics.flight;
+    out.push_str(&format!(
+        "\nflight    {} observed   {} retained / {} summarized   {} evicted   ring {} records / {} KiB\n",
+        flight.observed,
+        flight.retained,
+        flight.summarized,
+        flight.evicted,
+        flight.ring_records,
+        flight.ring_bytes / 1024,
+    ));
+    if index.retained.is_empty() {
+        out.push_str("          (nothing retained — no breaches, errors, or outliers)\n");
+    } else {
+        for entry in index.retained.iter().take(5) {
+            out.push_str(&format!(
+                "          {:<14} {:<10} {:>10.3} ms   {}\n",
+                entry.request_id,
+                entry.reason,
+                entry.latency_ns as f64 / 1e6,
+                entry.name,
+            ));
+        }
+    }
+
+    let health: DeviceHealthResponse = serde_json::from_str(&get(addr, "/v1/device/health")?)
+        .map_err(|e| format!("device health: {e}"))?;
+    out.push_str(&format!(
+        "\nhealth    {} subarrays   {} shifts ({} distance)   {} faults sampled / {} injected\n",
+        health.health.subarrays.len(),
+        health.health.totals.shifts,
+        health.health.totals.shift_distance,
+        health.health.totals.faults_sampled,
+        health.health.totals.faults_injected(),
+    ));
+    if !health.health.subarrays.is_empty() {
+        out.push_str(&format!(
+            "          wear      {}\n",
+            heatmap_row(&health.health)
+        ));
+    }
+
     out.push_str("\nrecent events (oldest first)\n");
     let tail: Vec<&str> = {
         let lines: Vec<&str> = events.lines().filter(|l| !l.is_empty()).collect();
@@ -141,8 +211,16 @@ fn demo() -> ! {
     use pim_serve::{call, ServeConfig, Server};
     use pim_workloads::WorkloadSpec;
 
-    let server =
-        Server::start(ServeConfig::default()).unwrap_or_else(|e| fail(&format!("bind: {e}")));
+    // A 1 ns objective so the demo's jobs all breach: the flight panel
+    // renders real retained records, not the empty placeholder.
+    let config = ServeConfig {
+        slo: pim_obs::SloConfig {
+            latency_objective_ns: 1,
+            ..pim_obs::SloConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let server = Server::start(config).unwrap_or_else(|e| fail(&format!("bind: {e}")));
     let addr = server.addr();
     for (tenant, m) in [("gold", 12), ("silver", 16), ("gold", 20)] {
         let body = serde_json::to_string(&SubmitRequest {

@@ -45,6 +45,9 @@
 //! | `GET /v1/metrics`              | Server + runtime + ledger + SLO      |
 //! | `GET /metrics.prom`            | Prometheus text exposition           |
 //! | `GET /v1/events`               | Structured event log (JSON lines)    |
+//! | `GET /v1/debug/requests`       | Flight-recorder index (tail samples) |
+//! | `GET /v1/debug/requests/{id}`  | One retained flight record, full     |
+//! | `GET /v1/device/health`        | Per-subarray wear / fault heatmap    |
 //! | `GET /v1/tenants/{t}/usage`    | One tenant's metered totals          |
 //! | `GET /v1/healthz`              | Phase and queue depths               |
 //! | `POST /v1/admin/drain`         | Graceful drain; returns final state  |
@@ -58,8 +61,8 @@ pub mod server;
 
 pub use admission::{admit, retry_after_ms, AdmissionConfig, Phase, Rejection};
 pub use api::{
-    DrainResponse, ErrorResponse, HealthResponse, JobState, MetricsResponse, ResultResponse,
-    ServerStats, StatusResponse, SubmitRequest, SubmitResponse,
+    DeviceHealthResponse, DrainResponse, ErrorResponse, HealthResponse, JobState, MetricsResponse,
+    ResultResponse, ServerStats, StatusResponse, SubmitRequest, SubmitResponse,
 };
 pub use http::{client_request, Request, Response};
 pub use meter::{

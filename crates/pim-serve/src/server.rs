@@ -36,11 +36,13 @@ use crate::http::{client_request, read_request, ParseError, Request, Response};
 use crate::meter::{Ledger, MeterConfig};
 use crate::queue::TenantQueues;
 use pim_device::Parallelism;
+use pim_flight::{FaultTally, FlightConfig, FlightRecorder, JobObservation};
 use pim_obs::{
     prom, EventLog, EventLogConfig, Level, Registry, RequestIdSource, SloConfig, SloTracker,
 };
-use pim_runtime::{intra_worker_budget, Job, Runtime, RuntimeConfig};
+use pim_runtime::{intra_worker_budget, Job, JobInstruments, Runtime, RuntimeConfig};
 use pim_trace::{NullSink, Span, TraceSink, Track, ATTR_REQUEST_ID};
+use rm_core::WearTracker;
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -53,6 +55,13 @@ use std::time::{Duration, Instant};
 /// How many recent events `GET /v1/events` returns (the ring retains
 /// [`EventLogConfig::default`]'s capacity; this bounds one response).
 const EVENTS_DEFAULT_LIMIT: usize = 256;
+
+/// How many summaries `GET /v1/debug/requests` lists alongside the
+/// retained index.
+const DEBUG_RECENT_LIMIT: usize = 32;
+
+/// Top-K nanowire rows in the `GET /v1/device/health` heatmap.
+const HEALTH_TOP_WIRES: usize = 16;
 
 /// Service tuning knobs.
 #[derive(Debug, Clone)]
@@ -76,6 +85,11 @@ pub struct ServeConfig {
     pub meter: MeterConfig,
     /// Initial per-tenant dispatch weights (tenants absent here get 1).
     pub tenant_weights: Vec<(String, u64)>,
+    /// Per-tenant latency SLO (objective + target fraction). Feeds both
+    /// the SLO tracker and the flight recorder's breach detection.
+    pub slo: SloConfig,
+    /// Flight-recorder policy (retention, ring budgets, outlier knobs).
+    pub flight: FlightConfig,
 }
 
 impl Default for ServeConfig {
@@ -92,6 +106,8 @@ impl Default for ServeConfig {
             admission: AdmissionConfig::default(),
             meter: MeterConfig::default(),
             tenant_weights: Vec::new(),
+            slo: SloConfig::default(),
+            flight: FlightConfig::default(),
         }
     }
 }
@@ -223,11 +239,11 @@ struct Obs {
 }
 
 impl Obs {
-    fn new() -> Self {
+    fn new(slo: SloConfig) -> Self {
         Obs {
             registry: Registry::new(),
             events: EventLog::new(EventLogConfig::default()),
-            slo: SloTracker::new(SloConfig::default()),
+            slo: SloTracker::new(slo),
             request_ids: RequestIdSource::new(),
         }
     }
@@ -250,6 +266,10 @@ struct Core {
     origin: Instant,
     sink: Arc<dyn TraceSink>,
     obs: Obs,
+    /// The always-on flight recorder (tail-sampled per-request records).
+    flight: FlightRecorder,
+    /// Device-health accumulator, fed from every request's attribution.
+    health: Arc<WearTracker>,
 }
 
 impl std::fmt::Debug for Core {
@@ -268,6 +288,8 @@ impl Core {
         for (tenant, weight) in &config.tenant_weights {
             queues.set_weight(tenant, *weight);
         }
+        let flight = FlightRecorder::new(config.flight.clone());
+        let obs = Obs::new(config.slo);
         Core {
             config,
             runtime,
@@ -284,7 +306,9 @@ impl Core {
             stop: AtomicBool::new(false),
             origin: Instant::now(),
             sink,
-            obs: Obs::new(),
+            obs,
+            flight,
+            health: Arc::new(WearTracker::new()),
         }
     }
 
@@ -298,16 +322,18 @@ impl Core {
     /// left `Accepting` and the queues are empty.
     fn dispatch_loop(&self) {
         loop {
-            let (tenant, job_id, job) = {
+            let (tenant, job_id, job, queued_ns) = {
                 let mut state = self.state.lock().expect("core lock");
                 loop {
                     let cap = self.config.admission.max_inflight_per_tenant;
                     if let Some((tenant, job_id)) = state.queues.dispatch(cap) {
                         let record = state.jobs.get_mut(&job_id).expect("queued job recorded");
                         record.state = JobState::Running;
-                        record.started_ns = Some(self.host_ns());
+                        let started_ns = self.host_ns();
+                        record.started_ns = Some(started_ns);
+                        let queued_ns = started_ns.saturating_sub(record.submitted_ns);
                         let job = record.job.clone();
-                        break (tenant, job_id, job);
+                        break (tenant, job_id, job, queued_ns);
                     }
                     if state.phase != Phase::Accepting && state.queues.queued() == 0 {
                         return;
@@ -316,9 +342,27 @@ impl Core {
                 }
             };
 
+            // The flight tap observes the instrumented repriced fast path:
+            // attaching it never changes the simulated outcome (the
+            // determinism suite pins recorder-on vs recorder-off reports
+            // byte-for-byte).
+            let tap = self.flight.begin();
             let started = Instant::now();
-            let batch = self.runtime.run_batch(std::slice::from_ref(&job));
+            let (batch, dispositions) = match &tap {
+                Some(tap) => self.runtime.run_batch_instrumented(
+                    std::slice::from_ref(&job),
+                    &JobInstruments {
+                        sink: &tap.collector,
+                        probe: &tap.probe,
+                    },
+                ),
+                None => self.runtime.run_batch_instrumented(
+                    std::slice::from_ref(&job),
+                    &JobInstruments::disabled(),
+                ),
+            };
             let outcome = batch.outcomes.into_iter().next().expect("one outcome");
+            let cache = dispositions.into_iter().next().unwrap_or_default();
             let elapsed_ns = started.elapsed().as_nanos() as u64;
             self.counters
                 .service_ns_total
@@ -365,6 +409,14 @@ impl Core {
             // client that polls "Completed" always sees a settled record.
             self.ledger.settle(job_id, outcome.report.as_ref().ok());
 
+            let fault = outcome
+                .report
+                .as_ref()
+                .ok()
+                .map(|r| FaultTally::from_counters(&r.counters))
+                .unwrap_or_default();
+            let error = outcome.report.as_ref().err().cloned();
+
             let mut state = self.state.lock().expect("core lock");
             state.queues.finish(&tenant);
             let record = state.jobs.get_mut(&job_id).expect("running job recorded");
@@ -384,6 +436,46 @@ impl Core {
             // A tenant slot freed: other dispatchers may now be eligible.
             self.work.notify_all();
             self.done.notify_all();
+
+            // Completion hooks of the flight recorder: fold the request's
+            // attribution into the device-health heatmap, then let the
+            // retention policy decide what the request leaves behind. Both
+            // observe only; neither touches simulated state.
+            if let Some(tap) = &tap {
+                pim_flight::absorb_attribution(&self.health, &tap.probe.snapshot());
+            }
+            let retained = self.flight.finish(
+                JobObservation {
+                    request_id: job.request_id.clone(),
+                    job_id,
+                    tenant: tenant.clone(),
+                    name: job.name.clone(),
+                    platform: job.platform.name().to_string(),
+                    shape_key: cache.shape_key,
+                    queued_ns,
+                    latency_ns: elapsed_ns,
+                    slo_objective_ns: self.config.slo.latency_objective_ns,
+                    ok,
+                    error,
+                    cancelled: false,
+                    cache,
+                    fault,
+                },
+                tap,
+            );
+            if let Some(reason) = retained {
+                self.obs.events.emit(
+                    Level::Info,
+                    "flight",
+                    &job.request_id,
+                    "flight record retained",
+                    &[
+                        ("tenant", &tenant),
+                        ("name", &job.name),
+                        ("reason", reason.label()),
+                    ],
+                );
+            }
         }
     }
 
@@ -587,6 +679,9 @@ impl Core {
         };
         let tenant = record.tenant.clone();
         let request_id = record.request_id.clone();
+        let name = record.name.clone();
+        let platform = record.job.platform.name().to_string();
+        let submitted_ns = record.submitted_ns;
         match record.state {
             JobState::Queued => {
                 assert!(
@@ -595,8 +690,27 @@ impl Core {
                 );
                 let record = state.jobs.get_mut(&job_id).expect("record exists");
                 record.state = JobState::Cancelled;
-                record.finished_ns = Some(self.host_ns());
+                let cancelled_ns = self.host_ns();
+                record.finished_ns = Some(cancelled_ns);
                 drop(state);
+                // Cancellations are always tail-sampled: the record shows
+                // how long the request sat queued before it was abandoned.
+                self.flight.finish(
+                    JobObservation {
+                        request_id: request_id.clone(),
+                        job_id,
+                        tenant: tenant.clone(),
+                        name,
+                        platform,
+                        queued_ns: cancelled_ns.saturating_sub(submitted_ns),
+                        latency_ns: cancelled_ns.saturating_sub(submitted_ns),
+                        slo_objective_ns: self.config.slo.latency_objective_ns,
+                        ok: false,
+                        cancelled: true,
+                        ..JobObservation::default()
+                    },
+                    None,
+                );
                 assert!(self.ledger.cancel(job_id), "queued job's meter is pending");
                 self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
                 let id_str = job_id.to_string();
@@ -638,6 +752,35 @@ impl Core {
             runtime: self.runtime.metrics(),
             ledger: self.ledger.summary(),
             slo: self.obs.slo.report(),
+            flight: self.flight.counters(),
+        };
+        Response::json(200, serde_json::to_string(&body).expect("serializes"))
+    }
+
+    /// `GET /v1/debug/requests`: recorder counters, the retained-record
+    /// index (newest first), and the tail of recent summaries.
+    fn debug_requests(&self) -> Response {
+        let index = self.flight.index(DEBUG_RECENT_LIMIT);
+        Response::json(200, serde_json::to_string(&index).expect("serializes"))
+    }
+
+    /// `GET /v1/debug/requests/{id}`: the full retained record, served as
+    /// the exact bytes stored at retention time.
+    fn debug_request(&self, request_id: &str) -> Response {
+        match self.flight.get_json(request_id) {
+            Some(json) => Response::json(200, json),
+            None => Response::error(
+                404,
+                &format!("no retained flight record for {request_id:?} (evicted or summarized)"),
+            ),
+        }
+    }
+
+    /// `GET /v1/device/health`: the per-subarray fault/wear heatmap plus
+    /// the top-K most-shifted nanowires.
+    fn device_health(&self) -> Response {
+        let body = DeviceHealthResponse {
+            health: self.health.snapshot(HEALTH_TOP_WIRES),
         };
         Response::json(200, serde_json::to_string(&body).expect("serializes"))
     }
@@ -710,6 +853,64 @@ impl Core {
                 &[],
             )
             .set(self.obs.events.suppressed() as i64);
+        let flight = self.flight.counters();
+        self.obs
+            .registry
+            .gauge(
+                "pim_flight_retained_total",
+                "Full flight records retained by the tail-sampling policy.",
+                &[],
+            )
+            .set(flight.retained as i64);
+        self.obs
+            .registry
+            .gauge(
+                "pim_flight_summarized_total",
+                "Requests the flight recorder dropped to a cheap summary.",
+                &[],
+            )
+            .set(flight.summarized as i64);
+        self.obs
+            .registry
+            .gauge(
+                "pim_flight_evicted_total",
+                "Retained flight records evicted by the ring's record/byte budget.",
+                &[],
+            )
+            .set(flight.evicted as i64);
+        self.obs
+            .registry
+            .gauge(
+                "pim_flight_ring_bytes",
+                "Bytes of serialized flight records currently resident.",
+                &[],
+            )
+            .set(flight.ring_bytes as i64);
+        self.obs
+            .registry
+            .gauge(
+                "pim_flight_overhead_ns_total",
+                "Cumulative host time spent in the flight recorder's completion hook.",
+                &[],
+            )
+            .set(flight.overhead_ns as i64);
+        let health = self.health.snapshot(0);
+        self.obs
+            .registry
+            .gauge(
+                "pim_device_health_shifts_total",
+                "Shift operations folded into the device-health heatmap across all subarrays.",
+                &[],
+            )
+            .set(health.totals.shifts as i64);
+        self.obs
+            .registry
+            .gauge(
+                "pim_device_health_faults_injected_total",
+                "Shift faults injected across all subarrays (functional fault-injection runs).",
+                &[],
+            )
+            .set(health.totals.faults_injected() as i64);
         for tenant in self.obs.slo.report().tenants {
             self.obs
                 .registry
@@ -796,6 +997,9 @@ impl Core {
             ("GET", ["v1", "metrics"]) => self.metrics(),
             ("GET", ["metrics.prom"]) => self.metrics_prom(),
             ("GET", ["v1", "events"]) => self.events(),
+            ("GET", ["v1", "debug", "requests"]) => self.debug_requests(),
+            ("GET", ["v1", "debug", "requests", id]) => self.debug_request(id),
+            ("GET", ["v1", "device", "health"]) => self.device_health(),
             ("POST", ["v1", "jobs"]) => self.submit(request, request_id),
             ("GET", ["v1", "jobs", id]) => match id.parse() {
                 Ok(id) => self.status(id),
@@ -818,6 +1022,8 @@ impl Core {
             | (_, ["v1", "healthz"])
             | (_, ["v1", "metrics"])
             | (_, ["v1", "events"])
+            | (_, ["v1", "debug", ..])
+            | (_, ["v1", "device", "health"])
             | (_, ["metrics.prom"]) => {
                 Response::error(405, &format!("{} not allowed here", request.method))
             }
@@ -837,6 +1043,9 @@ impl Core {
             ["v1", "jobs"] => "/v1/jobs",
             ["v1", "jobs", _] => "/v1/jobs/{id}",
             ["v1", "jobs", _, "result"] => "/v1/jobs/{id}/result",
+            ["v1", "debug", "requests"] => "/v1/debug/requests",
+            ["v1", "debug", "requests", _] => "/v1/debug/requests/{id}",
+            ["v1", "device", "health"] => "/v1/device/health",
             ["v1", "tenants", _, "usage"] => "/v1/tenants/{tenant}/usage",
             ["v1", "admin", "drain"] => "/v1/admin/drain",
             _ => "other",

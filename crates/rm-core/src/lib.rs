@@ -52,6 +52,7 @@ pub mod shard;
 pub mod stats;
 pub mod subarray;
 pub mod timing;
+pub mod wear;
 pub mod wide;
 
 pub use address::{Addr, BankId, MatId, RowAddr, SubarrayId};
@@ -72,6 +73,7 @@ pub use shard::{map_sharded, run_sharded, BufferProbe};
 pub use stats::{OpCounters, TimeBreakdown};
 pub use subarray::Subarray;
 pub use timing::TimingParams;
+pub use wear::{DeviceHealth, SubarrayHealth, SubarrayWear, WearTracker, WireWear};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, RmError>;

@@ -33,11 +33,19 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use streampim::pim_baselines::PlatformKind;
+use streampim::pim_flight::{FlightConfig, FlightIndex, FlightRecord};
 use streampim::pim_obs::{slo, Histogram, SloConfig};
 use streampim::pim_runtime::Job;
 use streampim::pim_serve::api::{MetricsResponse, StatusResponse, SubmitRequest};
 use streampim::pim_serve::{call, AdmissionConfig, JobState, ServeConfig, Server};
 use streampim::pim_workloads::WorkloadSpec;
+
+/// The main server's SLO objective: 1 ms. The closed-loop mix (small
+/// matrices, ~200-800 us) mostly stays under it; the open-loop burst
+/// (m >= 256, milliseconds of service time) breaches by design, so the
+/// flight recorder must retain those requests and the run can prove a
+/// record is fetchable end to end.
+const SLO_OBJECTIVE_NS: u64 = 1_000_000;
 
 /// The tenant mix: weights 4/2/1, exercised by every mode.
 const TENANTS: [(&str, u64); 3] = [("gold", 4), ("silver", 2), ("bronze", 1)];
@@ -250,6 +258,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             max_queued_global: 48,
         },
         tenant_weights: TENANTS.iter().map(|(t, w)| (t.to_string(), *w)).collect(),
+        slo: SloConfig {
+            latency_objective_ns: SLO_OBJECTIVE_NS,
+            ..SloConfig::default()
+        },
         ..ServeConfig::default()
     })?;
     let addr = server.addr();
@@ -299,11 +311,77 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         burn,
     );
 
+    // Flight recorder: the open-loop burst breached the 10 ms objective,
+    // so the tail sampler must hold full records — fetch one end to end
+    // by its request id and check the deep diagnostics came along.
+    let (status, _, body) = call(&addr, "GET", "/v1/debug/requests", None)?;
+    assert_eq!(status, 200, "{body}");
+    let index: FlightIndex = serde_json::from_str(&body)?;
+    assert!(
+        index.counters.retained >= 1,
+        "SLO-breaching burst left no retained flight records: {body}"
+    );
+    let entry = index.retained.first().expect("retained index is non-empty");
+    let (status, _, body) = call(
+        &addr,
+        "GET",
+        &format!("/v1/debug/requests/{}", entry.request_id),
+        None,
+    )?;
+    assert_eq!(status, 200, "{body}");
+    let record: FlightRecord = serde_json::from_str(&body)?;
+    assert_eq!(record.request_id, entry.request_id);
+    assert!(!record.spans.is_empty(), "retained record has no spans");
+    println!(
+        "loadgen: flight recorder retained {} of {} observed; {} ({}, {:.1} ms) fetched with {} spans",
+        index.counters.retained,
+        index.counters.observed,
+        record.request_id,
+        record.reason.label(),
+        record.latency_ns as f64 / 1e6,
+        record.spans.len(),
+    );
+    let flight = index.counters;
+
     server.check_conservation().expect("metering conservation");
     let drained = server.shutdown();
 
+    // Recorder A/B: the same closed-loop workload against two fresh
+    // servers, recorder on vs off, default (2 s) objective so nothing is
+    // retained — the marginal cost measured is the always-on tap +
+    // summarize path, the one every healthy request pays.
+    println!("loadgen: recorder A/B, {clients} clients, {duration_ms} ms per arm ...");
+    let ab_arm = |enabled: bool| -> Result<f64, Box<dyn std::error::Error>> {
+        let server = Server::start(ServeConfig {
+            admission: AdmissionConfig {
+                max_queued_per_tenant: 16,
+                max_inflight_per_tenant: 2,
+                max_queued_global: 48,
+            },
+            tenant_weights: TENANTS.iter().map(|(t, w)| (t.to_string(), *w)).collect(),
+            flight: FlightConfig {
+                enabled,
+                ..FlightConfig::default()
+            },
+            ..ServeConfig::default()
+        })?;
+        let (traffic, elapsed_s) = closed_loop(server.addr(), duration, clients);
+        server.shutdown();
+        Ok(traffic.completed.load(Ordering::Relaxed) as f64 / elapsed_s)
+    };
+    let throughput_on = ab_arm(true)?;
+    let throughput_off = ab_arm(false)?;
+    let overhead_pct = if throughput_off > 0.0 {
+        (throughput_off - throughput_on) / throughput_off * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "loadgen: recorder on {throughput_on:.1} jobs/s, off {throughput_off:.1} jobs/s ({overhead_pct:+.2}% overhead)"
+    );
+
     let json = format!(
-        "{{\n  \"bench\": \"serve_loadgen\",\n  \"config\": {{\"duration_ms\": {duration_ms}, \"clients\": {clients}, \"dispatchers\": {}, \"intra_threads\": {}}},\n  \"modes\": [\n    {},\n    {}\n  ],\n  \"latency_ns\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}},\n  \"slo\": {{\"latency_objective_ns\": {}, \"objective\": {}, \"jobs\": {}, \"attainment\": {attainment:.6}, \"error_budget_burn\": {burn:.4}, \"pass\": {pass}}},\n  \"ledger\": {{\"tenants\": {}, \"billed_microcredits\": {}, \"jobs_settled\": {}, \"jobs_cancelled\": {}}}\n}}\n",
+        "{{\n  \"bench\": \"serve_loadgen\",\n  \"config\": {{\"duration_ms\": {duration_ms}, \"clients\": {clients}, \"dispatchers\": {}, \"intra_threads\": {}}},\n  \"modes\": [\n    {},\n    {}\n  ],\n  \"latency_ns\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}},\n  \"slo\": {{\"latency_objective_ns\": {}, \"objective\": {}, \"jobs\": {}, \"attainment\": {attainment:.6}, \"error_budget_burn\": {burn:.4}, \"pass\": {pass}}},\n  \"flight\": {{\"observed\": {}, \"retained\": {}, \"summarized\": {}, \"evicted\": {}, \"overhead_ns\": {}, \"ab\": {{\"recorder_on_jobs_per_s\": {throughput_on:.1}, \"recorder_off_jobs_per_s\": {throughput_off:.1}, \"overhead_pct\": {overhead_pct:.2}}}}},\n  \"ledger\": {{\"tenants\": {}, \"billed_microcredits\": {}, \"jobs_settled\": {}, \"jobs_cancelled\": {}}}\n}}\n",
         plan.dispatch_workers,
         plan.intra_per_job,
         mode_json("closed_loop", &closed, closed_s),
@@ -314,6 +392,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         slo_config.latency_objective_ns,
         slo_config.objective,
         outcomes.len(),
+        flight.observed,
+        flight.retained,
+        flight.summarized,
+        flight.evicted,
+        flight.overhead_ns,
         drained.ledger.tenants.len(),
         drained.ledger.global.billed_microcredits,
         drained.ledger.global.jobs_settled,

@@ -26,6 +26,9 @@
 //! * [`pim_obs`] — always-on host-side telemetry: sharded metrics registry
 //!   with Prometheus text exposition, structured event log, request-id
 //!   correlation, and per-tenant latency-SLO tracking.
+//! * [`pim_flight`] — tail-sampling flight recorder: per-request deep
+//!   diagnostics (spans, attribution, folded stacks) retained only for
+//!   SLO breaches, errors, cancellations, and latency outliers.
 //! * [`pim_serve`] — the runtime as a network service: std-only HTTP/JSON
 //!   job API with per-tenant weighted fair queues, admission control, and
 //!   cost metering (see `DESIGN.md` §13).
@@ -54,6 +57,7 @@
 pub use dw_logic;
 pub use pim_baselines;
 pub use pim_device;
+pub use pim_flight;
 pub use pim_obs;
 pub use pim_profile;
 pub use pim_runtime;

@@ -1,0 +1,210 @@
+//! Flight-recorder determinism, end to end (ISSUE acceptance criterion):
+//! the recorder only *observes* — simulated results must be byte-identical
+//! with the recorder on, off, or thrashing its ring mid-eviction.
+//!
+//! Three servers run the same job sequence sequentially: recorder enabled
+//! (defaults), recorder disabled, and recorder with a deliberately tiny
+//! ring (1 record, 256 bytes) so every retention evicts. For every job the
+//! raw `report` bytes of the result body must match across all three, and
+//! so must the settled ledger totals.
+//!
+//! A second test pins the retention policy itself: given a fixed stream of
+//! observations, the same records are retained, independent of ring size.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+use streampim::pim_baselines::PlatformKind;
+use streampim::pim_flight::{
+    FlightConfig, FlightRecorder, JobObservation, LatencyReservoir, RetainReason,
+};
+use streampim::pim_obs::SloConfig;
+use streampim::pim_runtime::Job;
+use streampim::pim_serve::api::{MetricsResponse, StatusResponse, SubmitRequest};
+use streampim::pim_serve::{call, JobState, ServeConfig, Server};
+use streampim::pim_workloads::WorkloadSpec;
+
+/// The job sequence: repeats exercise the cache-hit path, same-shape
+/// different-size pairs exercise the near-hit re-pricing path, so the
+/// recorder rides every disposition the serving path has.
+const SIZES: [usize; 6] = [24, 32, 24, 40, 32, 24];
+
+fn submit_body(m: usize) -> String {
+    let request = SubmitRequest {
+        tenant: "det".to_string(),
+        job: Job::new(WorkloadSpec::MatMul { m, k: m, n: m }, PlatformKind::StPim),
+    };
+    serde_json::to_string(&request).expect("request serializes")
+}
+
+fn poll_terminal(addr: &SocketAddr, id: u64) -> StatusResponse {
+    for _ in 0..4_000 {
+        let (status, _, body) = call(addr, "GET", &format!("/v1/jobs/{id}"), None).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let parsed: StatusResponse = serde_json::from_str(&body).unwrap();
+        if parsed.state.is_terminal() {
+            return parsed;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("job {id} hung: never reached a terminal state");
+}
+
+/// Extracts the raw bytes of the `report` field from a result body — a
+/// byte-level slice, not a parse/re-serialize round trip.
+fn raw_report(result_body: &str) -> &str {
+    let start = result_body
+        .find("\"report\": ")
+        .expect("result has a report field")
+        + "\"report\": ".len();
+    let end = result_body
+        .rfind(", \"error\":")
+        .expect("error field follows");
+    &result_body[start..end]
+}
+
+/// Runs the fixed job sequence on one server config; returns the raw
+/// report bytes per job and the final global ledger line.
+fn run_sequence(config: ServeConfig) -> (Vec<String>, String) {
+    let server = Server::start(config).unwrap();
+    let addr = server.addr();
+    let mut reports = Vec::new();
+    for &m in &SIZES {
+        let (status, _, body) = call(&addr, "POST", "/v1/jobs", Some(&submit_body(m))).unwrap();
+        assert_eq!(status, 202, "{body}");
+        let submitted: streampim::pim_serve::SubmitResponse = serde_json::from_str(&body).unwrap();
+        let terminal = poll_terminal(&addr, submitted.id);
+        assert_eq!(terminal.state, JobState::Completed, "job {m} failed");
+        let (status, _, body) = call(
+            &addr,
+            "GET",
+            &format!("/v1/jobs/{}/result", submitted.id),
+            None,
+        )
+        .unwrap();
+        assert_eq!(status, 200, "{body}");
+        reports.push(raw_report(&body).to_string());
+    }
+    let (status, _, body) = call(&addr, "GET", "/v1/metrics", None).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let metrics: MetricsResponse = serde_json::from_str(&body).unwrap();
+    let ledger = format!("{:?}", metrics.ledger.global);
+    server.shutdown();
+    (reports, ledger)
+}
+
+#[test]
+fn reports_are_byte_identical_with_recorder_on_off_and_thrashing() {
+    // All three configs pin SLO + dispatch so only the recorder differs.
+    let base = || ServeConfig {
+        dispatch_workers: 1,
+        slo: SloConfig {
+            latency_objective_ns: 1, // everything breaches → max recorder load
+            ..SloConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let on = base();
+    let off = ServeConfig {
+        flight: FlightConfig {
+            enabled: false,
+            ..FlightConfig::default()
+        },
+        ..base()
+    };
+    // A 1-record / 256-byte ring: every retention overflows the byte
+    // budget, so the eviction path runs on every single job.
+    let thrash = ServeConfig {
+        flight: FlightConfig {
+            max_records: 1,
+            max_bytes: 256,
+            ..FlightConfig::default()
+        },
+        ..base()
+    };
+
+    let (reports_on, ledger_on) = run_sequence(on);
+    let (reports_off, ledger_off) = run_sequence(off);
+    let (reports_thrash, ledger_thrash) = run_sequence(thrash);
+
+    assert_eq!(reports_on.len(), SIZES.len());
+    for (i, ((a, b), c)) in reports_on
+        .iter()
+        .zip(&reports_off)
+        .zip(&reports_thrash)
+        .enumerate()
+    {
+        assert_eq!(a, b, "job {i}: recorder-on vs recorder-off drifted");
+        assert_eq!(a, c, "job {i}: recorder-on vs thrashing-ring drifted");
+    }
+    assert_eq!(ledger_on, ledger_off, "ledger drifted with recorder off");
+    assert_eq!(ledger_on, ledger_thrash, "ledger drifted under eviction");
+}
+
+/// One synthetic observation with the given latency; everything else held
+/// constant so retention depends only on the latency stream.
+fn obs(i: u64, latency_ns: u64) -> JobObservation {
+    JobObservation {
+        request_id: format!("req-{i:08x}"),
+        job_id: i,
+        tenant: "fixed".into(),
+        name: "gemm".into(),
+        platform: "StreamPIM".into(),
+        shape_key: 7,
+        latency_ns,
+        slo_objective_ns: 1_000_000,
+        ok: true,
+        ..JobObservation::default()
+    }
+}
+
+/// Feeds a fixed latency stream through a recorder; returns each
+/// observation's retention decision.
+fn decisions(config: FlightConfig, stream: &[u64]) -> Vec<Option<RetainReason>> {
+    let recorder = FlightRecorder::new(config);
+    stream
+        .iter()
+        .enumerate()
+        .map(|(i, &latency)| {
+            let tap = recorder.begin();
+            recorder.finish(obs(i as u64, latency), tap)
+        })
+        .collect()
+}
+
+#[test]
+fn retention_is_a_pure_function_of_the_observation_stream() {
+    // A latency stream with two SLO breaches and one reservoir outlier
+    // after the warm-up window.
+    let mut stream: Vec<u64> = (0..40).map(|i| 10_000 + (i % 7) * 100).collect();
+    stream.push(2_000_000); // SLO breach
+    stream.extend((0..8).map(|i| 10_000 + i * 50));
+    stream.push(900_000); // outlier: ~90x the p95, under the objective
+    stream.push(3_000_000); // SLO breach
+
+    let small = FlightConfig {
+        max_records: 1,
+        max_bytes: 512,
+        ..FlightConfig::default()
+    };
+    let first = decisions(FlightConfig::default(), &stream);
+    let again = decisions(FlightConfig::default(), &stream);
+    let tiny = decisions(small, &stream);
+
+    assert_eq!(first, again, "same stream, same decisions");
+    assert_eq!(first, tiny, "ring size must not influence retention");
+    assert_eq!(first[40], Some(RetainReason::SloBreach));
+    assert_eq!(*first.last().unwrap(), Some(RetainReason::SloBreach));
+    assert!(
+        first.contains(&Some(RetainReason::Outlier)),
+        "the 900us spike must be an outlier: {first:?}"
+    );
+
+    // Sanity: the reservoir the policy consults is itself deterministic.
+    let mut r1 = LatencyReservoir::new(16);
+    let mut r2 = LatencyReservoir::new(16);
+    for &l in &stream {
+        r1.observe(l);
+        r2.observe(l);
+    }
+    assert_eq!(r1.p95_ns(), r2.p95_ns());
+}

@@ -274,6 +274,13 @@ const METRICS_SCHEMA_GOLDEN: &[&str] = &[
     "slo.tenants[].total: int",
     "slo.tenants[].attainment: float",
     "slo.tenants[].error_budget_burn: float",
+    "flight.observed: int",
+    "flight.retained: int",
+    "flight.summarized: int",
+    "flight.evicted: int",
+    "flight.ring_records: int",
+    "flight.ring_bytes: int",
+    "flight.overhead_ns: int",
 ];
 
 #[test]
