@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt lint build test determinism wide-smoke bench-build bench-device fidelity serve-smoke obs-smoke flight-smoke experiments
+.PHONY: verify fmt lint build test determinism wide-smoke bench-build bench-device cluster-smoke fidelity serve-smoke obs-smoke flight-smoke experiments
 
-verify: fmt lint build test determinism wide-smoke bench-build bench-device fidelity serve-smoke obs-smoke flight-smoke
+verify: fmt lint build test determinism wide-smoke bench-build bench-device cluster-smoke fidelity serve-smoke obs-smoke flight-smoke
 	@echo "verify: all gates passed"
 
 fmt:
@@ -24,8 +24,8 @@ test:
 # default counts (1,2,7,16), then deliberately awkward odd counts. Reports
 # must be byte-identical to serial in every shape.
 determinism:
-	$(CARGO) test -q --test parallel_determinism
-	STREAMPIM_TEST_WORKERS=1,3,5,13 $(CARGO) test -q --test parallel_determinism
+	$(CARGO) test -q --test parallel_determinism --test cluster_determinism
+	STREAMPIM_TEST_WORKERS=1,3,5,13 $(CARGO) test -q --test parallel_determinism --test cluster_determinism
 
 # Wide-kernel differential suites with the portable fallback forced:
 # proves the scalar/word/wide equivalences hold on the exact code path a
@@ -44,6 +44,16 @@ bench-build:
 bench-device:
 	$(CARGO) run --release -p pim-bench --bin bench_device -- --smoke --out target/BENCH_device_smoke.json --compare BENCH_device.json
 	test -s target/BENCH_device_smoke.json
+
+# Cluster scale-out smoke: single-device equivalence, interconnect
+# conservation, worker-count determinism across the device grid, and the
+# 4-device data-parallel speedup gate — then the scaling-curve bench in
+# smoke mode (regenerate the committed curves in full mode:
+# `cargo run --release -p pim-bench --bin bench_cluster`).
+cluster-smoke:
+	$(CARGO) run --release -p pim-bench --bin cluster_smoke
+	$(CARGO) run --release -p pim-bench --bin bench_cluster -- --smoke --out target/BENCH_cluster_smoke.json
+	test -s target/BENCH_cluster_smoke.json
 
 # Paper-fidelity regression gate: reruns the scaled evaluation and checks
 # every figure against the frozen expectations in fidelity.toml.

@@ -484,6 +484,35 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The ways `now`'s host differs from the baseline's, one description per
+/// mismatched field. Speedup ratios only transfer between matching hosts:
+/// packed-vs-scalar depends on the SIMD level, everything on the
+/// architecture, and thread ratios on the core count.
+fn host_mismatches(base: &HostEnv, now: &HostEnv) -> Vec<String> {
+    let mut out = Vec::new();
+    if base.arch != now.arch {
+        out.push(format!("arch: baseline {} vs {}", base.arch, now.arch));
+    }
+    if base.simd != now.simd {
+        out.push(format!("simd: baseline {} vs {}", base.simd, now.simd));
+    }
+    if base.available_parallelism != now.available_parallelism {
+        out.push(format!(
+            "threads: baseline {} vs {}",
+            base.available_parallelism, now.available_parallelism
+        ));
+    }
+    out
+}
+
+/// Whether the parallel speedup gate is meaningful on this host. On a
+/// single-hardware-thread host the "speedup" of the threaded engine is
+/// pure scheduler overhead; the ratio swings 2x run to run and gating it
+/// only produces flaky CI.
+fn parallel_gate_applies(host: &HostEnv) -> bool {
+    host.available_parallelism > 1
+}
+
 /// Gates this run's speedups against a baseline report's.
 fn compare(report: &Report, base_path: &str, tolerance_pct: f64) -> ExitCode {
     let baseline: Report = match std::fs::read_to_string(base_path)
@@ -496,6 +525,20 @@ fn compare(report: &Report, base_path: &str, tolerance_pct: f64) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // A mismatched host block used to gate the kernel speedups anyway and
+    // silently skip the parallel group — a baseline from another machine
+    // then "passed" without checking anything real. Refuse instead: the
+    // committed baseline must be regenerated on the class of machine that
+    // runs the gate.
+    let mismatches = host_mismatches(&baseline.host, &report.host);
+    if !mismatches.is_empty() {
+        eprintln!("bench_device: refusing to compare against {base_path} — host mismatch:");
+        for m in &mismatches {
+            eprintln!("  {m}");
+        }
+        eprintln!("  (speedup ratios do not transfer across hosts; regenerate the baseline on this machine class)");
+        return ExitCode::FAILURE;
+    }
     println!("\ncomparing speedups against {base_path} (tolerance {tolerance_pct}%):");
     let mut failed = false;
     for k in &report.results {
@@ -522,19 +565,9 @@ fn compare(report: &Report, base_path: &str, tolerance_pct: f64) -> ExitCode {
             failed = true;
         }
     }
-    // The parallel gate compares thread-speedup ratios, which only make
-    // sense between hosts with the same core count: skip loudly otherwise
-    // (the PR 5 baseline was recorded on a 1-CPU runner and silently gated
-    // nothing — this warning is the fix).
-    if baseline.host.available_parallelism != report.host.available_parallelism {
-        eprintln!(
-            "  WARNING: skipping parallel speedup gate — baseline host had {} threads, this host has {}",
-            baseline.host.available_parallelism, report.host.available_parallelism
-        );
-    } else if report.host.available_parallelism <= 1 {
-        // On a single-hardware-thread host the "speedup" of the threaded
-        // engine is pure scheduler overhead; the ratio swings 2x run to run
-        // and gating it only produces flaky CI.
+    // Host blocks match (checked above), so the only remaining reason to
+    // skip the parallel gate is a host where thread ratios are noise.
+    if !parallel_gate_applies(&report.host) {
         eprintln!(
             "  WARNING: skipping parallel speedup gate — host has 1 hardware thread, ratios are scheduler noise"
         );
@@ -572,5 +605,50 @@ fn compare(report: &Report, base_path: &str, tolerance_pct: f64) -> ExitCode {
     } else {
         println!("bench_device: all speedups within {tolerance_pct}% of {base_path}");
         ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host(threads: usize, arch: &str, simd: &str) -> HostEnv {
+        HostEnv {
+            available_parallelism: threads,
+            arch: arch.into(),
+            simd: simd.into(),
+        }
+    }
+
+    #[test]
+    fn matching_hosts_compare() {
+        let a = host(8, "x86_64", "avx2");
+        let b = host(8, "x86_64", "avx2");
+        assert!(host_mismatches(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn every_host_field_is_checked() {
+        let base = host(8, "x86_64", "avx2");
+        for (other, field) in [
+            (host(1, "x86_64", "avx2"), "threads"),
+            (host(8, "aarch64", "avx2"), "arch"),
+            (host(8, "x86_64", "portable"), "simd"),
+        ] {
+            let mismatches = host_mismatches(&base, &other);
+            assert_eq!(mismatches.len(), 1, "{field}: {mismatches:?}");
+            assert!(mismatches[0].starts_with(field), "{mismatches:?}");
+        }
+        assert_eq!(
+            host_mismatches(&base, &host(2, "aarch64", "portable")).len(),
+            3
+        );
+    }
+
+    #[test]
+    fn one_thread_hosts_skip_the_parallel_gate() {
+        assert!(!parallel_gate_applies(&host(1, "x86_64", "avx2")));
+        assert!(parallel_gate_applies(&host(2, "x86_64", "avx2")));
+        assert!(parallel_gate_applies(&host(8, "x86_64", "avx2")));
     }
 }

@@ -1,0 +1,158 @@
+//! Cluster scale-out smoke: the release-mode CI gate for `pim-cluster`.
+//!
+//! Four checks, each a hard failure:
+//!
+//! 1. **Single-device equivalence** — `Cluster{n:1}` at batch 1 is
+//!    byte-identical (serialized JSON) to `Platform::stream_pim` on the
+//!    same device configuration.
+//! 2. **Conservation** — the combined report's energy, counters, and VPC
+//!    counts equal the fixed-device-order fold of the per-device reports
+//!    plus the interconnect, *exactly* (bitwise for floats: same fold
+//!    order, same association); in data mode the combined time equals the
+//!    critical device's time plus the interconnect time exactly.
+//! 3. **Worker determinism** — the full `ClusterReport` is byte-identical
+//!    across host worker counts {1, 2, 7, 16} at every device count
+//!    {1, 2, 4, 8}, for both partition strategies.
+//! 4. **Scaling gate** — data-parallel batched tall-gemm speedup at 4
+//!    devices is ≥ 3x in simulated time (the ISSUE acceptance figure).
+
+use pim_baselines::{Platform, Workload};
+use pim_cluster::{Cluster, ClusterReport, PartitionStrategy};
+use pim_device::{Parallelism, StreamPimConfig};
+use pim_workloads::{DnnKind, WorkloadSpec};
+use std::process::ExitCode;
+
+fn fail(what: &str) -> ExitCode {
+    eprintln!("cluster_smoke: FAIL — {what}");
+    ExitCode::FAILURE
+}
+
+fn json(report: &ClusterReport) -> String {
+    serde_json::to_string(report).expect("report serializes")
+}
+
+fn main() -> ExitCode {
+    // 1. Single-device equivalence.
+    let workload = WorkloadSpec::MatMul {
+        m: 192,
+        k: 96,
+        n: 64,
+    };
+    let platform = Platform::stream_pim(StreamPimConfig::paper_default()).expect("platform builds");
+    let single = platform
+        .run(&Workload::from_spec(&workload))
+        .expect("platform prices");
+    let cluster1 = Cluster::paper_default(1).expect("cluster builds");
+    let clustered = cluster1
+        .run(&workload, PartitionStrategy::Data, 1)
+        .expect("cluster prices");
+    if serde_json::to_string(&single).unwrap()
+        != serde_json::to_string(&clustered.combined).unwrap()
+    {
+        return fail("Cluster{n:1} result differs from the single-device platform");
+    }
+    println!("cluster_smoke: single-device equivalence ok");
+
+    // 2 + 3. Conservation and worker determinism across the grid.
+    let worker_counts = [1usize, 2, 7, 16];
+    let device_counts = [1u32, 2, 4, 8];
+    let strategies = [
+        (PartitionStrategy::Data, 3u32),
+        (PartitionStrategy::Pipeline, 4u32),
+    ];
+    let dnn = WorkloadSpec::dnn(DnnKind::Mlp);
+    for (strategy, batch) in strategies {
+        for devices in device_counts {
+            let reference = Cluster::paper_default(devices)
+                .expect("cluster builds")
+                .with_parallelism(Parallelism::Serial)
+                .run(&dnn, strategy, batch)
+                .expect("cluster prices");
+
+            // Conservation: combined energy/counters/vpc are the
+            // device-order fold of the finalized per-device reports plus
+            // the interconnect — recompute the fold and compare bitwise.
+            let mut energy = rm_core::EnergyBreakdown::default();
+            let mut counters = rm_core::OpCounters::default();
+            let mut pim = 0u64;
+            let mut moves = 0u64;
+            for d in &reference.per_device {
+                energy += d.energy;
+                counters += d.counters;
+                pim += d.vpc.pim;
+                moves += d.vpc.moves;
+            }
+            energy += reference.interconnect.energy;
+            counters += reference.interconnect.counters;
+            let c = &reference.combined;
+            if serde_json::to_string(&energy).unwrap() != serde_json::to_string(&c.energy).unwrap()
+            {
+                return fail(&format!(
+                    "{strategy:?}/{devices}dev: combined energy is not the device-order fold"
+                ));
+            }
+            if counters != c.counters || pim != c.vpc.pim || moves != c.vpc.moves {
+                return fail(&format!(
+                    "{strategy:?}/{devices}dev: combined counters/vpc are not the exact fold"
+                ));
+            }
+            if strategy == PartitionStrategy::Data && devices > 1 {
+                let critical = &reference.per_device[reference.critical_device as usize];
+                let composed = critical.time + reference.interconnect.time;
+                if serde_json::to_string(&composed).unwrap()
+                    != serde_json::to_string(&c.time).unwrap()
+                {
+                    return fail(&format!(
+                        "{devices}dev: data-mode time is not critical-device + interconnect"
+                    ));
+                }
+            }
+
+            let want = json(&reference);
+            for workers in worker_counts {
+                let got = Cluster::paper_default(devices)
+                    .expect("cluster builds")
+                    .with_parallelism(Parallelism::Threads(workers))
+                    .run(&dnn, strategy, batch)
+                    .expect("cluster prices");
+                if json(&got) != want {
+                    return fail(&format!(
+                        "{strategy:?}/{devices}dev: report differs at {workers} workers"
+                    ));
+                }
+            }
+        }
+    }
+    println!(
+        "cluster_smoke: conservation + worker determinism ok ({} workers x {} devices x {} strategies)",
+        worker_counts.len(),
+        device_counts.len(),
+        strategies.len()
+    );
+
+    // 4. Scaling gate (simulated time, host-independent).
+    let tall = WorkloadSpec::MatMul {
+        m: 8192,
+        k: 128,
+        n: 128,
+    };
+    let t1 = Cluster::paper_default(1)
+        .expect("cluster builds")
+        .run(&tall, PartitionStrategy::Data, 8)
+        .expect("cluster prices")
+        .total_ns();
+    let t4 = Cluster::paper_default(4)
+        .expect("cluster builds")
+        .run(&tall, PartitionStrategy::Data, 8)
+        .expect("cluster prices")
+        .total_ns();
+    let speedup = t1 / t4;
+    if speedup < 3.0 {
+        return fail(&format!(
+            "data-parallel gemm speedup at 4 devices is {speedup:.2}x, gate wants >= 3x"
+        ));
+    }
+    println!("cluster_smoke: 4-device data-parallel speedup {speedup:.2}x (gate >= 3x) ok");
+    println!("cluster_smoke: all checks passed");
+    ExitCode::SUCCESS
+}

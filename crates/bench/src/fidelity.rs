@@ -23,7 +23,7 @@ pub struct FidelityCheck {
     /// Stable identifier, named in failure output.
     pub id: String,
     /// Figure selector: `fig17`, `fig18`, `fig21`, `fig22`, `fig23`,
-    /// `table5`, `area` or `fabrication`.
+    /// `table5`, `area`, `fabrication` or `cluster`.
     pub figure: String,
     /// Metric selector within the figure (see [`FigureCache::value`]).
     pub metric: String,
@@ -207,6 +207,7 @@ pub struct FigureCache {
     fig22: Option<Vec<(&'static str, f64)>>,
     fig23: Option<Vec<figures::Fig23Row>>,
     table5: Option<Vec<figures::Table5Row>>,
+    cluster: Option<Vec<(&'static str, f64)>>,
 }
 
 impl FigureCache {
@@ -221,6 +222,7 @@ impl FigureCache {
             fig22: None,
             fig23: None,
             table5: None,
+            cluster: None,
         }
     }
 
@@ -234,7 +236,9 @@ impl FigureCache {
     /// * `fig23` — `<model>:<platform>` (e.g. `MLP:StPIM`);
     /// * `table5` — `<segment>:time` or `<segment>:energy` (percent);
     /// * `area` — `bus_pct`, `proc_pct` or `transfer_pct`;
-    /// * `fabrication` — the process node in nm, yielding pJ per gate.
+    /// * `fabrication` — the process node in nm, yielding pJ per gate;
+    /// * `cluster` — `n1_time_ratio`, `n1_energy_ratio` or `n1_identical`
+    ///   (single-device-equivalence metrics, frozen at exactly 1).
     ///
     /// # Errors
     ///
@@ -352,6 +356,21 @@ impl FigureCache {
                     "transfer_pct" => Ok(a.transfer_fraction_of_banks() * 100.0),
                     other => Err(format!("area: unknown metric `{other}`")),
                 }
+            }
+            "cluster" => {
+                if self.cluster.is_none() {
+                    self.cluster = Some(
+                        figures::cluster_equivalence_with(engine.as_ref())
+                            .map_err(|e| format!("cluster: {e}"))?,
+                    );
+                }
+                self.cluster
+                    .as_ref()
+                    .expect("just filled")
+                    .iter()
+                    .find(|(name, _)| *name == metric)
+                    .map(|(_, v)| *v)
+                    .ok_or_else(|| format!("cluster: unknown metric `{metric}`"))
             }
             "fabrication" => {
                 let nm: u32 = metric
@@ -565,6 +584,25 @@ abs = 0.0001
         let outcome = evaluate(&spec, None).unwrap();
         assert!(!outcome.passed());
         assert_eq!(outcome.failures()[0].check.id, "area-bus");
+    }
+
+    #[test]
+    fn cluster_equivalence_holds_with_zero_tolerance() {
+        let spec = FidelitySpec::parse(
+            "[[check]]\nid = \"c-time\"\nfigure = \"cluster\"\nmetric = \"n1_time_ratio\"\n\
+             expect = 1\ntol_pct = 0\n\
+             [[check]]\nid = \"c-ident\"\nfigure = \"cluster\"\nmetric = \"n1_identical\"\n\
+             expect = 1\ntol_pct = 0\n",
+        )
+        .unwrap();
+        let outcome = evaluate(&spec, None).unwrap();
+        assert!(outcome.passed(), "{}", outcome.render());
+        // The equivalence is a code-path property, so it must also hold
+        // under engine perturbation (both sides move together).
+        let perturbed =
+            perturb_engine(EngineParams::default(), "controller_ns_per_vpc=50").unwrap();
+        let outcome = evaluate(&spec, Some(perturbed)).unwrap();
+        assert!(outcome.passed(), "{}", outcome.render());
     }
 
     #[test]

@@ -557,6 +557,56 @@ pub fn table5_with(
         .collect())
 }
 
+/// Regenerates the cluster single-device-equivalence metrics: a one-device
+/// `pim-cluster` run at batch 1 against the plain single-device platform on
+/// the same configuration. The scale-out layer's contract (DESIGN.md §17)
+/// is that `Cluster{n:1}` routes through the exact single-device code path,
+/// so all three metrics are frozen at exactly `1.0`:
+///
+/// * `n1_time_ratio` — cluster simulated time over platform simulated time;
+/// * `n1_energy_ratio` — cluster energy over platform energy;
+/// * `n1_identical` — `1.0` only when the *serialized* reports are
+///   byte-equal (strictly stronger than the two ratios).
+///
+/// # Errors
+///
+/// Propagates platform/cluster configuration and pricing errors.
+pub fn cluster_equivalence() -> Result<Vec<(&'static str, f64)>, PimError> {
+    cluster_equivalence_with(None)
+}
+
+/// [`cluster_equivalence`] with an optional StreamPIM engine-parameter
+/// override (applied to both sides, so the frozen `1.0` values must hold
+/// under perturbation too).
+///
+/// # Errors
+///
+/// Propagates platform/cluster configuration and pricing errors.
+pub fn cluster_equivalence_with(
+    engine: Option<&EngineParams>,
+) -> Result<Vec<(&'static str, f64)>, PimError> {
+    use pim_cluster::{Cluster, ClusterConfig, PartitionStrategy};
+    let workload = pim_workloads::spec::WorkloadSpec::MatMul {
+        m: 192,
+        k: 96,
+        n: 64,
+    };
+    let device = apply_engine(StreamPimConfig::paper_default(), engine);
+    let single = Platform::stream_pim(device.clone())?.run(&Workload::from_spec(&workload))?;
+    let mut config = ClusterConfig::paper_default(1);
+    config.device = device;
+    let clustered = Cluster::new(config)?
+        .run(&workload, PartitionStrategy::Data, 1)?
+        .combined;
+    let identical = serde_json::to_string(&clustered).expect("report serializes")
+        == serde_json::to_string(&single).expect("report serializes");
+    Ok(vec![
+        ("n1_time_ratio", clustered.total_ns() / single.total_ns()),
+        ("n1_energy_ratio", clustered.total_pj() / single.total_pj()),
+        ("n1_identical", if identical { 1.0 } else { 0.0 }),
+    ])
+}
+
 /// Regenerates the §V-G area-overhead numbers.
 pub fn area() -> AreaModel {
     AreaModel::new(&DeviceConfig::paper_default())

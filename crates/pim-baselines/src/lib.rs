@@ -25,4 +25,6 @@ pub mod gpu;
 pub mod platform;
 
 pub use calib::HostCalib;
-pub use platform::{dnn_end_to_end, Platform, PlatformKind, Workload};
+pub use platform::{
+    add_pim_static_power, dnn_end_to_end, Platform, PlatformKind, Workload, PIM_STATIC_W,
+};

@@ -428,8 +428,10 @@ impl Platform {
 
 /// Peripheral/controller static power of the PIM device over the execution
 /// (the CPU/GPU models fold theirs into per-op energies). Shared by the
-/// instrumented and repriced paths so both post-process identically.
-fn add_pim_static_power(report: &mut ExecReport, probe: &dyn rm_core::Probe) {
+/// instrumented and repriced paths so both post-process identically; public
+/// so the cluster layer's single-device path applies the *same* charge and
+/// stays byte-identical to this platform.
+pub fn add_pim_static_power(report: &mut ExecReport, probe: &dyn rm_core::Probe) {
     let static_pj = report.time.total_ns() * PIM_STATIC_W * 1000.0;
     report.energy.other_pj += static_pj;
     if probe.enabled() {
@@ -476,7 +478,7 @@ fn emit_platform_span(sink: &dyn TraceSink, platform: &'static str, w: &Workload
 }
 
 /// Static (peripheral + controller leakage) power of a PIM device, watts.
-const PIM_STATIC_W: f64 = 0.08;
+pub const PIM_STATIC_W: f64 = 0.08;
 
 /// Charges a baseline PIM platform the workload's inherent data-placement
 /// traffic. Unlike StreamPIM, the baselines lack the `distribute`/`unblock`

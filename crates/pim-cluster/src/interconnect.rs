@@ -1,0 +1,355 @@
+//! The inter-device interconnect model: links priced by bandwidth, latency
+//! and energy per byte, serialized per channel, concurrent across channels.
+
+use crate::topology::ClusterTopology;
+use pim_device::PimError;
+use rm_core::{EnergyBreakdown, OpCounters, TimeBreakdown};
+use serde::{Deserialize, Serialize};
+
+/// Link-level pricing of the controller↔device interconnect.
+///
+/// The defaults model an LPDDR-class off-package channel: a handful of
+/// bytes per nanosecond of sustained bandwidth per channel, tens of
+/// nanoseconds of command latency per message, a small extra hop for each
+/// rank of depth, and a few picojoules per byte for the interface drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterconnectParams {
+    /// Sustained bandwidth of one channel link, bytes per nanosecond.
+    pub bytes_per_ns: f64,
+    /// Fixed latency per message on a channel link, nanoseconds.
+    pub link_latency_ns: f64,
+    /// Additional latency per rank of depth on the channel, nanoseconds.
+    pub rank_hop_ns: f64,
+    /// Interface energy per byte moved, picojoules.
+    pub pj_per_byte: f64,
+}
+
+impl InterconnectParams {
+    /// The default link pricing (LPDDR5X-class channel: 16 B/ns sustained,
+    /// 20 ns command latency, 4 ns per rank hop, 4 pJ/B interface energy).
+    pub fn paper_default() -> Self {
+        InterconnectParams {
+            bytes_per_ns: 16.0,
+            link_latency_ns: 20.0,
+            rank_hop_ns: 4.0,
+            pj_per_byte: 4.0,
+        }
+    }
+
+    /// Checks the parameters are physical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::Config`] for non-positive bandwidth or negative
+    /// latencies/energy.
+    pub fn validate(&self) -> Result<(), PimError> {
+        if self.bytes_per_ns.is_nan() || self.bytes_per_ns <= 0.0 {
+            return Err(PimError::Config(format!(
+                "interconnect bandwidth must be positive, got {}",
+                self.bytes_per_ns
+            )));
+        }
+        if self.link_latency_ns < 0.0 || self.rank_hop_ns < 0.0 || self.pj_per_byte < 0.0 {
+            return Err(PimError::Config(
+                "interconnect latencies and energy must be non-negative".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Command latency for one message to `rank`.
+    fn message_latency_ns(&self, rank: u32) -> f64 {
+        self.link_latency_ns + self.rank_hop_ns * rank as f64
+    }
+}
+
+/// Bytes one device exchanged with the controller in one collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LinkLoad {
+    /// Bytes written into the device (operand broadcast, activations in).
+    pub bytes_in: u64,
+    /// Bytes read out of the device (partial gather, activations out).
+    pub bytes_out: u64,
+}
+
+impl LinkLoad {
+    /// Total bytes crossing the device's link.
+    pub fn total(&self) -> u64 {
+        self.bytes_in + self.bytes_out
+    }
+}
+
+/// One priced set of link transfers: the elapsed wall time (channels
+/// concurrent, ranks on a channel serialized), the energy and the
+/// row-transaction counters folded into the combined report, plus the
+/// per-device link occupancy for attribution and gauges.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct InterconnectReport {
+    /// Wall-clock charged to the cluster for these transfers. Writes into
+    /// devices land in `write_ns`, reads out of devices in `read_ns`,
+    /// split by the byte ratio of the two directions.
+    pub time: TimeBreakdown,
+    /// Link interface energy: `write_pj` for bytes in, `read_pj` for
+    /// bytes out.
+    pub energy: EnergyBreakdown,
+    /// Row transactions (one 64-word row per read/write), matching the
+    /// accounting of the device engines.
+    pub counters: OpCounters,
+    /// Per-device link loads and occupancy, index = device.
+    pub links: Vec<LinkStat>,
+}
+
+/// One device's share of a priced transfer set.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LinkStat {
+    /// Bytes moved in each direction.
+    pub load: LinkLoad,
+    /// Time this device's link was busy, nanoseconds (occupancy — channels
+    /// run concurrently, so these do not sum to the elapsed time).
+    pub busy_ns: f64,
+    /// Row-read transactions (bytes out).
+    pub reads: u64,
+    /// Row-write transactions (bytes in).
+    pub writes: u64,
+    /// Link energy charged for this device's bytes, picojoules.
+    pub energy_pj: f64,
+}
+
+impl InterconnectReport {
+    /// Elapsed wall time of the transfers, nanoseconds.
+    pub fn total_ns(&self) -> f64 {
+        self.time.total_ns()
+    }
+
+    /// Link energy, picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.energy.total_pj()
+    }
+
+    /// Folds another transfer set in (summing elapsed time: the sets are
+    /// sequential collectives, e.g. broadcast then gather).
+    pub fn absorb(&mut self, other: &InterconnectReport) {
+        self.time += other.time;
+        self.energy += other.energy;
+        self.counters += other.counters;
+        if self.links.len() < other.links.len() {
+            self.links.resize(other.links.len(), LinkStat::default());
+        }
+        for (mine, theirs) in self.links.iter_mut().zip(&other.links) {
+            mine.load.bytes_in += theirs.load.bytes_in;
+            mine.load.bytes_out += theirs.load.bytes_out;
+            mine.busy_ns += theirs.busy_ns;
+            mine.reads += theirs.reads;
+            mine.writes += theirs.writes;
+            mine.energy_pj += theirs.energy_pj;
+        }
+    }
+
+    /// Scales every charged quantity by an integer replication factor
+    /// (batch items repeat the same transfers).
+    pub fn scaled(&self, k: u64) -> InterconnectReport {
+        let kf = k as f64;
+        InterconnectReport {
+            time: self.time.scaled(kf),
+            energy: self.energy * kf,
+            counters: self.counters.scaled(k),
+            links: self
+                .links
+                .iter()
+                .map(|l| LinkStat {
+                    load: LinkLoad {
+                        bytes_in: l.load.bytes_in * k,
+                        bytes_out: l.load.bytes_out * k,
+                    },
+                    busy_ns: l.busy_ns * kf,
+                    reads: l.reads * k,
+                    writes: l.writes * k,
+                    energy_pj: l.energy_pj * kf,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Bytes per row transaction on the links: one 64-word row, matching the
+/// device engines' transfer granularity.
+pub(crate) fn row_bytes(word_bits: u32) -> u64 {
+    64 * u64::from(word_bits.div_ceil(8).max(1))
+}
+
+/// Prices one collective: every device moves its [`LinkLoad`] to/from the
+/// controller. Devices on distinct channels transfer concurrently; loads
+/// on one channel serialize rank by rank (ascending device index, so the
+/// fold order is fixed). The elapsed time is the slowest channel's total.
+///
+/// All accumulation runs in ascending device index on the caller's thread,
+/// so every field of the result is a deterministic function of the inputs.
+pub fn price_collective(
+    topology: &ClusterTopology,
+    params: &InterconnectParams,
+    word_bits: u32,
+    loads: &[LinkLoad],
+) -> InterconnectReport {
+    assert_eq!(
+        loads.len(),
+        topology.devices as usize,
+        "one load per device"
+    );
+    let row = row_bytes(word_bits);
+    let mut channel_ns = vec![0.0f64; topology.channels as usize];
+    let mut links = Vec::with_capacity(loads.len());
+    let mut energy = EnergyBreakdown::default();
+    let mut counters = OpCounters::default();
+    let (mut bytes_in_total, mut bytes_out_total) = (0u64, 0u64);
+    for (d, load) in loads.iter().enumerate() {
+        let total = load.total();
+        if total == 0 {
+            links.push(LinkStat::default());
+            continue;
+        }
+        let rank = topology.rank_of(d as u32);
+        let busy = params.message_latency_ns(rank) + total as f64 / params.bytes_per_ns;
+        channel_ns[topology.channel_of(d as u32) as usize] += busy;
+        let reads = load.bytes_out.div_ceil(row);
+        let writes = load.bytes_in.div_ceil(row);
+        let read_pj = load.bytes_out as f64 * params.pj_per_byte;
+        let write_pj = load.bytes_in as f64 * params.pj_per_byte;
+        energy.read_pj += read_pj;
+        energy.write_pj += write_pj;
+        counters.reads += reads;
+        counters.writes += writes;
+        bytes_in_total += load.bytes_in;
+        bytes_out_total += load.bytes_out;
+        links.push(LinkStat {
+            load: *load,
+            busy_ns: busy,
+            reads,
+            writes,
+            energy_pj: read_pj + write_pj,
+        });
+    }
+    // Elapsed = the busiest channel; attribute it to reads/writes by the
+    // byte ratio of the two directions (all-in → write_ns, all-out →
+    // read_ns), mirroring `add_baseline_movement`'s split.
+    let elapsed = channel_ns.iter().fold(0.0f64, |a, &b| a.max(b));
+    let total_bytes = bytes_in_total + bytes_out_total;
+    let mut time = TimeBreakdown::default();
+    if total_bytes > 0 {
+        time.write_ns = elapsed * bytes_in_total as f64 / total_bytes as f64;
+        time.read_ns = elapsed * bytes_out_total as f64 / total_bytes as f64;
+    }
+    InterconnectReport {
+        time,
+        energy,
+        counters,
+        links,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> InterconnectParams {
+        InterconnectParams {
+            bytes_per_ns: 10.0,
+            link_latency_ns: 5.0,
+            rank_hop_ns: 2.0,
+            pj_per_byte: 3.0,
+        }
+    }
+
+    #[test]
+    fn channels_run_concurrently_ranks_serialize() {
+        // 4 devices on 2 channels: devices 0/2 share channel 0, 1/3 share
+        // channel 1 (rank 1 pays one hop).
+        let t = ClusterTopology {
+            devices: 4,
+            channels: 2,
+        };
+        let loads = vec![
+            LinkLoad {
+                bytes_in: 100,
+                bytes_out: 0,
+            };
+            4
+        ];
+        let r = price_collective(&t, &params(), 8, &loads);
+        // Per device: latency (5 or 5+2) + 100/10 = 15 or 17 ns busy.
+        // Each channel serializes one rank-0 and one rank-1 device.
+        assert_eq!(r.links[0].busy_ns, 15.0);
+        assert_eq!(r.links[2].busy_ns, 17.0);
+        assert_eq!(r.total_ns(), 32.0, "slowest channel, not the sum of 4");
+        // All bytes are writes into devices.
+        assert_eq!(r.time.write_ns, r.total_ns());
+        assert_eq!(r.time.read_ns, 0.0);
+        assert_eq!(r.counters.writes, 4 * 100u64.div_ceil(64));
+        assert_eq!(r.counters.reads, 0);
+        assert_eq!(r.total_pj(), 4.0 * 100.0 * 3.0);
+    }
+
+    #[test]
+    fn idle_devices_cost_nothing() {
+        let t = ClusterTopology {
+            devices: 2,
+            channels: 2,
+        };
+        let loads = vec![
+            LinkLoad {
+                bytes_in: 64,
+                bytes_out: 64,
+            },
+            LinkLoad::default(),
+        ];
+        let r = price_collective(&t, &params(), 8, &loads);
+        assert_eq!(r.links[1], LinkStat::default());
+        assert_eq!(r.total_ns(), 5.0 + 128.0 / 10.0);
+        // Equal bytes each way: elapsed splits half read, half write.
+        assert_eq!(r.time.read_ns, r.time.write_ns);
+    }
+
+    #[test]
+    fn zero_loads_price_to_zero() {
+        let t = ClusterTopology::for_devices(3);
+        let r = price_collective(&t, &params(), 8, &[LinkLoad::default(); 3]);
+        assert_eq!(
+            r,
+            InterconnectReport {
+                links: vec![LinkStat::default(); 3],
+                ..InterconnectReport::default()
+            }
+        );
+    }
+
+    #[test]
+    fn absorb_and_scale_compose() {
+        let t = ClusterTopology::for_devices(2);
+        let loads = vec![
+            LinkLoad {
+                bytes_in: 128,
+                bytes_out: 0,
+            },
+            LinkLoad {
+                bytes_in: 0,
+                bytes_out: 256,
+            },
+        ];
+        let one = price_collective(&t, &params(), 8, &loads);
+        let mut twice = one.clone();
+        twice.absorb(&one);
+        assert_eq!(twice, one.scaled(2));
+        assert_eq!(twice.total_pj(), 2.0 * one.total_pj());
+        assert_eq!(twice.counters.reads, 2 * one.counters.reads);
+    }
+
+    #[test]
+    fn params_validate() {
+        assert!(InterconnectParams::paper_default().validate().is_ok());
+        let mut bad = params();
+        bad.bytes_per_ns = 0.0;
+        assert!(bad.validate().is_err());
+        let mut neg = params();
+        neg.pj_per_byte = -1.0;
+        assert!(neg.validate().is_err());
+    }
+}

@@ -1,0 +1,189 @@
+//! Workload partitioners: how a matmul list is split across devices.
+//!
+//! Both strategies are pure functions of the shapes and the device count —
+//! no randomness, no host state — so two clusters given the same workload
+//! always cut it identically, which the determinism contract depends on.
+
+use pim_workloads::dnn::MatMulShape;
+use std::ops::Range;
+
+/// Splits `m` output rows into `devices` contiguous ranges whose sizes
+/// differ by at most one (device `d` gets `m / devices` rows plus one of
+/// the first `m % devices` remainders). Trailing devices may receive empty
+/// ranges when `m < devices`.
+pub fn shard_rows(m: usize, devices: usize) -> Vec<Range<usize>> {
+    let devices = devices.max(1);
+    let base = m / devices;
+    let extra = m % devices;
+    let mut start = 0;
+    (0..devices)
+        .map(|d| {
+            let len = base + usize::from(d < extra);
+            let range = start..start + len;
+            start += len;
+            range
+        })
+        .collect()
+}
+
+/// Data-parallel cut: every matmul's output rows are sharded across all
+/// devices with [`shard_rows`], so device `d` computes the same layer list
+/// with `m` replaced by its row share (zero-row layers are dropped from
+/// that device's list). Each device needs the full `B` operand (broadcast)
+/// and returns only its row block of `C` (gather).
+pub fn data_shards(shapes: &[MatMulShape], devices: usize) -> Vec<Vec<MatMulShape>> {
+    let devices = devices.max(1);
+    let mut shards = vec![Vec::with_capacity(shapes.len()); devices];
+    for shape in shapes {
+        for (d, rows) in shard_rows(shape.m, devices).into_iter().enumerate() {
+            if !rows.is_empty() {
+                shards[d].push(MatMulShape {
+                    m: rows.len(),
+                    k: shape.k,
+                    n: shape.n,
+                });
+            }
+        }
+    }
+    shards
+}
+
+/// Pipeline-parallel cut: the layer list is split into at most `devices`
+/// contiguous stages, balanced by flops. Greedy scan: a stage closes once
+/// its flops reach the ideal share of what remains, while always leaving
+/// at least one layer per remaining stage — so with `len >= devices` every
+/// stage is non-empty, and with fewer layers than devices the tail stages
+/// are empty.
+pub fn pipeline_stages(shapes: &[MatMulShape], devices: usize) -> Vec<Vec<MatMulShape>> {
+    let devices = devices.max(1);
+    let mut stages: Vec<Vec<MatMulShape>> = vec![Vec::new(); devices];
+    if shapes.is_empty() {
+        return stages;
+    }
+    let total: f64 = shapes.iter().map(MatMulShape::flops).sum();
+    let mut layer = 0;
+    for (s, stage) in stages.iter_mut().enumerate() {
+        let stages_left = devices - s;
+        if layer >= shapes.len() {
+            break;
+        }
+        // Ideal share of the remaining flops for this stage.
+        let remaining: f64 = shapes[layer..].iter().map(MatMulShape::flops).sum();
+        let target = remaining / stages_left as f64;
+        let mut flops = 0.0;
+        while layer < shapes.len() {
+            let layers_left = shapes.len() - layer;
+            // Keep one layer for each stage still to fill.
+            if layers_left < stages_left && !stage.is_empty() {
+                break;
+            }
+            let f = shapes[layer].flops();
+            // Close the stage when adding this layer overshoots the target
+            // by more than leaving it out undershoots — unless the stage is
+            // still empty (every stage with layers available takes ≥ 1).
+            if !stage.is_empty() && flops + f - target > target - flops {
+                break;
+            }
+            stage.push(shapes[layer]);
+            flops += f;
+            layer += 1;
+        }
+    }
+    debug_assert_eq!(
+        stages.iter().map(Vec::len).sum::<usize>(),
+        shapes.len(),
+        "pipeline stages must cover every layer exactly once (total {total} flops)"
+    );
+    stages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(m: usize, k: usize, n: usize) -> MatMulShape {
+        MatMulShape { m, k, n }
+    }
+
+    #[test]
+    fn shard_rows_contiguous_and_balanced() {
+        let shards = shard_rows(10, 4);
+        assert_eq!(shards, vec![0..3, 3..6, 6..8, 8..10]);
+        // Exhaustive cover check over a range of shapes.
+        for m in 0..40 {
+            for d in 1..9 {
+                let shards = shard_rows(m, d);
+                assert_eq!(shards.len(), d);
+                let mut next = 0;
+                for r in &shards {
+                    assert_eq!(r.start, next, "contiguous");
+                    next = r.end;
+                }
+                assert_eq!(next, m, "covers all rows");
+                let sizes: Vec<usize> = shards.iter().map(ExactSizeIterator::len).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "m={m} d={d}: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn data_shards_preserve_k_and_n() {
+        let shapes = [shape(100, 32, 16), shape(3, 32, 16)];
+        let shards = data_shards(&shapes, 4);
+        assert_eq!(shards.len(), 4);
+        // First matmul: 25 rows each; second: one row on devices 0..3.
+        for (d, shard) in shards.iter().enumerate() {
+            assert_eq!(shard[0], shape(25, 32, 16));
+            if d < 3 {
+                assert_eq!(shard[1], shape(1, 32, 16));
+            } else {
+                assert_eq!(shard.len(), 1, "device 3 has no rows of the 3-row matmul");
+            }
+        }
+        // Row totals reconstruct the originals.
+        let m0: usize = shards.iter().filter_map(|s| s.first()).map(|s| s.m).sum();
+        assert_eq!(m0, 100);
+    }
+
+    #[test]
+    fn data_shards_single_device_is_identity() {
+        let shapes = [shape(7, 5, 3), shape(2, 9, 4)];
+        assert_eq!(data_shards(&shapes, 1), vec![shapes.to_vec()]);
+    }
+
+    #[test]
+    fn pipeline_stages_cover_layers_in_order() {
+        let shapes: Vec<MatMulShape> = (1..=10).map(|i| shape(8 * i, 16, 32)).collect();
+        for d in 1..6 {
+            let stages = pipeline_stages(&shapes, d);
+            assert_eq!(stages.len(), d);
+            let flat: Vec<MatMulShape> = stages.iter().flatten().copied().collect();
+            assert_eq!(flat, shapes, "devices={d}: order preserved, all covered");
+            assert!(
+                stages.iter().all(|s| !s.is_empty()),
+                "devices={d}: {} layers fill every stage",
+                shapes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn pipeline_stages_balance_flops() {
+        // Uniform layers: stage flops should be within one layer of ideal.
+        let shapes = vec![shape(64, 64, 64); 12];
+        let stages = pipeline_stages(&shapes, 4);
+        for stage in &stages {
+            assert_eq!(stage.len(), 3);
+        }
+    }
+
+    #[test]
+    fn pipeline_with_fewer_layers_than_devices() {
+        let shapes = [shape(4, 4, 4), shape(8, 8, 8)];
+        let stages = pipeline_stages(&shapes, 4);
+        assert_eq!(stages.iter().filter(|s| !s.is_empty()).count(), 2);
+        let flat: Vec<MatMulShape> = stages.iter().flatten().copied().collect();
+        assert_eq!(flat, shapes);
+    }
+}

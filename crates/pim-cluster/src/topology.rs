@@ -1,0 +1,169 @@
+//! Cluster shape: how many devices, and how they hang off the controller.
+
+use crate::interconnect::InterconnectParams;
+use pim_device::{PimError, StreamPimConfig};
+use serde::{Deserialize, Serialize};
+
+/// Placement of N devices on the controller's memory channels.
+///
+/// Channels are independent point-to-point links; devices on one channel
+/// stack as ranks sharing its bus, each rank one hop deeper than the last
+/// (the LPDDR-style hierarchy the interconnect model prices). Device `d`
+/// sits on channel `d % channels` at rank `d / channels`, so consecutive
+/// devices spread across channels first — rank 0 fills before any link
+/// carries two ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterTopology {
+    /// Total simulated devices (≥ 1).
+    pub devices: u32,
+    /// Independent channel links to the controller (≥ 1).
+    pub channels: u32,
+}
+
+impl ClusterTopology {
+    /// The default placement for `n` devices: up to four channels (the
+    /// controller width modelled throughout), ranks as needed.
+    pub fn for_devices(n: u32) -> Self {
+        let n = n.max(1);
+        ClusterTopology {
+            devices: n,
+            channels: n.min(4),
+        }
+    }
+
+    /// The channel device `d` is attached to.
+    pub fn channel_of(&self, device: u32) -> u32 {
+        device % self.channels
+    }
+
+    /// The rank depth of device `d` on its channel (0 = nearest).
+    pub fn rank_of(&self, device: u32) -> u32 {
+        device / self.channels
+    }
+
+    /// Number of ranks on the deepest channel.
+    pub fn ranks(&self) -> u32 {
+        self.devices.div_ceil(self.channels)
+    }
+
+    /// Checks the shape is usable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::Config`] for zero devices/channels, more
+    /// channels than devices, or more than [`crate::MAX_DEVICES`] devices.
+    pub fn validate(&self) -> Result<(), PimError> {
+        if self.devices == 0 || self.channels == 0 {
+            return Err(PimError::Config(
+                "cluster topology needs at least one device and one channel".into(),
+            ));
+        }
+        if self.channels > self.devices {
+            return Err(PimError::Config(format!(
+                "cluster topology has {} channels for {} devices",
+                self.channels, self.devices
+            )));
+        }
+        if self.devices > crate::MAX_DEVICES {
+            return Err(PimError::Config(format!(
+                "cluster topology has {} devices (max {})",
+                self.devices,
+                crate::MAX_DEVICES
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Everything a [`crate::Cluster`] needs: the per-device configuration,
+/// the placement, and the link pricing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Configuration every device in the cluster runs (devices are
+    /// homogeneous, as in the paper's single-device evaluation).
+    pub device: StreamPimConfig,
+    /// Device placement.
+    pub topology: ClusterTopology,
+    /// Inter-device link pricing.
+    pub interconnect: InterconnectParams,
+}
+
+impl ClusterConfig {
+    /// The paper-default device replicated `n` times on the default
+    /// topology with the default interconnect.
+    pub fn paper_default(n: u32) -> Self {
+        ClusterConfig {
+            device: StreamPimConfig::paper_default(),
+            topology: ClusterTopology::for_devices(n),
+            interconnect: InterconnectParams::paper_default(),
+        }
+    }
+
+    /// Validates topology and interconnect (the device configuration is
+    /// validated when the first device is built).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::Config`] naming the offending field.
+    pub fn validate(&self) -> Result<(), PimError> {
+        self.topology.validate()?;
+        self.interconnect.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_topology_spreads_channels_first() {
+        let t = ClusterTopology::for_devices(6);
+        assert_eq!((t.devices, t.channels), (6, 4));
+        assert_eq!(t.ranks(), 2);
+        // Devices 0..=3 sit at rank 0 on channels 0..=3; 4 and 5 stack.
+        assert_eq!((t.channel_of(0), t.rank_of(0)), (0, 0));
+        assert_eq!((t.channel_of(3), t.rank_of(3)), (3, 0));
+        assert_eq!((t.channel_of(4), t.rank_of(4)), (0, 1));
+        assert_eq!((t.channel_of(5), t.rank_of(5)), (1, 1));
+    }
+
+    #[test]
+    fn single_device_topology_is_one_channel() {
+        let t = ClusterTopology::for_devices(1);
+        assert_eq!((t.devices, t.channels, t.ranks()), (1, 1, 1));
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_shapes() {
+        for bad in [
+            ClusterTopology {
+                devices: 0,
+                channels: 1,
+            },
+            ClusterTopology {
+                devices: 2,
+                channels: 0,
+            },
+            ClusterTopology {
+                devices: 2,
+                channels: 3,
+            },
+            ClusterTopology {
+                devices: crate::MAX_DEVICES + 1,
+                channels: 4,
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let config = ClusterConfig::paper_default(4);
+        let json = serde_json::to_string(&config).unwrap();
+        let back: ClusterConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(config, back);
+        assert!(config.validate().is_ok());
+    }
+}

@@ -26,9 +26,16 @@ pub fn absorb_attribution(tracker: &WearTracker, tree: &AttributionTree) {
     }
 }
 
-/// Parses `device/subarray[N]` (exact node, not descendants) to `N`.
+/// Parses `device/subarray[N]` (exact node, not descendants) to `N`,
+/// accepting the cluster-nested form `cluster/device[d]/device/subarray[N]`
+/// as well: simulated cluster devices share one geometry, so subarray `N`
+/// on any device wears the same heatmap row.
 fn parse_subarray(path: &str) -> Option<u32> {
-    let rest = path.strip_prefix("device/subarray[")?;
+    let local = match crate::cluster::parse_device_path(path) {
+        Some((_, rest)) => rest,
+        None => path,
+    };
+    let rest = local.strip_prefix("device/subarray[")?;
     let digits = rest.strip_suffix(']')?;
     digits.parse().ok()
 }
@@ -45,6 +52,13 @@ mod tests {
         assert_eq!(parse_subarray("bus/lane[3]"), None);
         assert_eq!(parse_subarray("device/controller"), None);
         assert_eq!(parse_subarray("device/subarray[x]"), None);
+        // Cluster-nested lanes feed the same heatmap.
+        assert_eq!(
+            parse_subarray("cluster/device[2]/device/subarray[5]"),
+            Some(5)
+        );
+        assert_eq!(parse_subarray("cluster/device[2]/device/controller"), None);
+        assert_eq!(parse_subarray("cluster/interconnect/link[1]"), None);
     }
 
     #[test]

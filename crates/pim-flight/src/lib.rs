@@ -26,11 +26,13 @@
 //! themselves are a pure function of the observation stream: given the
 //! same sequence of [`JobObservation`]s, the same records are retained.
 
+pub mod cluster;
 pub mod health;
 pub mod record;
 pub mod recorder;
 pub mod reservoir;
 
+pub use cluster::{ClusterUtilization, DeviceUtilization};
 pub use health::absorb_attribution;
 pub use record::{
     FaultTally, FlightCounters, FlightIndex, FlightIndexEntry, FlightRecord, FlightSummary,

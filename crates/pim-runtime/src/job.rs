@@ -1,6 +1,7 @@
 //! Job requests: what to run, where, and under which configuration.
 
 use pim_baselines::{Platform, PlatformKind};
+use pim_cluster::ClusterSpec;
 use pim_device::{OptLevel, PimError, StreamPimConfig};
 use pim_workloads::WorkloadSpec;
 use serde::{Deserialize, Serialize};
@@ -34,6 +35,12 @@ pub struct Job {
     /// Optimization-level override, applied on top of `config` or the
     /// platform default (StreamPIM family only).
     pub opt: Option<OptLevel>,
+    /// Multi-device scale-out request (StreamPIM family only): price the
+    /// workload on a cluster of `devices` devices instead of one. The
+    /// device count is a *hint* — the runtime clamps the lane threads to
+    /// the batch's fair-share budget, which changes wall-clock only, never
+    /// results. `None` (the default) runs single-device.
+    pub cluster: Option<ClusterSpec>,
 }
 
 impl Job {
@@ -47,6 +54,7 @@ impl Job {
             platform,
             config: None,
             opt: None,
+            cluster: None,
         }
     }
 
@@ -78,6 +86,12 @@ impl Job {
     /// Sets an optimization-level override (builder style).
     pub fn with_opt(mut self, opt: OptLevel) -> Self {
         self.opt = Some(opt);
+        self
+    }
+
+    /// Requests multi-device cluster execution (builder style).
+    pub fn with_cluster(mut self, cluster: ClusterSpec) -> Self {
+        self.cluster = Some(cluster);
         self
     }
 

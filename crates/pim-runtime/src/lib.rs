@@ -44,7 +44,10 @@ pub mod runtime;
 
 pub use cache::ScheduleCache;
 pub use job::Job;
+// Serving edges and tools accept cluster specs inside `Job` JSON; re-export
+// the spec types so they don't need a direct pim-cluster dependency.
 pub use metrics::{JobMetrics, MetricsRegistry, MetricsSnapshot, TenantMetrics};
+pub use pim_cluster::{ClusterSpec, PartitionStrategy};
 pub use runtime::{
     intra_worker_budget, BatchResult, CacheDisposition, JobInstruments, JobOutcome, Runtime,
     RuntimeConfig,

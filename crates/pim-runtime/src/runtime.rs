@@ -438,6 +438,17 @@ impl Runtime {
         instruments: &JobInstruments<'_>,
     ) -> (Result<ExecReport, pim_device::PimError>, CacheDisposition) {
         let unprobed = CacheDisposition::default();
+        // Multi-device cluster jobs take the cluster path: each device
+        // lowers its own shard, so the shared schedule cache and re-pricing
+        // memo don't apply. A one-device batch-1 spec falls through to the
+        // ordinary single-device path below — the cluster contract makes
+        // the two byte-identical, and falling through keeps the cache and
+        // re-pricing memo engaged for it.
+        if let Some(spec) = &job.cluster {
+            if spec.devices != 1 || spec.batch != 1 {
+                return (self.run_cluster(job, *spec, instruments), unprobed);
+            }
+        }
         let platform = match self.pooled_platform(job) {
             Ok(p) => p,
             Err(e) => return (Err(e), unprobed),
@@ -571,6 +582,40 @@ impl Runtime {
             ),
             cache,
         )
+    }
+
+    /// Prices one cluster job: builds a [`Cluster`] over the job's
+    /// effective device configuration on the default topology and
+    /// interconnect, with lane threads clamped by the batch's fair-share
+    /// budget (the `devices` count is a simulation parameter; the thread
+    /// budget changes wall-clock only, never results).
+    fn run_cluster(
+        &self,
+        job: &Job,
+        spec: pim_cluster::ClusterSpec,
+        instruments: &JobInstruments<'_>,
+    ) -> Result<ExecReport, pim_device::PimError> {
+        spec.validate()?;
+        let device = job.effective_config().ok_or_else(|| {
+            pim_device::PimError::Config(format!(
+                "cluster execution needs a StreamPIM-family platform, got {}",
+                job.platform.name()
+            ))
+        })?;
+        let config = pim_cluster::ClusterConfig {
+            device,
+            topology: pim_cluster::ClusterTopology::for_devices(spec.devices),
+            interconnect: pim_cluster::InterconnectParams::paper_default(),
+        };
+        let cluster = pim_cluster::Cluster::new(config)?.with_parallelism(self.intra_budget());
+        let report = cluster.run_instrumented(
+            &job.workload,
+            spec.strategy,
+            spec.batch,
+            instruments.sink,
+            instruments.probe,
+        )?;
+        Ok(report.combined)
     }
 
     /// The concrete intra-run parallelism granted to each job's device:
@@ -1075,5 +1120,75 @@ mod tests {
         assert!(snap.jobs.iter().all(|j| j.ok));
         let json = runtime.metrics_json();
         assert!(json.contains("\"jobs_submitted\": 4"));
+    }
+
+    #[test]
+    fn cluster_jobs_run_in_a_batch() {
+        use pim_cluster::ClusterSpec;
+        let runtime = Runtime::new(RuntimeConfig {
+            workers: 2,
+            cache_enabled: true,
+            ..RuntimeConfig::default()
+        });
+        let spec = WorkloadSpec::MatMul {
+            m: 128,
+            k: 48,
+            n: 32,
+        };
+        let jobs = vec![
+            Job::new(spec, PlatformKind::StPim),
+            Job::new(spec, PlatformKind::StPim).with_cluster(ClusterSpec::data(4).with_batch(4)),
+        ];
+        let batch = runtime.run_batch(&jobs);
+        assert_eq!(batch.completed(), 2);
+        let single = batch.outcomes[0].report.as_ref().unwrap();
+        let cluster = batch.outcomes[1].report.as_ref().unwrap();
+        // 4 batch items on 4 devices: more energy than one item, less time
+        // than pricing 4 items on one device.
+        assert!(cluster.total_pj() > single.total_pj());
+        assert!(cluster.total_ns() < 4.0 * single.total_ns());
+    }
+
+    #[test]
+    fn one_device_cluster_spec_matches_plain_job() {
+        use pim_cluster::ClusterSpec;
+        let runtime = Runtime::new(RuntimeConfig {
+            workers: 1,
+            cache_enabled: true,
+            ..RuntimeConfig::default()
+        });
+        let spec = WorkloadSpec::MatMul {
+            m: 64,
+            k: 32,
+            n: 16,
+        };
+        let jobs = vec![
+            Job::new(spec, PlatformKind::StPim),
+            Job::new(spec, PlatformKind::StPim).with_cluster(ClusterSpec::data(1)),
+        ];
+        let batch = runtime.run_batch(&jobs);
+        let plain = batch.outcomes[0].report.as_ref().unwrap();
+        let clustered = batch.outcomes[1].report.as_ref().unwrap();
+        assert_eq!(plain, clustered, "devices:1 batch:1 falls through");
+        // The fall-through keeps the schedule cache engaged.
+        assert_eq!(runtime.cache().hits(), 1);
+    }
+
+    #[test]
+    fn cluster_on_host_platform_is_a_config_error() {
+        use pim_cluster::ClusterSpec;
+        let runtime = Runtime::new(RuntimeConfig::default());
+        let job = Job::new(
+            WorkloadSpec::MatMul {
+                m: 64,
+                k: 32,
+                n: 16,
+            },
+            PlatformKind::CpuRm,
+        )
+        .with_cluster(ClusterSpec::data(2));
+        let batch = runtime.run_batch(&[job]);
+        let err = batch.outcomes[0].report.as_ref().unwrap_err();
+        assert!(err.to_string().contains("StreamPIM-family"), "got: {err}");
     }
 }

@@ -156,6 +156,9 @@ pub struct MetricsResponse {
     pub slo: SloReport,
     /// Flight-recorder retention/eviction/overhead counters.
     pub flight: FlightCounters,
+    /// Per-device utilization rows accumulated from cluster jobs (empty
+    /// until a multi-device job completes).
+    pub cluster: Vec<pim_flight::DeviceUtilization>,
 }
 
 /// `GET /v1/device/health` response body: the fault heatmap.

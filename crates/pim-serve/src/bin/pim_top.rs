@@ -177,6 +177,33 @@ fn frame(addr: &str) -> Result<String, String> {
         ));
     }
 
+    if !metrics.cluster.is_empty() {
+        let peak = metrics
+            .cluster
+            .iter()
+            .map(|d| d.busy_ns)
+            .fold(1.0_f64, f64::max);
+        out.push_str(&format!(
+            "\ncluster   {} devices observed\n",
+            metrics.cluster.len()
+        ));
+        out.push_str("          dev     busy ms   energy uJ     link ms   link uJ   util\n");
+        for device in &metrics.cluster {
+            // A 10-cell bar of this device's busy time against the
+            // busiest device — imbalance is visible at a glance.
+            let cells = ((device.busy_ns / peak) * 10.0).round() as usize;
+            out.push_str(&format!(
+                "          {:<5} {:>9.3} {:>11.3} {:>11.3} {:>9.3}   {}\n",
+                device.device,
+                device.busy_ns / 1e6,
+                device.energy_pj / 1e6,
+                device.link_busy_ns / 1e6,
+                device.link_energy_pj / 1e6,
+                "#".repeat(cells.clamp(1, 10)),
+            ));
+        }
+    }
+
     out.push_str("\nrecent events (oldest first)\n");
     let tail: Vec<&str> = {
         let lines: Vec<&str> = events.lines().filter(|l| !l.is_empty()).collect();
@@ -222,10 +249,25 @@ fn demo() -> ! {
     };
     let server = Server::start(config).unwrap_or_else(|e| fail(&format!("bind: {e}")));
     let addr = server.addr();
-    for (tenant, m) in [("gold", 12), ("silver", 16), ("gold", 20)] {
+    // Three single-device jobs plus one 4-device cluster job, so the
+    // per-device utilization panel renders with real rows.
+    for (tenant, m, cluster) in [
+        ("gold", 12, None),
+        ("silver", 16, None),
+        ("gold", 20, None),
+        (
+            "gold",
+            96,
+            Some(pim_runtime::ClusterSpec::data(4).with_batch(4)),
+        ),
+    ] {
+        let mut job = Job::new(WorkloadSpec::MatMul { m, k: m, n: m }, PlatformKind::StPim);
+        if let Some(spec) = cluster {
+            job = job.with_cluster(spec);
+        }
         let body = serde_json::to_string(&SubmitRequest {
             tenant: tenant.to_string(),
-            job: Job::new(WorkloadSpec::MatMul { m, k: m, n: m }, PlatformKind::StPim),
+            job,
         })
         .expect("request serializes");
         let (status, _, body) = call(&addr, "POST", "/v1/jobs", Some(&body))

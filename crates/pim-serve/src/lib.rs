@@ -66,8 +66,8 @@ pub use api::{
 };
 pub use http::{client_request, Request, Response};
 pub use meter::{
-    tier_for, Consumption, CostTier, Ledger, LedgerSummary, MeterConfig, MeterRecord, MeterState,
-    TenantUsage, TIER_TABLE,
+    tier_for, tier_for_batched, Consumption, CostTier, Ledger, LedgerSummary, MeterConfig,
+    MeterRecord, MeterState, TenantUsage, TIER_TABLE,
 };
 pub use queue::TenantQueues;
 pub use server::{call, ServeConfig, Server, ThreadPlan};

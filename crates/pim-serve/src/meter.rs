@@ -56,7 +56,15 @@ pub const TIER_TABLE: [(&str, u64, f64); 5] = [
 
 /// Classifies a workload into its cost tier from shape alone.
 pub fn tier_for(spec: &WorkloadSpec) -> CostTier {
-    let flops = spec.profile().flops;
+    tier_for_batched(spec, 1)
+}
+
+/// Classifies a batched workload: a cluster job pricing `batch` identical
+/// items is `batch ×` the FLOPs of one, so the admission estimate scales
+/// with it (the settled bill is reconciled from the actual report either
+/// way).
+pub fn tier_for_batched(spec: &WorkloadSpec, batch: u64) -> CostTier {
+    let flops = spec.profile().flops * batch.max(1) as f64;
     let (name, multiplier, _) = TIER_TABLE
         .iter()
         .find(|(_, _, ceiling)| flops < *ceiling)
@@ -245,7 +253,21 @@ impl Ledger {
         request_id: &str,
         spec: &WorkloadSpec,
     ) -> MeterRecord {
-        let tier = tier_for(spec);
+        self.admit_batched(job_id, tenant, request_id, spec, 1)
+    }
+
+    /// [`Ledger::admit`] for a cluster job pricing `batch` identical items:
+    /// the tier estimate scales with the batch (see [`tier_for_batched`]);
+    /// settlement is unchanged — it reconciles the actual combined report.
+    pub fn admit_batched(
+        &self,
+        job_id: u64,
+        tenant: &str,
+        request_id: &str,
+        spec: &WorkloadSpec,
+        batch: u64,
+    ) -> MeterRecord {
+        let tier = tier_for_batched(spec, batch);
         let estimated = tier.multiplier * self.config.base_rate_microcredits;
         let record = MeterRecord {
             job_id,
@@ -496,6 +518,31 @@ mod tests {
         for pair in TIER_TABLE.windows(2) {
             assert!(pair[0].1 < pair[1].1, "multipliers increase");
             assert!(pair[0].2 < pair[1].2, "ceilings increase");
+        }
+    }
+
+    #[test]
+    fn batched_tier_scales_with_the_batch() {
+        let spec = WorkloadSpec::MatMul {
+            m: 128,
+            k: 128,
+            n: 128,
+        };
+        let one = tier_for_batched(&spec, 1);
+        assert_eq!(one, tier_for(&spec), "batch 1 is the plain estimate");
+        // 128³ gemm is ~4.2 MFLOP (tier `small`); 64 of them cross the
+        // 1e8 ceiling into `medium`.
+        let many = tier_for_batched(&spec, 64);
+        assert!(
+            many.multiplier > one.multiplier,
+            "batch raises the estimate: {one:?} vs {many:?}"
+        );
+        // Estimates stay monotone in batch size.
+        let mut last = 0;
+        for batch in [1, 2, 8, 64, 512] {
+            let m = tier_for_batched(&spec, batch).multiplier;
+            assert!(m >= last);
+            last = m;
         }
     }
 

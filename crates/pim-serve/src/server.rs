@@ -270,6 +270,9 @@ struct Core {
     flight: FlightRecorder,
     /// Device-health accumulator, fed from every request's attribution.
     health: Arc<WearTracker>,
+    /// Per-device utilization rollup for cluster jobs, fed from the same
+    /// attribution stream (single-device jobs contribute nothing).
+    cluster_util: pim_flight::ClusterUtilization,
 }
 
 impl std::fmt::Debug for Core {
@@ -309,6 +312,7 @@ impl Core {
             obs,
             flight,
             health: Arc::new(WearTracker::new()),
+            cluster_util: pim_flight::ClusterUtilization::new(),
         }
     }
 
@@ -442,7 +446,9 @@ impl Core {
             // retention policy decide what the request leaves behind. Both
             // observe only; neither touches simulated state.
             if let Some(tap) = &tap {
-                pim_flight::absorb_attribution(&self.health, &tap.probe.snapshot());
+                let tree = tap.probe.snapshot();
+                pim_flight::absorb_attribution(&self.health, &tree);
+                self.cluster_util.absorb_attribution(&tree);
             }
             let retained = self.flight.finish(
                 JobObservation {
@@ -501,6 +507,13 @@ impl Core {
         if parsed.tenant.is_empty() {
             return Response::error(400, "tenant must be non-empty");
         }
+        // Cluster specs are validated at the edge: a bad device count or
+        // batch is the client's error (400), not a queued job that fails.
+        if let Some(spec) = &parsed.job.cluster {
+            if let Err(error) = spec.validate() {
+                return Response::error(400, &format!("bad cluster spec: {error}"));
+            }
+        }
         let tenant = parsed.tenant;
         // Tenant and request id are both stamped at the edge: whatever the
         // client put in those job fields is overwritten here.
@@ -544,9 +557,10 @@ impl Core {
         // Ledger admission happens under the core lock, before the job is
         // visible to dispatchers — a dispatcher can never settle a job the
         // ledger has not admitted.
+        let batch = job.cluster.map_or(1, |c| u64::from(c.batch));
         let meter = self
             .ledger
-            .admit(job_id, &tenant, request_id, &job.workload);
+            .admit_batched(job_id, &tenant, request_id, &job.workload, batch);
         state.jobs.insert(
             job_id,
             JobRecord {
@@ -753,6 +767,7 @@ impl Core {
             ledger: self.ledger.summary(),
             slo: self.obs.slo.report(),
             flight: self.flight.counters(),
+            cluster: self.cluster_util.snapshot(),
         };
         Response::json(200, serde_json::to_string(&body).expect("serializes"))
     }
@@ -911,6 +926,41 @@ impl Core {
                 &[],
             )
             .set(health.totals.faults_injected() as i64);
+        for row in self.cluster_util.snapshot() {
+            let device = row.device.to_string();
+            self.obs
+                .registry
+                .gauge(
+                    "pim_cluster_device_busy_ns",
+                    "Simulated engine busy time attributed to one cluster device across all served jobs.",
+                    &[("device", &device)],
+                )
+                .set(row.busy_ns as i64);
+            self.obs
+                .registry
+                .gauge(
+                    "pim_cluster_device_energy_pj",
+                    "Simulated engine energy attributed to one cluster device across all served jobs.",
+                    &[("device", &device)],
+                )
+                .set(row.energy_pj as i64);
+            self.obs
+                .registry
+                .gauge(
+                    "pim_cluster_link_busy_ns",
+                    "Simulated interconnect busy time on one cluster device's link across all served jobs.",
+                    &[("device", &device)],
+                )
+                .set(row.link_busy_ns as i64);
+            self.obs
+                .registry
+                .gauge(
+                    "pim_cluster_link_energy_pj",
+                    "Simulated interconnect energy on one cluster device's link across all served jobs.",
+                    &[("device", &device)],
+                )
+                .set(row.link_energy_pj as i64);
+        }
         for tenant in self.obs.slo.report().tenants {
             self.obs
                 .registry
@@ -1349,6 +1399,100 @@ mod tests {
         let drained = server.shutdown();
         assert_eq!(drained.phase, Phase::Stopped);
         assert_eq!(drained.runtime.jobs_completed, 1);
+    }
+
+    #[test]
+    fn cluster_jobs_submit_meter_and_complete() {
+        use pim_runtime::ClusterSpec;
+        let server = Server::start(ServeConfig::default()).unwrap();
+        let addr = server.addr();
+
+        let spec = WorkloadSpec::MatMul {
+            m: 256,
+            k: 128,
+            n: 128,
+        };
+        let plain = SubmitRequest {
+            tenant: "alice".into(),
+            job: Job::new(spec, PlatformKind::StPim),
+        };
+        let clustered = SubmitRequest {
+            tenant: "alice".into(),
+            job: Job::new(spec, PlatformKind::StPim)
+                .with_cluster(ClusterSpec::data(4).with_batch(32)),
+        };
+        let mut ids = Vec::new();
+        for request in [&plain, &clustered] {
+            let body = serde_json::to_string(request).unwrap();
+            let (status, _, body) = call(&addr, "POST", "/v1/jobs", Some(&body)).unwrap();
+            assert_eq!(status, 202, "{body}");
+            let submitted: SubmitResponse = serde_json::from_str(&body).unwrap();
+            ids.push((submitted.id, submitted.meter));
+        }
+        // The batch-aware estimate prices the 32-item cluster job higher
+        // than the identical single-item job.
+        assert!(
+            ids[1].1.estimated_microcredits > ids[0].1.estimated_microcredits,
+            "cluster estimate scales with batch: {:?} vs {:?}",
+            ids[0].1,
+            ids[1].1
+        );
+        for (id, _) in &ids {
+            assert_eq!(poll_terminal(&addr, *id).state, JobState::Completed);
+        }
+        let (status, _, body) =
+            call(&addr, "GET", &format!("/v1/jobs/{}/result", ids[1].0), None).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let result: ResultResponse = serde_json::from_str(&body).unwrap();
+        let cluster_report = result.report.expect("cluster job has a report");
+        assert!(cluster_report.total_ns() > 0.0);
+        // The ledger reconciles cluster consumption exactly like any other
+        // job — the conservation invariant holds with cluster jobs in the
+        // mix.
+        server.check_conservation().unwrap();
+        // The per-device utilization gauges picked up the cluster lanes.
+        let (status, _, prom) = call(&addr, "GET", "/metrics.prom", None).unwrap();
+        assert_eq!(status, 200);
+        for device in 0..4 {
+            assert!(
+                prom.contains(&format!(
+                    "pim_cluster_device_busy_ns{{device=\"{device}\"}}"
+                )),
+                "device {device} gauge missing from exposition"
+            );
+        }
+        assert!(prom.contains("pim_cluster_link_energy_pj"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_cluster_specs_are_rejected_at_the_edge() {
+        use pim_runtime::ClusterSpec;
+        let server = Server::start(ServeConfig::default()).unwrap();
+        let addr = server.addr();
+        for bad in [
+            ClusterSpec::data(0),
+            ClusterSpec::data(65),
+            ClusterSpec::data(2).with_batch(0),
+        ] {
+            let request = SubmitRequest {
+                tenant: "alice".into(),
+                job: Job::new(
+                    WorkloadSpec::MatMul { m: 6, k: 6, n: 6 },
+                    PlatformKind::StPim,
+                )
+                .with_cluster(bad),
+            };
+            let body = serde_json::to_string(&request).unwrap();
+            let (status, _, body) = call(&addr, "POST", "/v1/jobs", Some(&body)).unwrap();
+            assert_eq!(status, 400, "{body}");
+            assert!(body.contains("bad cluster spec"), "{body}");
+        }
+        // Nothing was admitted or metered.
+        let (_, _, body) = call(&addr, "GET", "/v1/healthz", None).unwrap();
+        let health: HealthResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!((health.queued, health.in_flight), (0, 0));
+        server.shutdown();
     }
 
     #[test]

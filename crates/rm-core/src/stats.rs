@@ -34,6 +34,21 @@ impl OpCounters {
     pub fn new() -> Self {
         OpCounters::default()
     }
+
+    /// Every counter multiplied by `k` (replicating one modelled unit of
+    /// work `k` times, e.g. identical batch items on a cluster device).
+    pub fn scaled(&self, k: u64) -> OpCounters {
+        OpCounters {
+            reads: self.reads * k,
+            writes: self.writes * k,
+            shifts: self.shifts * k,
+            shift_distance: self.shift_distance * k,
+            transverse_reads: self.transverse_reads * k,
+            pim_adds: self.pim_adds * k,
+            pim_muls: self.pim_muls * k,
+            gate_ops: self.gate_ops * k,
+        }
+    }
 }
 
 impl Add for OpCounters {
@@ -171,6 +186,22 @@ mod tests {
         assert_eq!(c.writes, 4);
         assert_eq!(c.shifts, 2);
         assert_eq!(c.shift_distance, 10);
+    }
+
+    #[test]
+    fn counters_scale() {
+        let c = OpCounters {
+            reads: 3,
+            shifts: 5,
+            shift_distance: 40,
+            ..Default::default()
+        };
+        let s = c.scaled(4);
+        assert_eq!(s.reads, 12);
+        assert_eq!(s.shifts, 20);
+        assert_eq!(s.shift_distance, 160);
+        assert_eq!(c.scaled(1), c);
+        assert_eq!(c.scaled(0), OpCounters::default());
     }
 
     #[test]

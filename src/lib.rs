@@ -16,6 +16,10 @@
 //!   `PimTask` programming interface.
 //! * [`pim_baselines`] — CPU-RM, CPU-DRAM, GPU, CORUSCANT, ELP2IM and FELIX
 //!   comparison platforms behind one `Platform` trait.
+//! * [`pim_cluster`] — multi-device scale-out: rank/channel clusters of
+//!   StreamPIM devices with a priced interconnect, data- and
+//!   pipeline-parallel partitioning, and deterministic cross-device
+//!   reduction (see `DESIGN.md` §17).
 //! * [`pim_workloads`] — polybench kernels and DNN (MLP/BERT) workload
 //!   generators with host-side reference math.
 //! * [`pim_runtime`] — concurrent batch-simulation runtime: work-stealing
@@ -56,6 +60,7 @@
 
 pub use dw_logic;
 pub use pim_baselines;
+pub use pim_cluster;
 pub use pim_device;
 pub use pim_flight;
 pub use pim_obs;

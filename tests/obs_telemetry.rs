@@ -22,7 +22,7 @@ use std::time::Duration;
 use streampim::pim_baselines::PlatformKind;
 use streampim::pim_obs::prom::validate_exposition;
 use streampim::pim_obs::EventRecord;
-use streampim::pim_runtime::{Job, Runtime, RuntimeConfig};
+use streampim::pim_runtime::{ClusterSpec, Job, Runtime, RuntimeConfig};
 use streampim::pim_serve::api::{ResultResponse, StatusResponse, SubmitRequest, SubmitResponse};
 use streampim::pim_serve::{call, AdmissionConfig, JobState, ServeConfig, Server};
 use streampim::pim_trace::{Collector, Track};
@@ -281,6 +281,19 @@ const METRICS_SCHEMA_GOLDEN: &[&str] = &[
     "flight.ring_records: int",
     "flight.ring_bytes: int",
     "flight.overhead_ns: int",
+    "cluster[].device: int",
+    "cluster[].busy_ns: float",
+    "cluster[].energy_pj: float",
+    "cluster[].ops.reads: int",
+    "cluster[].ops.writes: int",
+    "cluster[].ops.shifts: int",
+    "cluster[].ops.shift_distance: int",
+    "cluster[].ops.transverse_reads: int",
+    "cluster[].ops.pim_adds: int",
+    "cluster[].ops.pim_muls: int",
+    "cluster[].ops.gate_ops: int",
+    "cluster[].link_busy_ns: float",
+    "cluster[].link_energy_pj: float",
 ];
 
 #[test]
@@ -291,6 +304,30 @@ fn v1_metrics_json_schema_is_frozen() {
     // One completed job so every per-tenant/per-job array is populated.
     let (status, _, body) =
         call(&addr, "POST", "/v1/jobs", Some(&submit_body("golden", 16))).unwrap();
+    assert_eq!(status, 202, "{body}");
+    let submitted: SubmitResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(
+        poll_terminal(&addr, submitted.id).state,
+        JobState::Completed
+    );
+
+    // And one completed cluster job so the per-device utilization rows
+    // are populated too.
+    let cluster_request = SubmitRequest {
+        tenant: "golden".to_string(),
+        job: Job::new(
+            WorkloadSpec::MatMul { m: 24, k: 16, n: 8 },
+            PlatformKind::StPim,
+        )
+        .with_cluster(ClusterSpec::data(2).with_batch(2)),
+    };
+    let (status, _, body) = call(
+        &addr,
+        "POST",
+        "/v1/jobs",
+        Some(&serde_json::to_string(&cluster_request).unwrap()),
+    )
+    .unwrap();
     assert_eq!(status, 202, "{body}");
     let submitted: SubmitResponse = serde_json::from_str(&body).unwrap();
     assert_eq!(
